@@ -1,0 +1,80 @@
+// Experiment E10: wall-clock scalability of the full pipeline (conflict
+// graph build, rho verification, LP solve, column generation, rounding) as
+// n and k grow, on disk-graph auctions. The interesting series is the LP
+// solve, which dominates; rounding is near-linear.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "core/auction_lp.hpp"
+#include "core/rounding.hpp"
+#include "gen/scenario.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace ssa;
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+void experiment_table() {
+  Table table({"n", "k", "graph+rho [ms]", "LP explicit [ms]",
+               "LP colgen [ms]", "round x32 [ms]", "b*"});
+  for (const std::size_t n : {40u, 80u, 160u, 240u}) {
+    for (const int k : {2, 4}) {
+      double build_s = 0.0;
+      double lp_value = 0.0;
+      AuctionInstance instance = [&] {
+        const auto start = std::chrono::steady_clock::now();
+        AuctionInstance built = gen::make_disk_auction(
+            n, k, gen::ValuationMix::kMixed, 3 * n + static_cast<std::size_t>(k));
+        build_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+        return built;
+      }();
+      FractionalSolution lp;
+      const double explicit_s =
+          seconds_of([&] { lp = solve_auction_lp(instance); });
+      lp_value = lp.objective;
+      const double colgen_s =
+          seconds_of([&] { (void)solve_auction_lp_colgen(instance); });
+      const double round_s =
+          seconds_of([&] { (void)best_of_rounds(instance, lp, 32, 1); });
+      table.add_row({Table::integer(static_cast<long long>(n)),
+                     Table::integer(k), Table::num(1e3 * build_s, 2),
+                     Table::num(1e3 * explicit_s, 2),
+                     Table::num(1e3 * colgen_s, 2),
+                     Table::num(1e3 * round_s, 2), Table::num(lp_value, 1)});
+    }
+  }
+  bench::print_experiment(
+      "E10: end-to-end scalability (disk-graph auctions)", table,
+      "VERDICT: the LP solve dominates and rounding is cheap; explicit "
+      "enumeration is competitive for small k, while column generation is "
+      "the only option beyond k = 12 (see E6b)");
+}
+
+void bm_end_to_end(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const AuctionInstance instance =
+      gen::make_disk_auction(n, 2, gen::ValuationMix::kMixed, 7);
+  for (auto _ : state) {
+    const FractionalSolution lp = solve_auction_lp(instance);
+    benchmark::DoNotOptimize(best_of_rounds(instance, lp, 8, 1));
+  }
+}
+BENCHMARK(bm_end_to_end)->Arg(20)->Arg(40)->Arg(80)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ssa::bench::run(argc, argv, experiment_table);
+}

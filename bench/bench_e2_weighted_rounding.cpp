@@ -1,0 +1,84 @@
+// Experiment E2 (Lemmas 7 + 8): approximation quality of Algorithms 2 + 3
+// on edge-weighted conflict graphs from the physical model with fixed
+// powers. Reports b*, mean welfare after the partial rounding and after the
+// finalization, and the proven factor 16 sqrt(k) rho ceil(log n).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/auction_lp.hpp"
+#include "core/rounding.hpp"
+#include "gen/scenario.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace ssa;
+
+void experiment_table() {
+  Table table({"power", "n", "k", "rho(pi)", "b*", "E[partial]", "E[final]",
+               "16*sqrt(k)*rho*logn", "bound ok"});
+  bool all_ok = true;
+  struct SchemeRow {
+    PowerScheme scheme;
+    const char* name;
+  };
+  for (const SchemeRow scheme : {SchemeRow{PowerScheme::kUniform, "uniform"},
+                                 SchemeRow{PowerScheme::kLinear, "linear"},
+                                 SchemeRow{PowerScheme::kSquareRoot, "sqrt"}}) {
+    for (const std::size_t n : {20u, 40u}) {
+      for (const int k : {1, 2, 4}) {
+        const AuctionInstance instance = gen::make_physical_auction(
+            n, k, scheme.scheme, gen::ValuationMix::kMixed, 11u * n + k);
+        const FractionalSolution lp = solve_auction_lp(instance);
+        if (lp.status != lp::SolveStatus::kOptimal) continue;
+        Rng rng(77 + n);
+        RunningStats partial_stats, final_stats;
+        for (int trial = 0; trial < 40; ++trial) {
+          const Allocation partial = round_weighted_partial(instance, lp, rng);
+          partial_stats.add(instance.welfare(partial));
+          final_stats.add(instance.welfare(finalize_partial(instance, partial)));
+        }
+        const double log_n = std::ceil(std::log2(static_cast<double>(n)));
+        const double factor = 16.0 * std::sqrt(static_cast<double>(k)) *
+                              instance.rho() * log_n;
+        const bool ok = final_stats.mean() >= lp.objective / factor - 1e-9;
+        all_ok = all_ok && ok;
+        table.add_row(
+            {scheme.name, Table::integer(static_cast<long long>(n)),
+             Table::integer(k), Table::num(instance.rho(), 2),
+             Table::num(lp.objective, 1), Table::num(partial_stats.mean(), 1),
+             Table::num(final_stats.mean(), 1), Table::num(factor, 1),
+             ok ? "yes" : "NO"});
+      }
+    }
+  }
+  bench::print_experiment(
+      "E2 / Lemmas 7+8: Algorithms 2+3 on the physical model (fixed powers)",
+      table,
+      all_ok ? "VERDICT: E[welfare] >= b*/(16 sqrt(k) rho ceil(log n)) on "
+               "every row"
+             : "VERDICT: bound VIOLATED on some row");
+}
+
+void bm_weighted_round_and_finalize(benchmark::State& state) {
+  const AuctionInstance instance = gen::make_physical_auction(
+      static_cast<std::size_t>(state.range(0)), 2, PowerScheme::kLinear,
+      gen::ValuationMix::kMixed, 5);
+  const FractionalSolution lp = solve_auction_lp(instance);
+  Rng rng(1);
+  for (auto _ : state) {
+    const Allocation partial = round_weighted_partial(instance, lp, rng);
+    benchmark::DoNotOptimize(finalize_partial(instance, partial));
+  }
+}
+BENCHMARK(bm_weighted_round_and_finalize)->Arg(20)->Arg(40);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ssa::bench::run(argc, argv, experiment_table);
+}

@@ -1,0 +1,125 @@
+// Experiment E3 (Propositions 9, 11, 12, 13; 802.11; Corollary 14):
+// measured inductive independence rho(pi) of every binary interference
+// model against the paper's bound, across instance sizes. The claims hold
+// when measured <= bound for every row, and the measured values should stay
+// flat as n grows (the bounds are independent of n).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.hpp"
+#include "gen/scenario.hpp"
+#include "graph/inductive_independence.hpp"
+#include "models/distance2_matching.hpp"
+#include "models/protocol.hpp"
+#include "models/transmitter.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace ssa;
+
+struct ModelResult {
+  double measured = 0.0;
+  double bound = 0.0;
+};
+
+ModelResult measure(const std::string& model, std::size_t n,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  if (model == "disk") {
+    const auto tx = gen::random_transmitters(n, 40.0, 1.0, 5.0, rng);
+    const ModelGraph graph = disk_graph(tx);
+    return {rho_of_ordering(graph.graph, graph.order).value,
+            graph.theoretical_rho};
+  }
+  if (model == "dist2-disk") {
+    const auto tx = gen::random_transmitters(n, 40.0, 1.0, 3.0, rng);
+    const ModelGraph graph = distance2_disk_graph(tx);
+    return {rho_of_ordering(graph.graph, graph.order).value,
+            graph.theoretical_rho};
+  }
+  if (model == "civilized") {
+    // Jittered grid with separation s = 1, radius r = 2.
+    std::vector<Point> points;
+    const std::size_t side = 1;
+    (void)side;
+    std::size_t edge = 2;
+    while (edge * edge < n) ++edge;
+    for (std::size_t x = 0; x < edge && points.size() < n; ++x) {
+      for (std::size_t y = 0; y < edge && points.size() < n; ++y) {
+        points.push_back(Point{1.5 * static_cast<double>(x) +
+                                   0.2 * rng.uniform(),
+                               1.5 * static_cast<double>(y) +
+                                   0.2 * rng.uniform()});
+      }
+    }
+    const ModelGraph graph = distance2_civilized_graph(points, 2.0, 1.0);
+    return {rho_of_ordering(graph.graph, graph.order).value,
+            graph.theoretical_rho};
+  }
+  if (model == "protocol") {
+    const auto planar = gen::random_links(n, 30.0, 1.0, 4.0, rng);
+    const auto [links, metric] = to_metric_links(planar);
+    const ModelGraph graph = protocol_conflict_graph(links, metric, 1.0);
+    return {rho_of_ordering(graph.graph, graph.order).value,
+            graph.theoretical_rho};
+  }
+  if (model == "802.11") {
+    const auto planar = gen::random_links(n, 30.0, 1.0, 4.0, rng);
+    const auto [links, metric] = to_metric_links(planar);
+    const ModelGraph graph = ieee80211_conflict_graph(links, metric, 0.5);
+    return {rho_of_ordering(graph.graph, graph.order).value, 23.0};
+  }
+  // distance-2 matching
+  const auto tx = gen::random_transmitters(n / 2 + 4, 30.0, 1.0, 2.5, rng);
+  const auto edges = disk_graph_edges(tx);
+  const ModelGraph graph = distance2_matching_graph(tx, edges);
+  return {rho_of_ordering(graph.graph, graph.order).value, 40.0};
+}
+
+void experiment_table() {
+  Table table({"model", "n", "measured rho(pi)", "paper bound", "within"});
+  bool all_ok = true;
+  for (const std::string model :
+       {"disk", "dist2-disk", "civilized", "protocol", "802.11", "d2-match"}) {
+    for (const std::size_t n : {20u, 40u, 80u}) {
+      RunningStats stats;
+      double bound = 0.0;
+      for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        const ModelResult result = measure(model, n, 97 * seed + n);
+        stats.add(result.measured);
+        bound = result.bound;
+      }
+      const bool ok = stats.max() <= bound + 1e-9;
+      all_ok = all_ok && ok;
+      table.add_row({model, Table::integer(static_cast<long long>(n)),
+                     Table::num(stats.max(), 1), Table::num(bound, 1),
+                     ok ? "yes" : "NO"});
+    }
+  }
+  bench::print_experiment(
+      "E3 / Props 9-13, 802.11, Cor 14: rho(pi) of the binary models", table,
+      all_ok ? "VERDICT: measured rho(pi) within the paper bound on every "
+               "row, and flat in n (the bounds are constants)"
+             : "VERDICT: bound VIOLATED on some row");
+}
+
+void bm_rho_verifier(benchmark::State& state) {
+  Rng rng(3);
+  const auto tx = gen::random_transmitters(
+      static_cast<std::size_t>(state.range(0)), 40.0, 1.0, 5.0, rng);
+  const ModelGraph graph = disk_graph(tx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rho_of_ordering(graph.graph, graph.order));
+  }
+}
+BENCHMARK(bm_rho_verifier)->Arg(40)->Arg(80)->Arg(160);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ssa::bench::run(argc, argv, experiment_table);
+}

@@ -1,0 +1,34 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared helpers for the experiment binaries: every bench prints the
+/// series it measures as a table (these are the "rows" EXPERIMENTS.md
+/// records) and then runs its google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "support/table.hpp"
+
+namespace ssa::bench {
+
+/// Prints the experiment table and a one-line verdict.
+inline void print_experiment(const std::string& title, const Table& table,
+                             const std::string& verdict) {
+  table.print(std::cout, title);
+  if (!verdict.empty()) std::cout << verdict << "\n";
+  std::cout << std::endl;
+}
+
+/// Runs the experiment table printer, then google-benchmark.
+/// Usage from main: return ssa::bench::run(argc, argv, [] { ...tables... });
+template <typename TableFn>
+int run(int argc, char** argv, const TableFn& tables) {
+  tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ssa::bench

@@ -1,0 +1,76 @@
+// Asymmetric channels (Section 6): each channel has its own conflict
+// graph. Scenario: channel 0 is clean everywhere; channel 1 has a primary
+// user (TV tower) in the west -- bidders inside its protection zone
+// additionally conflict with each other there; channel 2 is crowded: its
+// protocol-model conflicts use a much larger guard parameter.
+
+#include <iostream>
+
+#include "core/asymmetric.hpp"
+#include "gen/scenario.hpp"
+#include "models/protocol.hpp"
+#include "support/random.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ssa;
+  Rng rng(55);
+
+  const std::size_t n = 22;
+  const auto planar = gen::random_links(n, 40.0, 1.0, 3.5, rng);
+  const auto [links, metric] = to_metric_links(planar);
+
+  // Channel 0: protocol model with delta = 0.5.
+  ModelGraph clean = protocol_conflict_graph(links, metric, 0.5);
+  // Channel 2: crowded -> delta = 2.0 (bigger guard zones, more conflicts).
+  ModelGraph crowded = protocol_conflict_graph(links, metric, 2.0);
+  // Channel 1: clean conflicts plus a clique among links whose sender lies
+  // in the primary user's protection zone (x < 15).
+  ModelGraph protectorate = protocol_conflict_graph(links, metric, 0.5);
+  std::vector<int> in_zone;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (planar[i].sender.x < 15.0) in_zone.push_back(static_cast<int>(i));
+  }
+  for (std::size_t a = 0; a < in_zone.size(); ++a) {
+    for (std::size_t b = a + 1; b < in_zone.size(); ++b) {
+      protectorate.graph.add_edge(static_cast<std::size_t>(in_zone[a]),
+                                  static_cast<std::size_t>(in_zone[b]));
+    }
+  }
+
+  std::vector<ConflictGraph> graphs;
+  graphs.push_back(std::move(clean.graph));
+  graphs.push_back(std::move(protectorate.graph));
+  graphs.push_back(std::move(crowded.graph));
+
+  auto bids = gen::random_valuations(n, 3, gen::ValuationMix::kMixed, 100, rng);
+  const AsymmetricInstance market(std::move(graphs), clean.order,
+                                  std::move(bids));
+  std::cout << "Asymmetric market: " << n << " links, 3 channels, rho = "
+            << market.rho() << "\n";
+  std::cout << "conflicts per channel: "
+            << market.graph(0).num_conflicts() << " / "
+            << market.graph(1).num_conflicts() << " / "
+            << market.graph(2).num_conflicts() << "\n";
+
+  const FractionalSolution lp = solve_asymmetric_lp(market);
+  std::cout << "asymmetric LP optimum b* = " << lp.objective << "\n";
+
+  const Allocation allocation = best_asymmetric_rounds(market, lp, 128, 3);
+  std::cout << "rounded welfare = " << market.welfare(allocation)
+            << " (feasible: " << (market.feasible(allocation) ? "yes" : "no")
+            << ")\n\n";
+
+  Table table({"channel", "holders", "note"});
+  const char* notes[] = {"clean", "primary-user zone", "crowded (delta=2)"};
+  for (int j = 0; j < 3; ++j) {
+    table.add_row({Table::integer(j),
+                   Table::integer(static_cast<long long>(
+                       channel_holders(allocation, j).size())),
+                   notes[j]});
+  }
+  table.print(std::cout, "channel usage");
+  std::cout << "Expect fewer holders on the crowded channel; the clean "
+               "channel carries the most traffic.\n";
+  return 0;
+}

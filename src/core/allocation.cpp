@@ -1,0 +1,42 @@
+#include "core/allocation.hpp"
+
+namespace ssa {
+
+std::size_t Allocation::winners() const noexcept {
+  std::size_t count = 0;
+  for (Bundle bundle : bundles) {
+    if (bundle != kEmptyBundle) ++count;
+  }
+  return count;
+}
+
+std::vector<int> channel_holders(const Allocation& allocation, int channel) {
+  std::vector<int> holders;
+  for (std::size_t v = 0; v < allocation.size(); ++v) {
+    if (bundle_has(allocation.bundles[v], channel)) {
+      holders.push_back(static_cast<int>(v));
+    }
+  }
+  return holders;
+}
+
+bool is_feasible(const Allocation& allocation, const ConflictGraph& graph,
+                 int num_channels) {
+  for (int j = 0; j < num_channels; ++j) {
+    if (!graph.is_independent(channel_holders(allocation, j))) return false;
+  }
+  return true;
+}
+
+bool is_feasible_asymmetric(const Allocation& allocation,
+                            std::span<const ConflictGraph> graphs) {
+  for (std::size_t j = 0; j < graphs.size(); ++j) {
+    if (!graphs[j].is_independent(
+            channel_holders(allocation, static_cast<int>(j)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ssa

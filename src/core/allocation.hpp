@@ -1,0 +1,38 @@
+#pragma once
+/// \file allocation.hpp
+/// Channel allocations S : V -> 2^[k] and their feasibility/welfare
+/// (Problem 1 of the paper).
+
+#include <span>
+#include <vector>
+
+#include "core/bundle.hpp"
+#include "graph/conflict_graph.hpp"
+
+namespace ssa {
+
+/// One bundle per bidder; bundles[v] == kEmptyBundle means v loses.
+struct Allocation {
+  std::vector<Bundle> bundles;
+
+  [[nodiscard]] std::size_t size() const noexcept { return bundles.size(); }
+  [[nodiscard]] Bundle operator[](std::size_t v) const { return bundles[v]; }
+
+  /// Number of bidders with a non-empty bundle.
+  [[nodiscard]] std::size_t winners() const noexcept;
+};
+
+/// Bidders assigned channel \p channel.
+[[nodiscard]] std::vector<int> channel_holders(const Allocation& allocation,
+                                               int channel);
+
+/// Feasibility per Problem 1: for every channel, the holders form an
+/// independent set of \p graph.
+[[nodiscard]] bool is_feasible(const Allocation& allocation,
+                               const ConflictGraph& graph, int num_channels);
+
+/// Feasibility with per-channel conflict graphs (Section 6).
+[[nodiscard]] bool is_feasible_asymmetric(
+    const Allocation& allocation, std::span<const ConflictGraph> graphs);
+
+}  // namespace ssa

@@ -1,0 +1,189 @@
+#include "core/asymmetric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/inductive_independence.hpp"
+#include "lp/simplex.hpp"
+#include "support/parallel.hpp"
+
+namespace ssa {
+
+AsymmetricInstance::AsymmetricInstance(std::vector<ConflictGraph> channel_graphs,
+                                       Ordering order,
+                                       std::vector<ValuationPtr> valuations,
+                                       double rho)
+    : graphs_(std::move(channel_graphs)),
+      order_(std::move(order)),
+      rho_(rho),
+      valuations_(std::move(valuations)) {
+  if (graphs_.empty() || graphs_.size() > static_cast<std::size_t>(kMaxChannels)) {
+    throw std::invalid_argument("AsymmetricInstance: bad channel count");
+  }
+  const std::size_t n = valuations_.size();
+  for (const auto& graph : graphs_) {
+    if (graph.size() != n) {
+      throw std::invalid_argument("AsymmetricInstance: graph size mismatch");
+    }
+  }
+  for (const auto& valuation : valuations_) {
+    if (!valuation || valuation->num_channels() != num_channels()) {
+      throw std::invalid_argument("AsymmetricInstance: valuation mismatch");
+    }
+  }
+  position_ = ordering_positions(order_);
+  for (const auto& graph : graphs_) graph.ensure_adjacency();
+  if (rho_ <= 0.0) {
+    for (const auto& graph : graphs_) {
+      rho_ = std::max(rho_, rho_of_ordering(graph, order_).value);
+    }
+  }
+  rho_ = std::max(rho_, 1.0);
+  unweighted_ = true;
+  for (const auto& graph : graphs_) unweighted_ = unweighted_ && graph.is_unweighted();
+}
+
+double AsymmetricInstance::welfare(const Allocation& allocation) const {
+  double total = 0.0;
+  for (std::size_t v = 0; v < num_bidders(); ++v) {
+    if (allocation.bundles[v] != kEmptyBundle) {
+      total += value(v, allocation.bundles[v]);
+    }
+  }
+  return total;
+}
+
+FractionalSolution solve_asymmetric_lp(const AsymmetricInstance& instance,
+                                       lp::SimplexOptions options) {
+  const int k = instance.num_channels();
+  if (k > 12) {
+    throw std::invalid_argument("solve_asymmetric_lp: k <= 12 required");
+  }
+  const std::size_t n = instance.num_bidders();
+
+  lp::LinearProgram master(lp::Objective::kMaximize);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (int j = 0; j < k; ++j) {
+      master.add_row(lp::RowSense::kLessEqual, instance.rho());
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    master.add_row(lp::RowSense::kLessEqual, 1.0);
+  }
+
+  std::vector<std::pair<int, Bundle>> meaning;
+  for (std::size_t v = 0; v < n; ++v) {
+    for (Bundle t = 1; t < num_bundles(k); ++t) {
+      const double value = instance.value(v, t);
+      if (value <= 0.0) continue;
+      std::vector<lp::ColumnEntry> entries;
+      for (int j = 0; j < k; ++j) {
+        if (!bundle_has(t, j)) continue;
+        const auto& graph = instance.graph(j);
+        for (int u : graph.neighbors(v)) {
+          if (instance.positions()[static_cast<std::size_t>(u)] <=
+              instance.positions()[v]) {
+            continue;
+          }
+          const double wbar = graph.coupling_weight(v, static_cast<std::size_t>(u));
+          if (wbar > 0.0) {
+            entries.push_back({channel_row(static_cast<std::size_t>(u), j, k), wbar});
+          }
+        }
+      }
+      entries.push_back({static_cast<int>(n) * k + static_cast<int>(v), 1.0});
+      master.add_column(value, std::move(entries));
+      meaning.emplace_back(static_cast<int>(v), t);
+    }
+  }
+
+  const lp::Solution solution = lp::solve(master, options);
+  FractionalSolution result;
+  result.status = solution.status;
+  result.objective = solution.objective;
+  if (solution.status != lp::SolveStatus::kOptimal) return result;
+  for (std::size_t j = 0; j < meaning.size(); ++j) {
+    if (solution.x[j] > 1e-9) {
+      result.columns.push_back(
+          FractionalColumn{meaning[j].first, meaning[j].second, solution.x[j]});
+    }
+  }
+  return result;
+}
+
+Allocation round_asymmetric(const AsymmetricInstance& instance,
+                            const FractionalSolution& fractional, Rng& rng) {
+  if (!instance.unweighted()) {
+    throw std::invalid_argument(
+        "round_asymmetric: unweighted per-channel graphs only");
+  }
+  const std::size_t n = instance.num_bidders();
+  const int k = instance.num_channels();
+  const double denominator = 2.0 * static_cast<double>(k) * instance.rho();
+
+  // Rounding stage: one draw per bidder over its fractional columns.
+  std::vector<std::vector<const FractionalColumn*>> by_bidder(n);
+  for (const FractionalColumn& column : fractional.columns) {
+    by_bidder[static_cast<std::size_t>(column.bidder)].push_back(&column);
+  }
+  Allocation allocation;
+  allocation.bundles.assign(n, kEmptyBundle);
+  for (std::size_t v = 0; v < n; ++v) {
+    const double u = rng.uniform();
+    double cumulative = 0.0;
+    for (const FractionalColumn* column : by_bidder[v]) {
+      cumulative += column->x / denominator;
+      if (u < cumulative) {
+        allocation.bundles[v] = column->bundle;
+        break;
+      }
+    }
+  }
+
+  // Conflict resolution: ascending pi; v is dropped entirely when some kept
+  // earlier vertex shares channel j and conflicts in graph j.
+  for (int v : instance.order()) {
+    const std::size_t sv = static_cast<std::size_t>(v);
+    if (allocation.bundles[sv] == kEmptyBundle) continue;
+    bool removed = false;
+    for (int j = 0; !removed && j < k; ++j) {
+      if (!bundle_has(allocation.bundles[sv], j)) continue;
+      const auto& graph = instance.graph(j);
+      for (int u : graph.neighbors(sv)) {
+        const std::size_t su = static_cast<std::size_t>(u);
+        if (instance.positions()[su] < instance.positions()[sv] &&
+            bundle_has(allocation.bundles[su], j)) {
+          allocation.bundles[sv] = kEmptyBundle;
+          removed = true;
+          break;
+        }
+      }
+    }
+  }
+  return allocation;
+}
+
+Allocation best_asymmetric_rounds(const AsymmetricInstance& instance,
+                                  const FractionalSolution& fractional,
+                                  int repetitions, std::uint64_t seed) {
+  if (repetitions < 1) {
+    throw std::invalid_argument("best_asymmetric_rounds: repetitions");
+  }
+  Rng base(seed);
+  std::vector<Allocation> allocations(static_cast<std::size_t>(repetitions));
+  std::vector<double> welfare(static_cast<std::size_t>(repetitions), 0.0);
+  parallel_for(repetitions, [&](std::ptrdiff_t r) {
+    Rng child = base.split(static_cast<std::uint64_t>(r));
+    allocations[static_cast<std::size_t>(r)] =
+        round_asymmetric(instance, fractional, child);
+    welfare[static_cast<std::size_t>(r)] =
+        instance.welfare(allocations[static_cast<std::size_t>(r)]);
+  });
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < welfare.size(); ++r) {
+    if (welfare[r] > welfare[best]) best = r;
+  }
+  return allocations[best];
+}
+
+}  // namespace ssa

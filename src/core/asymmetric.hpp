@@ -1,0 +1,82 @@
+#pragma once
+/// \file asymmetric.hpp
+/// Asymmetric channels (Section 6): every channel j has its own conflict
+/// graph/edge weights. The LP swaps wbar for wbar_j in the (u, j) rows; the
+/// rounding keeps the structure of Algorithm 1 but samples with probability
+/// x_{v,T} / (2 k rho) (no sqrt(k) decomposition -- the proof of Lemma 4
+/// goes through without symmetry at that scaling), giving the O(k rho)
+/// factor that Theorem 18 shows is essentially optimal.
+///
+/// Rounding is implemented for unweighted per-channel graphs (the setting
+/// of Theorem 18); the LP itself accepts weighted graphs.
+
+#include <span>
+#include <vector>
+
+#include "core/auction_lp.hpp"
+#include "core/instance.hpp"
+#include "support/random.hpp"
+
+namespace ssa {
+
+/// Auction instance with one conflict graph per channel.
+class AsymmetricInstance {
+ public:
+  /// \p rho = 0 measures max over channels of rho_j(pi) with the verifier.
+  AsymmetricInstance(std::vector<ConflictGraph> channel_graphs, Ordering order,
+                     std::vector<ValuationPtr> valuations, double rho = 0.0);
+
+  [[nodiscard]] std::size_t num_bidders() const noexcept {
+    return valuations_.size();
+  }
+  [[nodiscard]] int num_channels() const noexcept {
+    return static_cast<int>(graphs_.size());
+  }
+  [[nodiscard]] double rho() const noexcept { return rho_; }
+  [[nodiscard]] const ConflictGraph& graph(int channel) const {
+    return graphs_.at(static_cast<std::size_t>(channel));
+  }
+  [[nodiscard]] std::span<const ConflictGraph> graphs() const noexcept {
+    return graphs_;
+  }
+  [[nodiscard]] const Ordering& order() const noexcept { return order_; }
+  [[nodiscard]] const std::vector<int>& positions() const noexcept {
+    return position_;
+  }
+  [[nodiscard]] const Valuation& valuation(std::size_t v) const {
+    return *valuations_.at(v);
+  }
+  [[nodiscard]] double value(std::size_t v, Bundle bundle) const {
+    return valuations_[v]->value(bundle);
+  }
+  [[nodiscard]] double welfare(const Allocation& allocation) const;
+  [[nodiscard]] bool feasible(const Allocation& allocation) const {
+    return is_feasible_asymmetric(allocation, graphs_);
+  }
+  [[nodiscard]] bool unweighted() const noexcept { return unweighted_; }
+
+ private:
+  std::vector<ConflictGraph> graphs_;
+  Ordering order_;
+  std::vector<int> position_;
+  double rho_;
+  std::vector<ValuationPtr> valuations_;
+  bool unweighted_;
+};
+
+/// Explicit LP for the asymmetric problem (k <= 12).
+[[nodiscard]] FractionalSolution solve_asymmetric_lp(
+    const AsymmetricInstance& instance, lp::SimplexOptions options = {});
+
+/// Randomized rounding with the 1/(2 k rho) scaling and per-channel
+/// conflict resolution toward pi-earlier vertices. Unweighted graphs only.
+[[nodiscard]] Allocation round_asymmetric(const AsymmetricInstance& instance,
+                                          const FractionalSolution& fractional,
+                                          Rng& rng);
+
+/// Best of \p repetitions rounding passes.
+[[nodiscard]] Allocation best_asymmetric_rounds(
+    const AsymmetricInstance& instance, const FractionalSolution& fractional,
+    int repetitions, std::uint64_t seed);
+
+}  // namespace ssa

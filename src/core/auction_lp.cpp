@@ -1,0 +1,151 @@
+#include "core/auction_lp.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ssa {
+
+lp::LinearProgram build_master_rows(const AuctionInstance& instance) {
+  lp::LinearProgram master(lp::Objective::kMaximize);
+  const std::size_t n = instance.num_bidders();
+  const int k = instance.num_channels();
+  for (std::size_t u = 0; u < n; ++u) {
+    for (int j = 0; j < k; ++j) {
+      master.add_row(lp::RowSense::kLessEqual, instance.rho());
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    master.add_row(lp::RowSense::kLessEqual, 1.0);
+  }
+  return master;
+}
+
+std::vector<lp::ColumnEntry> bundle_column(const AuctionInstance& instance,
+                                           int bidder, Bundle bundle) {
+  if (bundle == kEmptyBundle) {
+    throw std::invalid_argument("bundle_column: empty bundle has no column");
+  }
+  const std::size_t n = instance.num_bidders();
+  const int k = instance.num_channels();
+  const auto& graph = instance.graph();
+  const auto& position = instance.positions();
+  const std::size_t v = static_cast<std::size_t>(bidder);
+
+  std::vector<lp::ColumnEntry> entries;
+  // Interference rows: (u, j) for forward neighbors u of v and j in T.
+  for (int u : graph.neighbors(v)) {
+    if (position[static_cast<std::size_t>(u)] <= position[v]) continue;
+    const double wbar = graph.coupling_weight(v, static_cast<std::size_t>(u));
+    if (wbar <= 0.0) continue;
+    for (int j = 0; j < k; ++j) {
+      if (bundle_has(bundle, j)) {
+        entries.push_back({channel_row(static_cast<std::size_t>(u), j, k), wbar});
+      }
+    }
+  }
+  // Convexity row of bidder v.
+  entries.push_back({static_cast<int>(n) * k + bidder, 1.0});
+  return entries;
+}
+
+namespace {
+
+FractionalSolution extract(const AuctionInstance& instance,
+                           const lp::Solution& solution,
+                           const std::vector<std::pair<int, Bundle>>& meaning) {
+  FractionalSolution result;
+  result.status = solution.status;
+  result.objective = solution.objective;
+  if (solution.status != lp::SolveStatus::kOptimal) return result;
+  for (std::size_t j = 0; j < meaning.size(); ++j) {
+    if (solution.x[j] > 1e-9) {
+      result.columns.push_back(FractionalColumn{
+          meaning[j].first, meaning[j].second, solution.x[j]});
+    }
+  }
+  (void)instance;
+  return result;
+}
+
+}  // namespace
+
+FractionalSolution solve_auction_lp(const AuctionInstance& instance,
+                                    lp::SimplexOptions options) {
+  const int k = instance.num_channels();
+  if (k > 12) {
+    throw std::invalid_argument(
+        "solve_auction_lp: explicit enumeration limited to k <= 12; use "
+        "solve_auction_lp_colgen");
+  }
+  lp::LinearProgram master = build_master_rows(instance);
+  std::vector<std::pair<int, Bundle>> meaning;
+  for (std::size_t v = 0; v < instance.num_bidders(); ++v) {
+    for (Bundle t = 1; t < num_bundles(k); ++t) {
+      if (instance.value(v, t) <= 0.0) continue;
+      master.add_column(instance.value(v, t),
+                        bundle_column(instance, static_cast<int>(v), t));
+      meaning.emplace_back(static_cast<int>(v), t);
+    }
+  }
+  return extract(instance, lp::solve(master, options), meaning);
+}
+
+FractionalSolution solve_auction_lp_colgen(
+    const AuctionInstance& instance, ColGenStats* stats,
+    lp::ColumnGenerationOptions options) {
+  const std::size_t n = instance.num_bidders();
+  const int k = instance.num_channels();
+  const auto& graph = instance.graph();
+  const auto& position = instance.positions();
+
+  lp::LinearProgram master = build_master_rows(instance);
+  std::vector<std::pair<int, Bundle>> meaning;
+  // Track proposed columns to be robust against dual degeneracy.
+  std::vector<std::vector<bool>> proposed(
+      n, std::vector<bool>(k <= 20 ? num_bundles(k) : 0, false));
+  const bool track = k <= 20;
+
+  const lp::PricingOracle oracle =
+      [&](const lp::Solution& rmp) -> std::vector<lp::PricedColumn> {
+    std::vector<lp::PricedColumn> columns;
+    std::vector<double> prices(static_cast<std::size_t>(k), 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      // Bidder-specific prices p_{v,j} = sum over forward neighbors u of
+      // wbar(v,u) * y_{u,j} (Section 2.2).
+      std::fill(prices.begin(), prices.end(), 0.0);
+      for (int u : graph.neighbors(v)) {
+        if (position[static_cast<std::size_t>(u)] <= position[v]) continue;
+        const double wbar = graph.coupling_weight(v, static_cast<std::size_t>(u));
+        if (wbar <= 0.0) continue;
+        for (int j = 0; j < k; ++j) {
+          prices[static_cast<std::size_t>(j)] +=
+              wbar * rmp.duals[static_cast<std::size_t>(
+                         channel_row(static_cast<std::size_t>(u), j, k))];
+        }
+      }
+      const DemandResult demand = instance.valuation(v).demand(prices);
+      if (demand.bundle == kEmptyBundle) continue;
+      const double z_v = rmp.duals[n * static_cast<std::size_t>(k) + v];
+      if (demand.utility > z_v + 1e-7) {
+        if (track && proposed[v][demand.bundle]) continue;
+        if (track) proposed[v][demand.bundle] = true;
+        columns.push_back(lp::PricedColumn{
+            instance.value(v, demand.bundle),
+            bundle_column(instance, static_cast<int>(v), demand.bundle)});
+        meaning.emplace_back(static_cast<int>(v), demand.bundle);
+      }
+    }
+    return columns;
+  };
+
+  const lp::ColumnGenerationResult result =
+      lp::solve_with_column_generation(master, oracle, options);
+  if (stats != nullptr) {
+    stats->rounds = result.rounds;
+    stats->columns_generated = result.columns_added;
+    stats->proved_optimal = result.proved_optimal;
+  }
+  return extract(instance, result.solution, meaning);
+}
+
+}  // namespace ssa

@@ -1,0 +1,67 @@
+#pragma once
+/// \file auction_lp.hpp
+/// The paper's LP relaxations (1) (unweighted) and (4) (edge-weighted) in
+/// one builder: the coefficient of column (v, T) in row (u, j) is
+/// wbar(v, u) when pi(v) < pi(u) and j in T (in unweighted graphs wbar is 1
+/// on edges), the per-bidder convexity row caps sum_T x_{v,T} at 1, and the
+/// (u, j) rows have right-hand side rho.
+///
+/// Two solution paths:
+///  - explicit: enumerate all 2^k - 1 bundles per bidder (k <= 12);
+///  - column generation with demand oracles (Section 2.2): bidder-specific
+///    prices p_{v,j} = sum_{u: v in Gamma_pi(u)} wbar(v,u) * y_{u,j} turn
+///    the dual separation problem into a demand query.
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "lp/column_generation.hpp"
+#include "lp/lp_model.hpp"
+
+namespace ssa {
+
+/// One non-zero of the fractional allocation.
+struct FractionalColumn {
+  int bidder = 0;
+  Bundle bundle = kEmptyBundle;
+  double x = 0.0;
+};
+
+/// Fractional optimum of LP (1)/(4).
+struct FractionalSolution {
+  lp::SolveStatus status = lp::SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<FractionalColumn> columns;  ///< x > 0 entries only
+};
+
+/// Row index of constraint (u, j) in the master LP (needed by extensions).
+[[nodiscard]] constexpr int channel_row(std::size_t u, int j, int k) {
+  return static_cast<int>(u) * k + j;
+}
+
+/// Builds the master LP rows (no columns) for an instance: n*k rows
+/// "(u,j) <= rho" followed by n rows "sum_T x_{v,T} <= 1".
+[[nodiscard]] lp::LinearProgram build_master_rows(const AuctionInstance& instance);
+
+/// Column entries of variable (v, T) for the master LP.
+[[nodiscard]] std::vector<lp::ColumnEntry> bundle_column(
+    const AuctionInstance& instance, int bidder, Bundle bundle);
+
+/// Solves the LP by explicit bundle enumeration; requires k <= 12.
+/// Columns with zero value are skipped (they cannot help a packing LP).
+[[nodiscard]] FractionalSolution solve_auction_lp(
+    const AuctionInstance& instance, lp::SimplexOptions options = {});
+
+/// Statistics of a column-generation solve (E6 measures these).
+struct ColGenStats {
+  int rounds = 0;
+  int columns_generated = 0;
+  bool proved_optimal = false;
+};
+
+/// Solves the LP with demand-oracle column generation; works for any k.
+[[nodiscard]] FractionalSolution solve_auction_lp_colgen(
+    const AuctionInstance& instance, ColGenStats* stats = nullptr,
+    lp::ColumnGenerationOptions options = {});
+
+}  // namespace ssa

@@ -1,0 +1,64 @@
+#include "core/edge_lp.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "lp/simplex.hpp"
+
+namespace ssa {
+
+EdgeLpResult solve_edge_lp(const AuctionInstance& instance) {
+  if (instance.num_channels() != 1 || !instance.unweighted()) {
+    throw std::invalid_argument(
+        "solve_edge_lp: single channel, unweighted graphs only");
+  }
+  const std::size_t n = instance.num_bidders();
+  const auto& graph = instance.graph();
+
+  lp::LinearProgram model(lp::Objective::kMaximize);
+  // x_v <= 1 rows first, then one row per edge.
+  for (std::size_t v = 0; v < n; ++v) model.add_row(lp::RowSense::kLessEqual, 1.0);
+  std::vector<std::vector<int>> edge_rows(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (int v : graph.neighbors(u)) {
+      if (static_cast<std::size_t>(v) > u) {
+        const int row = model.add_row(lp::RowSense::kLessEqual, 1.0);
+        edge_rows[u].push_back(row);
+        edge_rows[static_cast<std::size_t>(v)].push_back(row);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<lp::ColumnEntry> entries{{static_cast<int>(v), 1.0}};
+    for (int row : edge_rows[v]) entries.push_back({row, 1.0});
+    model.add_column(instance.value(v, 1u), std::move(entries));
+  }
+
+  const lp::Solution solution = lp::solve(model);
+  EdgeLpResult result;
+  result.lp_value = solution.objective;
+  result.x = solution.x;
+
+  // Greedy rounding by decreasing fractional value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return solution.x[a] > solution.x[b];
+  });
+  result.rounded.bundles.assign(n, kEmptyBundle);
+  std::vector<int> chosen;
+  for (std::size_t v : order) {
+    if (instance.value(v, 1u) <= 0.0 || solution.x[v] <= 1e-9) continue;
+    chosen.push_back(static_cast<int>(v));
+    if (graph.is_independent(chosen)) {
+      result.rounded.bundles[v] = 1u;
+    } else {
+      chosen.pop_back();
+    }
+  }
+  result.rounded_welfare = instance.welfare(result.rounded);
+  return result;
+}
+
+}  // namespace ssa

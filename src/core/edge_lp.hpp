@@ -1,0 +1,26 @@
+#pragma once
+/// \file edge_lp.hpp
+/// The edge-based LP of Section 2.1 for weighted independent set (k = 1):
+///     max sum b_v x_v   s.t.  x_u + x_v <= 1 on edges, 0 <= x <= 1.
+/// Its integrality gap is n/2 on cliques, which experiment E6 contrasts
+/// with the inductive-independence LP (1).
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "lp/lp_model.hpp"
+
+namespace ssa {
+
+struct EdgeLpResult {
+  double lp_value = 0.0;
+  std::vector<double> x;       ///< fractional vertex values
+  Allocation rounded;          ///< greedy rounding by decreasing x
+  double rounded_welfare = 0.0;
+};
+
+/// Solves the edge LP for a single-channel unweighted instance and rounds
+/// greedily by decreasing fractional value.
+[[nodiscard]] EdgeLpResult solve_edge_lp(const AuctionInstance& instance);
+
+}  // namespace ssa

@@ -1,0 +1,151 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ssa {
+
+namespace {
+
+/// DFS over bidders; maintains per-(vertex, channel) incoming weights so
+/// feasibility of adding a bundle is checked incrementally.
+class ExactSearch {
+ public:
+  ExactSearch(const AuctionInstance& instance, const ExactOptions& options)
+      : instance_(instance), options_(options) {
+    const std::size_t n = instance.num_bidders();
+    const int k = instance.num_channels();
+    incoming_.assign(n * static_cast<std::size_t>(k), 0.0);
+    assigned_.assign(n, kEmptyBundle);
+
+    // Candidate bundles per bidder, best value first; prune zero values.
+    candidates_.resize(n);
+    remaining_max_.assign(n + 1, 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (Bundle t = 1; t < num_bundles(k); ++t) {
+        if (instance.value(v, t) > 0.0) candidates_[v].push_back(t);
+      }
+      std::sort(candidates_[v].begin(), candidates_[v].end(),
+                [&](Bundle a, Bundle b) {
+                  return instance.value(v, a) > instance.value(v, b);
+                });
+    }
+    for (std::size_t v = n; v-- > 0;) {
+      const double vmax =
+          candidates_[v].empty() ? 0.0 : instance.value(v, candidates_[v][0]);
+      remaining_max_[v] = remaining_max_[v + 1] + vmax;
+    }
+  }
+
+  ExactResult run() {
+    budget_ = options_.node_budget;
+    best_welfare_ = 0.0;
+    best_.bundles.assign(instance_.num_bidders(), kEmptyBundle);
+    recurse(0, 0.0);
+    ExactResult result;
+    result.allocation = best_;
+    result.welfare = best_welfare_;
+    result.exact = budget_ > 0;
+    return result;
+  }
+
+ private:
+  /// Whether bidder v can take bundle t against the current assignment.
+  [[nodiscard]] bool can_assign(std::size_t v, Bundle t) const {
+    const int k = instance_.num_channels();
+    const auto& graph = instance_.graph();
+    for (int j = 0; j < k; ++j) {
+      if (!bundle_has(t, j)) continue;
+      // v's own incoming weight on channel j must stay below 1 ...
+      if (incoming_[v * static_cast<std::size_t>(k) +
+                    static_cast<std::size_t>(j)] >= 1.0) {
+        return false;
+      }
+      // ... and v must not push any current holder u to >= 1.
+      for (std::size_t u = 0; u < v; ++u) {
+        if (!bundle_has(assigned_[u], j)) continue;
+        const double w_vu = graph.weight(v, u);
+        if (w_vu > 0.0 &&
+            incoming_[u * static_cast<std::size_t>(k) +
+                      static_cast<std::size_t>(j)] +
+                    w_vu >=
+                1.0) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void apply(std::size_t v, Bundle t, double sign) {
+    const int k = instance_.num_channels();
+    const auto& graph = instance_.graph();
+    const std::size_t n = instance_.num_bidders();
+    for (int j = 0; j < k; ++j) {
+      if (!bundle_has(t, j)) continue;
+      for (std::size_t u = 0; u < n; ++u) {
+        if (u == v) continue;
+        const double w_vu = graph.weight(v, u);
+        if (w_vu > 0.0) {
+          incoming_[u * static_cast<std::size_t>(k) +
+                    static_cast<std::size_t>(j)] += sign * w_vu;
+        }
+      }
+    }
+  }
+
+  void recurse(std::size_t v, double welfare) {
+    if (budget_-- <= 0) return;
+    if (welfare > best_welfare_) {
+      best_welfare_ = welfare;
+      best_.bundles = assigned_;
+      // assigned_ beyond v is empty by the invariant below.
+    }
+    if (v >= instance_.num_bidders()) return;
+    if (welfare + remaining_max_[v] <= best_welfare_) return;  // bound
+
+    for (Bundle t : candidates_[v]) {
+      if (!can_assign(v, t)) continue;
+      // v's incoming weight from earlier holders on each channel of t.
+      const int k = instance_.num_channels();
+      bool ok = true;
+      for (int j = 0; ok && j < k; ++j) {
+        if (bundle_has(t, j) &&
+            incoming_[v * static_cast<std::size_t>(k) +
+                      static_cast<std::size_t>(j)] >= 1.0) {
+          ok = false;
+        }
+      }
+      if (!ok) continue;
+      assigned_[v] = t;
+      apply(v, t, +1.0);
+      recurse(v + 1, welfare + instance_.value(v, t));
+      apply(v, t, -1.0);
+      assigned_[v] = kEmptyBundle;
+    }
+    // Branch: v gets nothing.
+    recurse(v + 1, welfare);
+  }
+
+  const AuctionInstance& instance_;
+  ExactOptions options_;
+  std::vector<std::vector<Bundle>> candidates_;
+  std::vector<double> remaining_max_;
+  std::vector<double> incoming_;  ///< (vertex, channel) incoming weight
+  std::vector<Bundle> assigned_;
+  Allocation best_;
+  double best_welfare_ = 0.0;
+  long long budget_ = 0;
+};
+
+}  // namespace
+
+ExactResult solve_exact(const AuctionInstance& instance, ExactOptions options) {
+  if (instance.num_channels() > options.max_channels) {
+    throw std::invalid_argument("solve_exact: too many channels for B&B");
+  }
+  return ExactSearch(instance, options).run();
+}
+
+}  // namespace ssa

@@ -1,0 +1,26 @@
+#pragma once
+/// \file exact.hpp
+/// Exact winner determination by branch and bound over bidders, used as the
+/// OPT reference in tests and the baseline experiment E9. Exponential --
+/// intended for small instances (n up to ~14 with k up to ~4).
+
+#include "core/instance.hpp"
+
+namespace ssa {
+
+struct ExactOptions {
+  long long node_budget = 50'000'000;  ///< search nodes before giving up
+  int max_channels = 6;                ///< guard against 2^k blowup
+};
+
+struct ExactResult {
+  Allocation allocation;
+  double welfare = 0.0;
+  bool exact = true;  ///< false when the node budget was exhausted
+};
+
+/// Maximum-welfare feasible allocation (Problem 1).
+[[nodiscard]] ExactResult solve_exact(const AuctionInstance& instance,
+                                      ExactOptions options = {});
+
+}  // namespace ssa

@@ -1,0 +1,46 @@
+#include "core/pipeline.hpp"
+
+#include <cmath>
+
+#include "core/rounding.hpp"
+#include "support/pairwise.hpp"
+
+namespace ssa {
+
+PipelineResult run_auction(const AuctionInstance& instance,
+                           PipelineOptions options) {
+  PipelineResult result;
+  result.used_column_generation =
+      options.force_column_generation ||
+      instance.num_channels() > options.explicit_limit;
+  result.fractional = result.used_column_generation
+                          ? solve_auction_lp_colgen(instance)
+                          : solve_auction_lp(instance);
+  if (result.fractional.status != lp::SolveStatus::kOptimal) return result;
+
+  result.allocation = best_of_rounds(instance, result.fractional,
+                                     options.rounding_repetitions, options.seed);
+  if (options.derandomize) {
+    const PairwiseFamily family(instance.num_bidders());
+    const Allocation derandomized =
+        derandomized_round(instance, result.fractional, family);
+    if (instance.welfare(derandomized) > instance.welfare(result.allocation)) {
+      result.allocation = derandomized;
+    }
+  }
+  result.welfare = instance.welfare(result.allocation);
+
+  const double sqrt_k = std::sqrt(static_cast<double>(instance.num_channels()));
+  if (instance.unweighted()) {
+    result.guarantee = result.fractional.objective /
+                       (8.0 * sqrt_k * instance.rho());
+  } else {
+    const double log_n = std::ceil(
+        std::log2(std::max<std::size_t>(instance.num_bidders(), 2)));
+    result.guarantee = result.fractional.objective /
+                       (16.0 * sqrt_k * instance.rho() * log_n);
+  }
+  return result;
+}
+
+}  // namespace ssa

@@ -1,0 +1,40 @@
+#pragma once
+/// \file pipeline.hpp
+/// One-call convenience API: solve the LP relaxation (choosing the explicit
+/// or the demand-oracle path automatically), round it with the right
+/// algorithm for the instance (Algorithm 1, or 2 + 3), and report what
+/// happened. This is the entry point a downstream spectrum-market operator
+/// would call per auction round.
+
+#include <cstdint>
+
+#include "core/auction_lp.hpp"
+#include "core/instance.hpp"
+
+namespace ssa {
+
+struct PipelineOptions {
+  int rounding_repetitions = 64;  ///< Monte-Carlo passes (best is kept)
+  bool derandomize = false;       ///< add a pairwise-independent sweep
+  std::uint64_t seed = 1;
+  /// Force the demand-oracle LP even for small k (0 = auto: colgen iff
+  /// k > explicit_limit).
+  bool force_column_generation = false;
+  int explicit_limit = 10;  ///< largest k solved by explicit enumeration
+};
+
+struct PipelineResult {
+  FractionalSolution fractional;  ///< LP optimum (upper bound on welfare)
+  Allocation allocation;          ///< feasible allocation
+  double welfare = 0.0;
+  double guarantee = 0.0;  ///< the proven lower bound b*/alpha for this run
+  bool used_column_generation = false;
+};
+
+/// Runs LP + rounding end to end. The returned allocation is always
+/// feasible; `guarantee` is the paper's worst-case expectation bound
+/// (Theorem 3 or Lemmas 7+8) evaluated for this instance.
+[[nodiscard]] PipelineResult run_auction(const AuctionInstance& instance,
+                                         PipelineOptions options = {});
+
+}  // namespace ssa

@@ -1,0 +1,278 @@
+#include "gen/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "models/protocol.hpp"
+
+namespace ssa::gen {
+
+std::vector<Transmitter> random_transmitters(std::size_t n, double area,
+                                             double radius_min,
+                                             double radius_max, Rng& rng) {
+  std::vector<Transmitter> transmitters(n);
+  for (auto& t : transmitters) {
+    t.position = Point{rng.uniform(0.0, area), rng.uniform(0.0, area)};
+    t.radius = rng.uniform(radius_min, radius_max);
+  }
+  return transmitters;
+}
+
+std::vector<Transmitter> clustered_transmitters(std::size_t n, double area,
+                                                double radius_min,
+                                                double radius_max,
+                                                std::size_t clusters,
+                                                double spread, Rng& rng) {
+  if (clusters == 0) throw std::invalid_argument("clustered_transmitters");
+  std::vector<Point> centers(clusters);
+  for (auto& center : centers) {
+    center = Point{rng.uniform(0.0, area), rng.uniform(0.0, area)};
+  }
+  std::vector<Transmitter> transmitters(n);
+  for (auto& t : transmitters) {
+    const Point& center = centers[rng.uniform_int(clusters)];
+    t.position = Point{center.x + spread * rng.normal(),
+                       center.y + spread * rng.normal()};
+    t.radius = rng.uniform(radius_min, radius_max);
+  }
+  return transmitters;
+}
+
+std::vector<PlanarLink> random_links(std::size_t n, double area,
+                                     double length_min, double length_max,
+                                     Rng& rng) {
+  std::vector<PlanarLink> links(n);
+  for (auto& link : links) {
+    link.sender = Point{rng.uniform(0.0, area), rng.uniform(0.0, area)};
+    const double angle = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    const double length = rng.uniform(length_min, length_max);
+    link.receiver = Point{link.sender.x + length * std::cos(angle),
+                          link.sender.y + length * std::sin(angle)};
+  }
+  return links;
+}
+
+namespace {
+ValuationPtr random_valuation(int k, ValuationMix mix, int max_value, Rng& rng) {
+  const auto channel_values = [&] {
+    std::vector<double> values(static_cast<std::size_t>(k));
+    for (double& v : values) {
+      v = static_cast<double>(1 + rng.uniform_int(static_cast<std::uint64_t>(max_value)));
+    }
+    return values;
+  };
+  int kind = 0;
+  switch (mix) {
+    case ValuationMix::kAdditive: kind = 0; break;
+    case ValuationMix::kUnitDemand: kind = 1; break;
+    case ValuationMix::kSingleMinded: kind = 2; break;
+    case ValuationMix::kMixed: kind = static_cast<int>(rng.uniform_int(6)); break;
+  }
+  switch (kind) {
+    case 0: return std::make_shared<AdditiveValuation>(channel_values());
+    case 1: return std::make_shared<UnitDemandValuation>(channel_values());
+    case 2: {
+      const Bundle target = static_cast<Bundle>(
+          1 + rng.uniform_int(num_bundles(k) - 1));
+      const double value = static_cast<double>(
+          bundle_size(target) *
+          (1 + rng.uniform_int(static_cast<std::uint64_t>(max_value))));
+      return std::make_shared<SingleMindedValuation>(k, target, value);
+    }
+    case 3: {
+      auto values = channel_values();
+      double total = 0.0;
+      for (double v : values) total += v;
+      const double budget = total * rng.uniform(0.4, 0.9);
+      return std::make_shared<BudgetAdditiveValuation>(std::move(values), budget);
+    }
+    case 5: {
+      // XOR language: 2-4 atomic bids on random bundles.
+      const std::size_t atom_count = 2 + rng.uniform_int(3);
+      std::vector<XorValuation::Atom> atoms;
+      for (std::size_t a = 0; a < atom_count; ++a) {
+        XorValuation::Atom atom;
+        atom.bundle = static_cast<Bundle>(1 + rng.uniform_int(num_bundles(k) - 1));
+        atom.value = static_cast<double>(
+            bundle_size(atom.bundle) *
+            (1 + rng.uniform_int(static_cast<std::uint64_t>(max_value))));
+        atoms.push_back(atom);
+      }
+      return std::make_shared<XorValuation>(k, std::move(atoms));
+    }
+    default: {
+      // Coverage: ground set of 2k elements, each channel covers ~3.
+      const std::size_t elements = 2 * static_cast<std::size_t>(k);
+      std::vector<double> weights(elements);
+      for (double& w : weights) {
+        w = static_cast<double>(1 + rng.uniform_int(static_cast<std::uint64_t>(max_value)));
+      }
+      std::vector<std::vector<int>> coverage(static_cast<std::size_t>(k));
+      for (auto& covered : coverage) {
+        const std::size_t count = 1 + rng.uniform_int(3);
+        for (std::size_t c = 0; c < count; ++c) {
+          covered.push_back(static_cast<int>(rng.uniform_int(elements)));
+        }
+      }
+      return std::make_shared<CoverageValuation>(std::move(weights),
+                                                 std::move(coverage));
+    }
+  }
+}
+}  // namespace
+
+std::vector<ValuationPtr> random_valuations(std::size_t n, int k,
+                                            ValuationMix mix, int max_value,
+                                            Rng& rng) {
+  std::vector<ValuationPtr> valuations;
+  valuations.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    valuations.push_back(random_valuation(k, mix, max_value, rng));
+  }
+  return valuations;
+}
+
+AuctionInstance make_disk_auction(std::size_t n, int k, ValuationMix mix,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  // Area scales with sqrt(n) so density stays moderate.
+  const double area = 10.0 * std::sqrt(static_cast<double>(n));
+  const auto transmitters = random_transmitters(n, area, 1.0, 4.0, rng);
+  ModelGraph model = disk_graph(transmitters);
+  auto valuations = random_valuations(n, k, mix, 100, rng);
+  return AuctionInstance(std::move(model.graph), std::move(model.order), k,
+                         std::move(valuations));
+}
+
+AuctionInstance make_protocol_auction(std::size_t n, int k, double delta,
+                                      ValuationMix mix, std::uint64_t seed) {
+  Rng rng(seed);
+  const double area = 10.0 * std::sqrt(static_cast<double>(n));
+  const auto planar = random_links(n, area, 1.0, 4.0, rng);
+  const auto [links, metric] = to_metric_links(planar);
+  ModelGraph model = protocol_conflict_graph(links, metric, delta);
+  auto valuations = random_valuations(n, k, mix, 100, rng);
+  return AuctionInstance(std::move(model.graph), std::move(model.order), k,
+                         std::move(valuations));
+}
+
+AuctionInstance make_physical_auction(std::size_t n, int k, PowerScheme scheme,
+                                      ValuationMix mix, std::uint64_t seed,
+                                      PhysicalParams params) {
+  Rng rng(seed);
+  const double area = 10.0 * std::sqrt(static_cast<double>(n));
+  const auto planar = random_links(n, area, 1.0, 4.0, rng);
+  const auto [links, metric] = to_metric_links(planar);
+  const auto powers = assign_powers(links, metric, scheme, params);
+  ModelGraph model = physical_conflict_graph(links, metric, powers, params);
+  auto valuations = random_valuations(n, k, mix, 100, rng);
+  return AuctionInstance(std::move(model.graph), std::move(model.order), k,
+                         std::move(valuations));
+}
+
+AuctionInstance make_clique_auction(std::size_t n, std::uint64_t seed) {
+  (void)seed;
+  ConflictGraph graph(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) graph.add_edge(u, v);
+  }
+  std::vector<ValuationPtr> valuations;
+  valuations.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    valuations.push_back(
+        std::make_shared<AdditiveValuation>(std::vector<double>{1.0}));
+  }
+  return AuctionInstance(std::move(graph), identity_ordering(n), 1,
+                         std::move(valuations), 1.0);
+}
+
+AuctionInstance make_random_graph_auction(std::size_t n, int k, double p,
+                                          ValuationMix mix,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  ConflictGraph graph(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) graph.add_edge(u, v);
+    }
+  }
+  auto valuations = random_valuations(n, k, mix, 100, rng);
+  Ordering order = smallest_last_ordering(graph);
+  return AuctionInstance(std::move(graph), std::move(order), k,
+                         std::move(valuations));
+}
+
+AsymmetricInstance make_hardness_instance(std::size_t n, int d, int k,
+                                          std::uint64_t seed) {
+  if (k < 1 || d < k) {
+    throw std::invalid_argument("make_hardness_instance: need d >= k >= 1");
+  }
+  Rng rng(seed);
+  // Random graph with maximum degree <= d: sample candidate edges and keep
+  // those not exceeding the degree cap.
+  std::vector<int> degree(n, 0);
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) candidates.emplace_back(u, v);
+  }
+  rng.shuffle(candidates);
+  for (const auto& [u, v] : candidates) {
+    if (degree[u] < d && degree[v] < d) {
+      edges.emplace_back(u, v);
+      ++degree[u];
+      ++degree[v];
+    }
+  }
+
+  // Distribute backward edges (toward the identity ordering) so each
+  // channel graph gets at most rho = d/k backward edges per vertex.
+  const int rho = d / k;
+  std::vector<ConflictGraph> graphs(static_cast<std::size_t>(k),
+                                    ConflictGraph(n));
+  std::vector<std::vector<int>> backward_count(
+      n, std::vector<int>(static_cast<std::size_t>(k), 0));
+  for (const auto& [u, v] : edges) {
+    // v > u, so u is the backward endpoint of vertex v.
+    for (int j = 0; j < k; ++j) {
+      if (backward_count[v][static_cast<std::size_t>(j)] < rho) {
+        graphs[static_cast<std::size_t>(j)].add_edge(u, v);
+        ++backward_count[v][static_cast<std::size_t>(j)];
+        break;
+      }
+    }
+  }
+
+  std::vector<ValuationPtr> valuations;
+  valuations.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    valuations.push_back(
+        std::make_shared<SingleMindedValuation>(k, full_bundle(k), 1.0));
+  }
+  return AsymmetricInstance(std::move(graphs), identity_ordering(n),
+                            std::move(valuations),
+                            static_cast<double>(rho));
+}
+
+AsymmetricInstance make_random_asymmetric(std::size_t n, int k, double p,
+                                          ValuationMix mix,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ConflictGraph> graphs;
+  graphs.reserve(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    ConflictGraph graph(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        if (rng.bernoulli(p)) graph.add_edge(u, v);
+      }
+    }
+    graphs.push_back(std::move(graph));
+  }
+  auto valuations = random_valuations(n, k, mix, 100, rng);
+  return AsymmetricInstance(std::move(graphs), identity_ordering(n),
+                            std::move(valuations));
+}
+
+}  // namespace ssa::gen

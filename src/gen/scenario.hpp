@@ -1,0 +1,96 @@
+#pragma once
+/// \file scenario.hpp
+/// Reproducible workload generators for tests, examples and benches:
+/// placements, valuation populations, ready-made auction instances per
+/// interference model, and the hardness construction of Theorem 18.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/asymmetric.hpp"
+#include "core/instance.hpp"
+#include "models/links.hpp"
+#include "models/physical.hpp"
+#include "models/transmitter.hpp"
+#include "support/random.hpp"
+
+namespace ssa::gen {
+
+/// Uniformly random transmitters in [0, area]^2 with radii in
+/// [radius_min, radius_max].
+[[nodiscard]] std::vector<Transmitter> random_transmitters(
+    std::size_t n, double area, double radius_min, double radius_max, Rng& rng);
+
+/// Clustered placement: \p clusters hot spots, transmitters scattered
+/// normally (stddev \p spread) around a random hot spot.
+[[nodiscard]] std::vector<Transmitter> clustered_transmitters(
+    std::size_t n, double area, double radius_min, double radius_max,
+    std::size_t clusters, double spread, Rng& rng);
+
+/// Random planar links: senders uniform in [0, area]^2, receivers at a
+/// uniform angle and length in [length_min, length_max].
+[[nodiscard]] std::vector<PlanarLink> random_links(std::size_t n, double area,
+                                                   double length_min,
+                                                   double length_max, Rng& rng);
+
+/// Which valuation classes a population draws from.
+enum class ValuationMix {
+  kAdditive,      ///< additive only
+  kUnitDemand,    ///< unit demand only
+  kSingleMinded,  ///< single minded only
+  kMixed          ///< uniform mix of additive/unit/single-minded/budget/coverage
+};
+
+/// Random population of \p n valuations over \p k channels with integral
+/// per-channel base values in [1, max_value].
+[[nodiscard]] std::vector<ValuationPtr> random_valuations(std::size_t n, int k,
+                                                          ValuationMix mix,
+                                                          int max_value,
+                                                          Rng& rng);
+
+/// Disk-graph auction: random transmitters + random valuations.
+[[nodiscard]] AuctionInstance make_disk_auction(std::size_t n, int k,
+                                                ValuationMix mix,
+                                                std::uint64_t seed);
+
+/// Protocol-model auction over random links.
+[[nodiscard]] AuctionInstance make_protocol_auction(std::size_t n, int k,
+                                                    double delta,
+                                                    ValuationMix mix,
+                                                    std::uint64_t seed);
+
+/// Physical-model auction (fixed powers, Proposition 15 weights).
+[[nodiscard]] AuctionInstance make_physical_auction(std::size_t n, int k,
+                                                    PowerScheme scheme,
+                                                    ValuationMix mix,
+                                                    std::uint64_t seed,
+                                                    PhysicalParams params = {});
+
+/// Clique conflict graph with unit single-channel bids: the edge-LP
+/// integrality-gap instance of Section 2.1 (gap n/2).
+[[nodiscard]] AuctionInstance make_clique_auction(std::size_t n,
+                                                  std::uint64_t seed);
+
+/// Random unweighted conflict graph with edge probability \p p (an
+/// adversarial, non-geometric stress case).
+[[nodiscard]] AuctionInstance make_random_graph_auction(std::size_t n, int k,
+                                                        double p,
+                                                        ValuationMix mix,
+                                                        std::uint64_t seed);
+
+/// Theorem 18 construction: a random graph with maximum degree <= d is
+/// split into k channel graphs, each receiving at most d/k backward edges
+/// per vertex; every bidder is single minded on the full channel set with
+/// value 1, so allocations of welfare b correspond to independent sets of
+/// size b in the original graph.
+[[nodiscard]] AsymmetricInstance make_hardness_instance(std::size_t n, int d,
+                                                        int k,
+                                                        std::uint64_t seed);
+
+/// Random asymmetric instance: k independent random graphs + mixed bids.
+[[nodiscard]] AsymmetricInstance make_random_asymmetric(std::size_t n, int k,
+                                                        double p,
+                                                        ValuationMix mix,
+                                                        std::uint64_t seed);
+
+}  // namespace ssa::gen

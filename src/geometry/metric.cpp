@@ -1,0 +1,75 @@
+#include "geometry/metric.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/random.hpp"
+
+namespace ssa {
+
+EuclideanMetric::EuclideanMetric(std::vector<Point> sites)
+    : sites_(std::move(sites)) {}
+
+double EuclideanMetric::distance(std::size_t a, std::size_t b) const {
+  return ssa::distance(sites_.at(a), sites_.at(b));
+}
+
+ExplicitMetric::ExplicitMetric(std::size_t size, std::vector<double> distances)
+    : n_(size), d_(std::move(distances)) {
+  if (d_.size() != n_ * n_) {
+    throw std::invalid_argument("ExplicitMetric: matrix size mismatch");
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (d_[i * n_ + i] != 0.0) {
+      throw std::invalid_argument("ExplicitMetric: nonzero diagonal");
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (d_[i * n_ + j] < 0.0) {
+        throw std::invalid_argument("ExplicitMetric: negative distance");
+      }
+      if (std::abs(d_[i * n_ + j] - d_[j * n_ + i]) > 1e-9) {
+        throw std::invalid_argument("ExplicitMetric: asymmetric");
+      }
+    }
+  }
+  // Triangle inequality (O(n^3); metrics here are small).
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      for (std::size_t l = 0; l < n_; ++l) {
+        if (d_[i * n_ + j] > d_[i * n_ + l] + d_[l * n_ + j] + 1e-9) {
+          throw std::invalid_argument("ExplicitMetric: triangle violation");
+        }
+      }
+    }
+  }
+}
+
+double ExplicitMetric::distance(std::size_t a, std::size_t b) const {
+  if (a >= n_ || b >= n_) throw std::out_of_range("ExplicitMetric::distance");
+  return d_[a * n_ + b];
+}
+
+ExplicitMetric make_hub_metric(std::size_t size, std::size_t hubs,
+                               double hub_scale, unsigned long long seed) {
+  if (hubs > size) throw std::invalid_argument("make_hub_metric: hubs > size");
+  if (hub_scale < 1.0) {
+    throw std::invalid_argument("make_hub_metric: hub_scale must be >= 1");
+  }
+  Rng rng(seed);
+  std::vector<double> d(size * size, 0.0);
+  // Base distance 1 between distinct sites keeps the triangle inequality for
+  // any per-pair stretch in [1, 2]; hub pairs use hub_scale compressed into
+  // that band via d = 1 + (1 - 1/hub_scale), staying metric while making hub
+  // neighborhoods look "far" under the power-law gain 1/d^alpha.
+  for (std::size_t i = 0; i < size; ++i) {
+    for (std::size_t j = i + 1; j < size; ++j) {
+      double dist = 1.0 + 0.05 * rng.uniform();
+      if (i < hubs && j < hubs) dist = 1.0 + (1.0 - 1.0 / hub_scale);
+      d[i * size + j] = dist;
+      d[j * size + i] = dist;
+    }
+  }
+  return ExplicitMetric(size, std::move(d));
+}
+
+}  // namespace ssa

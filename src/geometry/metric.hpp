@@ -1,0 +1,64 @@
+#pragma once
+/// \file metric.hpp
+/// Metric spaces for the physical (SINR) model. The paper distinguishes
+/// "fading metrics" (bounded-growth, e.g. the Euclidean plane with alpha
+/// larger than the doubling dimension) from "general metrics" in Theorem 17;
+/// we support both: a Euclidean metric over points and an arbitrary explicit
+/// distance-matrix metric.
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace ssa {
+
+/// Distance oracle over a finite set of sites [0, size).
+class Metric {
+ public:
+  virtual ~Metric() = default;
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+  /// Distance between sites \p a and \p b; symmetric, zero on the diagonal.
+  [[nodiscard]] virtual double distance(std::size_t a, std::size_t b) const = 0;
+};
+
+/// Euclidean metric over explicit planar sites.
+class EuclideanMetric final : public Metric {
+ public:
+  explicit EuclideanMetric(std::vector<Point> sites);
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return sites_.size();
+  }
+  [[nodiscard]] double distance(std::size_t a, std::size_t b) const override;
+  [[nodiscard]] const Point& site(std::size_t i) const { return sites_.at(i); }
+
+ private:
+  std::vector<Point> sites_;
+};
+
+/// General metric given by an explicit symmetric distance matrix.
+/// Validates symmetry, non-negativity and the triangle inequality.
+class ExplicitMetric final : public Metric {
+ public:
+  /// \p distances is a size x size row-major matrix.
+  ExplicitMetric(std::size_t size, std::vector<double> distances);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return n_; }
+  [[nodiscard]] double distance(std::size_t a, std::size_t b) const override;
+
+ private:
+  std::size_t n_;
+  std::vector<double> d_;
+};
+
+/// A "general metric" stress case used in E5: a uniform metric blown up on a
+/// few hub sites, which is far from any fading metric. Hub pairs are at
+/// distance \p hub_scale, all other pairs at 1 (plus tiny jitter to break
+/// ties deterministically from \p seed).
+[[nodiscard]] ExplicitMetric make_hub_metric(std::size_t size,
+                                             std::size_t hubs,
+                                             double hub_scale,
+                                             unsigned long long seed);
+
+}  // namespace ssa

@@ -1,0 +1,38 @@
+#pragma once
+/// \file point.hpp
+/// Plane geometry for the wireless models: transmitters and links live at
+/// points in R^2 (the paper's transmitter scenarios and the fading-metric
+/// case of Theorem 17).
+
+#include <cmath>
+
+namespace ssa {
+
+/// Point in the Euclidean plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+/// Euclidean distance.
+[[nodiscard]] inline double distance(const Point& a, const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (cheaper for comparisons).
+[[nodiscard]] inline double distance_sq(const Point& a, const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Angle of the vector from \p from to \p to, in radians in (-pi, pi].
+[[nodiscard]] inline double angle(const Point& from, const Point& to) noexcept {
+  return std::atan2(to.y - from.y, to.x - from.x);
+}
+
+}  // namespace ssa

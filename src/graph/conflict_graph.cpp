@@ -1,0 +1,82 @@
+#include "graph/conflict_graph.hpp"
+
+#include <stdexcept>
+
+namespace ssa {
+
+ConflictGraph::ConflictGraph(std::size_t size)
+    : n_(size), w_(size * size, 0.0) {}
+
+ConflictGraph ConflictGraph::from_edges(
+    std::size_t size, std::span<const std::pair<int, int>> edges) {
+  ConflictGraph graph(size);
+  for (const auto& [u, v] : edges) {
+    graph.add_edge(static_cast<std::size_t>(u), static_cast<std::size_t>(v));
+  }
+  return graph;
+}
+
+void ConflictGraph::set_weight(std::size_t u, std::size_t v, double weight) {
+  if (u >= n_ || v >= n_) throw std::out_of_range("ConflictGraph::set_weight");
+  if (u == v) throw std::invalid_argument("ConflictGraph: self-loop");
+  if (weight < 0.0) throw std::invalid_argument("ConflictGraph: negative weight");
+  const bool was_binary = pair_is_binary(u, v);
+  w_[u * n_ + v] = weight;
+  const bool is_binary = pair_is_binary(u, v);
+  if (was_binary && !is_binary) ++nonbinary_pairs_;
+  if (!was_binary && is_binary) --nonbinary_pairs_;
+  adjacency_dirty_ = true;
+}
+
+void ConflictGraph::add_edge(std::size_t u, std::size_t v) {
+  set_weight(u, v, 1.0);
+  set_weight(v, u, 1.0);
+}
+
+void ConflictGraph::rebuild_adjacency() const {
+  adjacency_.assign(n_, {});
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (std::size_t v = u + 1; v < n_; ++v) {
+      if (w_[u * n_ + v] > 0.0 || w_[v * n_ + u] > 0.0) {
+        adjacency_[u].push_back(static_cast<int>(v));
+        adjacency_[v].push_back(static_cast<int>(u));
+      }
+    }
+  }
+  adjacency_dirty_ = false;
+}
+
+const std::vector<int>& ConflictGraph::neighbors(std::size_t v) const {
+  if (adjacency_dirty_) rebuild_adjacency();
+  return adjacency_.at(v);
+}
+
+double ConflictGraph::incoming_weight(std::span<const int> set,
+                                      std::size_t v) const {
+  double total = 0.0;
+  for (int u : set) {
+    if (static_cast<std::size_t>(u) != v) {
+      total += w_[static_cast<std::size_t>(u) * n_ + v];
+    }
+  }
+  return total;
+}
+
+bool ConflictGraph::is_independent(std::span<const int> set) const {
+  for (int v : set) {
+    if (incoming_weight(set, static_cast<std::size_t>(v)) >= 1.0) return false;
+  }
+  return true;
+}
+
+std::size_t ConflictGraph::num_conflicts() const {
+  std::size_t count = 0;
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (std::size_t v = u + 1; v < n_; ++v) {
+      if (w_[u * n_ + v] > 0.0 || w_[v * n_ + u] > 0.0) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace ssa

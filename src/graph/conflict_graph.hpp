@@ -1,0 +1,102 @@
+#pragma once
+/// \file conflict_graph.hpp
+/// Edge-weighted conflict graphs (Section 3 of the paper). Unweighted
+/// conflict graphs are the special case with weights in {0, 1}.
+///
+/// Semantics: w(u, v) is the weight vertex u *imposes on* v ("incoming"
+/// weight at v). A set M is independent iff for every v in M the incoming
+/// weight from the rest of M is strictly below 1:
+///     sum_{u in M \ {v}} w(u, v) < 1.
+/// The symmetrized weight of Definition 2 is wbar(u, v) = w(u,v) + w(v,u).
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ssa {
+
+/// Dense edge-weighted conflict graph over vertices [0, size).
+class ConflictGraph {
+ public:
+  explicit ConflictGraph(std::size_t size);
+
+  /// Builds an unweighted graph: each undirected edge {u, v} gets weight 1
+  /// in both directions, so independence coincides with the classical
+  /// notion (no adjacent pair).
+  [[nodiscard]] static ConflictGraph from_edges(
+      std::size_t size, std::span<const std::pair<int, int>> edges);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Directed weight u -> v. Diagonal is always 0.
+  [[nodiscard]] double weight(std::size_t u, std::size_t v) const {
+    return w_[u * n_ + v];
+  }
+  void set_weight(std::size_t u, std::size_t v, double weight);
+  /// Sets weight 1 in both directions (an unweighted edge).
+  void add_edge(std::size_t u, std::size_t v);
+
+  /// Symmetrized weight wbar(u,v) = w(u,v) + w(v,u) (Definition 2).
+  [[nodiscard]] double symmetric_weight(std::size_t u, std::size_t v) const {
+    return w_[u * n_ + v] + w_[v * n_ + u];
+  }
+
+  /// The pairwise coupling used by the LP coefficients and the inductive
+  /// independence gains: 1 per edge in unweighted graphs (Definition 1
+  /// counts vertices) and wbar(u,v) in weighted graphs (Definition 2).
+  [[nodiscard]] double coupling_weight(std::size_t u, std::size_t v) const {
+    if (nonbinary_pairs_ == 0) return has_conflict(u, v) ? 1.0 : 0.0;
+    return symmetric_weight(u, v);
+  }
+
+  /// True when some conflict (positive weight either way) exists.
+  [[nodiscard]] bool has_conflict(std::size_t u, std::size_t v) const {
+    return u != v && symmetric_weight(u, v) > 0.0;
+  }
+
+  /// True when all weights are 0 or 1 and symmetric (O(1); tracked on
+  /// mutation).
+  [[nodiscard]] bool is_unweighted() const noexcept {
+    return nonbinary_pairs_ == 0;
+  }
+
+  /// Vertices u with a conflict to v (recomputed lazily after mutation).
+  /// NOT thread-safe while the graph is dirty after a mutation; call
+  /// ensure_adjacency() once before sharing the graph across threads.
+  [[nodiscard]] const std::vector<int>& neighbors(std::size_t v) const;
+
+  /// Forces the lazy adjacency rebuild; after this call neighbors() is
+  /// safe to use concurrently (until the next mutation).
+  void ensure_adjacency() const {
+    if (adjacency_dirty_) rebuild_adjacency();
+  }
+
+  /// Incoming weight at \p v from the vertices of \p set (v excluded).
+  [[nodiscard]] double incoming_weight(std::span<const int> set,
+                                       std::size_t v) const;
+
+  /// Independence test per the class comment.
+  [[nodiscard]] bool is_independent(std::span<const int> set) const;
+
+  /// Number of conflicting (unordered) pairs.
+  [[nodiscard]] std::size_t num_conflicts() const;
+
+ private:
+  void rebuild_adjacency() const;
+
+  /// Whether the unordered pair {u, v} is "binary": weights (0,0) or (1,1).
+  [[nodiscard]] bool pair_is_binary(std::size_t u, std::size_t v) const {
+    const double a = w_[u * n_ + v];
+    const double b = w_[v * n_ + u];
+    return (a == 0.0 && b == 0.0) || (a == 1.0 && b == 1.0);
+  }
+
+  std::size_t n_;
+  std::vector<double> w_;
+  std::size_t nonbinary_pairs_ = 0;
+  mutable bool adjacency_dirty_ = true;
+  mutable std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace ssa

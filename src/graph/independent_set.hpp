@@ -1,0 +1,41 @@
+#pragma once
+/// \file independent_set.hpp
+/// Exact and heuristic (weighted) independent-set optimization on conflict
+/// graphs. Used as: the inner subproblem of the inductive-independence
+/// verifier, the exact baseline for k = 1 auctions, and a test oracle.
+
+#include <span>
+#include <vector>
+
+#include "graph/conflict_graph.hpp"
+
+namespace ssa {
+
+/// Result of a gain-maximization over independent subsets.
+struct IndependenceOptimum {
+  double value = 0.0;        ///< total gain of the best set found
+  std::vector<int> members;  ///< the set itself (vertex ids of the graph)
+  bool exact = true;         ///< false when the node budget was exhausted
+};
+
+/// Maximizes sum of gains over independent subsets of \p candidates
+/// (branch and bound; gains must be non-negative). \p node_budget bounds
+/// the number of search nodes; when exceeded the best-found solution is
+/// returned with exact = false.
+[[nodiscard]] IndependenceOptimum max_gain_independent_subset(
+    const ConflictGraph& graph, std::span<const int> candidates,
+    std::span<const double> gains, long long node_budget = 4'000'000);
+
+/// Maximum-weight independent set over the whole graph with per-vertex
+/// weights (unit weights give maximum cardinality).
+[[nodiscard]] IndependenceOptimum max_weight_independent_set(
+    const ConflictGraph& graph, std::span<const double> weights,
+    long long node_budget = 4'000'000);
+
+/// Greedy independent set: scans vertices in the given order, keeps a
+/// vertex when the set stays independent. A baseline, not an approximation
+/// guarantee by itself.
+[[nodiscard]] std::vector<int> greedy_independent_set(
+    const ConflictGraph& graph, std::span<const int> order);
+
+}  // namespace ssa

@@ -1,0 +1,52 @@
+#pragma once
+/// \file inductive_independence.hpp
+/// The paper's central graph parameter (Definitions 1 and 2).
+///
+/// For an ordering pi, rho(pi) is the maximum over vertices v of the best
+/// gain an independent set M inside v's backward neighborhood can collect,
+/// where the gain of u is 1 in the unweighted case and wbar(u, v) in the
+/// edge-weighted case. The inductive independence number is min over pi of
+/// rho(pi); computing it exactly is only feasible for tiny graphs, which is
+/// all the tests need -- the models ship their provably-good orderings.
+
+#include <span>
+#include <vector>
+
+#include "graph/conflict_graph.hpp"
+#include "graph/ordering.hpp"
+
+namespace ssa {
+
+/// rho contribution of a single vertex under an ordering: the optimum of
+/// the backward-neighborhood subproblem described above.
+struct VertexRho {
+  double value = 0.0;
+  bool exact = true;
+};
+
+/// Per-vertex rho values (index = vertex id).
+[[nodiscard]] std::vector<VertexRho> rho_per_vertex(
+    const ConflictGraph& graph, const Ordering& order,
+    long long node_budget_per_vertex = 2'000'000);
+
+/// rho(pi): maximum over vertices. exact is the conjunction over vertices.
+[[nodiscard]] VertexRho rho_of_ordering(
+    const ConflictGraph& graph, const Ordering& order,
+    long long node_budget_per_vertex = 2'000'000);
+
+/// Exact inductive independence number by branch and bound over orderings.
+/// Exponential; intended for graphs with at most ~9 vertices (test oracle).
+struct ExactRho {
+  double value = 0.0;
+  Ordering order;  ///< an optimal ordering
+};
+[[nodiscard]] ExactRho exact_inductive_independence(const ConflictGraph& graph);
+
+/// Heuristic ordering when no model-specific one is available: a
+/// "smallest-last" construction that repeatedly places the vertex with the
+/// smallest remaining (weighted) degree at the end of the ordering. For
+/// unweighted graphs this is the degeneracy ordering, so rho(pi) never
+/// exceeds the degeneracy.
+[[nodiscard]] Ordering smallest_last_ordering(const ConflictGraph& graph);
+
+}  // namespace ssa

@@ -1,0 +1,54 @@
+#pragma once
+/// \file ordering.hpp
+/// Vertex orderings pi for the inductive independence number. An Ordering
+/// lists vertex ids from first (smallest pi) to last; position(v) recovers
+/// pi(v). The models in src/models each supply the ordering their bound is
+/// proved for (e.g. decreasing disk radius, decreasing link length).
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ssa {
+
+/// Permutation of [0, n): order[i] is the vertex at position i.
+using Ordering = std::vector<int>;
+
+/// Identity ordering 0, 1, ..., n-1.
+[[nodiscard]] inline Ordering identity_ordering(std::size_t n) {
+  Ordering order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+/// Ordering by key, ties broken by vertex id (deterministic).
+/// descending = true puts the largest key first (e.g. "by decreasing
+/// radius" in Proposition 9).
+[[nodiscard]] inline Ordering ordering_by_key(std::span<const double> keys,
+                                              bool descending) {
+  Ordering order = identity_ordering(keys.size());
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ka = keys[static_cast<std::size_t>(a)];
+    const double kb = keys[static_cast<std::size_t>(b)];
+    if (ka != kb) return descending ? ka > kb : ka < kb;
+    return a < b;
+  });
+  return order;
+}
+
+/// position[v] = pi(v) for an ordering.
+[[nodiscard]] inline std::vector<int> ordering_positions(const Ordering& order) {
+  std::vector<int> position(order.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int v = order[i];
+    if (v < 0 || static_cast<std::size_t>(v) >= order.size() || position[v] != -1) {
+      throw std::invalid_argument("ordering_positions: not a permutation");
+    }
+    position[v] = static_cast<int>(i);
+  }
+  return position;
+}
+
+}  // namespace ssa

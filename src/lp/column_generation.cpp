@@ -1,0 +1,29 @@
+#include "lp/column_generation.hpp"
+
+namespace ssa::lp {
+
+ColumnGenerationResult solve_with_column_generation(
+    LinearProgram& master, const PricingOracle& oracle,
+    const ColumnGenerationOptions& options) {
+  ColumnGenerationResult result;
+  SimplexEngine engine(options.simplex);
+  result.solution = engine.solve(master);
+
+  for (result.rounds = 1; result.rounds <= options.max_rounds; ++result.rounds) {
+    if (result.solution.status != SolveStatus::kOptimal) return result;
+    const std::vector<PricedColumn> columns = oracle(result.solution);
+    if (columns.empty()) {
+      result.proved_optimal = true;
+      return result;
+    }
+    for (const auto& column : columns) {
+      master.add_column(column.cost, column.entries);
+      engine.add_column(column.cost, column.entries);
+      ++result.columns_added;
+    }
+    result.solution = engine.resolve();
+  }
+  return result;
+}
+
+}  // namespace ssa::lp

@@ -1,0 +1,50 @@
+#pragma once
+/// \file column_generation.hpp
+/// Generic column-generation (Dantzig-Wolfe / delayed column) loop.
+///
+/// This is the simplex-based equivalent of the paper's ellipsoid-plus-
+/// separation approach (Section 2.2): solving the restricted master gives
+/// dual prices, the pricing oracle (a demand oracle for the auction LPs)
+/// either proves optimality or returns columns with positive reduced cost.
+
+#include <functional>
+#include <vector>
+
+#include "lp/lp_model.hpp"
+#include "lp/simplex.hpp"
+
+namespace ssa::lp {
+
+/// A column proposed by a pricing oracle.
+struct PricedColumn {
+  double cost = 0.0;
+  std::vector<ColumnEntry> entries;
+};
+
+/// Pricing callback: receives the current master solution (notably its row
+/// duals) and returns columns with positive reduced cost (maximization
+/// masters) / negative reduced cost (minimization masters); an empty result
+/// certifies optimality of the master over the full column set.
+using PricingOracle = std::function<std::vector<PricedColumn>(const Solution&)>;
+
+struct ColumnGenerationOptions {
+  int max_rounds = 500;          ///< pricing rounds before giving up
+  SimplexOptions simplex = {};   ///< master solver options
+};
+
+struct ColumnGenerationResult {
+  Solution solution;        ///< final master solution (x spans all columns)
+  int rounds = 0;           ///< pricing rounds performed
+  int columns_added = 0;    ///< columns generated in total
+  bool proved_optimal = false;  ///< oracle returned empty on the last round
+};
+
+/// Solves \p master to optimality over the (implicit) full column set.
+/// Generated columns are appended to \p master in the order returned by the
+/// oracle, so the caller can map indices >= initial column count back to
+/// whatever the oracle proposed.
+[[nodiscard]] ColumnGenerationResult solve_with_column_generation(
+    LinearProgram& master, const PricingOracle& oracle,
+    const ColumnGenerationOptions& options = {});
+
+}  // namespace ssa::lp

@@ -1,0 +1,79 @@
+#include "lp/lp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssa::lp {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+int LinearProgram::add_row(RowSense sense, double rhs) {
+  sense_.push_back(sense);
+  rhs_.push_back(rhs);
+  return static_cast<int>(rhs_.size()) - 1;
+}
+
+int LinearProgram::add_column(double cost, std::vector<ColumnEntry> entries) {
+  // Merge duplicates and validate row references.
+  std::sort(entries.begin(), entries.end(),
+            [](const ColumnEntry& a, const ColumnEntry& b) { return a.row < b.row; });
+  std::vector<ColumnEntry> merged;
+  merged.reserve(entries.size());
+  for (const auto& entry : entries) {
+    if (entry.row < 0 || entry.row >= static_cast<int>(num_rows())) {
+      throw std::out_of_range("LinearProgram::add_column: bad row index");
+    }
+    if (!merged.empty() && merged.back().row == entry.row) {
+      merged.back().coeff += entry.coeff;
+    } else {
+      merged.push_back(entry);
+    }
+  }
+  cost_.push_back(cost);
+  columns_.push_back(std::move(merged));
+  return static_cast<int>(cost_.size()) - 1;
+}
+
+double LinearProgram::objective_value(std::span<const double> x) const {
+  if (x.size() != num_columns()) {
+    throw std::invalid_argument("objective_value: size mismatch");
+  }
+  double value = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) value += cost_[j] * x[j];
+  return value;
+}
+
+double LinearProgram::max_violation(std::span<const double> x) const {
+  if (x.size() != num_columns()) {
+    throw std::invalid_argument("max_violation: size mismatch");
+  }
+  std::vector<double> activity(num_rows(), 0.0);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (x[j] == 0.0) continue;
+    for (const auto& entry : columns_[j]) activity[entry.row] += entry.coeff * x[j];
+  }
+  double violation = 0.0;
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    const double slack = rhs_[i] - activity[i];
+    switch (sense_[i]) {
+      case RowSense::kLessEqual: violation = std::max(violation, -slack); break;
+      case RowSense::kGreaterEqual: violation = std::max(violation, slack); break;
+      case RowSense::kEqual: violation = std::max(violation, std::abs(slack)); break;
+    }
+  }
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    violation = std::max(violation, -x[j]);
+  }
+  return violation;
+}
+
+}  // namespace ssa::lp

@@ -1,0 +1,82 @@
+#pragma once
+/// \file lp_model.hpp
+/// Column-oriented linear-program container. All LPs in this library are
+/// built column by column (the auction LPs (1)/(4) have one column per
+/// bidder/bundle pair, the Lavi-Swamy decomposition LP one column per
+/// integral allocation), which matches the column-generation solvers.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ssa::lp {
+
+/// Direction of optimization.
+enum class Objective { kMaximize, kMinimize };
+
+/// Row (constraint) sense.
+enum class RowSense { kLessEqual, kEqual, kGreaterEqual };
+
+/// One nonzero of a column.
+struct ColumnEntry {
+  int row = 0;
+  double coeff = 0.0;
+};
+
+/// Outcome of a solve.
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+[[nodiscard]] std::string to_string(SolveStatus status);
+
+/// Primal/dual solution. Duals follow the convention that for a
+/// maximization problem with a <= row the dual is >= 0 and at optimality
+/// every column j satisfies c_j - y^T A_j <= 0 (within tolerance).
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;      ///< value per structural column
+  std::vector<double> duals;  ///< value per row
+};
+
+/// Sparse LP: max/min c^T x subject to row senses, x >= 0.
+///
+/// Variables are non-negative; upper bounds, when needed, are expressed as
+/// explicit rows (the auction LPs carry them as rows anyway).
+class LinearProgram {
+ public:
+  explicit LinearProgram(Objective objective) : objective_(objective) {}
+
+  /// Adds a constraint row; returns its index.
+  int add_row(RowSense sense, double rhs);
+
+  /// Adds a column with objective coefficient \p cost and sparse entries;
+  /// returns its index. Entries must reference existing rows; duplicate row
+  /// indices within a column are summed.
+  int add_column(double cost, std::vector<ColumnEntry> entries);
+
+  [[nodiscard]] Objective objective() const noexcept { return objective_; }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rhs_.size(); }
+  [[nodiscard]] std::size_t num_columns() const noexcept { return cost_.size(); }
+  [[nodiscard]] RowSense row_sense(std::size_t row) const { return sense_.at(row); }
+  [[nodiscard]] double rhs(std::size_t row) const { return rhs_.at(row); }
+  [[nodiscard]] double cost(std::size_t col) const { return cost_.at(col); }
+  [[nodiscard]] std::span<const ColumnEntry> column(std::size_t col) const {
+    return columns_.at(col);
+  }
+
+  /// Objective value of an explicit point (no feasibility check).
+  [[nodiscard]] double objective_value(std::span<const double> x) const;
+
+  /// Max constraint violation of an explicit point (0 when feasible).
+  [[nodiscard]] double max_violation(std::span<const double> x) const;
+
+ private:
+  Objective objective_;
+  std::vector<RowSense> sense_;
+  std::vector<double> rhs_;
+  std::vector<double> cost_;
+  std::vector<std::vector<ColumnEntry>> columns_;
+};
+
+}  // namespace ssa::lp

@@ -1,0 +1,313 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ssa::lp {
+
+SimplexEngine::SimplexEngine(SimplexOptions options) : options_(options) {}
+
+void SimplexEngine::load(const LinearProgram& lp) {
+  original_objective_ = lp.objective();
+  m_ = lp.num_rows();
+  original_rows_ = m_;
+  rhs_.assign(m_, 0.0);
+  row_scale_.assign(m_, 1.0);
+  cols_.clear();
+  structural_.clear();
+  phase1_needed_ = false;
+
+  // Scale rows so that b >= 0; senses flip with the scale.
+  std::vector<RowSense> sense(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    double b = lp.rhs(i);
+    RowSense s = lp.row_sense(i);
+    if (b < 0.0) {
+      b = -b;
+      row_scale_[i] = -1.0;
+      if (s == RowSense::kLessEqual) {
+        s = RowSense::kGreaterEqual;
+      } else if (s == RowSense::kGreaterEqual) {
+        s = RowSense::kLessEqual;
+      }
+    }
+    rhs_[i] = b;
+    sense[i] = s;
+  }
+
+  // Structural columns (row-scaled, objective in internal max convention).
+  const double obj_sign = original_objective_ == Objective::kMaximize ? 1.0 : -1.0;
+  for (std::size_t j = 0; j < lp.num_columns(); ++j) {
+    InternalColumn col;
+    col.kind = ColKind::kStructural;
+    col.cost = obj_sign * lp.cost(j);
+    for (const auto& entry : lp.column(j)) {
+      col.entries.push_back({entry.row, entry.coeff * row_scale_[entry.row]});
+    }
+    structural_.push_back(static_cast<int>(cols_.size()));
+    cols_.push_back(std::move(col));
+  }
+
+  // Slack/surplus columns and the initial basis. Rows whose slack cannot
+  // start basic (>=, =) get an artificial and trigger phase 1.
+  basis_.assign(m_, -1);
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (sense[i] == RowSense::kLessEqual) {
+      InternalColumn slack;
+      slack.kind = ColKind::kSlack;
+      slack.entries = {{static_cast<int>(i), 1.0}};
+      basis_[i] = static_cast<int>(cols_.size());
+      cols_.push_back(std::move(slack));
+    } else if (sense[i] == RowSense::kGreaterEqual) {
+      InternalColumn surplus;
+      surplus.kind = ColKind::kSlack;
+      surplus.entries = {{static_cast<int>(i), -1.0}};
+      cols_.push_back(std::move(surplus));
+    }
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (basis_[i] != -1) continue;
+    InternalColumn artificial;
+    artificial.kind = ColKind::kArtificial;
+    artificial.entries = {{static_cast<int>(i), 1.0}};
+    basis_[i] = static_cast<int>(cols_.size());
+    cols_.push_back(std::move(artificial));
+    phase1_needed_ = true;
+  }
+
+  position_.assign(cols_.size(), -1);
+  for (std::size_t i = 0; i < m_; ++i) position_[basis_[i]] = static_cast<int>(i);
+  binv_ = Matrix::identity(m_);
+  beta_ = rhs_;
+  pivots_since_refactor_ = 0;
+  has_solution_ = false;
+}
+
+std::vector<double> SimplexEngine::phase_costs(int phase) const {
+  std::vector<double> costs(cols_.size(), 0.0);
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    if (phase == 1) {
+      costs[j] = cols_[j].kind == ColKind::kArtificial ? -1.0 : 0.0;
+    } else {
+      costs[j] = cols_[j].kind == ColKind::kStructural ? cols_[j].cost : 0.0;
+    }
+  }
+  return costs;
+}
+
+std::vector<double> SimplexEngine::ftran(const InternalColumn& col) const {
+  std::vector<double> d(m_, 0.0);
+  for (const auto& entry : col.entries) {
+    const double coeff = entry.coeff;
+    if (coeff == 0.0) continue;
+    const std::size_t row = static_cast<std::size_t>(entry.row);
+    for (std::size_t i = 0; i < m_; ++i) d[i] += coeff * binv_(i, row);
+  }
+  return d;
+}
+
+void SimplexEngine::refactorize() {
+  if (m_ == 0) return;
+  Matrix basis_matrix(m_, m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (const auto& entry : cols_[basis_[i]].entries) {
+      basis_matrix(static_cast<std::size_t>(entry.row), i) += entry.coeff;
+    }
+  }
+  Matrix inverse;
+  if (!invert(basis_matrix, inverse)) {
+    throw std::runtime_error("simplex: singular basis during refactorization");
+  }
+  binv_ = std::move(inverse);
+  beta_ = binv_.multiply(rhs_);
+  pivots_since_refactor_ = 0;
+}
+
+SolveStatus SimplexEngine::iterate(int phase) {
+  const std::vector<double> costs = phase_costs(phase);
+  const double tol = options_.tolerance;
+  int consecutive_degenerate = 0;
+  bool bland = false;
+
+  for (;;) {
+    if (pivots_ >= options_.max_iterations) return SolveStatus::kIterationLimit;
+
+    // BTRAN: y = c_B B^-1.
+    std::vector<double> y(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double cb = costs[basis_[i]];
+      if (cb == 0.0) continue;
+      for (std::size_t j = 0; j < m_; ++j) y[j] += cb * binv_(i, j);
+    }
+
+    // Pricing. In phase 2 artificials may not enter.
+    int entering = -1;
+    double best_rc = tol;
+    for (std::size_t j = 0; j < cols_.size(); ++j) {
+      if (position_[j] >= 0) continue;
+      if (phase == 2 && cols_[j].kind == ColKind::kArtificial) continue;
+      double rc = costs[j];
+      for (const auto& entry : cols_[j].entries) rc -= y[entry.row] * entry.coeff;
+      if (rc > best_rc) {
+        entering = static_cast<int>(j);
+        best_rc = rc;
+        if (bland) break;  // Bland: first improving index
+      }
+    }
+    if (entering < 0) return SolveStatus::kOptimal;
+
+    // FTRAN and ratio test.
+    std::vector<double> d = ftran(cols_[entering]);
+    int leaving_pos = -1;
+    double theta = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (d[i] > tol) {
+        const double ratio = std::max(beta_[i], 0.0) / d[i];
+        if (ratio < theta - tol ||
+            (ratio < theta + tol &&
+             (leaving_pos < 0 ||
+              (bland ? basis_[i] < basis_[leaving_pos]
+                     : d[i] > d[leaving_pos])))) {
+          theta = ratio;
+          leaving_pos = static_cast<int>(i);
+        }
+      }
+    }
+    if (leaving_pos < 0) {
+      // No blocking row: unbounded in phase 2; in phase 1 the objective is
+      // bounded by 0 so this indicates numerical trouble -> refactor once.
+      if (phase == 1) {
+        refactorize();
+        continue;
+      }
+      return SolveStatus::kUnbounded;
+    }
+
+    // Pivot.
+    const int leaving_col = basis_[leaving_pos];
+    const double pivot_value = d[leaving_pos];
+    const std::size_t r = static_cast<std::size_t>(leaving_pos);
+
+    // Update basic values.
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      beta_[i] -= theta * d[i];
+      if (beta_[i] < 0.0 && beta_[i] > -1e-7) beta_[i] = 0.0;
+    }
+    beta_[r] = theta;
+
+    // Eta update of B^-1.
+    const double inv_pivot = 1.0 / pivot_value;
+    for (std::size_t j = 0; j < m_; ++j) binv_(r, j) *= inv_pivot;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      const double factor = d[i];
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j < m_; ++j) binv_(i, j) -= factor * binv_(r, j);
+    }
+
+    position_[leaving_col] = -1;
+    position_[entering] = leaving_pos;
+    basis_[leaving_pos] = entering;
+    ++pivots_;
+    ++pivots_since_refactor_;
+
+    if (theta <= tol) {
+      if (++consecutive_degenerate >= options_.bland_after_stalls) bland = true;
+    } else {
+      consecutive_degenerate = 0;
+      bland = false;
+    }
+
+    if (pivots_since_refactor_ >= options_.refactor_period) refactorize();
+  }
+}
+
+Solution SimplexEngine::extract_solution(SolveStatus status) {
+  Solution solution;
+  solution.status = status;
+  solution.x.assign(structural_.size(), 0.0);
+  solution.duals.assign(original_rows_, 0.0);
+  if (status == SolveStatus::kInfeasible) {
+    has_solution_ = false;
+    return solution;
+  }
+
+  for (std::size_t s = 0; s < structural_.size(); ++s) {
+    const int pos = position_[structural_[s]];
+    if (pos >= 0) solution.x[s] = std::max(0.0, beta_[pos]);
+  }
+
+  // Duals from phase-2 costs: y_int = c_B B^-1, mapped back to the original
+  // row scaling and objective sense so that strong duality holds as stated
+  // in lp_model.hpp.
+  const std::vector<double> costs = phase_costs(2);
+  std::vector<double> y(m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double cb = costs[basis_[i]];
+    if (cb == 0.0) continue;
+    for (std::size_t j = 0; j < m_; ++j) y[j] += cb * binv_(i, j);
+  }
+  const double sign = original_objective_ == Objective::kMaximize ? 1.0 : -1.0;
+  for (std::size_t i = 0; i < original_rows_; ++i) {
+    solution.duals[i] = sign * y[i] * row_scale_[i];
+  }
+
+  double objective = 0.0;
+  for (std::size_t s = 0; s < structural_.size(); ++s) {
+    objective += cols_[structural_[s]].cost * solution.x[s];
+  }
+  solution.objective = sign * objective;
+  has_solution_ = status == SolveStatus::kOptimal;
+  return solution;
+}
+
+Solution SimplexEngine::solve(const LinearProgram& lp) {
+  load(lp);
+  if (phase1_needed_) {
+    const SolveStatus phase1 = iterate(1);
+    if (phase1 == SolveStatus::kIterationLimit) return extract_solution(phase1);
+    double infeasibility = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (cols_[basis_[i]].kind == ColKind::kArtificial) {
+        infeasibility += std::max(0.0, beta_[i]);
+      }
+    }
+    if (infeasibility > 1e-7) return extract_solution(SolveStatus::kInfeasible);
+  }
+  return extract_solution(iterate(2));
+}
+
+int SimplexEngine::add_column(double cost,
+                              const std::vector<ColumnEntry>& entries) {
+  const double obj_sign = original_objective_ == Objective::kMaximize ? 1.0 : -1.0;
+  InternalColumn col;
+  col.kind = ColKind::kStructural;
+  col.cost = obj_sign * cost;
+  for (const auto& entry : entries) {
+    if (entry.row < 0 || entry.row >= static_cast<int>(original_rows_)) {
+      throw std::out_of_range("SimplexEngine::add_column: bad row");
+    }
+    col.entries.push_back({entry.row, entry.coeff * row_scale_[entry.row]});
+  }
+  structural_.push_back(static_cast<int>(cols_.size()));
+  cols_.push_back(std::move(col));
+  position_.push_back(-1);
+  return static_cast<int>(structural_.size()) - 1;
+}
+
+Solution SimplexEngine::resolve() {
+  if (!has_solution_) {
+    throw std::logic_error("SimplexEngine::resolve: no prior optimal solve");
+  }
+  return extract_solution(iterate(2));
+}
+
+Solution solve(const LinearProgram& lp, SimplexOptions options) {
+  SimplexEngine engine(options);
+  return engine.solve(lp);
+}
+
+}  // namespace ssa::lp

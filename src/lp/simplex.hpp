@@ -1,0 +1,97 @@
+#pragma once
+/// \file simplex.hpp
+/// Two-phase revised primal simplex with a dense basis inverse.
+///
+/// Design notes
+///  - All variables are non-negative; rows are <=, =, or >=. Internally the
+///    problem is converted to max c x, A x = b, b >= 0 with slack/surplus
+///    columns and phase-1 artificials.
+///  - The basis inverse is maintained with eta (Gauss-Jordan) updates and
+///    periodically refactorized from scratch to bound numerical drift.
+///  - Dantzig pricing with an automatic switch to Bland's rule after a run
+///    of degenerate pivots guarantees termination in practice.
+///  - Columns can be appended after a solve and the engine resumes from the
+///    current basis, which is what the column-generation loops need: adding
+///    a column keeps the current basis primal feasible.
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/lp_model.hpp"
+#include "support/matrix.hpp"
+
+namespace ssa::lp {
+
+/// Solver tunables. Defaults are suitable for the auction LPs in this
+/// library (hundreds to a few thousand rows).
+struct SimplexOptions {
+  double tolerance = 1e-9;        ///< feasibility/optimality tolerance
+  int max_iterations = 200000;    ///< total pivot limit
+  int refactor_period = 256;      ///< pivots between basis refactorizations
+  int bland_after_stalls = 64;    ///< degenerate pivots before Bland's rule
+};
+
+/// Stateful simplex engine supporting incremental column addition.
+class SimplexEngine {
+ public:
+  explicit SimplexEngine(SimplexOptions options = {});
+
+  /// Loads and solves \p lp from scratch.
+  Solution solve(const LinearProgram& lp);
+
+  /// Appends a structural column (same semantics as LinearProgram::
+  /// add_column) and returns its index. Call resolve() afterwards.
+  int add_column(double cost, const std::vector<ColumnEntry>& entries);
+
+  /// Re-optimizes after add_column calls, warm-starting from the current
+  /// basis. Requires a previous successful solve().
+  Solution resolve();
+
+  /// Number of simplex pivots performed over the lifetime of the engine.
+  [[nodiscard]] long long pivots() const noexcept { return pivots_; }
+
+ private:
+  enum class ColKind { kStructural, kSlack, kArtificial };
+
+  struct InternalColumn {
+    double cost = 0.0;  // phase-2 objective (internal max convention)
+    std::vector<ColumnEntry> entries;  // row-scaled
+    ColKind kind = ColKind::kStructural;
+  };
+
+  void load(const LinearProgram& lp);
+  void append_internal_structural(double cost,
+                                  const std::vector<ColumnEntry>& entries);
+  [[nodiscard]] std::vector<double> phase_costs(int phase) const;
+  /// Runs primal simplex pivots for the given phase. Returns status.
+  SolveStatus iterate(int phase);
+  void refactorize();
+  [[nodiscard]] std::vector<double> ftran(const InternalColumn& col) const;
+  Solution extract_solution(SolveStatus status);
+
+  SimplexOptions options_;
+
+  // Problem data in internal form.
+  Objective original_objective_ = Objective::kMaximize;
+  std::size_t m_ = 0;                       // rows
+  std::vector<double> rhs_;                 // b >= 0
+  std::vector<double> row_scale_;           // +-1 applied to original rows
+  std::vector<InternalColumn> cols_;        // structural, then slack, artificial
+  std::vector<int> structural_;             // indices of structural columns
+  std::size_t original_rows_ = 0;
+
+  // Basis state.
+  std::vector<int> basis_;      // column index per row
+  std::vector<int> position_;   // row position per column, -1 if non-basic
+  Matrix binv_;
+  std::vector<double> beta_;    // basic variable values
+  long long pivots_ = 0;
+  int pivots_since_refactor_ = 0;
+  bool has_solution_ = false;
+  bool phase1_needed_ = false;
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] Solution solve(const LinearProgram& lp, SimplexOptions options = {});
+
+}  // namespace ssa::lp

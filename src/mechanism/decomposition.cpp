@@ -1,0 +1,208 @@
+#include "mechanism/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "core/exact.hpp"
+#include "core/rounding.hpp"
+#include "lp/simplex.hpp"
+
+namespace ssa {
+
+namespace {
+
+/// Valuation defined by a sparse (bundle -> value) table; used to turn the
+/// decomposition duals into a pricing auction over supp(x*).
+class SparseValuation final : public Valuation {
+ public:
+  SparseValuation(int num_channels, std::map<Bundle, double> values)
+      : Valuation(num_channels), values_(std::move(values)) {}
+
+  [[nodiscard]] double value(Bundle bundle) const override {
+    const auto it = values_.find(bundle);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] DemandResult demand(std::span<const double> prices) const override {
+    DemandResult best;
+    for (const auto& [bundle, value] : values_) {
+      double utility = value;
+      for (int j = 0; j < k_; ++j) {
+        if (bundle_has(bundle, j)) utility -= prices[j];
+      }
+      if (utility > best.utility) best = DemandResult{bundle, utility};
+    }
+    return best;
+  }
+
+  [[nodiscard]] double max_value() const override {
+    double best = 0.0;
+    for (const auto& [bundle, value] : values_) best = std::max(best, value);
+    return best;
+  }
+
+ private:
+  std::map<Bundle, double> values_;
+};
+
+}  // namespace
+
+double default_alpha(const AuctionInstance& instance) {
+  const double sqrt_k =
+      std::sqrt(static_cast<double>(instance.num_channels()));
+  if (instance.unweighted()) return 8.0 * sqrt_k * instance.rho();
+  const double log_n = std::ceil(
+      std::log2(std::max<std::size_t>(instance.num_bidders(), 2)));
+  return 16.0 * sqrt_k * instance.rho() * log_n;
+}
+
+Decomposition decompose_fractional(const AuctionInstance& instance,
+                                   const FractionalSolution& fractional,
+                                   DecompositionOptions options) {
+  Decomposition result;
+  result.alpha = options.alpha > 0.0 ? options.alpha : default_alpha(instance);
+
+  // Coordinates = support of x*.
+  std::vector<FractionalColumn> support;
+  for (const FractionalColumn& column : fractional.columns) {
+    if (column.x > 1e-9) support.push_back(column);
+  }
+  const std::size_t num_coords = support.size();
+  std::map<std::pair<int, Bundle>, int> coord_of;
+  for (std::size_t c = 0; c < num_coords; ++c) {
+    coord_of[{support[c].bidder, support[c].bundle}] = static_cast<int>(c);
+  }
+
+  // Master: coordinate equality rows + convexity row; s+/s- and the empty
+  // allocation as initial columns.
+  lp::LinearProgram master(lp::Objective::kMinimize);
+  for (std::size_t c = 0; c < num_coords; ++c) {
+    master.add_row(lp::RowSense::kEqual, support[c].x / result.alpha);
+  }
+  const int convexity_row = master.add_row(lp::RowSense::kEqual, 1.0);
+  for (std::size_t c = 0; c < num_coords; ++c) {
+    master.add_column(1.0, {{static_cast<int>(c), 1.0}});   // s+
+    master.add_column(1.0, {{static_cast<int>(c), -1.0}});  // s-
+  }
+  std::vector<Allocation> allocation_columns;
+  std::vector<int> allocation_master_index;
+  const auto add_allocation_column = [&](lp::SimplexEngine& engine,
+                                         const Allocation& allocation) {
+    std::vector<lp::ColumnEntry> entries{{convexity_row, 1.0}};
+    for (std::size_t v = 0; v < allocation.size(); ++v) {
+      if (allocation.bundles[v] == kEmptyBundle) continue;
+      const auto it =
+          coord_of.find({static_cast<int>(v), allocation.bundles[v]});
+      if (it == coord_of.end()) {
+        throw std::logic_error("decompose: allocation outside supp(x*)");
+      }
+      entries.push_back({it->second, 1.0});
+    }
+    master.add_column(0.0, entries);
+    engine.add_column(0.0, entries);
+    allocation_columns.push_back(allocation);
+    allocation_master_index.push_back(static_cast<int>(master.num_columns()) - 1);
+  };
+
+  lp::SimplexEngine engine;
+  // Seed with the empty allocation so the convexity row is satisfiable.
+  {
+    Allocation empty;
+    empty.bundles.assign(instance.num_bidders(), kEmptyBundle);
+    std::vector<lp::ColumnEntry> entries{{convexity_row, 1.0}};
+    master.add_column(0.0, entries);
+    allocation_columns.push_back(empty);
+    allocation_master_index.push_back(static_cast<int>(master.num_columns()) - 1);
+  }
+  lp::Solution solution = engine.solve(master);
+
+  const bool exact_pricing_possible =
+      options.use_exact_pricing && instance.num_channels() <= 6 &&
+      instance.num_bidders() <= 14;
+
+  for (result.rounds = 0; result.rounds < options.max_rounds; ++result.rounds) {
+    if (solution.status != lp::SolveStatus::kOptimal) break;
+    if (solution.objective < 1e-8) break;  // decomposition complete
+
+    // Dual weights w_c and theta.
+    std::vector<double> weights(num_coords, 0.0);
+    for (std::size_t c = 0; c < num_coords; ++c) weights[c] = solution.duals[c];
+    const double theta = solution.duals[static_cast<std::size_t>(convexity_row)];
+
+    // Pricing instance: bidder v values bundle T at max(w_{(v,T)}, 0).
+    std::vector<ValuationPtr> pricing_valuations;
+    std::vector<std::map<Bundle, double>> tables(instance.num_bidders());
+    for (std::size_t c = 0; c < num_coords; ++c) {
+      if (weights[c] > 0.0) {
+        tables[static_cast<std::size_t>(support[c].bidder)][support[c].bundle] =
+            weights[c];
+      }
+    }
+    pricing_valuations.reserve(instance.num_bidders());
+    for (std::size_t v = 0; v < instance.num_bidders(); ++v) {
+      pricing_valuations.push_back(std::make_shared<SparseValuation>(
+          instance.num_channels(), std::move(tables[v])));
+    }
+    const AuctionInstance pricing_instance(instance.graph(), instance.order(),
+                                           instance.num_channels(),
+                                           std::move(pricing_valuations),
+                                           instance.rho());
+
+    // Candidate allocations from the rounding verifier (and exact B&B).
+    Allocation candidate = best_of_rounds(
+        pricing_instance, fractional, options.rounding_repetitions,
+        options.seed + static_cast<std::uint64_t>(result.rounds));
+    if (exact_pricing_possible) {
+      const ExactResult exact = solve_exact(pricing_instance);
+      if (exact.welfare > pricing_instance.welfare(candidate)) {
+        candidate = exact.allocation;
+      }
+    }
+    // Drop coordinates whose true (signed) weight is non-positive; this
+    // only raises the score and keeps feasibility (downward closure).
+    for (std::size_t v = 0; v < candidate.size(); ++v) {
+      if (candidate.bundles[v] == kEmptyBundle) continue;
+      const auto it = coord_of.find({static_cast<int>(v), candidate.bundles[v]});
+      if (it == coord_of.end() ||
+          weights[static_cast<std::size_t>(it->second)] <= 0.0) {
+        candidate.bundles[v] = kEmptyBundle;
+      }
+    }
+
+    double score = theta;
+    for (std::size_t v = 0; v < candidate.size(); ++v) {
+      if (candidate.bundles[v] == kEmptyBundle) continue;
+      const auto it = coord_of.find({static_cast<int>(v), candidate.bundles[v]});
+      score += weights[static_cast<std::size_t>(it->second)];
+    }
+    if (score <= 1e-8) break;  // no improving allocation found
+
+    add_allocation_column(engine, candidate);
+    ++result.columns_generated;
+    solution = engine.resolve();
+  }
+
+  result.residual = std::max(0.0, solution.objective);
+
+  // Extract the distribution.
+  double total = 0.0;
+  for (std::size_t a = 0; a < allocation_columns.size(); ++a) {
+    const double lambda =
+        solution.x[static_cast<std::size_t>(allocation_master_index[a])];
+    if (lambda > 1e-9) {
+      result.entries.push_back(
+          DecompositionEntry{allocation_columns[a], lambda});
+      total += lambda;
+    }
+  }
+  if (total > 0.0) {
+    for (DecompositionEntry& entry : result.entries) {
+      entry.probability /= total;
+    }
+  }
+  return result;
+}
+
+}  // namespace ssa

@@ -1,0 +1,32 @@
+#include "mechanism/fractional_vcg.hpp"
+
+#include <algorithm>
+
+namespace ssa {
+
+FractionalVcg fractional_vcg(const AuctionInstance& instance, bool use_colgen) {
+  const auto solve = [&](const AuctionInstance& in) {
+    return use_colgen ? solve_auction_lp_colgen(in) : solve_auction_lp(in);
+  };
+
+  FractionalVcg result;
+  result.optimum = solve(instance);
+  const std::size_t n = instance.num_bidders();
+  result.bidder_value.assign(n, 0.0);
+  for (const FractionalColumn& column : result.optimum.columns) {
+    result.bidder_value[static_cast<std::size_t>(column.bidder)] +=
+        instance.value(static_cast<std::size_t>(column.bidder), column.bundle) *
+        column.x;
+  }
+
+  result.payments.assign(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const FractionalSolution without = solve(instance.without_bidder(v));
+    const double externality =
+        without.objective - (result.optimum.objective - result.bidder_value[v]);
+    result.payments[v] = std::max(0.0, externality);
+  }
+  return result;
+}
+
+}  // namespace ssa

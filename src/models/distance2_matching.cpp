@@ -1,0 +1,67 @@
+#include "models/distance2_matching.hpp"
+
+#include <stdexcept>
+
+namespace ssa {
+
+std::vector<DiskEdge> disk_graph_edges(
+    std::span<const Transmitter> transmitters) {
+  std::vector<DiskEdge> edges;
+  const std::size_t n = transmitters.size();
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double reach = transmitters[u].radius + transmitters[v].radius;
+      if (distance_sq(transmitters[u].position, transmitters[v].position) <
+          reach * reach) {
+        edges.push_back(DiskEdge{static_cast<int>(u), static_cast<int>(v)});
+      }
+    }
+  }
+  return edges;
+}
+
+ModelGraph distance2_matching_graph(std::span<const Transmitter> transmitters,
+                                    std::span<const DiskEdge> edges) {
+  const std::size_t n_nodes = transmitters.size();
+  const std::size_t m = edges.size();
+  // Node adjacency of the disk graph for the "joined by one edge" test.
+  std::vector<std::vector<bool>> adjacent(n_nodes,
+                                          std::vector<bool>(n_nodes, false));
+  for (const auto& e : edges) {
+    if (e.u < 0 || e.v < 0 || static_cast<std::size_t>(e.u) >= n_nodes ||
+        static_cast<std::size_t>(e.v) >= n_nodes) {
+      throw std::out_of_range("distance2_matching_graph: bad edge endpoint");
+    }
+    adjacent[static_cast<std::size_t>(e.u)][static_cast<std::size_t>(e.v)] = true;
+    adjacent[static_cast<std::size_t>(e.v)][static_cast<std::size_t>(e.u)] = true;
+  }
+
+  ConflictGraph graph(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const int ei[2] = {edges[i].u, edges[i].v};
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const int ej[2] = {edges[j].u, edges[j].v};
+      bool conflict = false;
+      for (int a : ei) {
+        for (int b : ej) {
+          if (a == b || adjacent[static_cast<std::size_t>(a)]
+                                [static_cast<std::size_t>(b)]) {
+            conflict = true;
+          }
+        }
+      }
+      if (conflict) graph.add_edge(i, j);
+    }
+  }
+
+  // Ordering by increasing r(e) = r(u) + r(v) (Barrett et al. greedy key).
+  std::vector<double> keys(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    keys[i] = transmitters[static_cast<std::size_t>(edges[i].u)].radius +
+              transmitters[static_cast<std::size_t>(edges[i].v)].radius;
+  }
+  return ModelGraph{std::move(graph),
+                    ordering_by_key(keys, /*descending=*/false), 0.0};
+}
+
+}  // namespace ssa

@@ -1,0 +1,32 @@
+#pragma once
+/// \file distance2_matching.hpp
+/// Distance-2 matching (strong edge coloring) in disk graphs, Section 4.2 /
+/// Corollary 14: the "users" are edges of a disk graph; two edges conflict
+/// when they share an endpoint or are joined by a single edge. Ordering by
+/// increasing r(e) = r(u) + r(v) (Barrett et al.); rho = O(1).
+
+#include <span>
+#include <vector>
+
+#include "models/model_graph.hpp"
+#include "models/transmitter.hpp"
+
+namespace ssa {
+
+/// An edge of the underlying disk graph.
+struct DiskEdge {
+  int u = 0;
+  int v = 0;
+};
+
+/// Edges of the disk graph over \p transmitters (u < v pairs).
+[[nodiscard]] std::vector<DiskEdge> disk_graph_edges(
+    std::span<const Transmitter> transmitters);
+
+/// Conflict graph of the distance-2 matching problem over the given edges.
+/// The constant in Corollary 14 is not made explicit in the paper, so
+/// theoretical_rho is 0 (callers measure rho(pi) with the verifier).
+[[nodiscard]] ModelGraph distance2_matching_graph(
+    std::span<const Transmitter> transmitters, std::span<const DiskEdge> edges);
+
+}  // namespace ssa

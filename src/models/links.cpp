@@ -1,0 +1,25 @@
+#include "models/links.hpp"
+
+namespace ssa {
+
+double link_length(const Link& link, const Metric& metric) {
+  return metric.distance(static_cast<std::size_t>(link.sender),
+                         static_cast<std::size_t>(link.receiver));
+}
+
+std::pair<std::vector<Link>, EuclideanMetric> to_metric_links(
+    std::span<const PlanarLink> links) {
+  std::vector<Point> sites;
+  sites.reserve(2 * links.size());
+  std::vector<Link> indexed;
+  indexed.reserve(links.size());
+  for (const auto& link : links) {
+    const int s = static_cast<int>(sites.size());
+    sites.push_back(link.sender);
+    sites.push_back(link.receiver);
+    indexed.push_back(Link{s, s + 1});
+  }
+  return {std::move(indexed), EuclideanMetric(std::move(sites))};
+}
+
+}  // namespace ssa

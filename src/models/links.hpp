@@ -1,0 +1,38 @@
+#pragma once
+/// \file links.hpp
+/// Link-based scenarios: a "user" is a sender/receiver pair of sites in a
+/// metric space (Section 4.2/4.3). All link models (protocol, 802.11,
+/// physical) consume links plus a Metric, so general metrics (Theorem 17)
+/// and the Euclidean plane share one code path.
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geometry/metric.hpp"
+#include "geometry/point.hpp"
+
+namespace ssa {
+
+/// Sender/receiver pair; indices refer to sites of a Metric.
+struct Link {
+  int sender = 0;
+  int receiver = 0;
+};
+
+/// d(s_l, r_l) under the metric.
+[[nodiscard]] double link_length(const Link& link, const Metric& metric);
+
+/// Planar link given by explicit endpoints; converted to Link + metric by
+/// to_metric_links.
+struct PlanarLink {
+  Point sender;
+  Point receiver;
+};
+
+/// Packs planar links into a EuclideanMetric (site 2i = sender of link i,
+/// site 2i+1 = its receiver) plus index-based links.
+[[nodiscard]] std::pair<std::vector<Link>, EuclideanMetric> to_metric_links(
+    std::span<const PlanarLink> links);
+
+}  // namespace ssa

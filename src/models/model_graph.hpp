@@ -1,0 +1,20 @@
+#pragma once
+/// \file model_graph.hpp
+/// Common return type of every interference model: the conflict graph, the
+/// ordering pi the model's inductive-independence bound is proved for, and
+/// that theoretical bound (0 when the paper only gives an asymptotic bound,
+/// in which case callers measure rho(pi) with the verifier).
+
+#include "graph/conflict_graph.hpp"
+#include "graph/ordering.hpp"
+
+namespace ssa {
+
+/// A conflict graph instance produced by an interference model.
+struct ModelGraph {
+  ConflictGraph graph;
+  Ordering order;              ///< the ordering from the paper's proof
+  double theoretical_rho = 0;  ///< explicit bound from the paper; 0 = asymptotic only
+};
+
+}  // namespace ssa

@@ -1,0 +1,156 @@
+#include "models/physical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ssa {
+
+namespace {
+double received_power(double power, double dist, double alpha) {
+  if (dist <= 0.0) return std::numeric_limits<double>::infinity();
+  return power / std::pow(dist, alpha);
+}
+}  // namespace
+
+std::vector<double> assign_powers(std::span<const Link> links,
+                                  const Metric& metric, PowerScheme scheme,
+                                  const PhysicalParams& params) {
+  std::vector<double> powers(links.size(), 1.0);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const double d = link_length(links[i], metric);
+    switch (scheme) {
+      case PowerScheme::kUniform: powers[i] = 1.0; break;
+      case PowerScheme::kLinear: powers[i] = std::pow(d, params.alpha); break;
+      case PowerScheme::kSquareRoot:
+        powers[i] = std::pow(d, params.alpha / 2.0);
+        break;
+    }
+  }
+  return powers;
+}
+
+double sinr(std::span<const Link> links, const Metric& metric,
+            std::span<const double> powers, const PhysicalParams& params,
+            std::span<const int> set, int i) {
+  const std::size_t si = static_cast<std::size_t>(i);
+  const double signal = received_power(
+      powers[si], link_length(links[si], metric), params.alpha);
+  double interference = params.noise;
+  for (int j : set) {
+    if (j == i) continue;
+    const std::size_t sj = static_cast<std::size_t>(j);
+    const double d = metric.distance(static_cast<std::size_t>(links[sj].sender),
+                                     static_cast<std::size_t>(links[si].receiver));
+    interference += received_power(powers[sj], d, params.alpha);
+  }
+  if (interference == 0.0) return std::numeric_limits<double>::infinity();
+  return signal / interference;
+}
+
+bool sinr_feasible(std::span<const Link> links, const Metric& metric,
+                   std::span<const double> powers, const PhysicalParams& params,
+                   std::span<const int> set, double beta_override) {
+  const double beta = beta_override > 0.0 ? beta_override : params.beta;
+  for (int i : set) {
+    if (sinr(links, metric, powers, params, set, i) < beta) return false;
+  }
+  return true;
+}
+
+double proposition15_epsilon(std::span<const Link> links, const Metric& metric,
+                             std::span<const double> powers,
+                             const PhysicalParams& params) {
+  (void)powers;
+  // eps = (beta/2) * min over l=(s,r), l'=(s',r') of
+  //       (p_l / d(s',r)^alpha) / (p_l / d(s,r)^alpha)
+  //     = (beta/2) * min (d(s,r) / d(s',r))^alpha.
+  double min_ratio = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const double len_i = link_length(links[i], metric);
+    for (std::size_t j = 0; j < links.size(); ++j) {
+      if (i == j) continue;
+      const double d = metric.distance(static_cast<std::size_t>(links[j].sender),
+                                       static_cast<std::size_t>(links[i].receiver));
+      if (d <= 0.0) continue;  // infinite interference handled as weight 1
+      min_ratio = std::min(min_ratio, std::pow(len_i / d, params.alpha));
+    }
+  }
+  if (!std::isfinite(min_ratio)) min_ratio = 1.0;  // single-link instances
+  return params.beta / 2.0 * min_ratio;
+}
+
+ModelGraph physical_conflict_graph(std::span<const Link> links,
+                                   const Metric& metric,
+                                   std::span<const double> powers,
+                                   const PhysicalParams& params) {
+  const std::size_t n = links.size();
+  if (powers.size() != n) {
+    throw std::invalid_argument("physical_conflict_graph: power size mismatch");
+  }
+  const double eps = proposition15_epsilon(links, metric, powers, params);
+  const double scaled_beta = params.beta / (1.0 + eps);
+
+  ConflictGraph graph(n);
+  std::vector<double> lengths(n);
+  for (std::size_t i = 0; i < n; ++i) lengths[i] = link_length(links[i], metric);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Decodable margin of link i alone: signal minus scaled noise.
+    const double signal = received_power(powers[i], lengths[i], params.alpha);
+    const double margin = signal - scaled_beta * params.noise;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double weight = 1.0;
+      if (margin > 0.0 && std::isfinite(signal)) {
+        const double d = metric.distance(
+            static_cast<std::size_t>(links[j].sender),
+            static_cast<std::size_t>(links[i].receiver));
+        const double interference = received_power(powers[j], d, params.alpha);
+        weight = std::min(1.0, scaled_beta * interference / margin);
+      }
+      // w(l_j -> l_i): what j imposes on i.
+      if (weight > 0.0) graph.set_weight(j, i, weight);
+    }
+  }
+  return ModelGraph{std::move(graph),
+                    ordering_by_key(lengths, /*descending=*/true), 0.0};
+}
+
+ModelGraph power_control_conflict_graph(std::span<const Link> links,
+                                        const Metric& metric,
+                                        const PhysicalParams& params) {
+  const std::size_t n = links.size();
+  std::vector<double> lengths(n);
+  for (std::size_t i = 0; i < n; ++i) lengths[i] = link_length(links[i], metric);
+  const Ordering order = ordering_by_key(lengths, /*descending=*/true);
+  const std::vector<int> position = ordering_positions(order);
+
+  const double tau =
+      1.0 / (2.0 * std::pow(3.0, params.alpha) * (4.0 * params.beta + 2.0));
+
+  ConflictGraph graph(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b || position[a] >= position[b]) continue;
+      // a = earlier (longer) link l = (s, r); b = later link l' = (s', r').
+      const double len = lengths[a];
+      const double d_s_rprime = metric.distance(
+          static_cast<std::size_t>(links[a].sender),
+          static_cast<std::size_t>(links[b].receiver));
+      const double d_sprime_r = metric.distance(
+          static_cast<std::size_t>(links[b].sender),
+          static_cast<std::size_t>(links[a].receiver));
+      auto term = [&](double d) {
+        if (d <= 0.0) return 1.0;
+        return std::min(1.0, std::pow(len / d, params.alpha));
+      };
+      const double weight = (term(d_s_rprime) + term(d_sprime_r)) / tau;
+      if (weight > 0.0) graph.set_weight(a, b, weight);
+    }
+  }
+  return ModelGraph{std::move(graph), order, 0.0};
+}
+
+}  // namespace ssa

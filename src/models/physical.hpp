@@ -1,0 +1,80 @@
+#pragma once
+/// \file physical.hpp
+/// The physical (SINR) interference model, Section 4.3.
+///
+/// Receiver r_i decodes sender s_i iff
+///     p_i / d(s_i,r_i)^alpha >= beta * (sum_{j != i} p_j / d(s_j,r_i)^alpha + noise).
+/// With fixed powers the model is represented exactly as an edge-weighted
+/// conflict graph (Proposition 15): SINR-feasible sets are independent, and
+/// independent sets are SINR-feasible at the slightly relaxed threshold
+/// beta / (1 + eps) with the paper's eps.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/metric.hpp"
+#include "models/links.hpp"
+#include "models/model_graph.hpp"
+
+namespace ssa {
+
+/// SINR model parameters.
+struct PhysicalParams {
+  double alpha = 3.0;  ///< path-loss exponent
+  double beta = 1.5;   ///< SINR threshold
+  double noise = 0.0;  ///< ambient noise nu
+};
+
+/// Monotone power schemes from the paper (all satisfy the monotonicity
+/// constraints of Section 4.3 required by Proposition 15).
+enum class PowerScheme {
+  kUniform,    ///< p(l) = 1
+  kLinear,     ///< p(l) = d(l)^alpha
+  kSquareRoot  ///< p(l) = d(l)^(alpha/2), the "mean"/sqrt scheme
+};
+
+/// Power per link under a scheme.
+[[nodiscard]] std::vector<double> assign_powers(std::span<const Link> links,
+                                                const Metric& metric,
+                                                PowerScheme scheme,
+                                                const PhysicalParams& params);
+
+/// SINR of link \p i against the concurrent set \p set (i itself excluded).
+[[nodiscard]] double sinr(std::span<const Link> links, const Metric& metric,
+                          std::span<const double> powers,
+                          const PhysicalParams& params, std::span<const int> set,
+                          int i);
+
+/// True when every link of \p set meets the SINR threshold
+/// beta_override (or params.beta when beta_override <= 0).
+[[nodiscard]] bool sinr_feasible(std::span<const Link> links,
+                                 const Metric& metric,
+                                 std::span<const double> powers,
+                                 const PhysicalParams& params,
+                                 std::span<const int> set,
+                                 double beta_override = 0.0);
+
+/// The eps of Proposition 15 for the given instance.
+[[nodiscard]] double proposition15_epsilon(std::span<const Link> links,
+                                           const Metric& metric,
+                                           std::span<const double> powers,
+                                           const PhysicalParams& params);
+
+/// Edge-weighted conflict graph of Proposition 15 for fixed powers.
+/// Links that cannot meet the SINR threshold even alone receive incoming
+/// weight 1 from every other vertex (they can never be allocated).
+/// Ordering: decreasing link length; rho = O(log n) so theoretical_rho = 0.
+[[nodiscard]] ModelGraph physical_conflict_graph(std::span<const Link> links,
+                                                 const Metric& metric,
+                                                 std::span<const double> powers,
+                                                 const PhysicalParams& params);
+
+/// Edge-weighted conflict graph used when transmission powers are subject
+/// to optimization (Theorem 17), with tau = 1 / (2 * 3^alpha * (4 beta + 2)).
+/// Ordering: decreasing link length.
+[[nodiscard]] ModelGraph power_control_conflict_graph(
+    std::span<const Link> links, const Metric& metric,
+    const PhysicalParams& params);
+
+}  // namespace ssa

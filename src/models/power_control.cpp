@@ -1,0 +1,77 @@
+#include "models/power_control.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ssa {
+
+Matrix normalized_gain_matrix(std::span<const Link> links, const Metric& metric,
+                              const PhysicalParams& params,
+                              std::span<const int> set) {
+  const std::size_t m = set.size();
+  Matrix f(m, m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t li = static_cast<std::size_t>(set[i]);
+    const double len_i = link_length(links[li], metric);
+    const double len_i_alpha = std::pow(len_i, params.alpha);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      const std::size_t lj = static_cast<std::size_t>(set[j]);
+      const double cross = metric.distance(
+          static_cast<std::size_t>(links[lj].sender),
+          static_cast<std::size_t>(links[li].receiver));
+      if (cross <= 0.0) {
+        f(i, j) = 1e18;  // co-located sender/receiver: hopeless pair
+      } else {
+        f(i, j) = len_i_alpha / std::pow(cross, params.alpha);
+      }
+    }
+  }
+  return f;
+}
+
+PowerControlResult solve_power_control(std::span<const Link> links,
+                                       const Metric& metric,
+                                       const PhysicalParams& params,
+                                       std::span<const int> set) {
+  PowerControlResult result;
+  const std::size_t m = set.size();
+  if (m == 0) {
+    result.feasible = true;
+    return result;
+  }
+
+  Matrix f = normalized_gain_matrix(links, metric, params, set);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) f(i, j) *= params.beta;
+  }
+  result.spectral_radius = spectral_radius(f);
+  if (result.spectral_radius >= 1.0 - 1e-9) return result;
+
+  // Solve (I - beta F) p = beta * u with u_i = max(noise, tiny) * d_i^alpha;
+  // the tiny floor stands in for "any positive target" in the zero-noise
+  // case, where feasibility is scale invariant.
+  Matrix system(m, m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      system(i, j) = (i == j ? 1.0 : 0.0) - f(i, j);
+    }
+  }
+  std::vector<double> target(m, 0.0);
+  const double noise_floor = params.noise > 0.0 ? params.noise : 1.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t li = static_cast<std::size_t>(set[i]);
+    target[i] = params.beta * noise_floor *
+                std::pow(link_length(links[li], metric), params.alpha);
+  }
+  std::vector<double> powers;
+  if (!solve_linear_system(system, target, powers)) return result;
+  for (double p : powers) {
+    if (!(p > 0.0) || !std::isfinite(p)) return result;
+  }
+  result.feasible = true;
+  result.powers = std::move(powers);
+  return result;
+}
+
+}  // namespace ssa

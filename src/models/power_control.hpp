@@ -1,0 +1,47 @@
+#pragma once
+/// \file power_control.hpp
+/// Power-control substrate for the physical model (Theorem 17 pipeline).
+///
+/// Substitution note (see DESIGN.md): the paper plugs its rounding output
+/// into Kesselheim's SODA'11 power-control procedure. We implement the
+/// classical exact characterization instead: a set of links admits feasible
+/// powers iff the spectral radius of the normalized gain matrix beta * F is
+/// below 1; in that case the component-wise minimal power vector is the
+/// Foschini-Miljanic fixed point p = (I - beta F)^(-1) * beta * u. This
+/// accepts every set the paper's procedure accepts.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/metric.hpp"
+#include "models/links.hpp"
+#include "models/physical.hpp"
+#include "support/matrix.hpp"
+
+namespace ssa {
+
+/// Normalized cross-gain matrix F of a link set:
+/// F[i][j] = d(l_i)^alpha / d(s_j, r_i)^alpha for i != j, 0 on the diagonal.
+/// Rows/columns follow the order of \p set.
+[[nodiscard]] Matrix normalized_gain_matrix(std::span<const Link> links,
+                                            const Metric& metric,
+                                            const PhysicalParams& params,
+                                            std::span<const int> set);
+
+/// Result of a power-control attempt.
+struct PowerControlResult {
+  bool feasible = false;
+  double spectral_radius = 0.0;      ///< of beta * F
+  std::vector<double> powers;        ///< per element of the set (if feasible)
+};
+
+/// Finds the minimal feasible power vector for \p set, or reports
+/// infeasibility. With zero noise any positive scaling of the Perron vector
+/// works; we return the (normalized) Neumann-series fixed point against a
+/// unit target in that case.
+[[nodiscard]] PowerControlResult solve_power_control(
+    std::span<const Link> links, const Metric& metric,
+    const PhysicalParams& params, std::span<const int> set);
+
+}  // namespace ssa

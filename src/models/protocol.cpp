@@ -1,0 +1,82 @@
+#include "models/protocol.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ssa {
+
+namespace {
+Ordering increasing_length_ordering(std::span<const Link> links,
+                                    const Metric& metric) {
+  std::vector<double> lengths(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    lengths[i] = link_length(links[i], metric);
+  }
+  return ordering_by_key(lengths, /*descending=*/false);
+}
+}  // namespace
+
+double protocol_rho_bound(double delta) {
+  if (delta <= 0.0) throw std::invalid_argument("protocol_rho_bound: delta <= 0");
+  const double angle = std::asin(delta / (2.0 * (delta + 1.0)));
+  return std::ceil(3.14159265358979323846 / angle) - 1.0;
+}
+
+ModelGraph protocol_conflict_graph(std::span<const Link> links,
+                                   const Metric& metric, double delta) {
+  if (delta <= 0.0) {
+    throw std::invalid_argument("protocol_conflict_graph: delta <= 0");
+  }
+  const std::size_t n = links.size();
+  ConflictGraph graph(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double len_i = link_length(links[i], metric);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double len_j = link_length(links[j], metric);
+      // j's sender too close to i's receiver, or i's sender to j's receiver.
+      const double sj_ri = metric.distance(
+          static_cast<std::size_t>(links[j].sender),
+          static_cast<std::size_t>(links[i].receiver));
+      const double si_rj = metric.distance(
+          static_cast<std::size_t>(links[i].sender),
+          static_cast<std::size_t>(links[j].receiver));
+      if (sj_ri < (1.0 + delta) * len_i || si_rj < (1.0 + delta) * len_j) {
+        graph.add_edge(i, j);
+      }
+    }
+  }
+  return ModelGraph{std::move(graph), increasing_length_ordering(links, metric),
+                    protocol_rho_bound(delta)};
+}
+
+ModelGraph ieee80211_conflict_graph(std::span<const Link> links,
+                                    const Metric& metric, double delta) {
+  if (delta <= 0.0) {
+    throw std::invalid_argument("ieee80211_conflict_graph: delta <= 0");
+  }
+  const std::size_t n = links.size();
+  ConflictGraph graph(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double len_i = link_length(links[i], metric);
+    const int ei[2] = {links[i].sender, links[i].receiver};
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double len_j = link_length(links[j], metric);
+      const int ej[2] = {links[j].sender, links[j].receiver};
+      bool conflict = false;
+      for (int a : ei) {
+        for (int b : ej) {
+          const double d = metric.distance(static_cast<std::size_t>(a),
+                                           static_cast<std::size_t>(b));
+          if (d < (1.0 + delta) * len_i || d < (1.0 + delta) * len_j) {
+            conflict = true;
+          }
+        }
+      }
+      if (conflict) graph.add_edge(i, j);
+    }
+  }
+  return ModelGraph{std::move(graph), increasing_length_ordering(links, metric),
+                    23.0};
+}
+
+}  // namespace ssa

@@ -1,0 +1,35 @@
+#pragma once
+/// \file protocol.hpp
+/// Binary link-interference models: the protocol model of Gupta/Kumar
+/// (Proposition 13) and the bidirectional IEEE 802.11 model of Alicherry
+/// et al. (rho <= 23, Wan [31]).
+
+#include <span>
+#include <vector>
+
+#include "geometry/metric.hpp"
+#include "models/links.hpp"
+#include "models/model_graph.hpp"
+
+namespace ssa {
+
+/// Protocol model: links i and j conflict iff assigning them the same
+/// channel would violate d(s_j, r_i) >= (1 + delta) * d(s_i, r_i) or the
+/// symmetric condition. Ordering: increasing link length; Proposition 13
+/// gives rho <= ceil(pi / arcsin(delta / (2(delta+1)))) - 1.
+[[nodiscard]] ModelGraph protocol_conflict_graph(std::span<const Link> links,
+                                                 const Metric& metric,
+                                                 double delta);
+
+/// The rho bound of Proposition 13 as a function of delta.
+[[nodiscard]] double protocol_rho_bound(double delta);
+
+/// IEEE 802.11 bidirectional model: both endpoints of a link act as sender
+/// and receiver (RTS/CTS), so links i and j conflict iff any endpoint of j
+/// is within (1 + delta) * d(ℓ_i) of any endpoint of i, or vice versa.
+/// Ordering: increasing link length; rho <= 23 [31].
+[[nodiscard]] ModelGraph ieee80211_conflict_graph(std::span<const Link> links,
+                                                  const Metric& metric,
+                                                  double delta);
+
+}  // namespace ssa

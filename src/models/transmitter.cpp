@@ -1,0 +1,115 @@
+#include "models/transmitter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ssa {
+
+namespace {
+
+/// Adjacency of the plain disk graph as an edge list.
+std::vector<std::vector<int>> disk_adjacency(
+    std::span<const Transmitter> transmitters) {
+  const std::size_t n = transmitters.size();
+  std::vector<std::vector<int>> adjacency(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double reach = transmitters[u].radius + transmitters[v].radius;
+      if (distance_sq(transmitters[u].position, transmitters[v].position) <
+          reach * reach) {
+        adjacency[u].push_back(static_cast<int>(v));
+        adjacency[v].push_back(static_cast<int>(u));
+      }
+    }
+  }
+  return adjacency;
+}
+
+Ordering decreasing_radius_ordering(std::span<const Transmitter> transmitters) {
+  std::vector<double> radii(transmitters.size());
+  for (std::size_t i = 0; i < transmitters.size(); ++i) {
+    radii[i] = transmitters[i].radius;
+  }
+  return ordering_by_key(radii, /*descending=*/true);
+}
+
+}  // namespace
+
+ModelGraph disk_graph(std::span<const Transmitter> transmitters) {
+  const std::size_t n = transmitters.size();
+  ConflictGraph graph(n);
+  const auto adjacency = disk_adjacency(transmitters);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (int v : adjacency[u]) {
+      if (static_cast<std::size_t>(v) > u) graph.add_edge(u, static_cast<std::size_t>(v));
+    }
+  }
+  return ModelGraph{std::move(graph), decreasing_radius_ordering(transmitters),
+                    5.0};
+}
+
+ModelGraph distance2_disk_graph(std::span<const Transmitter> transmitters) {
+  const std::size_t n = transmitters.size();
+  ConflictGraph graph(n);
+  const auto adjacency = disk_adjacency(transmitters);
+  for (std::size_t u = 0; u < n; ++u) {
+    // Direct neighbors conflict.
+    for (int v : adjacency[u]) {
+      if (static_cast<std::size_t>(v) > u) graph.add_edge(u, static_cast<std::size_t>(v));
+    }
+    // Two-hop neighbors conflict.
+    for (int mid : adjacency[u]) {
+      for (int v : adjacency[static_cast<std::size_t>(mid)]) {
+        if (static_cast<std::size_t>(v) > u) {
+          graph.add_edge(u, static_cast<std::size_t>(v));
+        }
+      }
+    }
+  }
+  // Proposition 11 proves O(1) without an explicit constant; Lemma 10 with
+  // a = 2 plus the 5 direct disks and 5 intermediate disks gives the
+  // conservative explicit bound 5 + (2+2)^2 + 5 = 26 used here.
+  return ModelGraph{std::move(graph), decreasing_radius_ordering(transmitters),
+                    26.0};
+}
+
+ModelGraph distance2_civilized_graph(std::span<const Point> nodes, double r,
+                                     double s) {
+  if (r <= 0.0 || s <= 0.0) {
+    throw std::invalid_argument("distance2_civilized_graph: r, s must be > 0");
+  }
+  const std::size_t n = nodes.size();
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (distance(nodes[u], nodes[v]) < s - 1e-12) {
+        throw std::invalid_argument(
+            "distance2_civilized_graph: points closer than s");
+      }
+    }
+  }
+  std::vector<std::vector<int>> adjacency(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (distance(nodes[u], nodes[v]) <= r) {
+        adjacency[u].push_back(static_cast<int>(v));
+        adjacency[v].push_back(static_cast<int>(u));
+      }
+    }
+  }
+  ConflictGraph graph(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (int v : adjacency[u]) {
+      if (static_cast<std::size_t>(v) > u) graph.add_edge(u, static_cast<std::size_t>(v));
+    }
+    for (int mid : adjacency[u]) {
+      for (int v : adjacency[static_cast<std::size_t>(mid)]) {
+        if (static_cast<std::size_t>(v) > u) graph.add_edge(u, static_cast<std::size_t>(v));
+      }
+    }
+  }
+  // Proposition 12: any ordering attains rho <= (4r/s + 2)^2.
+  const double bound = (4.0 * r / s + 2.0) * (4.0 * r / s + 2.0);
+  return ModelGraph{std::move(graph), identity_ordering(n), bound};
+}
+
+}  // namespace ssa

@@ -1,0 +1,39 @@
+#pragma once
+/// \file transmitter.hpp
+/// Transmitter scenarios (Section 4.1): disk graphs (Proposition 9),
+/// distance-2 coloring on disk graphs (Proposition 11) and on
+/// (r,s)-civilized graphs (Proposition 12).
+
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "models/model_graph.hpp"
+
+namespace ssa {
+
+/// A transmitter covering a disk around its position.
+struct Transmitter {
+  Point position;
+  double radius = 1.0;
+};
+
+/// Disk graph: transmitters conflict when their disks intersect
+/// (d(p_u, p_v) < r_u + r_v). Ordering: decreasing radius; rho <= 5
+/// (Proposition 9).
+[[nodiscard]] ModelGraph disk_graph(std::span<const Transmitter> transmitters);
+
+/// Distance-2 coloring on the disk graph: transmitters conflict when they
+/// are adjacent in the disk graph or share a disk-graph neighbor. Ordering:
+/// decreasing radius; rho = O(1) (Proposition 11).
+[[nodiscard]] ModelGraph distance2_disk_graph(
+    std::span<const Transmitter> transmitters);
+
+/// Distance-2 coloring on an (r,s)-civilized graph: nodes are at pairwise
+/// distance >= s, edges only between nodes at distance <= r. Conflicts are
+/// pairs within two hops. Any ordering works; rho <= (4r/s + 2)^2
+/// (Proposition 12). Throws if the point set violates the s-separation.
+[[nodiscard]] ModelGraph distance2_civilized_graph(std::span<const Point> nodes,
+                                                   double r, double s);
+
+}  // namespace ssa

@@ -1,0 +1,44 @@
+#include "support/pairwise.hpp"
+
+#include <stdexcept>
+
+namespace ssa {
+
+namespace {
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  if (n % 2 == 0) return n == 2;
+  for (std::uint64_t d = 3; d * d <= n; d += 2) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::uint64_t next_prime(std::uint64_t n) {
+  if (n < 2) return 2;
+  std::uint64_t candidate = n;
+  while (!is_prime(candidate)) ++candidate;
+  return candidate;
+}
+
+PairwiseFamily::PairwiseFamily(std::uint64_t universe, std::uint64_t min_p)
+    : p_(next_prime(universe < min_p ? min_p : universe)) {
+  if (universe == 0) throw std::invalid_argument("PairwiseFamily: universe=0");
+}
+
+double PairwiseFamily::value(std::uint64_t seed, std::uint64_t v) const noexcept {
+  const std::uint64_t a = seed / p_;
+  const std::uint64_t b = seed % p_;
+  const std::uint64_t hashed = (a * (v % p_) + b) % p_;
+  return static_cast<double>(hashed) / static_cast<double>(p_);
+}
+
+std::vector<double> PairwiseFamily::values(std::uint64_t seed,
+                                           std::uint64_t count) const {
+  std::vector<double> out(count);
+  for (std::uint64_t v = 0; v < count; ++v) out[v] = value(seed, v);
+  return out;
+}
+
+}  // namespace ssa

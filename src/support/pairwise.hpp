@@ -1,0 +1,39 @@
+#pragma once
+/// \file pairwise.hpp
+/// Pairwise-independent hash family over GF(p) used to derandomize the
+/// LP-rounding algorithms (the paper, Section 5, notes the rounding analysis
+/// only needs pairwise independence). Each seed (a, b) in GF(p)^2 maps index
+/// v to h(v) = ((a*v + b) mod p) / p in [0, 1); over a uniformly random seed
+/// the values {h(v)} are pairwise independent and (1/p)-close to uniform
+/// marginals, which is absorbed by a slightly inflated approximation factor.
+
+#include <cstdint>
+#include <vector>
+
+namespace ssa {
+
+/// Smallest prime >= n (n >= 2).
+[[nodiscard]] std::uint64_t next_prime(std::uint64_t n);
+
+/// The family {h_{a,b}}. Enumerating all p^2 seeds and keeping the best
+/// rounded allocation is the deterministic counterpart of one random run.
+class PairwiseFamily {
+ public:
+  /// \p universe is the number of indices hashed (vertices); p >= universe.
+  explicit PairwiseFamily(std::uint64_t universe, std::uint64_t min_p = 61);
+
+  [[nodiscard]] std::uint64_t prime() const noexcept { return p_; }
+  [[nodiscard]] std::uint64_t seed_count() const noexcept { return p_ * p_; }
+
+  /// Value in [0,1) for index \p v under seed id \p seed (< seed_count()).
+  [[nodiscard]] double value(std::uint64_t seed, std::uint64_t v) const noexcept;
+
+  /// All values for indices [0, count) under one seed.
+  [[nodiscard]] std::vector<double> values(std::uint64_t seed,
+                                           std::uint64_t count) const;
+
+ private:
+  std::uint64_t p_;
+};
+
+}  // namespace ssa

@@ -1,0 +1,38 @@
+#pragma once
+/// \file parallel.hpp
+/// Thin OpenMP shim. Hot loops in the library (Monte-Carlo rounding
+/// repetitions, derandomization seed sweeps, pairwise weight matrices) use
+/// parallel_for; when OpenMP is unavailable the loop runs serially with the
+/// identical iteration-to-result mapping, so results never depend on the
+/// thread count.
+
+#include <cstddef>
+
+#if defined(SSA_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace ssa {
+
+/// Number of worker threads the runtime would use.
+[[nodiscard]] inline int parallel_threads() noexcept {
+#if defined(SSA_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Runs body(i) for i in [0, n). The body must be safe to run concurrently
+/// for distinct i (no shared mutable state without synchronization).
+template <typename Body>
+void parallel_for(std::ptrdiff_t n, const Body& body) {
+#if defined(SSA_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::ptrdiff_t i = 0; i < n; ++i) body(i);
+#else
+  for (std::ptrdiff_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+}  // namespace ssa

@@ -1,0 +1,82 @@
+#include "support/random.hpp"
+
+#include <cmath>
+
+namespace ssa {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) noexcept {
+  // Lemire-style rejection-free-most-of-the-time sampling.
+  __extension__ using Uint128 = unsigned __int128;
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    // 128-bit multiply-high.
+    const Uint128 m = static_cast<Uint128>(r) * static_cast<Uint128>(n);
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+double Rng::exponential(double lambda) noexcept {
+  return -std::log1p(-uniform()) / lambda;
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+double Rng::normal() noexcept {
+  const double u1 = 1.0 - uniform();  // avoid log(0)
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+Rng Rng::split(std::uint64_t index) noexcept {
+  std::uint64_t material = s_[0] ^ rotl(s_[2], 13) ^ (index * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(material));
+}
+
+}  // namespace ssa

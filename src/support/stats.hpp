@@ -1,0 +1,52 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming and batch descriptive statistics used by the benchmark
+/// harnesses and the statistical tests (mean, variance via Welford,
+/// confidence intervals, quantiles, least-squares fits).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ssa {
+
+/// Numerically stable streaming moments (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Half-width of an approximate 95% confidence interval for the mean.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// q-th quantile (q in [0,1]) by linear interpolation; copies and sorts.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Least-squares fit y = a + b*x; returns {a, b}. Requires >= 2 points.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination.
+  double r2 = 0.0;
+};
+[[nodiscard]] LinearFit fit_line(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Mean of a span (0 for empty).
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+}  // namespace ssa

@@ -1,0 +1,158 @@
+// Tests for asymmetric channels (Section 6): per-channel feasibility, the
+// 1/(2 k rho) rounding, and the Theorem 18 hardness construction.
+
+#include <gtest/gtest.h>
+
+#include "core/asymmetric.hpp"
+#include "gen/scenario.hpp"
+#include "graph/independent_set.hpp"
+#include "graph/inductive_independence.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+
+namespace ssa {
+namespace {
+
+TEST(AsymmetricInstance, ValidatesInput) {
+  std::vector<ConflictGraph> graphs;
+  graphs.emplace_back(3);
+  graphs.emplace_back(4);  // size mismatch
+  std::vector<ValuationPtr> vals(3, std::make_shared<AdditiveValuation>(
+                                        std::vector<double>{1.0, 1.0}));
+  EXPECT_THROW(
+      AsymmetricInstance(std::move(graphs), identity_ordering(3), vals),
+      std::invalid_argument);
+}
+
+TEST(AsymmetricInstance, FeasibilityIsPerChannel) {
+  // Edge {0,1} only on channel 0: sharing channel 1 is fine.
+  std::vector<ConflictGraph> graphs;
+  graphs.emplace_back(2);
+  graphs.back().add_edge(0, 1);
+  graphs.emplace_back(2);
+  std::vector<ValuationPtr> vals(2, std::make_shared<AdditiveValuation>(
+                                        std::vector<double>{1.0, 1.0}));
+  const AsymmetricInstance instance(std::move(graphs), identity_ordering(2),
+                                    vals);
+  Allocation both_on_0;
+  both_on_0.bundles = {0b01u, 0b01u};
+  EXPECT_FALSE(instance.feasible(both_on_0));
+  Allocation both_on_1;
+  both_on_1.bundles = {0b10u, 0b10u};
+  EXPECT_TRUE(instance.feasible(both_on_1));
+  Allocation split;
+  split.bundles = {0b01u, 0b10u};
+  EXPECT_TRUE(instance.feasible(split));
+}
+
+class AsymmetricRounding : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsymmetricRounding, AlwaysFeasible) {
+  const AsymmetricInstance instance = gen::make_random_asymmetric(
+      14, 3, 0.25, gen::ValuationMix::kMixed,
+      static_cast<std::uint64_t>(GetParam()) + 600);
+  const FractionalSolution lp = solve_asymmetric_lp(instance);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 25; ++trial) {
+    const Allocation allocation = round_asymmetric(instance, lp, rng);
+    EXPECT_TRUE(instance.feasible(allocation));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsymmetricRounding, ::testing::Range(0, 8));
+
+TEST(AsymmetricRounding, ExpectedWelfareMeetsSection6Bound) {
+  // Section 6: the adapted analysis gives E[welfare] >= b* / (4 k rho)
+  // (the 2 k rho sampling loses another factor <= 2 to conflict removal).
+  const AsymmetricInstance instance =
+      gen::make_random_asymmetric(16, 2, 0.2, gen::ValuationMix::kMixed, 777);
+  const FractionalSolution lp = solve_asymmetric_lp(instance);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  const double bound = lp.objective / (4.0 * 2.0 * instance.rho());
+  Rng rng(31);
+  RunningStats stats;
+  for (int trial = 0; trial < 400; ++trial) {
+    stats.add(instance.welfare(round_asymmetric(instance, lp, rng)));
+  }
+  EXPECT_GE(stats.mean() + 3.0 * stats.ci95_halfwidth(), bound);
+}
+
+TEST(AsymmetricRounding, BestOfRoundsDeterministic) {
+  const AsymmetricInstance instance =
+      gen::make_random_asymmetric(12, 2, 0.3, gen::ValuationMix::kMixed, 88);
+  const FractionalSolution lp = solve_asymmetric_lp(instance);
+  const Allocation a = best_asymmetric_rounds(instance, lp, 16, 9);
+  const Allocation b = best_asymmetric_rounds(instance, lp, 16, 9);
+  EXPECT_EQ(a.bundles, b.bundles);
+  EXPECT_TRUE(instance.feasible(a));
+}
+
+TEST(HardnessInstance, WelfareEqualsIndependentSetSize) {
+  // Theorem 18: allocations of welfare b correspond to independent sets of
+  // size b in the original degree-bounded graph. Check that any feasible
+  // allocation's winner set is independent in the union graph.
+  const AsymmetricInstance instance = gen::make_hardness_instance(20, 4, 2, 5);
+  // Union graph of all channels.
+  ConflictGraph union_graph(20);
+  for (int j = 0; j < instance.num_channels(); ++j) {
+    for (std::size_t u = 0; u < 20; ++u) {
+      for (int v : instance.graph(j).neighbors(u)) {
+        if (static_cast<std::size_t>(v) > u) {
+          union_graph.add_edge(u, static_cast<std::size_t>(v));
+        }
+      }
+    }
+  }
+  const FractionalSolution lp = solve_asymmetric_lp(instance);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Allocation allocation = round_asymmetric(instance, lp, rng);
+    ASSERT_TRUE(instance.feasible(allocation));
+    std::vector<int> winners;
+    double welfare = 0.0;
+    for (std::size_t v = 0; v < allocation.size(); ++v) {
+      if (allocation.bundles[v] == full_bundle(2)) {
+        winners.push_back(static_cast<int>(v));
+        welfare += 1.0;
+      }
+    }
+    EXPECT_TRUE(union_graph.is_independent(winners));
+    EXPECT_NEAR(instance.welfare(allocation), welfare, 1e-12);
+  }
+}
+
+TEST(HardnessInstance, ChannelGraphsRespectRhoBudget) {
+  // Each channel graph gets at most d/k backward edges per vertex under the
+  // identity ordering, so rho_j(pi) <= d/k.
+  const int d = 6, k = 3;
+  const AsymmetricInstance instance = gen::make_hardness_instance(24, d, k, 9);
+  for (int j = 0; j < k; ++j) {
+    const VertexRho rho = rho_of_ordering(instance.graph(j), instance.order());
+    EXPECT_LE(rho.value, static_cast<double>(d / k));
+  }
+  EXPECT_DOUBLE_EQ(instance.rho(), static_cast<double>(d / k));
+}
+
+TEST(HardnessInstance, ValuationsAreAllOrNothing) {
+  const AsymmetricInstance instance = gen::make_hardness_instance(10, 4, 2, 3);
+  for (std::size_t v = 0; v < instance.num_bidders(); ++v) {
+    EXPECT_DOUBLE_EQ(instance.value(v, full_bundle(2)), 1.0);
+    EXPECT_DOUBLE_EQ(instance.value(v, 0b01u), 0.0);
+    EXPECT_DOUBLE_EQ(instance.value(v, 0b10u), 0.0);
+  }
+}
+
+TEST(AsymmetricLp, DominatesSymmetricTreatment) {
+  // The asymmetric LP must be a relaxation: its value is at least the
+  // welfare of any feasible allocation found by rounding.
+  const AsymmetricInstance instance =
+      gen::make_random_asymmetric(14, 2, 0.3, gen::ValuationMix::kMixed, 44);
+  const FractionalSolution lp = solve_asymmetric_lp(instance);
+  const Allocation best = best_asymmetric_rounds(instance, lp, 64, 3);
+  EXPECT_GE(lp.objective, instance.welfare(best) - 1e-6);
+}
+
+}  // namespace
+}  // namespace ssa

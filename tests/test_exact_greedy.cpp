@@ -1,0 +1,183 @@
+// Tests for the exact branch-and-bound winner determination, the greedy
+// baselines and the local-ratio rho-approximation, plus the edge LP of
+// Section 2.1.
+
+#include <gtest/gtest.h>
+
+#include "core/auction_lp.hpp"
+#include "core/edge_lp.hpp"
+#include "core/exact.hpp"
+#include "core/greedy.hpp"
+#include "graph/independent_set.hpp"
+#include "graph/inductive_independence.hpp"
+#include "gen/scenario.hpp"
+#include "support/random.hpp"
+
+namespace ssa {
+namespace {
+
+/// Brute-force optimum by enumerating every allocation (tiny instances).
+double brute_force_welfare(const AuctionInstance& instance) {
+  const std::size_t n = instance.num_bidders();
+  const std::uint32_t bundles = num_bundles(instance.num_channels());
+  double best = 0.0;
+  std::vector<Bundle> assignment(n, kEmptyBundle);
+  // Odometer enumeration over bundle choices.
+  std::vector<std::uint32_t> counter(n, 0);
+  for (;;) {
+    Allocation allocation;
+    allocation.bundles.assign(n, kEmptyBundle);
+    for (std::size_t v = 0; v < n; ++v) {
+      allocation.bundles[v] = static_cast<Bundle>(counter[v]);
+    }
+    if (instance.feasible(allocation)) {
+      best = std::max(best, instance.welfare(allocation));
+    }
+    std::size_t idx = 0;
+    while (idx < n && ++counter[idx] == bundles) {
+      counter[idx] = 0;
+      ++idx;
+    }
+    if (idx == n) break;
+  }
+  (void)assignment;
+  return best;
+}
+
+class ExactSolver : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactSolver, MatchesBruteForce) {
+  const int seed = GetParam();
+  const AuctionInstance instance =
+      seed % 2 == 0
+          ? gen::make_disk_auction(6, 2, gen::ValuationMix::kMixed,
+                                   static_cast<std::uint64_t>(seed) + 200)
+          : gen::make_physical_auction(5, 2, PowerScheme::kUniform,
+                                       gen::ValuationMix::kMixed,
+                                       static_cast<std::uint64_t>(seed) + 200);
+  const ExactResult exact = solve_exact(instance);
+  ASSERT_TRUE(exact.exact);
+  EXPECT_NEAR(exact.welfare, brute_force_welfare(instance), 1e-9);
+  EXPECT_TRUE(instance.feasible(exact.allocation));
+  EXPECT_NEAR(instance.welfare(exact.allocation), exact.welfare, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactSolver, ::testing::Range(0, 12));
+
+TEST(ExactSolver, RejectsTooManyChannels) {
+  const AuctionInstance instance =
+      gen::make_disk_auction(5, 8, gen::ValuationMix::kAdditive, 1);
+  EXPECT_THROW((void)solve_exact(instance), std::invalid_argument);
+}
+
+class GreedyBaselines : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyBaselines, FeasibleAndAtMostExact) {
+  const AuctionInstance instance = gen::make_disk_auction(
+      9, 2, gen::ValuationMix::kMixed, static_cast<std::uint64_t>(GetParam()) + 300);
+  const ExactResult exact = solve_exact(instance);
+  const Allocation by_value = greedy_by_value(instance);
+  const Allocation by_density = greedy_by_density(instance);
+  EXPECT_TRUE(instance.feasible(by_value));
+  EXPECT_TRUE(instance.feasible(by_density));
+  EXPECT_LE(instance.welfare(by_value), exact.welfare + 1e-9);
+  EXPECT_LE(instance.welfare(by_density), exact.welfare + 1e-9);
+  // Greedy by value takes at least the single best bid.
+  double best_bid = 0.0;
+  for (std::size_t v = 0; v < instance.num_bidders(); ++v) {
+    best_bid = std::max(best_bid, instance.valuation(v).max_value());
+  }
+  EXPECT_GE(instance.welfare(by_value), best_bid - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyBaselines, ::testing::Range(0, 10));
+
+class LocalRatio : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocalRatio, AchievesRhoApproximation) {
+  // k = 1 unweighted: welfare >= OPT / rho(pi) (Akcoglu et al.).
+  const int seed = GetParam();
+  const AuctionInstance instance =
+      seed % 2 == 0
+          ? gen::make_disk_auction(16, 1, gen::ValuationMix::kAdditive,
+                                   static_cast<std::uint64_t>(seed) + 400)
+          : gen::make_random_graph_auction(14, 1, 0.3,
+                                           gen::ValuationMix::kAdditive,
+                                           static_cast<std::uint64_t>(seed) + 400);
+  const Allocation allocation = local_ratio_single_channel(instance);
+  EXPECT_TRUE(instance.feasible(allocation));
+
+  // Exact MWIS as the reference optimum.
+  std::vector<double> weights(instance.num_bidders(), 0.0);
+  for (std::size_t v = 0; v < instance.num_bidders(); ++v) {
+    weights[v] = instance.value(v, 1u);
+  }
+  const IndependenceOptimum opt =
+      max_weight_independent_set(instance.graph(), weights);
+  ASSERT_TRUE(opt.exact);
+  const double rho = instance.rho();
+  EXPECT_GE(instance.welfare(allocation), opt.value / rho - 1e-9)
+      << "local ratio below OPT/rho (rho = " << rho << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalRatio, ::testing::Range(0, 14));
+
+TEST(LocalRatio, RejectsMultiChannelAndWeighted) {
+  const AuctionInstance multi =
+      gen::make_disk_auction(6, 2, gen::ValuationMix::kAdditive, 2);
+  EXPECT_THROW((void)local_ratio_single_channel(multi), std::invalid_argument);
+  const AuctionInstance weighted = gen::make_physical_auction(
+      6, 1, PowerScheme::kUniform, gen::ValuationMix::kAdditive, 2);
+  EXPECT_THROW((void)local_ratio_single_channel(weighted), std::invalid_argument);
+}
+
+TEST(EdgeLp, CliqueGapIsNOverTwo) {
+  // Section 2.1: on a clique with unit bids the edge LP packs x_v = 1/2
+  // everywhere -> value n/2, while the integral optimum is 1.
+  const AuctionInstance clique = gen::make_clique_auction(16, 0);
+  const EdgeLpResult result = solve_edge_lp(clique);
+  EXPECT_NEAR(result.lp_value, 8.0, 1e-6);
+  EXPECT_NEAR(result.rounded_welfare, 1.0, 1e-9);
+  EXPECT_TRUE(clique.feasible(result.rounded));
+}
+
+class EdgeLpProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeLpProperties, DominatesIntegralOptimum) {
+  const AuctionInstance instance = gen::make_disk_auction(
+      12, 1, gen::ValuationMix::kAdditive,
+      static_cast<std::uint64_t>(GetParam()) + 500);
+  const EdgeLpResult result = solve_edge_lp(instance);
+  std::vector<double> weights(instance.num_bidders(), 0.0);
+  for (std::size_t v = 0; v < instance.num_bidders(); ++v) {
+    weights[v] = instance.value(v, 1u);
+  }
+  const IndependenceOptimum opt =
+      max_weight_independent_set(instance.graph(), weights);
+  EXPECT_GE(result.lp_value, opt.value - 1e-6);
+  EXPECT_TRUE(instance.feasible(result.rounded));
+  EXPECT_LE(result.rounded_welfare, opt.value + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeLpProperties, ::testing::Range(0, 8));
+
+TEST(EdgeLp, RejectsMultiChannel) {
+  const AuctionInstance multi =
+      gen::make_disk_auction(6, 2, gen::ValuationMix::kAdditive, 3);
+  EXPECT_THROW((void)solve_edge_lp(multi), std::invalid_argument);
+}
+
+TEST(InductiveLpVsEdgeLp, CliqueGapComparison) {
+  // The punchline of Section 2.1: on cliques the inductive-independence LP
+  // has constant integrality gap while the edge LP's gap grows as n/2.
+  for (std::size_t n : {8u, 16u, 24u}) {
+    const AuctionInstance clique = gen::make_clique_auction(n, 0);
+    const EdgeLpResult edge = solve_edge_lp(clique);
+    const FractionalSolution ours = solve_auction_lp(clique);
+    EXPECT_NEAR(edge.lp_value, static_cast<double>(n) / 2.0, 1e-6);
+    EXPECT_LE(ours.objective, 2.0 + 1e-6);  // rho = 1, k = 1
+  }
+}
+
+}  // namespace
+}  // namespace ssa

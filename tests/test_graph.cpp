@@ -1,0 +1,255 @@
+// Tests for conflict graphs, independence semantics, exact independent-set
+// search, orderings and the inductive-independence machinery.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/conflict_graph.hpp"
+#include "graph/independent_set.hpp"
+#include "graph/inductive_independence.hpp"
+#include "graph/ordering.hpp"
+#include "support/random.hpp"
+
+namespace ssa {
+namespace {
+
+ConflictGraph cycle_graph(std::size_t n) {
+  ConflictGraph graph(n);
+  for (std::size_t v = 0; v < n; ++v) graph.add_edge(v, (v + 1) % n);
+  return graph;
+}
+
+ConflictGraph complete_graph(std::size_t n) {
+  ConflictGraph graph(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) graph.add_edge(u, v);
+  }
+  return graph;
+}
+
+TEST(ConflictGraph, BasicAccessors) {
+  ConflictGraph graph(4);
+  graph.add_edge(0, 1);
+  graph.set_weight(2, 3, 0.4);
+  EXPECT_TRUE(graph.has_conflict(0, 1));
+  EXPECT_TRUE(graph.has_conflict(2, 3));
+  EXPECT_FALSE(graph.has_conflict(0, 2));
+  EXPECT_DOUBLE_EQ(graph.symmetric_weight(2, 3), 0.4);
+  EXPECT_DOUBLE_EQ(graph.symmetric_weight(3, 2), 0.4);
+  EXPECT_FALSE(graph.is_unweighted());
+  EXPECT_EQ(graph.num_conflicts(), 2u);
+  EXPECT_THROW(graph.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(graph.set_weight(0, 1, -0.5), std::invalid_argument);
+}
+
+TEST(ConflictGraph, NeighborsTrackMutation) {
+  ConflictGraph graph(3);
+  graph.add_edge(0, 1);
+  EXPECT_EQ(graph.neighbors(0).size(), 1u);
+  graph.add_edge(0, 2);
+  EXPECT_EQ(graph.neighbors(0).size(), 2u);
+}
+
+TEST(ConflictGraph, UnweightedIndependence) {
+  const ConflictGraph graph = cycle_graph(5);
+  const std::vector<int> independent{0, 2};
+  const std::vector<int> dependent{0, 1};
+  EXPECT_TRUE(graph.is_independent(independent));
+  EXPECT_FALSE(graph.is_independent(dependent));
+  EXPECT_TRUE(graph.is_independent({}));
+}
+
+TEST(ConflictGraph, WeightedIndependenceUsesIncomingSums) {
+  // Three vertices each sending 0.4 to vertex 3: sum 1.2 >= 1 -> dependent.
+  ConflictGraph graph(4);
+  for (std::size_t u = 0; u < 3; ++u) graph.set_weight(u, 3, 0.4);
+  EXPECT_TRUE(graph.is_independent(std::vector<int>{0, 1, 3}));   // 0.8 < 1
+  EXPECT_FALSE(graph.is_independent(std::vector<int>{0, 1, 2, 3}));  // 1.2
+  // The senders themselves receive nothing, so they are mutually fine.
+  EXPECT_TRUE(graph.is_independent(std::vector<int>{0, 1, 2}));
+}
+
+TEST(IndependentSet, ExactOnKnownGraphs) {
+  const std::vector<double> unit5(5, 1.0);
+  EXPECT_DOUBLE_EQ(max_weight_independent_set(cycle_graph(5), unit5).value, 2.0);
+  const std::vector<double> unit6(6, 1.0);
+  EXPECT_DOUBLE_EQ(max_weight_independent_set(cycle_graph(6), unit6).value, 3.0);
+  const std::vector<double> unit4(4, 1.0);
+  EXPECT_DOUBLE_EQ(max_weight_independent_set(complete_graph(4), unit4).value, 1.0);
+}
+
+TEST(IndependentSet, WeightedPicksHeavyVertex) {
+  ConflictGraph graph = cycle_graph(4);
+  const std::vector<double> weights{10.0, 1.0, 1.0, 1.0};
+  const IndependenceOptimum opt = max_weight_independent_set(graph, weights);
+  EXPECT_DOUBLE_EQ(opt.value, 11.0);  // {0, 2}
+}
+
+TEST(IndependentSet, ResultIsAlwaysIndependent) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    ConflictGraph graph(12);
+    for (std::size_t u = 0; u < 12; ++u) {
+      for (std::size_t v = u + 1; v < 12; ++v) {
+        if (rng.bernoulli(0.3)) graph.add_edge(u, v);
+      }
+    }
+    std::vector<double> weights(12);
+    for (auto& w : weights) w = rng.uniform(0.0, 5.0);
+    const IndependenceOptimum opt = max_weight_independent_set(graph, weights);
+    EXPECT_TRUE(graph.is_independent(opt.members));
+    EXPECT_TRUE(opt.exact);
+  }
+}
+
+/// Brute force reference for MWIS on tiny graphs.
+double brute_force_mwis(const ConflictGraph& graph,
+                        std::span<const double> weights) {
+  const std::size_t n = graph.size();
+  double best = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<int> set;
+    double value = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (mask & (1u << v)) {
+        set.push_back(static_cast<int>(v));
+        value += weights[v];
+      }
+    }
+    if (graph.is_independent(set)) best = std::max(best, value);
+  }
+  return best;
+}
+
+class RandomMwis : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMwis, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const std::size_t n = 4 + rng.uniform_int(7);
+  ConflictGraph graph(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(0.35)) {
+        if (rng.bernoulli(0.5)) {
+          graph.add_edge(u, v);
+        } else {
+          graph.set_weight(u, v, rng.uniform(0.2, 1.2));
+          graph.set_weight(v, u, rng.uniform(0.2, 1.2));
+        }
+      }
+    }
+  }
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.uniform(0.1, 3.0);
+  EXPECT_NEAR(max_weight_independent_set(graph, weights).value,
+              brute_force_mwis(graph, weights), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMwis, ::testing::Range(0, 20));
+
+TEST(IndependentSet, GreedyProducesIndependentSet) {
+  const ConflictGraph graph = cycle_graph(7);
+  const Ordering order = identity_ordering(7);
+  const std::vector<int> greedy = greedy_independent_set(graph, order);
+  EXPECT_TRUE(graph.is_independent(greedy));
+  EXPECT_GE(greedy.size(), 1u);
+}
+
+TEST(Ordering, ByKeyAndPositions) {
+  const std::vector<double> keys{3.0, 1.0, 2.0};
+  const Ordering descending = ordering_by_key(keys, true);
+  EXPECT_EQ(descending, (Ordering{0, 2, 1}));
+  const Ordering ascending = ordering_by_key(keys, false);
+  EXPECT_EQ(ascending, (Ordering{1, 2, 0}));
+  const auto positions = ordering_positions(descending);
+  EXPECT_EQ(positions[0], 0);
+  EXPECT_EQ(positions[2], 1);
+  EXPECT_EQ(positions[1], 2);
+  EXPECT_THROW(ordering_positions(Ordering{0, 0, 1}), std::invalid_argument);
+}
+
+TEST(InductiveIndependence, CliqueHasRhoOne) {
+  // In a clique every backward neighborhood is itself a clique, so any
+  // independent subset has size <= 1 under any ordering.
+  const ConflictGraph graph = complete_graph(6);
+  const VertexRho rho = rho_of_ordering(graph, identity_ordering(6));
+  EXPECT_DOUBLE_EQ(rho.value, 1.0);
+  EXPECT_TRUE(rho.exact);
+}
+
+TEST(InductiveIndependence, StarDependsOnOrdering) {
+  // Star K_{1,5}, center 0. Center last: backward nbhd of center is all 5
+  // independent leaves -> rho = 5. Center first: rho = 1.
+  ConflictGraph graph(6);
+  for (std::size_t leaf = 1; leaf < 6; ++leaf) graph.add_edge(0, leaf);
+  Ordering center_last{1, 2, 3, 4, 5, 0};
+  Ordering center_first{0, 1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(rho_of_ordering(graph, center_last).value, 5.0);
+  EXPECT_DOUBLE_EQ(rho_of_ordering(graph, center_first).value, 1.0);
+  // Exact search should find the optimum 1.
+  const ExactRho exact = exact_inductive_independence(graph);
+  EXPECT_DOUBLE_EQ(exact.value, 1.0);
+}
+
+TEST(InductiveIndependence, WeightedGainsAreSymmetrized) {
+  // v = 2 last; two earlier independent vertices with wbar 0.3 and 0.5.
+  ConflictGraph graph(3);
+  graph.set_weight(0, 2, 0.1);
+  graph.set_weight(2, 0, 0.2);  // wbar(0,2) = 0.3
+  graph.set_weight(1, 2, 0.5);  // wbar(1,2) = 0.5
+  const VertexRho rho = rho_of_ordering(graph, identity_ordering(3));
+  EXPECT_NEAR(rho.value, 0.8, 1e-12);
+}
+
+TEST(InductiveIndependence, ExactMatchesBestOrderingOnRandomGraphs) {
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    ConflictGraph graph(6);
+    for (std::size_t u = 0; u < 6; ++u) {
+      for (std::size_t v = u + 1; v < 6; ++v) {
+        if (rng.bernoulli(0.4)) graph.add_edge(u, v);
+      }
+    }
+    const ExactRho exact = exact_inductive_independence(graph);
+    // The reported ordering must attain the reported value.
+    EXPECT_NEAR(rho_of_ordering(graph, exact.order).value, exact.value, 1e-12);
+    // And no ordering can do better than the exact value (spot check some).
+    for (int check = 0; check < 10; ++check) {
+      Ordering order = identity_ordering(6);
+      rng.shuffle(order);
+      EXPECT_GE(rho_of_ordering(graph, order).value, exact.value - 1e-12);
+    }
+  }
+}
+
+TEST(InductiveIndependence, SmallestLastBoundsByDegeneracy) {
+  // Trees have degeneracy 1 -> smallest-last ordering attains rho(pi) = 1.
+  ConflictGraph tree(7);
+  tree.add_edge(0, 1);
+  tree.add_edge(0, 2);
+  tree.add_edge(1, 3);
+  tree.add_edge(1, 4);
+  tree.add_edge(2, 5);
+  tree.add_edge(2, 6);
+  const Ordering order = smallest_last_ordering(tree);
+  EXPECT_DOUBLE_EQ(rho_of_ordering(tree, order).value, 1.0);
+}
+
+TEST(InductiveIndependence, RhoPerVertexSizesMatch) {
+  const ConflictGraph graph = cycle_graph(8);
+  const auto per_vertex = rho_per_vertex(graph, identity_ordering(8));
+  EXPECT_EQ(per_vertex.size(), 8u);
+  // First vertex has empty backward neighborhood.
+  EXPECT_DOUBLE_EQ(per_vertex[0].value, 0.0);
+  // Last vertex (7) has backward neighbors {6, 0}, not adjacent -> 2.
+  EXPECT_DOUBLE_EQ(per_vertex[7].value, 2.0);
+}
+
+TEST(InductiveIndependence, ExactRhoRejectsLargeGraphs) {
+  EXPECT_THROW(exact_inductive_independence(ConflictGraph(11)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssa

@@ -1,0 +1,126 @@
+// End-to-end integration tests: full pipelines per interference model,
+// including the Theorem 17 physical-model-with-power-control pipeline and
+// the demand-oracle path with many channels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/auction_lp.hpp"
+#include "core/rounding.hpp"
+#include "gen/scenario.hpp"
+#include "models/power_control.hpp"
+#include "models/protocol.hpp"
+#include "support/random.hpp"
+
+namespace ssa {
+namespace {
+
+TEST(Pipeline, DiskAuctionEndToEnd) {
+  const AuctionInstance instance =
+      gen::make_disk_auction(40, 4, gen::ValuationMix::kMixed, 2024);
+  const FractionalSolution lp = solve_auction_lp(instance);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  const Allocation best = best_of_rounds(instance, lp, 64, 11);
+  EXPECT_TRUE(instance.feasible(best));
+  const double bound =
+      lp.objective / (8.0 * std::sqrt(4.0) * instance.rho());
+  EXPECT_GE(instance.welfare(best), bound * 0.9);
+  EXPECT_LE(instance.welfare(best), lp.objective + 1e-6);
+}
+
+TEST(Pipeline, ProtocolAuctionEndToEnd) {
+  const AuctionInstance instance =
+      gen::make_protocol_auction(35, 2, 1.0, gen::ValuationMix::kMixed, 2025);
+  const FractionalSolution lp = solve_auction_lp(instance);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  const Allocation best = best_of_rounds(instance, lp, 64, 12);
+  EXPECT_TRUE(instance.feasible(best));
+  EXPECT_GT(instance.welfare(best), 0.0);
+}
+
+TEST(Pipeline, PhysicalFixedPowerEndToEnd) {
+  const AuctionInstance instance = gen::make_physical_auction(
+      30, 2, PowerScheme::kLinear, gen::ValuationMix::kMixed, 2026);
+  ASSERT_FALSE(instance.unweighted());
+  const FractionalSolution lp = solve_auction_lp(instance);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  const Allocation best = best_of_rounds(instance, lp, 64, 13);
+  EXPECT_TRUE(instance.feasible(best));
+}
+
+TEST(Pipeline, Theorem17PowerControlEndToEnd) {
+  // Build the power-control conflict graph, run the LP + rounding, then
+  // verify every per-channel winner set admits a feasible power assignment
+  // (the role of [24] in Theorem 17).
+  Rng rng(31415);
+  const auto planar = gen::random_links(30, 60.0, 1.0, 2.5, rng);
+  const auto [links, metric] = to_metric_links(planar);
+  PhysicalParams params;
+  ModelGraph model = power_control_conflict_graph(links, metric, params);
+  auto valuations =
+      gen::random_valuations(30, 2, gen::ValuationMix::kMixed, 100, rng);
+  const AuctionInstance instance(std::move(model.graph), std::move(model.order),
+                                 2, std::move(valuations));
+  const FractionalSolution lp = solve_auction_lp(instance);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  const Allocation best = best_of_rounds(instance, lp, 32, 14);
+  ASSERT_TRUE(instance.feasible(best));
+  for (int j = 0; j < 2; ++j) {
+    const std::vector<int> holders = channel_holders(best, j);
+    const PowerControlResult power =
+        solve_power_control(links, metric, params, holders);
+    EXPECT_TRUE(power.feasible)
+        << "channel " << j << " winners lack feasible powers";
+  }
+}
+
+TEST(Pipeline, ColgenManyChannelsEndToEnd) {
+  // k = 16 channels forces the demand-oracle path end to end.
+  Rng rng(999);
+  const std::size_t n = 20;
+  auto valuations =
+      gen::random_valuations(n, 16, gen::ValuationMix::kAdditive, 50, rng);
+  const auto transmitters = gen::random_transmitters(n, 40.0, 1.0, 4.0, rng);
+  ModelGraph model = disk_graph(transmitters);
+  const AuctionInstance instance(std::move(model.graph), std::move(model.order),
+                                 16, std::move(valuations));
+  ColGenStats stats;
+  const FractionalSolution lp = solve_auction_lp_colgen(instance, &stats);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(stats.proved_optimal);
+  const Allocation best = best_of_rounds(instance, lp, 32, 15);
+  EXPECT_TRUE(instance.feasible(best));
+  EXPECT_GT(instance.welfare(best), 0.0);
+}
+
+TEST(Pipeline, ClusteredPlacementsWork) {
+  Rng rng(606);
+  const auto transmitters =
+      gen::clustered_transmitters(30, 50.0, 1.0, 3.0, 4, 3.0, rng);
+  ModelGraph model = disk_graph(transmitters);
+  auto valuations =
+      gen::random_valuations(30, 3, gen::ValuationMix::kMixed, 100, rng);
+  const AuctionInstance instance(std::move(model.graph), std::move(model.order),
+                                 3, std::move(valuations));
+  const FractionalSolution lp = solve_auction_lp(instance);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(instance.feasible(best_of_rounds(instance, lp, 32, 16)));
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  // The whole pipeline is reproducible for fixed seeds.
+  const AuctionInstance a =
+      gen::make_disk_auction(25, 3, gen::ValuationMix::kMixed, 13579);
+  const AuctionInstance b =
+      gen::make_disk_auction(25, 3, gen::ValuationMix::kMixed, 13579);
+  const FractionalSolution lp_a = solve_auction_lp(a);
+  const FractionalSolution lp_b = solve_auction_lp(b);
+  EXPECT_DOUBLE_EQ(lp_a.objective, lp_b.objective);
+  const Allocation round_a = best_of_rounds(a, lp_a, 16, 7);
+  const Allocation round_b = best_of_rounds(b, lp_b, 16, 7);
+  EXPECT_EQ(round_a.bundles, round_b.bundles);
+}
+
+}  // namespace
+}  // namespace ssa

@@ -1,0 +1,372 @@
+// Tests for the wireless interference models of Section 4: geometric
+// construction correctness, the prescribed orderings, and the paper's
+// inductive-independence bounds (Propositions 9-15) verified on random
+// placements with the exact rho(pi) verifier.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/scenario.hpp"
+#include "graph/inductive_independence.hpp"
+#include "models/distance2_matching.hpp"
+#include "models/physical.hpp"
+#include "models/power_control.hpp"
+#include "models/protocol.hpp"
+#include "models/transmitter.hpp"
+#include "support/random.hpp"
+
+namespace ssa {
+namespace {
+
+TEST(DiskGraph, EdgeIffDisksIntersect) {
+  const std::vector<Transmitter> transmitters{
+      {{0.0, 0.0}, 1.0}, {{1.5, 0.0}, 1.0}, {{10.0, 0.0}, 1.0}};
+  const ModelGraph model = disk_graph(transmitters);
+  EXPECT_TRUE(model.graph.has_conflict(0, 1));   // distance 1.5 < 2
+  EXPECT_FALSE(model.graph.has_conflict(0, 2));  // distance 10 > 2
+  EXPECT_FALSE(model.graph.has_conflict(1, 2));
+  EXPECT_DOUBLE_EQ(model.theoretical_rho, 5.0);
+}
+
+TEST(DiskGraph, OrderingIsDecreasingRadius) {
+  const std::vector<Transmitter> transmitters{
+      {{0.0, 0.0}, 1.0}, {{0.0, 1.0}, 3.0}, {{1.0, 0.0}, 2.0}};
+  const ModelGraph model = disk_graph(transmitters);
+  EXPECT_EQ(model.order, (Ordering{1, 2, 0}));
+}
+
+class DiskRhoBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiskRhoBound, MeasuredRhoAtMostFive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 7);
+  const auto transmitters = gen::random_transmitters(60, 40.0, 1.0, 5.0, rng);
+  const ModelGraph model = disk_graph(transmitters);
+  const VertexRho rho = rho_of_ordering(model.graph, model.order);
+  EXPECT_TRUE(rho.exact);
+  EXPECT_LE(rho.value, 5.0);  // Proposition 9
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiskRhoBound, ::testing::Range(0, 10));
+
+class Distance2DiskRho : public ::testing::TestWithParam<int> {};
+
+TEST_P(Distance2DiskRho, MeasuredRhoBounded) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 3);
+  const auto transmitters = gen::random_transmitters(40, 40.0, 1.0, 3.0, rng);
+  const ModelGraph model = distance2_disk_graph(transmitters);
+  const VertexRho rho = rho_of_ordering(model.graph, model.order);
+  EXPECT_LE(rho.value, model.theoretical_rho);  // Proposition 11 (constant 26)
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Distance2DiskRho, ::testing::Range(0, 8));
+
+TEST(Distance2Disk, SupersetOfDiskConflicts) {
+  Rng rng(5);
+  const auto transmitters = gen::random_transmitters(25, 25.0, 1.0, 3.0, rng);
+  const ModelGraph d1 = disk_graph(transmitters);
+  const ModelGraph d2 = distance2_disk_graph(transmitters);
+  for (std::size_t u = 0; u < 25; ++u) {
+    for (std::size_t v = u + 1; v < 25; ++v) {
+      if (d1.graph.has_conflict(u, v)) {
+        EXPECT_TRUE(d2.graph.has_conflict(u, v));
+      }
+    }
+  }
+}
+
+TEST(Civilized, RejectsViolatedSeparation) {
+  const std::vector<Point> points{{0.0, 0.0}, {0.1, 0.0}};
+  EXPECT_THROW(distance2_civilized_graph(points, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Civilized, RhoWithinBound) {
+  // Grid points with spacing s = 1, connectivity radius r = 2.
+  std::vector<Point> points;
+  for (int x = 0; x < 7; ++x) {
+    for (int y = 0; y < 7; ++y) {
+      points.push_back(Point{static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  const ModelGraph model = distance2_civilized_graph(points, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(model.theoretical_rho, 100.0);  // (4*2/1 + 2)^2
+  const VertexRho rho = rho_of_ordering(model.graph, model.order);
+  EXPECT_LE(rho.value, model.theoretical_rho);  // Proposition 12
+}
+
+TEST(Protocol, ConflictConditionExact) {
+  // Two parallel links; delta = 0.5. Link length 1; cross distance 1.2:
+  // 1.2 < 1.5 -> conflict. Cross distance ~10: no conflict.
+  const std::vector<PlanarLink> close{{{0, 0}, {1, 0}},
+                                      {{1.2, 1e-9}, {2.2, 1e-9}}};
+  {
+    const auto [links, metric] = to_metric_links(close);
+    const ModelGraph model = protocol_conflict_graph(links, metric, 0.5);
+    EXPECT_TRUE(model.graph.has_conflict(0, 1));
+  }
+  const std::vector<PlanarLink> far{{{0, 0}, {1, 0}}, {{10, 0}, {11, 0}}};
+  {
+    const auto [links, metric] = to_metric_links(far);
+    const ModelGraph model = protocol_conflict_graph(links, metric, 0.5);
+    EXPECT_FALSE(model.graph.has_conflict(0, 1));
+  }
+}
+
+TEST(Protocol, RhoBoundFormula) {
+  // delta = 1: ceil(pi / arcsin(1/4)) - 1 = 13 - 1 = 12.
+  EXPECT_DOUBLE_EQ(protocol_rho_bound(1.0), 12.0);
+  EXPECT_THROW((void)protocol_rho_bound(0.0), std::invalid_argument);
+}
+
+class ProtocolRho : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolRho, MeasuredRhoWithinBound) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 11);
+  const auto planar = gen::random_links(50, 30.0, 1.0, 4.0, rng);
+  const auto [links, metric] = to_metric_links(planar);
+  const double delta = 0.5 + 0.5 * (GetParam() % 3);
+  const ModelGraph model = protocol_conflict_graph(links, metric, delta);
+  const VertexRho rho = rho_of_ordering(model.graph, model.order);
+  EXPECT_LE(rho.value, model.theoretical_rho);  // Proposition 13
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolRho, ::testing::Range(0, 9));
+
+class Ieee80211Rho : public ::testing::TestWithParam<int> {};
+
+TEST_P(Ieee80211Rho, MeasuredRhoAtMost23) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 29 + 1);
+  const auto planar = gen::random_links(40, 30.0, 1.0, 4.0, rng);
+  const auto [links, metric] = to_metric_links(planar);
+  const ModelGraph model = ieee80211_conflict_graph(links, metric, 0.5);
+  const VertexRho rho = rho_of_ordering(model.graph, model.order);
+  EXPECT_LE(rho.value, 23.0);  // Wan [31]
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Ieee80211Rho, ::testing::Range(0, 6));
+
+TEST(Ieee80211, ConflictsIncludeProtocolConflicts) {
+  Rng rng(77);
+  const auto planar = gen::random_links(30, 25.0, 1.0, 3.0, rng);
+  const auto [links, metric] = to_metric_links(planar);
+  const ModelGraph protocol = protocol_conflict_graph(links, metric, 0.5);
+  const ModelGraph wifi = ieee80211_conflict_graph(links, metric, 0.5);
+  // The bidirectional model is strictly more conservative.
+  for (std::size_t u = 0; u < links.size(); ++u) {
+    for (std::size_t v = u + 1; v < links.size(); ++v) {
+      if (protocol.graph.has_conflict(u, v)) {
+        EXPECT_TRUE(wifi.graph.has_conflict(u, v));
+      }
+    }
+  }
+}
+
+TEST(Distance2Matching, HandExample) {
+  // Path a - b - c - d: edges ab, bc, cd. ab and cd are joined by edge bc,
+  // so ALL pairs conflict here.
+  const std::vector<Transmitter> transmitters{
+      {{0, 0}, 0.6}, {{1, 0}, 0.6}, {{2, 0}, 0.6}, {{3, 0}, 0.6}};
+  const auto edges = disk_graph_edges(transmitters);
+  ASSERT_EQ(edges.size(), 3u);
+  const ModelGraph model = distance2_matching_graph(transmitters, edges);
+  EXPECT_TRUE(model.graph.has_conflict(0, 1));
+  EXPECT_TRUE(model.graph.has_conflict(1, 2));
+  EXPECT_TRUE(model.graph.has_conflict(0, 2));
+}
+
+class D2MatchingRho : public ::testing::TestWithParam<int> {};
+
+TEST_P(D2MatchingRho, MeasuredRhoSmallConstant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 13);
+  const auto transmitters = gen::random_transmitters(26, 30.0, 1.0, 2.5, rng);
+  const auto edges = disk_graph_edges(transmitters);
+  if (edges.empty()) GTEST_SKIP() << "no disk edges in placement";
+  const ModelGraph model = distance2_matching_graph(transmitters, edges);
+  const VertexRho rho = rho_of_ordering(model.graph, model.order);
+  // Corollary 14: O(1); generous explicit check.
+  EXPECT_LE(rho.value, 40.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, D2MatchingRho, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Physical model (Proposition 15).
+
+struct PhysicalCase {
+  int seed;
+  PowerScheme scheme;
+};
+
+class PhysicalModel : public ::testing::TestWithParam<PhysicalCase> {};
+
+TEST_P(PhysicalModel, SinrFeasibleSetsAreIndependent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam().seed) * 53 + 29);
+  const auto planar = gen::random_links(24, 30.0, 1.0, 3.0, rng);
+  const auto [links, metric] = to_metric_links(planar);
+  PhysicalParams params;
+  const auto powers = assign_powers(links, metric, GetParam().scheme, params);
+  const ModelGraph model = physical_conflict_graph(links, metric, powers, params);
+
+  // Random subsets: whenever SINR holds, independence must hold
+  // (Proposition 15, the direction needed by Lemma 1).
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<int> set;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (rng.bernoulli(0.15)) set.push_back(static_cast<int>(i));
+    }
+    if (sinr_feasible(links, metric, powers, params, set)) {
+      EXPECT_TRUE(model.graph.is_independent(set));
+    }
+  }
+}
+
+TEST_P(PhysicalModel, IndependentSetsMeetRelaxedSinr) {
+  Rng rng(static_cast<std::uint64_t>(GetParam().seed) * 59 + 31);
+  const auto planar = gen::random_links(24, 30.0, 1.0, 3.0, rng);
+  const auto [links, metric] = to_metric_links(planar);
+  PhysicalParams params;
+  const auto powers = assign_powers(links, metric, GetParam().scheme, params);
+  const ModelGraph model = physical_conflict_graph(links, metric, powers, params);
+  const double eps = proposition15_epsilon(links, metric, powers, params);
+  const double relaxed_beta = params.beta / (1.0 + eps);
+
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<int> set;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (rng.bernoulli(0.15)) set.push_back(static_cast<int>(i));
+    }
+    if (model.graph.is_independent(set)) {
+      EXPECT_TRUE(
+          sinr_feasible(links, metric, powers, params, set, relaxed_beta));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PhysicalModel,
+    ::testing::Values(PhysicalCase{0, PowerScheme::kUniform},
+                      PhysicalCase{1, PowerScheme::kUniform},
+                      PhysicalCase{2, PowerScheme::kLinear},
+                      PhysicalCase{3, PowerScheme::kLinear},
+                      PhysicalCase{4, PowerScheme::kSquareRoot},
+                      PhysicalCase{5, PowerScheme::kSquareRoot}));
+
+TEST(PhysicalModelEdge, SingleLinkAloneIsFeasibleWithoutNoise) {
+  const std::vector<PlanarLink> planar{{{0, 0}, {1, 0}}};
+  const auto [links, metric] = to_metric_links(planar);
+  PhysicalParams params;
+  const auto powers = assign_powers(links, metric, PowerScheme::kUniform, params);
+  const std::vector<int> set{0};
+  EXPECT_TRUE(sinr_feasible(links, metric, powers, params, set));
+}
+
+TEST(PhysicalModelEdge, NoiseCanKillALink) {
+  const std::vector<PlanarLink> planar{{{0, 0}, {10, 0}}};
+  const auto [links, metric] = to_metric_links(planar);
+  PhysicalParams params;
+  params.noise = 1.0;  // uniform power 1 over distance 10^3 is hopeless
+  const auto powers = assign_powers(links, metric, PowerScheme::kUniform, params);
+  const std::vector<int> set{0};
+  EXPECT_FALSE(sinr_feasible(links, metric, powers, params, set));
+}
+
+// ---------------------------------------------------------------------------
+// Power control.
+
+TEST(PowerControl, EmptyAndSingleton) {
+  const std::vector<PlanarLink> planar{{{0, 0}, {1, 0}}};
+  const auto [links, metric] = to_metric_links(planar);
+  PhysicalParams params;
+  EXPECT_TRUE(solve_power_control(links, metric, params, {}).feasible);
+  const std::vector<int> one{0};
+  const PowerControlResult result = solve_power_control(links, metric, params, one);
+  EXPECT_TRUE(result.feasible);
+  ASSERT_EQ(result.powers.size(), 1u);
+  EXPECT_GT(result.powers[0], 0.0);
+}
+
+TEST(PowerControl, ReturnedPowersSatisfySinr) {
+  Rng rng(123);
+  const auto planar = gen::random_links(20, 60.0, 1.0, 2.0, rng);
+  const auto [links, metric] = to_metric_links(planar);
+  PhysicalParams params;
+  params.noise = 0.01;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<int> set;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (rng.bernoulli(0.2)) set.push_back(static_cast<int>(i));
+    }
+    const PowerControlResult result =
+        solve_power_control(links, metric, params, set);
+    if (!result.feasible) continue;
+    // Re-check the SINR constraints with the produced powers.
+    std::vector<double> all_powers(links.size(), 0.0);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      all_powers[static_cast<std::size_t>(set[i])] = result.powers[i];
+    }
+    EXPECT_TRUE(sinr_feasible(links, metric, all_powers, params, set,
+                              params.beta * (1.0 - 1e-9)));
+  }
+}
+
+TEST(PowerControl, InfeasibleWhenSpectralRadiusAtLeastOne) {
+  // Two co-located crossing links interfere maximally: infeasible.
+  const std::vector<PlanarLink> planar{{{0, 0}, {1, 0}}, {{1, 0}, {0, 0}}};
+  const auto [links, metric] = to_metric_links(planar);
+  PhysicalParams params;
+  params.beta = 2.0;
+  const std::vector<int> both{0, 1};
+  const PowerControlResult result =
+      solve_power_control(links, metric, params, both);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_GE(result.spectral_radius, 1.0);
+}
+
+TEST(PowerControlGraph, IndependentSetsAdmitFeasiblePowers) {
+  // Theorem 17 pipeline invariant (via [24] Theorem 3): independence in the
+  // power-control conflict graph implies a feasible power assignment.
+  Rng rng(321);
+  const auto planar = gen::random_links(24, 80.0, 1.0, 2.5, rng);
+  const auto [links, metric] = to_metric_links(planar);
+  PhysicalParams params;
+  const ModelGraph model = power_control_conflict_graph(links, metric, params);
+  int checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int> set;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (rng.bernoulli(0.12)) set.push_back(static_cast<int>(i));
+    }
+    if (!model.graph.is_independent(set) || set.size() < 2) continue;
+    ++checked;
+    EXPECT_TRUE(solve_power_control(links, metric, params, set).feasible);
+  }
+  EXPECT_GT(checked, 0);
+}
+
+class PhysicalRhoGrowth : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhysicalRhoGrowth, RhoStaysLogarithmic) {
+  // Proposition 15: rho = O(log n). Generous explicit check: 16 * log2(n)
+  // on random instances.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 5);
+  const std::size_t n = 16u << (GetParam() % 3);  // 16, 32, 64
+  const auto planar = gen::random_links(
+      n, 10.0 * std::sqrt(static_cast<double>(n)), 1.0, 3.0, rng);
+  const auto [links, metric] = to_metric_links(planar);
+  PhysicalParams params;
+  const auto powers = assign_powers(links, metric, PowerScheme::kLinear, params);
+  const ModelGraph model = physical_conflict_graph(links, metric, powers, params);
+  const VertexRho rho = rho_of_ordering(model.graph, model.order);
+  EXPECT_LE(rho.value, 16.0 * std::log2(static_cast<double>(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhysicalRhoGrowth, ::testing::Range(0, 6));
+
+TEST(HubMetric, IsAValidMetric) {
+  // Construction validates the triangle inequality internally.
+  EXPECT_NO_THROW(make_hub_metric(12, 4, 8.0, 9));
+}
+
+}  // namespace
+}  // namespace ssa

@@ -1,0 +1,141 @@
+// Tests for the one-call pipeline API and the XOR bidding language.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/valuation.hpp"
+#include "gen/scenario.hpp"
+#include "support/random.hpp"
+
+namespace ssa {
+namespace {
+
+class Pipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(Pipeline, FeasibleAndMeetsGuaranteeEnvelope) {
+  const int seed = GetParam();
+  const AuctionInstance instance =
+      seed % 2 == 0
+          ? gen::make_disk_auction(20, 3, gen::ValuationMix::kMixed,
+                                   static_cast<std::uint64_t>(seed) + 42)
+          : gen::make_physical_auction(16, 2, PowerScheme::kLinear,
+                                       gen::ValuationMix::kMixed,
+                                       static_cast<std::uint64_t>(seed) + 42);
+  PipelineOptions options;
+  options.rounding_repetitions = 48;
+  const PipelineResult result = run_auction(instance, options);
+  ASSERT_EQ(result.fractional.status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(instance.feasible(result.allocation));
+  EXPECT_LE(result.welfare, result.fractional.objective + 1e-6);
+  // Best-of-48 comfortably exceeds the worst-case expectation bound.
+  EXPECT_GE(result.welfare, result.guarantee * 0.9);
+  EXPECT_FALSE(result.used_column_generation);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Pipeline, ::testing::Range(0, 8));
+
+TEST(Pipeline, AutoSwitchesToColumnGeneration) {
+  Rng rng(7);
+  const std::size_t n = 12;
+  auto valuations =
+      gen::random_valuations(n, 14, gen::ValuationMix::kAdditive, 30, rng);
+  ConflictGraph graph(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(0.3)) graph.add_edge(u, v);
+    }
+  }
+  const AuctionInstance instance(std::move(graph), identity_ordering(n), 14,
+                                 std::move(valuations));
+  const PipelineResult result = run_auction(instance);
+  EXPECT_TRUE(result.used_column_generation);
+  EXPECT_TRUE(instance.feasible(result.allocation));
+}
+
+TEST(Pipeline, DerandomizedOptionNeverHurts) {
+  const AuctionInstance instance =
+      gen::make_disk_auction(14, 2, gen::ValuationMix::kMixed, 314);
+  PipelineOptions plain;
+  plain.rounding_repetitions = 16;
+  plain.seed = 5;
+  PipelineOptions derand = plain;
+  derand.derandomize = true;
+  const PipelineResult a = run_auction(instance, plain);
+  const PipelineResult b = run_auction(instance, derand);
+  EXPECT_GE(b.welfare, a.welfare - 1e-9);
+  EXPECT_TRUE(instance.feasible(b.allocation));
+}
+
+TEST(XorValuation, ValueIsBestContainedAtom) {
+  const XorValuation valuation(
+      3, {{0b001, 4.0}, {0b011, 7.0}, {0b100, 5.0}});
+  EXPECT_DOUBLE_EQ(valuation.value(0b001), 4.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b011), 7.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b111), 7.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b010), 0.0);
+  EXPECT_DOUBLE_EQ(valuation.max_value(), 7.0);
+}
+
+TEST(XorValuation, DemandMatchesBruteForce) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int k = 4;
+    std::vector<XorValuation::Atom> atoms;
+    for (int a = 0; a < 3; ++a) {
+      atoms.push_back({static_cast<Bundle>(1 + rng.uniform_int(15)),
+                       rng.uniform(1.0, 20.0)});
+    }
+    const XorValuation valuation(k, std::move(atoms));
+    std::vector<double> prices(4);
+    for (double& p : prices) p = rng.uniform(0.0, 10.0);
+    const DemandResult fast = valuation.demand(prices);
+    // Brute force over all bundles.
+    DemandResult slow;
+    for (Bundle t = 1; t < num_bundles(k); ++t) {
+      double utility = valuation.value(t);
+      for (int j = 0; j < k; ++j) {
+        if (bundle_has(t, j)) utility -= prices[static_cast<std::size_t>(j)];
+      }
+      if (utility > slow.utility) slow = DemandResult{t, utility};
+    }
+    EXPECT_NEAR(fast.utility, slow.utility, 1e-9);
+  }
+}
+
+TEST(XorValuation, NegativePricesFallBackToEnumeration) {
+  const XorValuation valuation(2, {{0b01, 3.0}});
+  // Channel 1 has a negative price: taking it for free-plus is optimal even
+  // though no atom mentions it.
+  const DemandResult demand = valuation.demand(std::vector<double>{1.0, -2.0});
+  EXPECT_EQ(demand.bundle, 0b11u);
+  EXPECT_DOUBLE_EQ(demand.utility, 3.0 - 1.0 + 2.0);
+}
+
+TEST(XorValuation, ValidatesAtoms) {
+  EXPECT_THROW(XorValuation(2, {{0b00, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(XorValuation(2, {{0b01, -1.0}}), std::invalid_argument);
+}
+
+TEST(XorValuation, WorksInsideFullPipeline) {
+  Rng rng(3);
+  const std::size_t n = 12;
+  std::vector<ValuationPtr> valuations;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<XorValuation::Atom> atoms;
+    for (int a = 0; a < 3; ++a) {
+      atoms.push_back({static_cast<Bundle>(1 + rng.uniform_int(7)),
+                       rng.uniform(5.0, 30.0)});
+    }
+    valuations.push_back(std::make_shared<XorValuation>(3, std::move(atoms)));
+  }
+  const auto transmitters = gen::random_transmitters(n, 25.0, 1.0, 3.0, rng);
+  ModelGraph model = disk_graph(transmitters);
+  const AuctionInstance instance(std::move(model.graph), std::move(model.order),
+                                 3, std::move(valuations));
+  const PipelineResult result = run_auction(instance);
+  EXPECT_TRUE(instance.feasible(result.allocation));
+  EXPECT_GT(result.fractional.objective, 0.0);
+}
+
+}  // namespace
+}  // namespace ssa

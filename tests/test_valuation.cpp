@@ -1,0 +1,169 @@
+// Tests for valuation classes and their demand oracles. Every structured
+// demand oracle is checked against brute-force enumeration over all bundles
+// under random prices (the paper's Section 2.2 machinery relies on oracle
+// exactness).
+
+#include <gtest/gtest.h>
+
+#include "core/valuation.hpp"
+#include "gen/scenario.hpp"
+#include "support/random.hpp"
+
+namespace ssa {
+namespace {
+
+/// Brute-force demand over all 2^k bundles.
+DemandResult brute_force_demand(const Valuation& valuation,
+                                std::span<const double> prices) {
+  DemandResult best;
+  for (Bundle t = 1; t < num_bundles(valuation.num_channels()); ++t) {
+    double utility = valuation.value(t);
+    for (int j = 0; j < valuation.num_channels(); ++j) {
+      if (bundle_has(t, j)) utility -= prices[j];
+    }
+    if (utility > best.utility) best = DemandResult{t, utility};
+  }
+  return best;
+}
+
+TEST(Bundle, Helpers) {
+  EXPECT_EQ(bundle_size(0b1011u), 3);
+  EXPECT_TRUE(bundle_has(0b1011u, 0));
+  EXPECT_FALSE(bundle_has(0b1011u, 2));
+  EXPECT_EQ(full_bundle(3), 0b111u);
+  EXPECT_EQ(num_bundles(3), 8u);
+  EXPECT_THROW((void)full_bundle(31), std::invalid_argument);
+}
+
+TEST(AdditiveValuation, ValueAndDemand) {
+  const AdditiveValuation valuation({3.0, 5.0, 2.0});
+  EXPECT_DOUBLE_EQ(valuation.value(0b000), 0.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b111), 10.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b010), 5.0);
+  EXPECT_DOUBLE_EQ(valuation.max_value(), 10.0);
+  // Prices 4, 1, 3: only channel 1 is profitable.
+  const DemandResult demand = valuation.demand(std::vector<double>{4.0, 1.0, 3.0});
+  EXPECT_EQ(demand.bundle, 0b010u);
+  EXPECT_DOUBLE_EQ(demand.utility, 4.0);
+}
+
+TEST(UnitDemandValuation, ValueAndDemand) {
+  const UnitDemandValuation valuation({3.0, 5.0, 2.0});
+  EXPECT_DOUBLE_EQ(valuation.value(0b111), 5.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b101), 3.0);
+  const DemandResult demand = valuation.demand(std::vector<double>{0.5, 4.0, 0.1});
+  EXPECT_EQ(demand.bundle, 0b001u);  // 3 - 0.5 beats 5 - 4 and 2 - 0.1
+  EXPECT_DOUBLE_EQ(demand.utility, 2.5);
+}
+
+TEST(SingleMindedValuation, ValueAndDemand) {
+  const SingleMindedValuation valuation(3, 0b011, 7.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b011), 7.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b111), 7.0);  // superset
+  EXPECT_DOUBLE_EQ(valuation.value(0b001), 0.0);
+  const DemandResult cheap = valuation.demand(std::vector<double>{1.0, 1.0, 9.0});
+  EXPECT_EQ(cheap.bundle, 0b011u);
+  EXPECT_DOUBLE_EQ(cheap.utility, 5.0);
+  const DemandResult expensive =
+      valuation.demand(std::vector<double>{5.0, 5.0, 0.0});
+  EXPECT_EQ(expensive.bundle, kEmptyBundle);
+}
+
+TEST(BudgetAdditiveValuation, CapsAtBudget) {
+  const BudgetAdditiveValuation valuation({4.0, 4.0, 4.0}, 6.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b001), 4.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b011), 6.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b111), 6.0);
+  EXPECT_DOUBLE_EQ(valuation.max_value(), 6.0);
+}
+
+TEST(CoverageValuation, CountsCoveredElementsOnce) {
+  // Channels 0 and 1 both cover element 0; channel 1 also covers 1.
+  const CoverageValuation valuation({10.0, 3.0}, {{0}, {0, 1}});
+  EXPECT_DOUBLE_EQ(valuation.value(0b01), 10.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b10), 13.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b11), 13.0);  // no double counting
+}
+
+TEST(ExplicitValuation, ValidatesTable) {
+  EXPECT_THROW(ExplicitValuation(2, {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(ExplicitValuation(2, {1.0, 1.0, 1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(ExplicitValuation(2, {0.0, -1.0, 1.0, 1.0}), std::invalid_argument);
+  // Non-monotone is fine: value drops when adding channel 1.
+  const ExplicitValuation valuation(2, {0.0, 5.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(valuation.value(0b01), 5.0);
+  EXPECT_DOUBLE_EQ(valuation.value(0b11), 2.0);
+}
+
+TEST(Valuation, RejectsBadChannelCounts) {
+  EXPECT_THROW(AdditiveValuation(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(SingleMindedValuation(2, 0b100, 1.0), std::invalid_argument);
+  EXPECT_THROW(SingleMindedValuation(2, 0, 1.0), std::invalid_argument);
+}
+
+struct DemandCase {
+  int seed;
+  gen::ValuationMix mix;
+};
+
+class DemandOracle : public ::testing::TestWithParam<DemandCase> {};
+
+TEST_P(DemandOracle, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam().seed) * 211 + 3);
+  const int k = 2 + static_cast<int>(rng.uniform_int(5));  // 2..6 channels
+  const auto valuations = gen::random_valuations(20, k, GetParam().mix, 50, rng);
+  for (const auto& valuation : valuations) {
+    std::vector<double> prices(static_cast<std::size_t>(k));
+    for (double& p : prices) p = rng.uniform(0.0, 60.0);
+    const DemandResult fast = valuation->demand(prices);
+    const DemandResult slow = brute_force_demand(*valuation, prices);
+    EXPECT_NEAR(fast.utility, slow.utility, 1e-9);
+    // Utility of the reported bundle must match its claimed utility.
+    double check = valuation->value(fast.bundle);
+    for (int j = 0; j < k; ++j) {
+      if (bundle_has(fast.bundle, j)) check -= prices[static_cast<std::size_t>(j)];
+    }
+    if (fast.bundle != kEmptyBundle) {
+      EXPECT_NEAR(check, fast.utility, 1e-9);
+    } else {
+      EXPECT_DOUBLE_EQ(fast.utility, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DemandOracle,
+    ::testing::Values(DemandCase{0, gen::ValuationMix::kAdditive},
+                      DemandCase{1, gen::ValuationMix::kAdditive},
+                      DemandCase{2, gen::ValuationMix::kUnitDemand},
+                      DemandCase{3, gen::ValuationMix::kUnitDemand},
+                      DemandCase{4, gen::ValuationMix::kSingleMinded},
+                      DemandCase{5, gen::ValuationMix::kSingleMinded},
+                      DemandCase{6, gen::ValuationMix::kMixed},
+                      DemandCase{7, gen::ValuationMix::kMixed},
+                      DemandCase{8, gen::ValuationMix::kMixed}));
+
+TEST(DemandOracleEdge, ZeroPricesGiveMaxValue) {
+  Rng rng(9);
+  const auto valuations =
+      gen::random_valuations(15, 4, gen::ValuationMix::kMixed, 30, rng);
+  const std::vector<double> zero(4, 0.0);
+  for (const auto& valuation : valuations) {
+    EXPECT_NEAR(valuation->demand(zero).utility, valuation->max_value(), 1e-9);
+  }
+}
+
+TEST(DemandOracleEdge, ProhibitivePricesGiveEmptyBundle) {
+  Rng rng(10);
+  const auto valuations =
+      gen::random_valuations(15, 4, gen::ValuationMix::kMixed, 30, rng);
+  const std::vector<double> huge(4, 1e9);
+  for (const auto& valuation : valuations) {
+    const DemandResult demand = valuation->demand(huge);
+    EXPECT_EQ(demand.bundle, kEmptyBundle);
+    EXPECT_DOUBLE_EQ(demand.utility, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ssa
