@@ -16,8 +16,8 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "bench_util.hpp"
-#include "core/auction_lp.hpp"
 #include "core/rounding.hpp"
 #include "gen/scenario.hpp"
 #include "support/random.hpp"
@@ -27,14 +27,22 @@ namespace {
 
 using namespace ssa;
 
+/// LP optimum via the unified solver (it owns the explicit-vs-colgen
+/// choice the ablations used to duplicate); one rounding pass is wasted.
+FractionalSolution lp_of(const AuctionInstance& instance) {
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 1;
+  options.pipeline.explicit_limit = 6;
+  return *make_solver("lp-rounding")->solve(instance, options).fractional;
+}
+
 void scaling_table() {
   Table table({"model", "n", "k", "c (scale)", "E[welfare]", "rel. to c=2"});
   for (const std::size_t n : {30u}) {
     for (const int k : {4, 8}) {
       const AuctionInstance instance = gen::make_disk_auction(
           n, k, gen::ValuationMix::kMixed, 21u * n + static_cast<std::size_t>(k));
-      const FractionalSolution lp =
-          k <= 6 ? solve_auction_lp(instance) : solve_auction_lp_colgen(instance);
+      const FractionalSolution lp = lp_of(instance);
       if (lp.status != lp::SolveStatus::kOptimal) continue;
       const double sqrt_k = std::sqrt(static_cast<double>(k));
       double baseline = 0.0;
@@ -112,8 +120,7 @@ void split_table() {
     for (const int k : {4, 8}) {
       const AuctionInstance instance = gen::make_disk_auction(
           n, k, gen::ValuationMix::kMixed, 77u * n + static_cast<std::size_t>(k));
-      const FractionalSolution lp =
-          k <= 6 ? solve_auction_lp(instance) : solve_auction_lp_colgen(instance);
+      const FractionalSolution lp = lp_of(instance);
       if (lp.status != lp::SolveStatus::kOptimal) continue;
       Rng rng_a(1), rng_b(1);
       RunningStats with_split, without_split;

@@ -7,8 +7,8 @@
 
 #include <chrono>
 
+#include "api/api.hpp"
 #include "bench_util.hpp"
-#include "core/auction_lp.hpp"
 #include "core/rounding.hpp"
 #include "gen/scenario.hpp"
 #include "support/random.hpp"
@@ -26,7 +26,10 @@ double seconds_of(const std::function<void()>& fn) {
 
 void experiment_table() {
   Table table({"n", "k", "graph+rho [ms]", "LP explicit [ms]",
-               "LP colgen [ms]", "round x32 [ms]", "b*"});
+               "LP colgen [ms]", "round x32 [ms]", "solver e2e [ms]", "b*"});
+  const auto solver = make_solver("lp-rounding");
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 32;
   for (const std::size_t n : {40u, 80u, 160u, 240u}) {
     for (const int k : {2, 4}) {
       double build_s = 0.0;
@@ -48,11 +51,15 @@ void experiment_table() {
           seconds_of([&] { (void)solve_auction_lp_colgen(instance); });
       const double round_s =
           seconds_of([&] { (void)best_of_rounds(instance, lp, 32, 1); });
+      // End-to-end through the unified API (LP choice + rounding + report).
+      const SolveReport report = solver->solve(instance, options);
       table.add_row({Table::integer(static_cast<long long>(n)),
                      Table::integer(k), Table::num(1e3 * build_s, 2),
                      Table::num(1e3 * explicit_s, 2),
                      Table::num(1e3 * colgen_s, 2),
-                     Table::num(1e3 * round_s, 2), Table::num(lp_value, 1)});
+                     Table::num(1e3 * round_s, 2),
+                     Table::num(1e3 * report.wall_time_seconds, 2),
+                     Table::num(lp_value, 1)});
     }
   }
   bench::print_experiment(
@@ -66,9 +73,11 @@ void bm_end_to_end(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const AuctionInstance instance =
       gen::make_disk_auction(n, 2, gen::ValuationMix::kMixed, 7);
+  const auto solver = make_solver("lp-rounding");
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 8;
   for (auto _ : state) {
-    const FractionalSolution lp = solve_auction_lp(instance);
-    benchmark::DoNotOptimize(best_of_rounds(instance, lp, 8, 1));
+    benchmark::DoNotOptimize(solver->solve(instance, options));
   }
 }
 BENCHMARK(bm_end_to_end)->Arg(20)->Arg(40)->Arg(80)->Unit(benchmark::kMillisecond);

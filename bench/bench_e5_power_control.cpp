@@ -10,9 +10,8 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "bench_util.hpp"
-#include "core/auction_lp.hpp"
-#include "core/rounding.hpp"
 #include "gen/scenario.hpp"
 #include "graph/inductive_independence.hpp"
 #include "models/power_control.hpp"
@@ -42,15 +41,18 @@ PipelineResult run_pipeline(const std::vector<Link>& links,
                                            gen::ValuationMix::kMixed, 100, rng);
   const AuctionInstance instance(std::move(model.graph), std::move(model.order),
                                  k, std::move(valuations));
-  const FractionalSolution lp = solve_auction_lp(instance);
-  if (lp.status != lp::SolveStatus::kOptimal) return result;
-  result.lp_value = lp.objective;
   // The tau-weights make rho large, so single rounding passes are sparse;
   // 512 repetitions give non-trivial winner sets to feed power control.
-  const Allocation best = best_of_rounds(instance, lp, 512, seed + 1);
-  result.welfare = instance.welfare(best);
+  SolveOptions options;
+  options.seed = seed + 1;
+  options.pipeline.rounding_repetitions = 512;
+  const SolveReport report =
+      make_solver("lp-rounding")->solve(instance, options);
+  if (report.fractional->status != lp::SolveStatus::kOptimal) return result;
+  result.lp_value = *report.lp_upper_bound;
+  result.welfare = report.welfare;
   for (int j = 0; j < k; ++j) {
-    const std::vector<int> holders = channel_holders(best, j);
+    const std::vector<int> holders = channel_holders(report.allocation, j);
     if (holders.empty()) continue;
     ++result.channel_sets;
     if (solve_power_control(links, metric, params, holders).feasible) {

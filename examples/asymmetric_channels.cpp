@@ -1,5 +1,7 @@
 // Asymmetric channels (Section 6): each channel has its own conflict
-// graph. Scenario: channel 0 is clean everywhere; channel 1 has a primary
+// graph. AsymmetricInstance is the one solver family still outside the
+// unified ssa::Solver registry (it takes a different instance type); see
+// ROADMAP.md for the planned "asymmetric-*" registry entries. Scenario: channel 0 is clean everywhere; channel 1 has a primary
 // user (TV tower) in the west -- bidders inside its protection zone
 // additionally conflict with each other there; channel 2 is crowded: its
 // protocol-model conflicts use a much larger guard parameter.

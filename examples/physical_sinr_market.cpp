@@ -10,8 +10,7 @@
 
 #include <iostream>
 
-#include "core/auction_lp.hpp"
-#include "core/rounding.hpp"
+#include "api/api.hpp"
 #include "gen/scenario.hpp"
 #include "models/power_control.hpp"
 #include "support/random.hpp"
@@ -39,13 +38,15 @@ int main() {
             << ", beta = " << params.beta << ", rho(pi) = " << market.rho()
             << "\n";
 
-  const FractionalSolution lp = solve_auction_lp(market);
-  std::cout << "LP (4) optimum b* = " << lp.objective << "\n";
-
-  const Allocation allocation = best_of_rounds(market, lp, 96, 17);
-  std::cout << "Rounded welfare = " << market.welfare(allocation)
-            << " (feasible: " << (market.feasible(allocation) ? "yes" : "no")
-            << ")\n\n";
+  SolveOptions options;
+  options.seed = 17;
+  options.pipeline.rounding_repetitions = 96;
+  const SolveReport report = make_solver("lp-rounding")->solve(market, options);
+  const Allocation& allocation = report.allocation;
+  std::cout << "LP (4) optimum b* = " << *report.lp_upper_bound << "\n";
+  std::cout << "Rounded welfare = " << report.welfare
+            << " (feasible: " << (report.feasible ? "yes" : "no")
+            << ", proven guarantee >= " << report.guarantee << ")\n\n";
 
   // Power control per channel.
   Table table({"channel", "links", "spectral radius", "power min", "power max",

@@ -1,15 +1,15 @@
 // Quickstart: the smallest end-to-end use of the library.
 //
 // Five base stations bid for two channels. Interference is a disk graph
-// (stations conflict when their coverage disks overlap). We solve LP (1),
-// round it with Algorithm 1, and print who gets which channel.
+// (stations conflict when their coverage disks overlap). We ask the solver
+// registry for the paper's LP+rounding pipeline, solve, and print who gets
+// which channel -- every other algorithm is one make_solver() name away.
 //
-// Build & run:  ./examples/quickstart
+// Build & run:  ./example_quickstart
 
 #include <iostream>
 
-#include "core/auction_lp.hpp"
-#include "core/rounding.hpp"
+#include "api/api.hpp"
 #include "models/transmitter.hpp"
 
 int main() {
@@ -37,21 +37,27 @@ int main() {
   std::cout << "bidders: " << auction.num_bidders()
             << ", channels: " << k << ", rho(pi) = " << auction.rho() << "\n";
 
-  // 3. Solve the LP relaxation (1).
-  const FractionalSolution lp = solve_auction_lp(auction);
-  std::cout << "LP optimum b* = " << lp.objective << "\n";
+  // 3. Solve with the paper's LP + rounding pipeline (best of 64 passes).
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 64;
+  const SolveReport report = make_solver("lp-rounding")->solve(auction, options);
 
-  // 4. Round: best of 64 passes of Algorithm 1.
-  const Allocation allocation = best_of_rounds(auction, lp, 64, /*seed=*/1);
-  std::cout << "rounded welfare = " << auction.welfare(allocation)
-            << " (feasible: " << (auction.feasible(allocation) ? "yes" : "no")
-            << ")\n";
+  std::cout << "LP optimum b* = " << *report.lp_upper_bound << "\n"
+            << "rounded welfare = " << report.welfare
+            << " (feasible: " << (report.feasible ? "yes" : "no")
+            << ", proven guarantee >= " << report.guarantee << ")\n";
   for (std::size_t v = 0; v < auction.num_bidders(); ++v) {
     std::cout << "  station " << v << " -> channels {";
     for (int j = 0; j < k; ++j) {
-      if (bundle_has(allocation.bundles[v], j)) std::cout << ' ' << j;
+      if (bundle_has(report.allocation.bundles[v], j)) std::cout << ' ' << j;
     }
-    std::cout << " }  value " << auction.value(v, allocation.bundles[v]) << "\n";
+    std::cout << " }  value " << auction.value(v, report.allocation.bundles[v])
+              << "\n";
   }
+
+  // 4. The same instance under every other registered algorithm:
+  std::cout << "\nalso available:";
+  for (const std::string& name : available_solvers()) std::cout << ' ' << name;
+  std::cout << "\n";
   return 0;
 }

@@ -6,8 +6,8 @@
 
 #include <iostream>
 
+#include "api/api.hpp"
 #include "gen/scenario.hpp"
-#include "mechanism/mechanism.hpp"
 #include "support/table.hpp"
 
 int main() {
@@ -20,13 +20,18 @@ int main() {
             << truth.num_channels() << " channels, rho(pi) = " << truth.rho()
             << "\n";
 
-  const MechanismOutcome outcome = run_mechanism(truth);
+  const auto mechanism = make_solver("mechanism");
+  SolveOptions options;
+  options.seed = 0xa11c;
+  const SolveReport report = mechanism->solve(truth, options);
+  const MechanismOutcome& outcome = *report.mechanism;
   std::cout << "fractional optimum b*    = " << outcome.vcg.optimum.objective
             << "\nalpha (integrality gap)  = " << outcome.decomposition.alpha
             << "\ndecomposition size       = "
             << outcome.decomposition.entries.size()
             << "\ndecomposition residual   = " << outcome.decomposition.residual
-            << "\n\n";
+            << "\nE[welfare] guarantee     = " << report.guarantee
+            << " (= b*/alpha)\n\n";
 
   Table table({"bidder", "channels won", "value", "payment", "E[payment]"});
   const int k = truth.num_channels();
@@ -58,7 +63,7 @@ int main() {
     }
     const AuctionInstance reported = truth.with_valuation(
         0, std::make_shared<ExplicitValuation>(k, std::move(scaled)));
-    const MechanismOutcome lie = run_mechanism(reported);
+    const MechanismOutcome lie = *mechanism->solve(reported, options).mechanism;
     const std::vector<double> lied = expected_utilities(lie, truth, reported);
     std::cout << "bidder 0 expected utility (bids x" << factor
               << "):  " << lied[0]

@@ -1,0 +1,9 @@
+#pragma once
+/// \file api.hpp
+/// Umbrella header for the unified solving API: include this and use
+///     auto report = ssa::make_solver("lp-rounding")->solve(instance);
+/// or solve_batch() for multi-solver comparisons.
+
+#include "api/batch.hpp"     // IWYU pragma: export
+#include "api/registry.hpp"  // IWYU pragma: export
+#include "api/solver.hpp"    // IWYU pragma: export

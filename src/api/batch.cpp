@@ -1,0 +1,90 @@
+#include "api/batch.hpp"
+
+#include <exception>
+
+#include "api/registry.hpp"
+#include "support/parallel.hpp"
+
+namespace ssa {
+
+const SolveReport* BatchResult::find(const std::string& label,
+                                     const std::string& solver) const {
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (labels[i] == label && reports[i].solver == solver &&
+        reports[i].error.empty()) {
+      return &reports[i];
+    }
+  }
+  return nullptr;
+}
+
+Table BatchResult::table(int precision) const {
+  Table table({"instance", "solver", "welfare", "feasible", "guarantee",
+               "LP b*", "ms", "note"});
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const SolveReport& r = reports[i];
+    if (!r.error.empty()) {
+      table.add_row({labels[i], r.solver, "-", "-", "-", "-", "-", r.error});
+      continue;
+    }
+    table.add_row({labels[i], r.solver, Table::num(r.welfare, precision),
+                   r.feasible ? "yes" : "no",
+                   r.guarantee > 0.0 ? Table::num(r.guarantee, precision) : "-",
+                   r.lp_upper_bound ? Table::num(*r.lp_upper_bound, precision)
+                                    : "-",
+                   Table::num(r.wall_time_seconds * 1e3, 1),
+                   r.exact ? "exact" : r.params});
+  }
+  return table;
+}
+
+BatchResult solve_batch(std::span<const BatchJob> jobs,
+                        const BatchOptions& options) {
+  BatchResult result;
+  result.labels.resize(jobs.size());
+  result.reports.resize(jobs.size());
+
+  const auto run_one = [&](std::ptrdiff_t i) {
+    const BatchJob& job = jobs[static_cast<std::size_t>(i)];
+    SolveReport& report = result.reports[static_cast<std::size_t>(i)];
+    result.labels[static_cast<std::size_t>(i)] = job.instance_label;
+    try {
+      if (job.instance == nullptr) {
+        throw std::invalid_argument("solve_batch: null instance");
+      }
+      report = make_solver(job.solver)->solve(*job.instance, job.options);
+    } catch (const std::exception& e) {
+      report = SolveReport{};
+      report.solver = job.solver;
+      report.error = e.what();
+    }
+  };
+
+  if (options.threads == 1) {
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(jobs.size());
+         ++i) {
+      run_one(i);
+    }
+  } else {
+    // threads > 1 caps the worker pool; 0 keeps the runtime default.
+    const ThreadCountScope thread_scope(options.threads);
+    parallel_for(static_cast<std::ptrdiff_t>(jobs.size()), run_one);
+  }
+  return result;
+}
+
+std::vector<BatchJob> cross_jobs(std::span<const LabelledInstance> instances,
+                                 std::span<const std::string> solvers,
+                                 const SolveOptions& options) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(instances.size() * solvers.size());
+  for (const LabelledInstance& instance : instances) {
+    for (const std::string& solver : solvers) {
+      jobs.push_back(
+          BatchJob{solver, instance.instance, instance.label, options});
+    }
+  }
+  return jobs;
+}
+
+}  // namespace ssa

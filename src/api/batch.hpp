@@ -1,0 +1,65 @@
+#pragma once
+/// \file batch.hpp
+/// Batch execution over the unified Solver API: a set of (instance, solver)
+/// jobs is run concurrently through support/parallel.hpp and the resulting
+/// SolveReports are aggregated into one comparison table. This replaces the
+/// hand-rolled "call every algorithm, collect a row" loops every bench and
+/// example used to carry.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "support/table.hpp"
+
+namespace ssa {
+
+/// One unit of work: solve \p *instance with the registry solver \p solver.
+/// \p instance is non-owning and must outlive solve_batch.
+struct BatchJob {
+  std::string solver;
+  const AuctionInstance* instance = nullptr;
+  std::string instance_label;  ///< row label in the comparison table
+  SolveOptions options = {};
+};
+
+struct BatchOptions {
+  /// Worker cap for the batch: 0 = runtime default pool, 1 = strictly
+  /// serial, > 1 = cap the OpenMP pool at this many workers. Reports are
+  /// identical for any value: job i always produces reports[i].
+  int threads = 0;
+};
+
+/// Aggregated outcome of a batch run. reports[i] belongs to jobs[i]; a job
+/// whose solver threw has reports[i].error set (and zero welfare) instead
+/// of aborting the batch.
+struct BatchResult {
+  std::vector<std::string> labels;  ///< instance label per report
+  std::vector<SolveReport> reports;
+
+  /// Report of (instance_label, solver), or nullptr when absent/failed.
+  [[nodiscard]] const SolveReport* find(const std::string& label,
+                                        const std::string& solver) const;
+
+  /// Comparison table: one row per job with the common diagnostics block.
+  [[nodiscard]] Table table(int precision = 2) const;
+};
+
+/// Runs all jobs (concurrently unless options.threads == 1) and collects
+/// their reports in job order. Deterministic for fixed job options
+/// regardless of thread count.
+[[nodiscard]] BatchResult solve_batch(std::span<const BatchJob> jobs,
+                                      const BatchOptions& options = {});
+
+/// Convenience: the cross product of labelled instances and solver names,
+/// all sharing \p options.
+struct LabelledInstance {
+  std::string label;
+  const AuctionInstance* instance = nullptr;
+};
+[[nodiscard]] std::vector<BatchJob> cross_jobs(
+    std::span<const LabelledInstance> instances,
+    std::span<const std::string> solvers, const SolveOptions& options = {});
+
+}  // namespace ssa

@@ -1,0 +1,70 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ssa {
+
+namespace detail {
+// Defined in solvers.cpp; registers the seven built-in adapters.
+void register_builtin_solvers(SolverRegistry& registry);
+}  // namespace detail
+
+SolverRegistry& SolverRegistry::global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry;
+    detail::register_builtin_solvers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SolverRegistry::add(const std::string& name, SolverFactory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("SolverRegistry::add: empty name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("SolverRegistry::add: null factory");
+  }
+  if (contains(name)) {
+    throw std::invalid_argument("SolverRegistry::add: duplicate name '" +
+                                name + "'");
+  }
+  entries_.push_back(Entry{name, std::move(factory)});
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.name == name; });
+}
+
+std::unique_ptr<Solver> SolverRegistry::create(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return entry.factory();
+  }
+  std::string known;
+  for (const std::string& n : names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::out_of_range("SolverRegistry::create: unknown solver '" + name +
+                          "' (registered: " + known + ")");
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const Entry& entry : entries_) result.push_back(entry.name);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::unique_ptr<Solver> make_solver(const std::string& name) {
+  return SolverRegistry::global().create(name);
+}
+
+std::vector<std::string> available_solvers() {
+  return SolverRegistry::global().names();
+}
+
+}  // namespace ssa

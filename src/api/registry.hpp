@@ -1,0 +1,59 @@
+#pragma once
+/// \file registry.hpp
+/// String-keyed factory registry for ssa::Solver implementations. The seven
+/// algorithms of the paper reproduction register themselves under stable
+/// names; follow-up papers (symmetric/submodular bidders, universally
+/// truthful auctions) plug in beside them without new entry points:
+///
+///     auto solver = ssa::make_solver("lp-rounding");
+///     SolveReport report = solver->solve(instance);
+///
+/// Built-in names: "lp-rounding", "exact", "greedy-value", "greedy-density",
+/// "local-ratio-k1", "local-ratio-per-channel", "mechanism".
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/solver.hpp"
+
+namespace ssa {
+
+using SolverFactory = std::function<std::unique_ptr<Solver>()>;
+
+/// Process-wide registry of solver factories. Thread-compatible: register
+/// at startup, look up from anywhere afterwards.
+class SolverRegistry {
+ public:
+  /// The global registry, with all built-in solvers registered.
+  [[nodiscard]] static SolverRegistry& global();
+
+  /// Registers \p factory under \p name; throws std::invalid_argument on a
+  /// duplicate name so two algorithms can never shadow each other.
+  void add(const std::string& name, SolverFactory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Constructs a fresh solver; throws std::out_of_range for unknown names
+  /// (the message lists the registered names).
+  [[nodiscard]] std::unique_ptr<Solver> create(const std::string& name) const;
+
+  /// Registered names in sorted order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    SolverFactory factory;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Shorthand for SolverRegistry::global().create(name).
+[[nodiscard]] std::unique_ptr<Solver> make_solver(const std::string& name);
+
+/// Shorthand for SolverRegistry::global().names().
+[[nodiscard]] std::vector<std::string> available_solvers();
+
+}  // namespace ssa

@@ -1,0 +1,27 @@
+#include "api/solver.hpp"
+
+#include <chrono>
+
+#include "support/parallel.hpp"
+
+namespace ssa {
+
+SolveReport Solver::solve(const AuctionInstance& instance,
+                          const SolveOptions& options) const {
+  // Bound the solver's internal parallel loops; never changes the report.
+  const ThreadCountScope thread_scope(options.threads);
+  const auto start = std::chrono::steady_clock::now();
+  SolveReport report = solve_impl(instance, options);
+  const auto stop = std::chrono::steady_clock::now();
+  report.solver = name();
+  if (report.allocation.bundles.empty()) {
+    report.allocation.bundles.assign(instance.num_bidders(), kEmptyBundle);
+  }
+  report.welfare = instance.welfare(report.allocation);
+  report.feasible = instance.feasible(report.allocation);
+  report.wall_time_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  return report;
+}
+
+}  // namespace ssa

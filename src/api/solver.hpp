@@ -1,0 +1,104 @@
+#pragma once
+/// \file solver.hpp
+/// The unified solving surface: every algorithm in the library -- the
+/// LP+rounding pipeline, exact branch and bound, the greedy and local-ratio
+/// baselines, and the truthful mechanism -- is exposed as an ssa::Solver
+/// with one entry point,
+///     solve(instance, options) -> SolveReport,
+/// so benches, examples and downstream operators compare algorithms through
+/// one interface instead of five ad-hoc entry points. Solvers are obtained
+/// by name from the SolverRegistry (registry.hpp) and can be executed in
+/// bulk with solve_batch (batch.hpp).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/auction_lp.hpp"
+#include "core/exact.hpp"
+#include "core/instance.hpp"
+#include "core/pipeline.hpp"
+#include "mechanism/mechanism.hpp"
+
+namespace ssa {
+
+/// Options for a single solve. The shared fields apply to every solver; the
+/// per-solver sections configure the algorithm behind the adapter. The
+/// shared \p seed subsumes the section-level seed fields (PipelineOptions::
+/// seed, MechanismOptions::sample_seed, DecompositionOptions::seed): adapters
+/// overwrite them with \p seed so one knob reproduces any run.
+struct SolveOptions {
+  // -- shared ---------------------------------------------------------------
+  std::uint64_t seed = 1;  ///< single source of randomness for the run
+  /// Soft wall-time target in seconds (0 = unlimited). Advisory: solvers
+  /// with an internal budget (exact B&B node budget) scale it from this;
+  /// others ignore it.
+  double time_budget_seconds = 0.0;
+  /// Worker threads for the solver's internal parallel loops (0 = runtime
+  /// default). Applied by Solver::solve as a scoped OpenMP thread count;
+  /// results never depend on it (parallel_for keeps a fixed
+  /// iteration-to-result mapping). No effect in non-OpenMP builds.
+  int threads = 0;
+
+  // -- per-solver sections --------------------------------------------------
+  PipelineOptions pipeline = {};    ///< "lp-rounding"
+  ExactOptions exact = {};          ///< "exact"
+  MechanismOptions mechanism = {};  ///< "mechanism"
+};
+
+/// Result of a single solve: a common diagnostics block every solver fills,
+/// plus optional solver-specific payloads.
+struct SolveReport {
+  // -- common diagnostics ---------------------------------------------------
+  std::string solver;  ///< registry name of the solver that produced this
+  std::string params;  ///< one-line parameter summary of the run
+  Allocation allocation;
+  double welfare = 0.0;
+  bool feasible = false;
+  /// Proven absolute lower bound on the welfare this solver guarantees for
+  /// this instance (0 when the solver is heuristic / has no absolute bound).
+  double guarantee = 0.0;
+  /// Proven worst-case approximation factor alpha: welfare >= OPT / alpha
+  /// (1 = exact, 0 = heuristic with no proven factor). For randomized
+  /// solvers the factor holds in expectation.
+  double factor = 0.0;
+  /// LP optimum b* (an upper bound on OPT) when the solver computed it.
+  std::optional<double> lp_upper_bound;
+  bool exact = false;  ///< welfare proven equal to OPT
+  double wall_time_seconds = 0.0;
+  /// Empty on success; solve_batch stores the failure reason here instead
+  /// of propagating the exception.
+  std::string error;
+
+  // -- solver-specific payloads ---------------------------------------------
+  std::optional<FractionalSolution> fractional;  ///< LP-based solvers
+  std::optional<MechanismOutcome> mechanism;     ///< "mechanism"
+};
+
+/// Abstract solver. Subclasses implement solve_impl; the public solve()
+/// wraps it with wall-clock timing and fills the welfare/feasibility block
+/// from the returned allocation, so adapters only report what is specific
+/// to their algorithm.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Registry name ("lp-rounding", "exact", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-line human description including the proven guarantee.
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  /// Runs the algorithm. Throws std::invalid_argument when the instance is
+  /// outside the solver's domain (e.g. local-ratio-k1 on k > 1).
+  [[nodiscard]] SolveReport solve(const AuctionInstance& instance,
+                                  const SolveOptions& options = {}) const;
+
+ protected:
+  /// Algorithm body. Must fill allocation and any payloads/bounds; solver
+  /// name, welfare, feasibility and wall time are filled by solve().
+  [[nodiscard]] virtual SolveReport solve_impl(
+      const AuctionInstance& instance, const SolveOptions& options) const = 0;
+};
+
+}  // namespace ssa

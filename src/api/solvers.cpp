@@ -1,0 +1,211 @@
+/// \file solvers.cpp
+/// Adapters exposing every algorithm of the reproduction through the
+/// unified Solver interface, and their registration with the global
+/// SolverRegistry. Adding an algorithm = one adapter class + one add() line
+/// in register_builtin_solvers.
+
+#include <algorithm>
+#include <string>
+
+#include "api/registry.hpp"
+#include "api/solver.hpp"
+#include "core/exact.hpp"
+#include "core/greedy.hpp"
+#include "core/pipeline.hpp"
+#include "mechanism/decomposition.hpp"
+#include "mechanism/mechanism.hpp"
+
+// The adapters are the one sanctioned caller of the deprecated entry
+// points while the wrappers ride out their final release.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+namespace ssa {
+namespace {
+
+class LpRoundingSolver final : public Solver {
+ public:
+  std::string name() const override { return "lp-rounding"; }
+  std::string description() const override {
+    return "LP relaxation + randomized rounding (Algorithms 1-3); expected "
+           "welfare >= b*/(8 sqrt(k) rho) unweighted, b*/(16 sqrt(k) rho "
+           "ceil(log n)) weighted";
+  }
+
+ protected:
+  SolveReport solve_impl(const AuctionInstance& instance,
+                         const SolveOptions& options) const override {
+    PipelineOptions pipeline = options.pipeline;
+    pipeline.seed = options.seed;
+    const PipelineResult result = run_auction(instance, pipeline);
+    SolveReport report;
+    report.params = "reps=" + std::to_string(pipeline.rounding_repetitions) +
+                    (pipeline.derandomize ? " derand" : "") +
+                    (result.used_column_generation ? " lp=colgen"
+                                                   : " lp=explicit");
+    report.allocation = result.allocation;
+    report.guarantee = result.guarantee;
+    report.factor = result.factor;
+    report.lp_upper_bound = result.fractional.objective;
+    report.fractional = result.fractional;
+    return report;
+  }
+};
+
+class ExactSolver final : public Solver {
+ public:
+  std::string name() const override { return "exact"; }
+  std::string description() const override {
+    return "exact winner determination by branch and bound (OPT reference; "
+           "exponential, small instances only)";
+  }
+
+ protected:
+  SolveReport solve_impl(const AuctionInstance& instance,
+                         const SolveOptions& options) const override {
+    ExactOptions exact = options.exact;
+    if (options.time_budget_seconds > 0.0) {
+      // Advisory time budget -> node budget at an assumed ~2M nodes/s. Only
+      // tighten when the scaled value is representable and smaller (a huge
+      // budget must not overflow the cast into a tiny one).
+      const double scaled = options.time_budget_seconds * 2e6;
+      if (scaled < static_cast<double>(exact.node_budget)) {
+        exact.node_budget = std::max(1LL, static_cast<long long>(scaled));
+      }
+    }
+    const ExactResult result = solve_exact(instance, exact);
+    SolveReport report;
+    report.params = "node_budget=" + std::to_string(exact.node_budget);
+    report.allocation = result.allocation;
+    report.exact = result.exact;
+    if (result.exact) {
+      report.guarantee = result.welfare;
+      report.factor = 1.0;
+    }
+    return report;
+  }
+};
+
+class GreedyValueSolver final : public Solver {
+ public:
+  std::string name() const override { return "greedy-value"; }
+  std::string description() const override {
+    return "greedy by bidder max value, each taking its best feasible "
+           "bundle (heuristic baseline, no guarantee)";
+  }
+
+ protected:
+  SolveReport solve_impl(const AuctionInstance& instance,
+                         const SolveOptions&) const override {
+    SolveReport report;
+    report.allocation = greedy_by_value(instance);
+    return report;
+  }
+};
+
+class GreedyDensitySolver final : public Solver {
+ public:
+  std::string name() const override { return "greedy-density"; }
+  std::string description() const override {
+    return "greedy over (bidder, bundle) pairs by value/|T| density "
+           "(heuristic baseline, no guarantee)";
+  }
+
+ protected:
+  SolveReport solve_impl(const AuctionInstance& instance,
+                         const SolveOptions&) const override {
+    SolveReport report;
+    report.allocation = greedy_by_density(instance);
+    return report;
+  }
+};
+
+class LocalRatioSingleChannelSolver final : public Solver {
+ public:
+  std::string name() const override { return "local-ratio-k1"; }
+  std::string description() const override {
+    return "local-ratio MWIS for k = 1 on unweighted graphs; welfare >= "
+           "OPT / rho(pi)";
+  }
+
+ protected:
+  SolveReport solve_impl(const AuctionInstance& instance,
+                         const SolveOptions&) const override {
+    SolveReport report;
+    report.allocation = local_ratio_single_channel(instance);
+    report.factor = instance.rho();
+    return report;
+  }
+};
+
+class LocalRatioPerChannelSolver final : public Solver {
+ public:
+  std::string name() const override { return "local-ratio-per-channel"; }
+  std::string description() const override {
+    return "channel-by-channel local ratio on marginal values, unweighted "
+           "graphs, any k (heuristic baseline, no guarantee)";
+  }
+
+ protected:
+  SolveReport solve_impl(const AuctionInstance& instance,
+                         const SolveOptions&) const override {
+    SolveReport report;
+    report.allocation = local_ratio_per_channel(instance);
+    return report;
+  }
+};
+
+class MechanismSolver final : public Solver {
+ public:
+  std::string name() const override { return "mechanism"; }
+  std::string description() const override {
+    return "truthful-in-expectation mechanism (Section 5): fractional VCG + "
+           "Lavi-Swamy decomposition; E[welfare] = b*/alpha";
+  }
+
+ protected:
+  SolveReport solve_impl(const AuctionInstance& instance,
+                         const SolveOptions& options) const override {
+    MechanismOptions mechanism = options.mechanism;
+    mechanism.sample_seed = options.seed;
+    mechanism.decomposition.seed = options.seed;
+    MechanismOutcome outcome = run_mechanism(instance, mechanism);
+    SolveReport report;
+    report.params = "alpha=" + std::to_string(outcome.decomposition.alpha) +
+                    (outcome.used_colgen ? " lp=colgen" : " lp=explicit");
+    report.allocation = outcome.allocation;
+    // The realized draw carries the expectation bound E[welfare] = b*/alpha
+    // (Section 5); the factor holds in expectation, not per realization.
+    report.guarantee =
+        outcome.vcg.optimum.objective / outcome.decomposition.alpha;
+    report.factor = outcome.decomposition.alpha;
+    report.lp_upper_bound = outcome.vcg.optimum.objective;
+    report.fractional = outcome.vcg.optimum;
+    report.mechanism = std::move(outcome);
+    return report;
+  }
+};
+
+template <typename S>
+SolverFactory factory_of() {
+  return [] { return std::make_unique<S>(); };
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_solvers(SolverRegistry& registry) {
+  registry.add("lp-rounding", factory_of<LpRoundingSolver>());
+  registry.add("exact", factory_of<ExactSolver>());
+  registry.add("greedy-value", factory_of<GreedyValueSolver>());
+  registry.add("greedy-density", factory_of<GreedyDensitySolver>());
+  registry.add("local-ratio-k1", factory_of<LocalRatioSingleChannelSolver>());
+  registry.add("local-ratio-per-channel",
+               factory_of<LocalRatioPerChannelSolver>());
+  registry.add("mechanism", factory_of<MechanismSolver>());
+}
+
+}  // namespace detail
+}  // namespace ssa

@@ -10,6 +10,15 @@ namespace ssa {
 PipelineResult run_auction(const AuctionInstance& instance,
                            PipelineOptions options) {
   PipelineResult result;
+  const double sqrt_k =
+      std::sqrt(static_cast<double>(instance.num_channels()));
+  if (instance.unweighted()) {
+    result.factor = 8.0 * sqrt_k * instance.rho();
+  } else {
+    const double log_n = std::ceil(
+        std::log2(std::max<std::size_t>(instance.num_bidders(), 2)));
+    result.factor = 16.0 * sqrt_k * instance.rho() * log_n;
+  }
   result.used_column_generation =
       options.force_column_generation ||
       instance.num_channels() > options.explicit_limit;
@@ -29,17 +38,7 @@ PipelineResult run_auction(const AuctionInstance& instance,
     }
   }
   result.welfare = instance.welfare(result.allocation);
-
-  const double sqrt_k = std::sqrt(static_cast<double>(instance.num_channels()));
-  if (instance.unweighted()) {
-    result.guarantee = result.fractional.objective /
-                       (8.0 * sqrt_k * instance.rho());
-  } else {
-    const double log_n = std::ceil(
-        std::log2(std::max<std::size_t>(instance.num_bidders(), 2)));
-    result.guarantee = result.fractional.objective /
-                       (16.0 * sqrt_k * instance.rho() * log_n);
-  }
+  result.guarantee = result.fractional.objective / result.factor;
   return result;
 }
 

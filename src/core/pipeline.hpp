@@ -27,14 +27,22 @@ struct PipelineResult {
   FractionalSolution fractional;  ///< LP optimum (upper bound on welfare)
   Allocation allocation;          ///< feasible allocation
   double welfare = 0.0;
-  double guarantee = 0.0;  ///< the proven lower bound b*/alpha for this run
+  double guarantee = 0.0;  ///< the proven lower bound b*/factor for this run
+  /// The paper's worst-case factor for this instance: 8 sqrt(k) rho
+  /// (Theorem 3) unweighted, 16 sqrt(k) rho ceil(log n) (Lemmas 7+8)
+  /// weighted; guarantee = fractional.objective / factor.
+  double factor = 0.0;
   bool used_column_generation = false;
 };
 
 /// Runs LP + rounding end to end. The returned allocation is always
 /// feasible; `guarantee` is the paper's worst-case expectation bound
 /// (Theorem 3 or Lemmas 7+8) evaluated for this instance.
-[[nodiscard]] PipelineResult run_auction(const AuctionInstance& instance,
-                                         PipelineOptions options = {});
+///
+/// \deprecated Kept as a thin wrapper for one release; use
+/// `make_solver("lp-rounding")->solve(instance, options)` (api/api.hpp).
+[[nodiscard, deprecated(
+    "use make_solver(\"lp-rounding\") from api/api.hpp")]] PipelineResult
+run_auction(const AuctionInstance& instance, PipelineOptions options = {});
 
 }  // namespace ssa

@@ -252,4 +252,8 @@ double CoverageValuation::value(Bundle bundle) const {
   return total;
 }
 
+double CoverageValuation::max_value() const {
+  return value(static_cast<Bundle>(num_bundles(k_) - 1));
+}
+
 }  // namespace ssa

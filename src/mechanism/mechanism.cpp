@@ -21,7 +21,13 @@ double payment_for(const FractionalVcg& vcg,
 
 MechanismOutcome run_mechanism(const AuctionInstance& instance,
                                MechanismOptions options) {
+  // Auto-select the demand-oracle path beyond the explicit-enumeration
+  // limit (the explicit LP rejects k > 12 on its own).
+  if (instance.num_channels() > options.explicit_limit) {
+    options.use_colgen = true;
+  }
   MechanismOutcome outcome;
+  outcome.used_colgen = options.use_colgen;
   outcome.vcg = fractional_vcg(instance, options.use_colgen);
   outcome.decomposition = decompose_fractional(instance, outcome.vcg.optimum,
                                                options.decomposition);

@@ -16,7 +16,12 @@
 namespace ssa {
 
 struct MechanismOptions {
-  bool use_colgen = false;  ///< demand-oracle LP path (k > 12)
+  bool use_colgen = false;  ///< force the demand-oracle LP path
+  /// Largest k solved by explicit enumeration; beyond it the demand-oracle
+  /// path is selected automatically (mirrors PipelineOptions). The explicit
+  /// LP itself rejects k > 12, so raising this past 12 surfaces that error
+  /// instead of silently switching paths.
+  int explicit_limit = 12;
   DecompositionOptions decomposition = {};
   std::uint64_t sample_seed = 0xa11c;
 };
@@ -24,6 +29,9 @@ struct MechanismOptions {
 struct MechanismOutcome {
   FractionalVcg vcg;
   Decomposition decomposition;
+  /// Which LP path actually ran (the demand-oracle path is auto-selected
+  /// when k exceeds MechanismOptions::explicit_limit).
+  bool used_colgen = false;
   std::size_t sampled_index = 0;          ///< entry drawn from the distribution
   Allocation allocation;                  ///< the realized allocation
   std::vector<double> payments;           ///< realized payments
@@ -31,8 +39,12 @@ struct MechanismOutcome {
 };
 
 /// Runs the full mechanism on the reported instance.
-[[nodiscard]] MechanismOutcome run_mechanism(const AuctionInstance& instance,
-                                             MechanismOptions options = {});
+///
+/// \deprecated Kept as a thin wrapper for one release; use
+/// `make_solver("mechanism")->solve(instance, options)` (api/api.hpp).
+[[nodiscard, deprecated(
+    "use make_solver(\"mechanism\") from api/api.hpp")]] MechanismOutcome
+run_mechanism(const AuctionInstance& instance, MechanismOptions options = {});
 
 /// Expected utility of every bidder under \p true_instance when the
 /// mechanism ran on (possibly misreported) valuations:

@@ -23,6 +23,32 @@ namespace ssa {
 #endif
 }
 
+/// RAII scope bounding the OpenMP worker count: threads > 0 caps the pool
+/// for the scope's lifetime, anything else leaves it untouched. Results of
+/// parallel_for never depend on the count (fixed iteration-to-result
+/// mapping); this only changes resource usage. No-op without OpenMP.
+class ThreadCountScope {
+ public:
+  explicit ThreadCountScope([[maybe_unused]] int threads) {
+#if defined(SSA_HAVE_OPENMP)
+    if (threads > 0) {
+      saved_ = omp_get_max_threads();
+      omp_set_num_threads(threads);
+    }
+#endif
+  }
+  ~ThreadCountScope() {
+#if defined(SSA_HAVE_OPENMP)
+    if (saved_ > 0) omp_set_num_threads(saved_);
+#endif
+  }
+  ThreadCountScope(const ThreadCountScope&) = delete;
+  ThreadCountScope& operator=(const ThreadCountScope&) = delete;
+
+ private:
+  int saved_ = 0;
+};
+
 /// Runs body(i) for i in [0, n). The body must be safe to run concurrently
 /// for distinct i (no shared mutable state without synchronization).
 template <typename Body>

@@ -1,0 +1,242 @@
+// Tests for the unified Solver API: registry round-trip over every
+// registered solver, solve_batch determinism across thread counts, error
+// capture for out-of-domain jobs, and equivalence of the deprecated
+// run_auction wrapper with the "lp-rounding" solver.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/api.hpp"
+#include "gen/scenario.hpp"
+
+// The wrapper-equivalence tests are exactly the sanctioned remaining use of
+// the deprecated entry points.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+namespace ssa {
+namespace {
+
+TEST(SolverRegistry, AllSevenAlgorithmsRegistered) {
+  const std::vector<std::string> names = available_solvers();
+  for (const char* expected :
+       {"lp-rounding", "exact", "greedy-value", "greedy-density",
+        "local-ratio-k1", "local-ratio-per-channel", "mechanism"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end())
+        << "missing solver: " << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(SolverRegistry, UnknownNameThrowsWithCatalog) {
+  try {
+    (void)make_solver("no-such-solver");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    // The error message lists the registered names.
+    EXPECT_NE(std::string(e.what()).find("lp-rounding"), std::string::npos);
+  }
+}
+
+TEST(SolverRegistry, DuplicateRegistrationThrows) {
+  SolverRegistry registry;
+  registry.add("a", [] { return make_solver("exact"); });
+  EXPECT_THROW(registry.add("a", [] { return make_solver("exact"); }),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add("", [] { return make_solver("exact"); }),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add("b", SolverFactory{}), std::invalid_argument);
+}
+
+TEST(SolverRegistry, EveryRegisteredSolverSolvesSmallDiskAuction) {
+  // k = 1 keeps every solver in domain (local-ratio-k1 requires k == 1 and
+  // an unweighted graph; disk graphs are unweighted).
+  const AuctionInstance instance =
+      gen::make_disk_auction(10, 1, gen::ValuationMix::kMixed, 71);
+  for (const std::string& name : available_solvers()) {
+    const auto solver = make_solver(name);
+    ASSERT_NE(solver, nullptr);
+    EXPECT_EQ(solver->name(), name);
+    EXPECT_FALSE(solver->description().empty());
+    const SolveReport report = solver->solve(instance);
+    EXPECT_EQ(report.solver, name);
+    EXPECT_TRUE(report.error.empty()) << name << ": " << report.error;
+    EXPECT_TRUE(report.feasible) << name;
+    EXPECT_TRUE(instance.feasible(report.allocation)) << name;
+    EXPECT_GE(report.welfare, 0.0) << name;
+    EXPECT_DOUBLE_EQ(report.welfare, instance.welfare(report.allocation))
+        << name;
+    EXPECT_GE(report.wall_time_seconds, 0.0) << name;
+  }
+}
+
+TEST(SolverApi, DiagnosticsBlockIsPopulated) {
+  const AuctionInstance instance =
+      gen::make_disk_auction(12, 2, gen::ValuationMix::kMixed, 5);
+
+  const SolveReport lp = make_solver("lp-rounding")->solve(instance);
+  ASSERT_TRUE(lp.lp_upper_bound.has_value());
+  ASSERT_TRUE(lp.fractional.has_value());
+  EXPECT_GT(lp.guarantee, 0.0);
+  EXPECT_GT(lp.factor, 1.0);
+  // The diagnostics are internally consistent: guarantee = b*/factor.
+  EXPECT_NEAR(lp.guarantee, *lp.lp_upper_bound / lp.factor, 1e-9);
+  EXPECT_LE(lp.welfare, *lp.lp_upper_bound + 1e-6);
+  EXPECT_GE(lp.welfare, lp.guarantee * 0.9);
+  EXPECT_FALSE(lp.exact);
+
+  const SolveReport exact = make_solver("exact")->solve(instance);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_DOUBLE_EQ(exact.factor, 1.0);
+  EXPECT_DOUBLE_EQ(exact.guarantee, exact.welfare);
+  // OPT lies between the rounded welfare and the LP upper bound.
+  EXPECT_GE(exact.welfare, lp.welfare - 1e-9);
+  EXPECT_LE(exact.welfare, *lp.lp_upper_bound + 1e-6);
+
+  const SolveReport mech = make_solver("mechanism")->solve(instance);
+  ASSERT_TRUE(mech.mechanism.has_value());
+  ASSERT_TRUE(mech.lp_upper_bound.has_value());
+  EXPECT_GT(mech.factor, 1.0);
+  EXPECT_NEAR(mech.guarantee, *mech.lp_upper_bound / mech.factor, 1e-9);
+  EXPECT_EQ(mech.mechanism->payments.size(), instance.num_bidders());
+}
+
+TEST(SolverApi, SharedSeedSubsumesSectionSeeds) {
+  const AuctionInstance instance =
+      gen::make_disk_auction(14, 2, gen::ValuationMix::kMixed, 9);
+  SolveOptions a;
+  a.seed = 123;
+  SolveOptions b;
+  b.seed = 123;
+  b.pipeline.seed = 999;  // ignored: the shared seed wins
+  const SolveReport ra = make_solver("lp-rounding")->solve(instance, a);
+  const SolveReport rb = make_solver("lp-rounding")->solve(instance, b);
+  EXPECT_EQ(ra.allocation.bundles, rb.allocation.bundles);
+  EXPECT_DOUBLE_EQ(ra.welfare, rb.welfare);
+}
+
+TEST(SolverApi, ThreadOptionNeverChangesTheResult) {
+  const AuctionInstance instance =
+      gen::make_disk_auction(14, 2, gen::ValuationMix::kMixed, 88);
+  SolveOptions one;
+  one.seed = 4;
+  one.threads = 1;
+  SolveOptions many = one;
+  many.threads = 8;
+  const auto solver = make_solver("lp-rounding");
+  const SolveReport a = solver->solve(instance, one);
+  const SolveReport b = solver->solve(instance, many);
+  EXPECT_EQ(a.allocation.bundles, b.allocation.bundles);
+  EXPECT_DOUBLE_EQ(a.welfare, b.welfare);
+}
+
+TEST(DeprecatedWrappers, RunAuctionMatchesLpRoundingSolver) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const AuctionInstance instance =
+        gen::make_disk_auction(16, 2, gen::ValuationMix::kMixed, 300 + seed);
+    PipelineOptions legacy;
+    legacy.rounding_repetitions = 24;
+    legacy.seed = seed;
+    const PipelineResult old_result = run_auction(instance, legacy);
+
+    SolveOptions options;
+    options.seed = seed;
+    options.pipeline.rounding_repetitions = 24;
+    const SolveReport report =
+        make_solver("lp-rounding")->solve(instance, options);
+
+    EXPECT_EQ(old_result.allocation.bundles, report.allocation.bundles);
+    EXPECT_DOUBLE_EQ(old_result.welfare, report.welfare);
+    EXPECT_DOUBLE_EQ(old_result.guarantee, report.guarantee);
+    ASSERT_TRUE(report.lp_upper_bound.has_value());
+    EXPECT_DOUBLE_EQ(old_result.fractional.objective, *report.lp_upper_bound);
+  }
+}
+
+TEST(DeprecatedWrappers, RunMechanismMatchesMechanismSolver) {
+  const AuctionInstance instance =
+      gen::make_disk_auction(8, 2, gen::ValuationMix::kMixed, 404);
+  MechanismOptions legacy;
+  legacy.sample_seed = 77;
+  legacy.decomposition.seed = 77;
+  const MechanismOutcome old_outcome = run_mechanism(instance, legacy);
+
+  SolveOptions options;
+  options.seed = 77;
+  const SolveReport report = make_solver("mechanism")->solve(instance, options);
+  ASSERT_TRUE(report.mechanism.has_value());
+  EXPECT_EQ(old_outcome.allocation.bundles, report.allocation.bundles);
+  EXPECT_EQ(old_outcome.payments, report.mechanism->payments);
+  EXPECT_EQ(old_outcome.expected_payments, report.mechanism->expected_payments);
+}
+
+TEST(SolveBatch, DeterministicAcrossThreadCounts) {
+  const AuctionInstance disk =
+      gen::make_disk_auction(12, 2, gen::ValuationMix::kMixed, 31);
+  const AuctionInstance physical = gen::make_physical_auction(
+      10, 2, PowerScheme::kLinear, gen::ValuationMix::kMixed, 32);
+
+  const std::vector<LabelledInstance> instances = {{"disk", &disk},
+                                                   {"physical", &physical}};
+  const std::vector<std::string> solvers = {"lp-rounding", "exact",
+                                            "greedy-value", "greedy-density"};
+  SolveOptions options;
+  options.seed = 2026;
+  options.pipeline.rounding_repetitions = 16;
+  const std::vector<BatchJob> jobs = cross_jobs(instances, solvers, options);
+
+  const BatchResult serial = solve_batch(jobs, BatchOptions{.threads = 1});
+  const BatchResult parallel = solve_batch(jobs, BatchOptions{.threads = 0});
+
+  ASSERT_EQ(serial.reports.size(), jobs.size());
+  ASSERT_EQ(parallel.reports.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(serial.labels[i], parallel.labels[i]);
+    EXPECT_EQ(serial.reports[i].solver, parallel.reports[i].solver);
+    EXPECT_EQ(serial.reports[i].allocation.bundles,
+              parallel.reports[i].allocation.bundles)
+        << serial.labels[i] << "/" << serial.reports[i].solver;
+    EXPECT_DOUBLE_EQ(serial.reports[i].welfare, parallel.reports[i].welfare);
+    EXPECT_DOUBLE_EQ(serial.reports[i].guarantee,
+                     parallel.reports[i].guarantee);
+  }
+}
+
+TEST(SolveBatch, OutOfDomainJobReportsErrorInsteadOfThrowing) {
+  const AuctionInstance instance =
+      gen::make_disk_auction(10, 2, gen::ValuationMix::kMixed, 55);
+  // local-ratio-k1 requires k == 1; k = 2 must surface as a captured error.
+  const std::vector<BatchJob> jobs = {
+      {"local-ratio-k1", &instance, "disk-k2", {}},
+      {"greedy-value", &instance, "disk-k2", {}},
+      {"unknown-solver", &instance, "disk-k2", {}},
+  };
+  const BatchResult result = solve_batch(jobs);
+  ASSERT_EQ(result.reports.size(), 3u);
+  EXPECT_FALSE(result.reports[0].error.empty());
+  EXPECT_TRUE(result.reports[1].error.empty());
+  EXPECT_FALSE(result.reports[2].error.empty());
+  EXPECT_EQ(result.find("disk-k2", "local-ratio-k1"), nullptr);
+  ASSERT_NE(result.find("disk-k2", "greedy-value"), nullptr);
+  EXPECT_GT(result.find("disk-k2", "greedy-value")->welfare, 0.0);
+  // The comparison table renders every row, including the failed ones.
+  EXPECT_EQ(result.table().rows(), 3u);
+}
+
+TEST(SolveBatch, ComparisonTableHasOneRowPerJob) {
+  const AuctionInstance instance =
+      gen::make_disk_auction(8, 1, gen::ValuationMix::kMixed, 77);
+  const std::vector<LabelledInstance> instances = {{"tiny", &instance}};
+  std::vector<std::string> solvers = available_solvers();
+  const BatchResult result = solve_batch(cross_jobs(instances, solvers));
+  EXPECT_EQ(result.table().rows(), solvers.size());
+  for (const SolveReport& report : result.reports) {
+    EXPECT_TRUE(report.error.empty())
+        << report.solver << ": " << report.error;
+  }
+}
+
+}  // namespace
+}  // namespace ssa

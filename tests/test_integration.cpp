@@ -1,13 +1,14 @@
-// End-to-end integration tests: full pipelines per interference model,
-// including the Theorem 17 physical-model-with-power-control pipeline and
-// the demand-oracle path with many channels.
+// End-to-end integration tests through the unified Solver API: full
+// pipelines per interference model, including the Theorem 17
+// physical-model-with-power-control pipeline and the demand-oracle path
+// with many channels.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "core/auction_lp.hpp"
-#include "core/rounding.hpp"
 #include "gen/scenario.hpp"
 #include "models/power_control.hpp"
 #include "models/protocol.hpp"
@@ -16,43 +17,54 @@
 namespace ssa {
 namespace {
 
+SolveReport run_lp_rounding(const AuctionInstance& instance, int repetitions,
+                            std::uint64_t seed) {
+  SolveOptions options;
+  options.seed = seed;
+  options.pipeline.rounding_repetitions = repetitions;
+  return make_solver("lp-rounding")->solve(instance, options);
+}
+
 TEST(Pipeline, DiskAuctionEndToEnd) {
   const AuctionInstance instance =
       gen::make_disk_auction(40, 4, gen::ValuationMix::kMixed, 2024);
-  const FractionalSolution lp = solve_auction_lp(instance);
-  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
-  const Allocation best = best_of_rounds(instance, lp, 64, 11);
-  EXPECT_TRUE(instance.feasible(best));
+  const SolveReport report = run_lp_rounding(instance, 64, 11);
+  ASSERT_TRUE(report.fractional.has_value());
+  ASSERT_EQ(report.fractional->status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(report.feasible);
   const double bound =
-      lp.objective / (8.0 * std::sqrt(4.0) * instance.rho());
-  EXPECT_GE(instance.welfare(best), bound * 0.9);
-  EXPECT_LE(instance.welfare(best), lp.objective + 1e-6);
+      *report.lp_upper_bound / (8.0 * std::sqrt(4.0) * instance.rho());
+  EXPECT_NEAR(report.guarantee, bound, 1e-9);
+  EXPECT_GE(report.welfare, bound * 0.9);
+  EXPECT_LE(report.welfare, *report.lp_upper_bound + 1e-6);
 }
 
 TEST(Pipeline, ProtocolAuctionEndToEnd) {
   const AuctionInstance instance =
       gen::make_protocol_auction(35, 2, 1.0, gen::ValuationMix::kMixed, 2025);
-  const FractionalSolution lp = solve_auction_lp(instance);
-  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
-  const Allocation best = best_of_rounds(instance, lp, 64, 12);
-  EXPECT_TRUE(instance.feasible(best));
-  EXPECT_GT(instance.welfare(best), 0.0);
+  const SolveReport report = run_lp_rounding(instance, 64, 12);
+  ASSERT_EQ(report.fractional->status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_GT(report.welfare, 0.0);
 }
 
 TEST(Pipeline, PhysicalFixedPowerEndToEnd) {
   const AuctionInstance instance = gen::make_physical_auction(
       30, 2, PowerScheme::kLinear, gen::ValuationMix::kMixed, 2026);
   ASSERT_FALSE(instance.unweighted());
-  const FractionalSolution lp = solve_auction_lp(instance);
-  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
-  const Allocation best = best_of_rounds(instance, lp, 64, 13);
-  EXPECT_TRUE(instance.feasible(best));
+  const SolveReport report = run_lp_rounding(instance, 64, 13);
+  ASSERT_EQ(report.fractional->status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(report.feasible);
+  // The weighted guarantee uses the 16 sqrt(k) rho ceil(log n) factor.
+  const double log_n = std::ceil(std::log2(30.0));
+  EXPECT_NEAR(report.factor,
+              16.0 * std::sqrt(2.0) * instance.rho() * log_n, 1e-9);
 }
 
 TEST(Pipeline, Theorem17PowerControlEndToEnd) {
-  // Build the power-control conflict graph, run the LP + rounding, then
-  // verify every per-channel winner set admits a feasible power assignment
-  // (the role of [24] in Theorem 17).
+  // Build the power-control conflict graph, run the LP + rounding through
+  // the solver, then verify every per-channel winner set admits a feasible
+  // power assignment (the role of [24] in Theorem 17).
   Rng rng(31415);
   const auto planar = gen::random_links(30, 60.0, 1.0, 2.5, rng);
   const auto [links, metric] = to_metric_links(planar);
@@ -62,12 +74,11 @@ TEST(Pipeline, Theorem17PowerControlEndToEnd) {
       gen::random_valuations(30, 2, gen::ValuationMix::kMixed, 100, rng);
   const AuctionInstance instance(std::move(model.graph), std::move(model.order),
                                  2, std::move(valuations));
-  const FractionalSolution lp = solve_auction_lp(instance);
-  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
-  const Allocation best = best_of_rounds(instance, lp, 32, 14);
-  ASSERT_TRUE(instance.feasible(best));
+  const SolveReport report = run_lp_rounding(instance, 32, 14);
+  ASSERT_EQ(report.fractional->status, lp::SolveStatus::kOptimal);
+  ASSERT_TRUE(report.feasible);
   for (int j = 0; j < 2; ++j) {
-    const std::vector<int> holders = channel_holders(best, j);
+    const std::vector<int> holders = channel_holders(report.allocation, j);
     const PowerControlResult power =
         solve_power_control(links, metric, params, holders);
     EXPECT_TRUE(power.feasible)
@@ -85,13 +96,17 @@ TEST(Pipeline, ColgenManyChannelsEndToEnd) {
   ModelGraph model = disk_graph(transmitters);
   const AuctionInstance instance(std::move(model.graph), std::move(model.order),
                                  16, std::move(valuations));
+  // The colgen solver proves optimality of the master (E6b measures this).
   ColGenStats stats;
   const FractionalSolution lp = solve_auction_lp_colgen(instance, &stats);
   ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
   EXPECT_TRUE(stats.proved_optimal);
-  const Allocation best = best_of_rounds(instance, lp, 32, 15);
-  EXPECT_TRUE(instance.feasible(best));
-  EXPECT_GT(instance.welfare(best), 0.0);
+  // The solver auto-selects the demand-oracle path for k > explicit_limit.
+  const SolveReport report = run_lp_rounding(instance, 32, 15);
+  EXPECT_NE(report.params.find("lp=colgen"), std::string::npos);
+  EXPECT_NEAR(*report.lp_upper_bound, lp.objective, 1e-6);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_GT(report.welfare, 0.0);
 }
 
 TEST(Pipeline, ClusteredPlacementsWork) {
@@ -103,9 +118,9 @@ TEST(Pipeline, ClusteredPlacementsWork) {
       gen::random_valuations(30, 3, gen::ValuationMix::kMixed, 100, rng);
   const AuctionInstance instance(std::move(model.graph), std::move(model.order),
                                  3, std::move(valuations));
-  const FractionalSolution lp = solve_auction_lp(instance);
-  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
-  EXPECT_TRUE(instance.feasible(best_of_rounds(instance, lp, 32, 16)));
+  const SolveReport report = run_lp_rounding(instance, 32, 16);
+  ASSERT_EQ(report.fractional->status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(report.feasible);
 }
 
 TEST(Pipeline, DeterministicAcrossRuns) {
@@ -114,12 +129,11 @@ TEST(Pipeline, DeterministicAcrossRuns) {
       gen::make_disk_auction(25, 3, gen::ValuationMix::kMixed, 13579);
   const AuctionInstance b =
       gen::make_disk_auction(25, 3, gen::ValuationMix::kMixed, 13579);
-  const FractionalSolution lp_a = solve_auction_lp(a);
-  const FractionalSolution lp_b = solve_auction_lp(b);
-  EXPECT_DOUBLE_EQ(lp_a.objective, lp_b.objective);
-  const Allocation round_a = best_of_rounds(a, lp_a, 16, 7);
-  const Allocation round_b = best_of_rounds(b, lp_b, 16, 7);
-  EXPECT_EQ(round_a.bundles, round_b.bundles);
+  const SolveReport report_a = run_lp_rounding(a, 16, 7);
+  const SolveReport report_b = run_lp_rounding(b, 16, 7);
+  EXPECT_DOUBLE_EQ(*report_a.lp_upper_bound, *report_b.lp_upper_bound);
+  EXPECT_EQ(report_a.allocation.bundles, report_b.allocation.bundles);
+  EXPECT_DOUBLE_EQ(report_a.welfare, report_b.welfare);
 }
 
 }  // namespace

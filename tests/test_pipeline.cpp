@@ -1,8 +1,9 @@
-// Tests for the one-call pipeline API and the XOR bidding language.
+// Tests for the end-to-end LP+rounding solver (through the unified Solver
+// API) and the XOR bidding language.
 
 #include <gtest/gtest.h>
 
-#include "core/pipeline.hpp"
+#include "api/api.hpp"
 #include "core/valuation.hpp"
 #include "gen/scenario.hpp"
 #include "support/random.hpp"
@@ -21,15 +22,19 @@ TEST_P(Pipeline, FeasibleAndMeetsGuaranteeEnvelope) {
           : gen::make_physical_auction(16, 2, PowerScheme::kLinear,
                                        gen::ValuationMix::kMixed,
                                        static_cast<std::uint64_t>(seed) + 42);
-  PipelineOptions options;
-  options.rounding_repetitions = 48;
-  const PipelineResult result = run_auction(instance, options);
-  ASSERT_EQ(result.fractional.status, lp::SolveStatus::kOptimal);
-  EXPECT_TRUE(instance.feasible(result.allocation));
-  EXPECT_LE(result.welfare, result.fractional.objective + 1e-6);
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 48;
+  const SolveReport report =
+      make_solver("lp-rounding")->solve(instance, options);
+  ASSERT_TRUE(report.fractional.has_value());
+  ASSERT_EQ(report.fractional->status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_TRUE(instance.feasible(report.allocation));
+  ASSERT_TRUE(report.lp_upper_bound.has_value());
+  EXPECT_LE(report.welfare, *report.lp_upper_bound + 1e-6);
   // Best-of-48 comfortably exceeds the worst-case expectation bound.
-  EXPECT_GE(result.welfare, result.guarantee * 0.9);
-  EXPECT_FALSE(result.used_column_generation);
+  EXPECT_GE(report.welfare, report.guarantee * 0.9);
+  EXPECT_NE(report.params.find("lp=explicit"), std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Pipeline, ::testing::Range(0, 8));
@@ -47,21 +52,22 @@ TEST(Pipeline, AutoSwitchesToColumnGeneration) {
   }
   const AuctionInstance instance(std::move(graph), identity_ordering(n), 14,
                                  std::move(valuations));
-  const PipelineResult result = run_auction(instance);
-  EXPECT_TRUE(result.used_column_generation);
-  EXPECT_TRUE(instance.feasible(result.allocation));
+  const SolveReport report = make_solver("lp-rounding")->solve(instance);
+  EXPECT_NE(report.params.find("lp=colgen"), std::string::npos);
+  EXPECT_TRUE(instance.feasible(report.allocation));
 }
 
 TEST(Pipeline, DerandomizedOptionNeverHurts) {
   const AuctionInstance instance =
       gen::make_disk_auction(14, 2, gen::ValuationMix::kMixed, 314);
-  PipelineOptions plain;
-  plain.rounding_repetitions = 16;
+  SolveOptions plain;
+  plain.pipeline.rounding_repetitions = 16;
   plain.seed = 5;
-  PipelineOptions derand = plain;
-  derand.derandomize = true;
-  const PipelineResult a = run_auction(instance, plain);
-  const PipelineResult b = run_auction(instance, derand);
+  SolveOptions derand = plain;
+  derand.pipeline.derandomize = true;
+  const auto solver = make_solver("lp-rounding");
+  const SolveReport a = solver->solve(instance, plain);
+  const SolveReport b = solver->solve(instance, derand);
   EXPECT_GE(b.welfare, a.welfare - 1e-9);
   EXPECT_TRUE(instance.feasible(b.allocation));
 }
@@ -132,9 +138,10 @@ TEST(XorValuation, WorksInsideFullPipeline) {
   ModelGraph model = disk_graph(transmitters);
   const AuctionInstance instance(std::move(model.graph), std::move(model.order),
                                  3, std::move(valuations));
-  const PipelineResult result = run_auction(instance);
-  EXPECT_TRUE(instance.feasible(result.allocation));
-  EXPECT_GT(result.fractional.objective, 0.0);
+  const SolveReport report = make_solver("lp-rounding")->solve(instance);
+  EXPECT_TRUE(instance.feasible(report.allocation));
+  ASSERT_TRUE(report.lp_upper_bound.has_value());
+  EXPECT_GT(*report.lp_upper_bound, 0.0);
 }
 
 }  // namespace

@@ -85,6 +85,27 @@ TEST(CoverageValuation, CountsCoveredElementsOnce) {
   EXPECT_DOUBLE_EQ(valuation.value(0b11), 13.0);  // no double counting
 }
 
+TEST(CoverageValuation, MaxValueIsFullBundle) {
+  // Monotone, so the closed-form max_value override must equal both the
+  // full-bundle value and the 2^k enumeration it replaces.
+  const CoverageValuation valuation({10.0, 3.0, 7.5},
+                                    {{0}, {0, 1}, {2}, {1, 2}});
+  EXPECT_DOUBLE_EQ(valuation.max_value(), 20.5);
+  EXPECT_DOUBLE_EQ(valuation.max_value(), valuation.value(0b1111));
+  double brute_force = 0.0;
+  for (Bundle t = 1; t < num_bundles(4); ++t) {
+    brute_force = std::max(brute_force, valuation.value(t));
+  }
+  EXPECT_DOUBLE_EQ(valuation.max_value(), brute_force);
+}
+
+TEST(BudgetAdditiveValuation, MaxValueIsCappedFullBundle) {
+  const BudgetAdditiveValuation capped({4.0, 4.0, 4.0}, 6.0);
+  EXPECT_DOUBLE_EQ(capped.max_value(), capped.value(0b111));
+  const BudgetAdditiveValuation uncapped({1.0, 2.0, 3.0}, 100.0);
+  EXPECT_DOUBLE_EQ(uncapped.max_value(), 6.0);
+}
+
 TEST(ExplicitValuation, ValidatesTable) {
   EXPECT_THROW(ExplicitValuation(2, {0.0, 1.0}), std::invalid_argument);
   EXPECT_THROW(ExplicitValuation(2, {1.0, 1.0, 1.0, 1.0}), std::invalid_argument);
