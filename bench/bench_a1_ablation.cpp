@@ -29,6 +29,8 @@ using namespace ssa;
 
 /// LP optimum via the unified solver (it owns the explicit-vs-colgen
 /// choice the ablations used to duplicate); one rounding pass is wasted.
+/// The registry is the only LP entry point this bench touches -- the raw
+/// round_unweighted calls below are the ablation subject itself.
 FractionalSolution lp_of(const AuctionInstance& instance) {
   SolveOptions options;
   options.pipeline.rounding_repetitions = 1;
@@ -150,13 +152,28 @@ void split_table() {
 void bm_round_with_split(benchmark::State& state) {
   const AuctionInstance instance =
       gen::make_disk_auction(40, 8, gen::ValuationMix::kMixed, 5);
-  const FractionalSolution lp = solve_auction_lp_colgen(instance);
+  const FractionalSolution lp = lp_of(instance);
   Rng rng(2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(round_unweighted(instance, lp, rng));
   }
 }
 BENCHMARK(bm_round_with_split);
+
+/// Registry round-trip timing for the Section 6 solver: LP + 16 rounding
+/// passes behind "asymmetric-lp-rounding" (the path the a1 ablations
+/// isolate pieces of, asymmetric edition).
+void bm_asymmetric_registry_solve(benchmark::State& state) {
+  const AsymmetricInstance instance = gen::make_random_asymmetric(
+      24, 3, 0.25, gen::ValuationMix::kMixed, 5);
+  const auto solver = make_solver("asymmetric-lp-rounding");
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver->solve(instance, options));
+  }
+}
+BENCHMARK(bm_asymmetric_registry_solve);
 
 }  // namespace
 

@@ -66,10 +66,11 @@ void experiment_table() {
     // would report max(random pass, derand)), on the batch's LP payload.
     std::string derand = "n/a";
     if (rounded != nullptr && rounded->fractional) {
-      const PairwiseFamily family(li.instance->num_bidders(), 61);
+      const AuctionInstance& instance = li.instance.symmetric();
+      const PairwiseFamily family(instance.num_bidders(), 61);
       derand = Table::num(
-          li.instance->welfare(derandomized_round(
-              *li.instance, *rounded->fractional, family)),
+          instance.welfare(
+              derandomized_round(instance, *rounded->fractional, family)),
           1);
     }
     const double ratio =

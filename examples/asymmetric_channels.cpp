@@ -1,14 +1,16 @@
 // Asymmetric channels (Section 6): each channel has its own conflict
-// graph. AsymmetricInstance is the one solver family still outside the
-// unified ssa::Solver registry (it takes a different instance type); see
-// ROADMAP.md for the planned "asymmetric-*" registry entries. Scenario: channel 0 is clean everywhere; channel 1 has a primary
-// user (TV tower) in the west -- bidders inside its protection zone
+// graph, solved end to end through the unified Solver registry -- the
+// "asymmetric-*" entries take an AsymmetricInstance through the same
+// solve()/solve_batch() surface as the symmetric solvers.
+//
+// Scenario: channel 0 is clean everywhere; channel 1 has a primary user
+// (TV tower) in the west -- bidders inside its protection zone
 // additionally conflict with each other there; channel 2 is crowded: its
 // protocol-model conflicts use a much larger guard parameter.
 
 #include <iostream>
 
-#include "core/asymmetric.hpp"
+#include "api/api.hpp"
 #include "gen/scenario.hpp"
 #include "models/protocol.hpp"
 #include "support/random.hpp"
@@ -53,22 +55,47 @@ int main() {
   std::cout << "conflicts per channel: "
             << market.graph(0).num_conflicts() << " / "
             << market.graph(1).num_conflicts() << " / "
-            << market.graph(2).num_conflicts() << "\n";
+            << market.graph(2).num_conflicts() << "\n\n";
 
-  const FractionalSolution lp = solve_asymmetric_lp(market);
-  std::cout << "asymmetric LP optimum b* = " << lp.objective << "\n";
+  // The Section 6 pipeline behind one registry call: explicit per-channel
+  // LP, 128 rounding passes at the 1/(2 k rho) scale, diagnostics filled.
+  SolveOptions options;
+  options.seed = 3;
+  options.pipeline.rounding_repetitions = 128;
+  const SolveReport report =
+      make_solver("asymmetric-lp-rounding")->solve(market, options);
+  if (!report.error.empty()) {
+    // solve() never throws; a smoke-tested example must still fail loudly.
+    std::cerr << "asymmetric-lp-rounding failed: " << report.error << "\n";
+    return 1;
+  }
+  std::cout << "asymmetric LP optimum b* = "
+            << report.lp_upper_bound.value_or(0.0) << "\n";
+  std::cout << "rounded welfare = " << report.welfare
+            << " (feasible: " << (report.feasible ? "yes" : "no")
+            << ", factor 2k*rho = " << report.factor
+            << ", proven E[welfare] >= " << report.guarantee << ")\n\n";
 
-  const Allocation allocation = best_asymmetric_rounds(market, lp, 128, 3);
-  std::cout << "rounded welfare = " << market.welfare(allocation)
-            << " (feasible: " << (market.feasible(allocation) ? "yes" : "no")
-            << ")\n\n";
+  // Compare the whole asymmetric family on this market with one batch;
+  // the exact reference gets a one-second budget and reports truncation
+  // honestly if it fires.
+  SolveOptions exact_budget = options;
+  exact_budget.time_budget_seconds = 1.0;
+  const std::vector<BatchJob> jobs = {
+      {"asymmetric-lp-rounding", market, "market", options},
+      {"asymmetric-greedy-value", market, "market", options},
+      {"asymmetric-greedy-density", market, "market", options},
+      {"asymmetric-exact", market, "market", exact_budget},
+  };
+  solve_batch(jobs).table().print(std::cout, "solver comparison");
+  std::cout << "\n";
 
   Table table({"channel", "holders", "note"});
   const char* notes[] = {"clean", "primary-user zone", "crowded (delta=2)"};
   for (int j = 0; j < 3; ++j) {
     table.add_row({Table::integer(j),
                    Table::integer(static_cast<long long>(
-                       channel_holders(allocation, j).size())),
+                       channel_holders(report.allocation, j).size())),
                    notes[j]});
   }
   table.print(std::cout, "channel usage");

@@ -1,0 +1,120 @@
+#pragma once
+/// \file any_instance.hpp
+/// Type-erased (variant-based) view over the library's instance types, so
+/// one Solver::solve entry point serves both the symmetric Problem-1
+/// auction (AuctionInstance) and the Section-6 per-channel-graph auction
+/// (AsymmetricInstance). AnyInstance is a non-owning view: it stores a
+/// pointer to the caller's instance, which must outlive every solve/batch
+/// call it is passed to. It converts implicitly from either instance type
+/// (by reference or pointer), so existing call sites keep reading
+/// solver->solve(instance, options).
+
+#include <cstddef>
+#include <stdexcept>
+#include <variant>
+
+#include "core/asymmetric.hpp"
+#include "core/instance.hpp"
+
+namespace ssa {
+
+class AnyInstance {
+ public:
+  /// Empty view; solving it reports an error. Exists so BatchJob can be
+  /// default-constructed.
+  AnyInstance() = default;
+
+  // Implicit views over caller-owned instances. Temporaries are rejected:
+  // a view over an rvalue would dangle before solve() runs.
+  AnyInstance(const AuctionInstance& instance) : ref_(&instance) {}
+  AnyInstance(const AsymmetricInstance& instance) : ref_(&instance) {}
+  AnyInstance(AuctionInstance&&) = delete;
+  AnyInstance(AsymmetricInstance&&) = delete;
+
+  /// Pointer forms for aggregate call sites ({"label", &instance, ...});
+  /// nullptr yields the empty view.
+  AnyInstance(const AuctionInstance* instance) {
+    if (instance != nullptr) ref_ = instance;
+  }
+  AnyInstance(const AsymmetricInstance* instance) {
+    if (instance != nullptr) ref_ = instance;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return std::holds_alternative<std::monostate>(ref_);
+  }
+  [[nodiscard]] bool is_symmetric() const noexcept {
+    return std::holds_alternative<const AuctionInstance*>(ref_);
+  }
+  [[nodiscard]] bool is_asymmetric() const noexcept {
+    return std::holds_alternative<const AsymmetricInstance*>(ref_);
+  }
+
+  /// "symmetric", "asymmetric" or "empty" -- used in domain-error messages.
+  [[nodiscard]] const char* kind() const noexcept {
+    if (is_symmetric()) return "symmetric";
+    if (is_asymmetric()) return "asymmetric";
+    return "empty";
+  }
+
+  /// The underlying symmetric instance; throws std::invalid_argument when
+  /// the view holds something else (callers turn this into a structured
+  /// SolveReport::error, never an unguarded crash).
+  [[nodiscard]] const AuctionInstance& symmetric() const {
+    if (!is_symmetric()) {
+      throw std::invalid_argument(
+          "AnyInstance: expected a symmetric AuctionInstance, holds " +
+          std::string(kind()));
+    }
+    return *std::get<const AuctionInstance*>(ref_);
+  }
+
+  [[nodiscard]] const AsymmetricInstance& asymmetric() const {
+    if (!is_asymmetric()) {
+      throw std::invalid_argument(
+          "AnyInstance: expected an AsymmetricInstance, holds " +
+          std::string(kind()));
+    }
+    return *std::get<const AsymmetricInstance*>(ref_);
+  }
+
+  // -- common surface, dispatched over the held type ------------------------
+
+  /// Applies \p fn to the held instance (either type); throws
+  /// std::invalid_argument on the empty view. Defined before its users so
+  /// the deduced return type is available to them.
+  template <typename Fn>
+  decltype(auto) visit(Fn&& fn) const {
+    if (is_symmetric()) return fn(*std::get<const AuctionInstance*>(ref_));
+    if (is_asymmetric()) return fn(*std::get<const AsymmetricInstance*>(ref_));
+    throw std::invalid_argument("AnyInstance: empty instance view");
+  }
+
+  [[nodiscard]] std::size_t num_bidders() const {
+    return visit([](const auto& instance) { return instance.num_bidders(); });
+  }
+  [[nodiscard]] int num_channels() const {
+    return visit([](const auto& instance) { return instance.num_channels(); });
+  }
+  [[nodiscard]] double rho() const {
+    return visit([](const auto& instance) { return instance.rho(); });
+  }
+  [[nodiscard]] bool unweighted() const {
+    return visit([](const auto& instance) { return instance.unweighted(); });
+  }
+  [[nodiscard]] double welfare(const Allocation& allocation) const {
+    return visit(
+        [&](const auto& instance) { return instance.welfare(allocation); });
+  }
+  [[nodiscard]] bool feasible(const Allocation& allocation) const {
+    return visit(
+        [&](const auto& instance) { return instance.feasible(allocation); });
+  }
+
+ private:
+  std::variant<std::monostate, const AuctionInstance*,
+               const AsymmetricInstance*>
+      ref_ = std::monostate{};
+};
+
+}  // namespace ssa

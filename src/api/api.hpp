@@ -4,6 +4,7 @@
 ///     auto report = ssa::make_solver("lp-rounding")->solve(instance);
 /// or solve_batch() for multi-solver comparisons.
 
-#include "api/batch.hpp"     // IWYU pragma: export
-#include "api/registry.hpp"  // IWYU pragma: export
-#include "api/solver.hpp"    // IWYU pragma: export
+#include "api/any_instance.hpp"  // IWYU pragma: export
+#include "api/batch.hpp"         // IWYU pragma: export
+#include "api/registry.hpp"      // IWYU pragma: export
+#include "api/solver.hpp"        // IWYU pragma: export

@@ -33,7 +33,9 @@ Table BatchResult::table(int precision) const {
                    r.lp_upper_bound ? Table::num(*r.lp_upper_bound, precision)
                                     : "-",
                    Table::num(r.wall_time_seconds * 1e3, 1),
-                   r.exact ? "exact" : r.params});
+                   r.exact ? "exact"
+                   : r.timed_out ? r.params + " [timed out]"
+                                 : r.params});
   }
   return table;
 }
@@ -49,10 +51,10 @@ BatchResult solve_batch(std::span<const BatchJob> jobs,
     SolveReport& report = result.reports[static_cast<std::size_t>(i)];
     result.labels[static_cast<std::size_t>(i)] = job.instance_label;
     try {
-      if (job.instance == nullptr) {
-        throw std::invalid_argument("solve_batch: null instance");
+      if (job.instance.empty()) {
+        throw std::invalid_argument("solve_batch: empty instance");
       }
-      report = make_solver(job.solver)->solve(*job.instance, job.options);
+      report = make_solver(job.solver)->solve(job.instance, job.options);
     } catch (const std::exception& e) {
       report = SolveReport{};
       report.solver = job.solver;

@@ -1,8 +1,11 @@
 #pragma once
 /// \file batch.hpp
 /// Batch execution over the unified Solver API: a set of (instance, solver)
-/// jobs is run concurrently through support/parallel.hpp and the resulting
-/// SolveReports are aggregated into one comparison table. This replaces the
+/// jobs -- mixing symmetric AuctionInstances and Section-6
+/// AsymmetricInstances freely -- is run concurrently through
+/// support/parallel.hpp and the resulting SolveReports are aggregated into
+/// one comparison table. A job pairing a solver with the wrong instance
+/// type renders as a per-row error, not a batch abort. This replaces the
 /// hand-rolled "call every algorithm, collect a row" loops every bench and
 /// example used to carry.
 
@@ -10,16 +13,18 @@
 #include <string>
 #include <vector>
 
+#include "api/any_instance.hpp"
 #include "api/solver.hpp"
 #include "support/table.hpp"
 
 namespace ssa {
 
-/// One unit of work: solve \p *instance with the registry solver \p solver.
-/// \p instance is non-owning and must outlive solve_batch.
+/// One unit of work: solve \p instance with the registry solver \p solver.
+/// \p instance is a non-owning view (over either instance type) and the
+/// viewed object must outlive solve_batch.
 struct BatchJob {
   std::string solver;
-  const AuctionInstance* instance = nullptr;
+  AnyInstance instance = {};
   std::string instance_label;  ///< row label in the comparison table
   SolveOptions options = {};
 };
@@ -56,7 +61,7 @@ struct BatchResult {
 /// all sharing \p options.
 struct LabelledInstance {
   std::string label;
-  const AuctionInstance* instance = nullptr;
+  AnyInstance instance = {};
 };
 [[nodiscard]] std::vector<BatchJob> cross_jobs(
     std::span<const LabelledInstance> instances,

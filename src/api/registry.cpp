@@ -6,7 +6,7 @@
 namespace ssa {
 
 namespace detail {
-// Defined in solvers.cpp; registers the seven built-in adapters.
+// Defined in solvers.cpp; registers the built-in adapters.
 void register_builtin_solvers(SolverRegistry& registry);
 }  // namespace detail
 
@@ -58,6 +58,8 @@ std::vector<std::string> SolverRegistry::names() const {
   std::sort(result.begin(), result.end());
   return result;
 }
+
+SolverRegistry& registry() { return SolverRegistry::global(); }
 
 std::unique_ptr<Solver> make_solver(const std::string& name) {
   return SolverRegistry::global().create(name);

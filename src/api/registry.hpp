@@ -1,15 +1,19 @@
 #pragma once
 /// \file registry.hpp
-/// String-keyed factory registry for ssa::Solver implementations. The seven
-/// algorithms of the paper reproduction register themselves under stable
-/// names; follow-up papers (symmetric/submodular bidders, universally
-/// truthful auctions) plug in beside them without new entry points:
+/// String-keyed factory registry for ssa::Solver implementations. The
+/// algorithms of the paper reproduction -- both the symmetric Problem-1
+/// family and the Section-6 asymmetric-channel family -- register
+/// themselves under stable names; follow-up papers (symmetric/submodular
+/// bidders, universally truthful auctions) plug in beside them without new
+/// entry points:
 ///
 ///     auto solver = ssa::make_solver("lp-rounding");
 ///     SolveReport report = solver->solve(instance);
 ///
 /// Built-in names: "lp-rounding", "exact", "greedy-value", "greedy-density",
-/// "local-ratio-k1", "local-ratio-per-channel", "mechanism".
+/// "local-ratio-k1", "local-ratio-per-channel", "mechanism",
+/// "asymmetric-lp-rounding", "asymmetric-exact", "asymmetric-greedy-value",
+/// "asymmetric-greedy-density".
 
 #include <functional>
 #include <memory>
@@ -49,6 +53,9 @@ class SolverRegistry {
   };
   std::vector<Entry> entries_;
 };
+
+/// Shorthand for SolverRegistry::global().
+[[nodiscard]] SolverRegistry& registry();
 
 /// Shorthand for SolverRegistry::global().create(name).
 [[nodiscard]] std::unique_ptr<Solver> make_solver(const std::string& name);

@@ -1,27 +1,62 @@
 #include "api/solver.hpp"
 
 #include <chrono>
+#include <exception>
+#include <stdexcept>
 
 #include "support/parallel.hpp"
 
 namespace ssa {
 
-SolveReport Solver::solve(const AuctionInstance& instance,
+SolveReport Solver::solve(const AnyInstance& instance,
                           const SolveOptions& options) const {
   // Bound the solver's internal parallel loops; never changes the report.
   const ThreadCountScope thread_scope(options.threads);
   const auto start = std::chrono::steady_clock::now();
-  SolveReport report = solve_impl(instance, options);
+  SolveReport report;
+  try {
+    report = solve_impl(instance, options);
+    if (report.allocation.bundles.empty()) {
+      report.allocation.bundles.assign(instance.num_bidders(), kEmptyBundle);
+    }
+    report.welfare = instance.welfare(report.allocation);
+    report.feasible = instance.feasible(report.allocation);
+  } catch (const std::exception& e) {
+    // Domain mismatches (wrong instance type, k out of range, weighted
+    // graph, bad options) surface as a structured error, not an exception:
+    // mixed-type batches keep running and tables render the reason.
+    report = SolveReport{};
+    report.error = e.what();
+    if (!instance.empty()) {
+      report.allocation.bundles.assign(instance.num_bidders(), kEmptyBundle);
+    }
+  }
   const auto stop = std::chrono::steady_clock::now();
   report.solver = name();
-  if (report.allocation.bundles.empty()) {
-    report.allocation.bundles.assign(instance.num_bidders(), kEmptyBundle);
-  }
-  report.welfare = instance.welfare(report.allocation);
-  report.feasible = instance.feasible(report.allocation);
   report.wall_time_seconds =
       std::chrono::duration<double>(stop - start).count();
   return report;
+}
+
+SolveReport SymmetricSolver::solve_impl(const AnyInstance& instance,
+                                        const SolveOptions& options) const {
+  if (!instance.is_symmetric()) {
+    throw std::invalid_argument("solver '" + name() +
+                                "' requires a symmetric AuctionInstance, got " +
+                                instance.kind() + " instance");
+  }
+  return solve_symmetric(instance.symmetric(), options);
+}
+
+SolveReport AsymmetricSolver::solve_impl(const AnyInstance& instance,
+                                         const SolveOptions& options) const {
+  if (!instance.is_asymmetric()) {
+    throw std::invalid_argument(
+        "solver '" + name() +
+        "' requires an AsymmetricInstance (Section 6), got " +
+        instance.kind() + " instance");
+  }
+  return solve_asymmetric(instance.asymmetric(), options);
 }
 
 }  // namespace ssa

@@ -2,18 +2,24 @@
 /// \file solver.hpp
 /// The unified solving surface: every algorithm in the library -- the
 /// LP+rounding pipeline, exact branch and bound, the greedy and local-ratio
-/// baselines, and the truthful mechanism -- is exposed as an ssa::Solver
-/// with one entry point,
+/// baselines, the truthful mechanism, and the Section-6 asymmetric-channel
+/// family -- is exposed as an ssa::Solver with one entry point,
 ///     solve(instance, options) -> SolveReport,
-/// so benches, examples and downstream operators compare algorithms through
-/// one interface instead of five ad-hoc entry points. Solvers are obtained
-/// by name from the SolverRegistry (registry.hpp) and can be executed in
-/// bulk with solve_batch (batch.hpp).
+/// where `instance` is an AnyInstance view over either a symmetric
+/// AuctionInstance or an AsymmetricInstance. Benches, examples and
+/// downstream operators compare algorithms through one interface instead of
+/// per-family entry points. Solvers are obtained by name from the
+/// SolverRegistry (registry.hpp) and can be executed in bulk with
+/// solve_batch (batch.hpp). A solver handed an instance outside its domain
+/// (wrong instance type, k out of range, weighted graph, ...) reports the
+/// reason in SolveReport::error -- solve() never lets a domain mismatch
+/// escape as an exception.
 
 #include <cstdint>
 #include <optional>
 #include <string>
 
+#include "api/any_instance.hpp"
 #include "core/auction_lp.hpp"
 #include "core/exact.hpp"
 #include "core/instance.hpp"
@@ -30,9 +36,17 @@ namespace ssa {
 struct SolveOptions {
   // -- shared ---------------------------------------------------------------
   std::uint64_t seed = 1;  ///< single source of randomness for the run
-  /// Soft wall-time target in seconds (0 = unlimited). Advisory: solvers
-  /// with an internal budget (exact B&B node budget) scale it from this;
-  /// others ignore it.
+  /// Soft wall-time target in seconds (0 = unlimited). Enforced
+  /// cooperatively by the budget-aware solvers -- "exact" and
+  /// "asymmetric-exact" scale their node budget from it and poll a
+  /// deadline between search nodes; "lp-rounding" and
+  /// "asymmetric-lp-rounding" poll it between simplex pivots and between
+  /// rounding repetitions. A run the budget truncated sets
+  /// SolveReport::timed_out and still returns a feasible (possibly
+  /// partial or empty) allocation. The remaining solvers ignore it: the
+  /// greedy/local-ratio baselines finish in milliseconds anyway, and
+  /// "mechanism" does not yet thread a deadline through its VCG +
+  /// decomposition stages.
   double time_budget_seconds = 0.0;
   /// Worker threads for the solver's internal parallel loops (0 = runtime
   /// default). Applied by Solver::solve as a scoped OpenMP thread count;
@@ -41,8 +55,8 @@ struct SolveOptions {
   int threads = 0;
 
   // -- per-solver sections --------------------------------------------------
-  PipelineOptions pipeline = {};    ///< "lp-rounding"
-  ExactOptions exact = {};          ///< "exact"
+  PipelineOptions pipeline = {};    ///< "lp-rounding", "asymmetric-lp-rounding"
+  ExactOptions exact = {};          ///< "exact", "asymmetric-exact"
   MechanismOptions mechanism = {};  ///< "mechanism"
 };
 
@@ -60,14 +74,22 @@ struct SolveReport {
   double guarantee = 0.0;
   /// Proven worst-case approximation factor alpha: welfare >= OPT / alpha
   /// (1 = exact, 0 = heuristic with no proven factor). For randomized
-  /// solvers the factor holds in expectation.
+  /// solvers the factor holds in expectation. The asymmetric LP-rounding
+  /// solver reports the Section 6 sampling scale 2 k rho here (see
+  /// api/solvers.cpp for how it relates to the expectation bound).
   double factor = 0.0;
   /// LP optimum b* (an upper bound on OPT) when the solver computed it.
   std::optional<double> lp_upper_bound;
   bool exact = false;  ///< welfare proven equal to OPT
+  /// SolveOptions::time_budget_seconds fired: the result was truncated
+  /// (fewer rounding repetitions, an unfinished LP or B&B search) but is
+  /// still feasible. Never set by an unlimited budget.
+  bool timed_out = false;
   double wall_time_seconds = 0.0;
-  /// Empty on success; solve_batch stores the failure reason here instead
-  /// of propagating the exception.
+  /// Empty on success. Filled (by solve() itself) when the instance is
+  /// outside the solver's domain or the algorithm failed; solve_batch
+  /// additionally stores job-level failures (unknown solver, empty
+  /// instance) here instead of propagating the exception.
   std::string error;
 
   // -- solver-specific payloads ---------------------------------------------
@@ -75,30 +97,59 @@ struct SolveReport {
   std::optional<MechanismOutcome> mechanism;     ///< "mechanism"
 };
 
-/// Abstract solver. Subclasses implement solve_impl; the public solve()
-/// wraps it with wall-clock timing and fills the welfare/feasibility block
-/// from the returned allocation, so adapters only report what is specific
-/// to their algorithm.
+/// Abstract solver over AnyInstance. Subclasses implement solve_impl (or,
+/// far more commonly, derive from SymmetricSolver / AsymmetricSolver below
+/// and implement the typed hook); the public solve() wraps it with
+/// wall-clock timing, fills the welfare/feasibility block from the returned
+/// allocation, and converts domain-check failures (std::exception escaping
+/// solve_impl) into SolveReport::error so mixed-type batch runs degrade to
+/// per-job errors instead of aborting.
 class Solver {
  public:
   virtual ~Solver() = default;
 
-  /// Registry name ("lp-rounding", "exact", ...).
+  /// Registry name ("lp-rounding", "asymmetric-exact", ...).
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// One-line human description including the proven guarantee.
   [[nodiscard]] virtual std::string description() const = 0;
 
-  /// Runs the algorithm. Throws std::invalid_argument when the instance is
-  /// outside the solver's domain (e.g. local-ratio-k1 on k > 1).
-  [[nodiscard]] SolveReport solve(const AuctionInstance& instance,
+  /// Runs the algorithm. Never throws for out-of-domain instances; the
+  /// failure reason lands in SolveReport::error and the report carries an
+  /// empty (feasible = false) allocation.
+  [[nodiscard]] SolveReport solve(const AnyInstance& instance,
                                   const SolveOptions& options = {}) const;
 
  protected:
   /// Algorithm body. Must fill allocation and any payloads/bounds; solver
-  /// name, welfare, feasibility and wall time are filled by solve().
+  /// name, welfare, feasibility and wall time are filled by solve(). May
+  /// throw std::invalid_argument for out-of-domain instances -- solve()
+  /// captures it as SolveReport::error.
   [[nodiscard]] virtual SolveReport solve_impl(
+      const AnyInstance& instance, const SolveOptions& options) const = 0;
+};
+
+/// Adapter base for algorithms over the symmetric AuctionInstance: performs
+/// the instance-type domain check (reported via SolveReport::error by
+/// Solver::solve) and dispatches to the typed hook.
+class SymmetricSolver : public Solver {
+ protected:
+  [[nodiscard]] SolveReport solve_impl(
+      const AnyInstance& instance, const SolveOptions& options) const final;
+
+  [[nodiscard]] virtual SolveReport solve_symmetric(
       const AuctionInstance& instance, const SolveOptions& options) const = 0;
+};
+
+/// Adapter base for the Section-6 algorithms over AsymmetricInstance.
+class AsymmetricSolver : public Solver {
+ protected:
+  [[nodiscard]] SolveReport solve_impl(
+      const AnyInstance& instance, const SolveOptions& options) const final;
+
+  [[nodiscard]] virtual SolveReport solve_asymmetric(
+      const AsymmetricInstance& instance, const SolveOptions& options)
+      const = 0;
 };
 
 }  // namespace ssa

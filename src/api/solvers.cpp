@@ -2,18 +2,23 @@
 /// Adapters exposing every algorithm of the reproduction through the
 /// unified Solver interface, and their registration with the global
 /// SolverRegistry. Adding an algorithm = one adapter class + one add() line
-/// in register_builtin_solvers.
+/// in register_builtin_solvers. Symmetric (Problem 1) algorithms derive
+/// from SymmetricSolver, the Section-6 family from AsymmetricSolver; the
+/// bases own the instance-type domain check.
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 
 #include "api/registry.hpp"
 #include "api/solver.hpp"
+#include "core/asymmetric.hpp"
 #include "core/exact.hpp"
 #include "core/greedy.hpp"
 #include "core/pipeline.hpp"
 #include "mechanism/decomposition.hpp"
 #include "mechanism/mechanism.hpp"
+#include "support/deadline.hpp"
 
 // The adapters are the one sanctioned caller of the deprecated entry
 // points while the wrappers ride out their final release.
@@ -24,7 +29,57 @@
 namespace ssa {
 namespace {
 
-class LpRoundingSolver final : public Solver {
+/// ExactOptions with the shared time budget folded in, remembering whether
+/// the node budget was actually derived from it (exact_report needs that
+/// to attribute an inexact search correctly).
+struct BudgetedExactOptions {
+  ExactOptions options;
+  bool node_budget_from_time = false;
+};
+
+/// Advisory time budget -> B&B node budget at an assumed ~2M nodes/s. Only
+/// tightens when the scaled value is representable and smaller (a huge
+/// budget must not overflow the cast into a tiny one). The deadline in
+/// ExactOptions provides the hard cooperative stop on top; an unset shared
+/// budget leaves a caller-armed section deadline alone (the shared-seed
+/// precedent).
+BudgetedExactOptions exact_options_with_budget(const SolveOptions& options) {
+  BudgetedExactOptions budgeted;
+  budgeted.options = options.exact;
+  if (options.time_budget_seconds > 0.0) {
+    budgeted.options.deadline = Deadline::after(options.time_budget_seconds);
+    const double scaled = options.time_budget_seconds * 2e6;
+    if (scaled < static_cast<double>(budgeted.options.node_budget)) {
+      budgeted.options.node_budget =
+          std::max(1LL, static_cast<long long>(scaled));
+      budgeted.node_budget_from_time = true;
+    }
+  }
+  return budgeted;
+}
+
+/// Shared report assembly for both B&B adapters: the exact/timed_out
+/// mapping and the OPT diagnostics must never diverge between families.
+SolveReport exact_report(const ExactResult& result,
+                         const BudgetedExactOptions& budgeted) {
+  SolveReport report;
+  report.params =
+      "node_budget=" + std::to_string(budgeted.options.node_budget);
+  report.allocation = result.allocation;
+  report.exact = result.exact;
+  // Time truncation: the deadline fired, or the node budget that stopped
+  // the search was itself derived from the time budget. A search that
+  // merely exhausted its caller-set node budget is not "timed out".
+  report.timed_out =
+      result.timed_out || (budgeted.node_budget_from_time && !result.exact);
+  if (result.exact) {
+    report.guarantee = result.welfare;
+    report.factor = 1.0;
+  }
+  return report;
+}
+
+class LpRoundingSolver final : public SymmetricSolver {
  public:
   std::string name() const override { return "lp-rounding"; }
   std::string description() const override {
@@ -34,26 +89,45 @@ class LpRoundingSolver final : public Solver {
   }
 
  protected:
-  SolveReport solve_impl(const AuctionInstance& instance,
-                         const SolveOptions& options) const override {
+  SolveReport solve_symmetric(const AuctionInstance& instance,
+                              const SolveOptions& options) const override {
     PipelineOptions pipeline = options.pipeline;
     pipeline.seed = options.seed;
+    // The shared budget wins when set; an unset one leaves a caller-armed
+    // section budget alone (same rule as exact_options_with_budget).
+    if (options.time_budget_seconds > 0.0) {
+      pipeline.time_budget_seconds = options.time_budget_seconds;
+    }
     const PipelineResult result = run_auction(instance, pipeline);
+    // An LP that failed for any reason other than the time budget (pivot
+    // limit, infeasibility) is an error, not a silent zero-welfare report.
+    if (result.fractional.status != lp::SolveStatus::kOptimal &&
+        !result.timed_out) {
+      throw std::runtime_error("lp-rounding: LP solve failed (" +
+                               lp::to_string(result.fractional.status) + ")");
+    }
     SolveReport report;
     report.params = "reps=" + std::to_string(pipeline.rounding_repetitions) +
                     (pipeline.derandomize ? " derand" : "") +
                     (result.used_column_generation ? " lp=colgen"
                                                    : " lp=explicit");
     report.allocation = result.allocation;
-    report.guarantee = result.guarantee;
-    report.factor = result.factor;
-    report.lp_upper_bound = result.fractional.objective;
+    report.timed_out = result.timed_out;
+    // Rounding ran, so the fractional payload is always worth reporting;
+    // the b* bound and the guarantee derived from it are published only
+    // when the LP optimum is proven (explicit solve or certified colgen) --
+    // a restricted-master objective is not an upper bound on OPT.
     report.fractional = result.fractional;
+    if (result.lp_bound_proven) {
+      report.guarantee = result.guarantee;
+      report.factor = result.factor;
+      report.lp_upper_bound = result.fractional.objective;
+    }
     return report;
   }
 };
 
-class ExactSolver final : public Solver {
+class ExactSolver final : public SymmetricSolver {
  public:
   std::string name() const override { return "exact"; }
   std::string description() const override {
@@ -62,32 +136,14 @@ class ExactSolver final : public Solver {
   }
 
  protected:
-  SolveReport solve_impl(const AuctionInstance& instance,
-                         const SolveOptions& options) const override {
-    ExactOptions exact = options.exact;
-    if (options.time_budget_seconds > 0.0) {
-      // Advisory time budget -> node budget at an assumed ~2M nodes/s. Only
-      // tighten when the scaled value is representable and smaller (a huge
-      // budget must not overflow the cast into a tiny one).
-      const double scaled = options.time_budget_seconds * 2e6;
-      if (scaled < static_cast<double>(exact.node_budget)) {
-        exact.node_budget = std::max(1LL, static_cast<long long>(scaled));
-      }
-    }
-    const ExactResult result = solve_exact(instance, exact);
-    SolveReport report;
-    report.params = "node_budget=" + std::to_string(exact.node_budget);
-    report.allocation = result.allocation;
-    report.exact = result.exact;
-    if (result.exact) {
-      report.guarantee = result.welfare;
-      report.factor = 1.0;
-    }
-    return report;
+  SolveReport solve_symmetric(const AuctionInstance& instance,
+                              const SolveOptions& options) const override {
+    const BudgetedExactOptions budgeted = exact_options_with_budget(options);
+    return exact_report(solve_exact(instance, budgeted.options), budgeted);
   }
 };
 
-class GreedyValueSolver final : public Solver {
+class GreedyValueSolver final : public SymmetricSolver {
  public:
   std::string name() const override { return "greedy-value"; }
   std::string description() const override {
@@ -96,15 +152,15 @@ class GreedyValueSolver final : public Solver {
   }
 
  protected:
-  SolveReport solve_impl(const AuctionInstance& instance,
-                         const SolveOptions&) const override {
+  SolveReport solve_symmetric(const AuctionInstance& instance,
+                              const SolveOptions&) const override {
     SolveReport report;
     report.allocation = greedy_by_value(instance);
     return report;
   }
 };
 
-class GreedyDensitySolver final : public Solver {
+class GreedyDensitySolver final : public SymmetricSolver {
  public:
   std::string name() const override { return "greedy-density"; }
   std::string description() const override {
@@ -113,15 +169,15 @@ class GreedyDensitySolver final : public Solver {
   }
 
  protected:
-  SolveReport solve_impl(const AuctionInstance& instance,
-                         const SolveOptions&) const override {
+  SolveReport solve_symmetric(const AuctionInstance& instance,
+                              const SolveOptions&) const override {
     SolveReport report;
     report.allocation = greedy_by_density(instance);
     return report;
   }
 };
 
-class LocalRatioSingleChannelSolver final : public Solver {
+class LocalRatioSingleChannelSolver final : public SymmetricSolver {
  public:
   std::string name() const override { return "local-ratio-k1"; }
   std::string description() const override {
@@ -130,8 +186,8 @@ class LocalRatioSingleChannelSolver final : public Solver {
   }
 
  protected:
-  SolveReport solve_impl(const AuctionInstance& instance,
-                         const SolveOptions&) const override {
+  SolveReport solve_symmetric(const AuctionInstance& instance,
+                              const SolveOptions&) const override {
     SolveReport report;
     report.allocation = local_ratio_single_channel(instance);
     report.factor = instance.rho();
@@ -139,7 +195,7 @@ class LocalRatioSingleChannelSolver final : public Solver {
   }
 };
 
-class LocalRatioPerChannelSolver final : public Solver {
+class LocalRatioPerChannelSolver final : public SymmetricSolver {
  public:
   std::string name() const override { return "local-ratio-per-channel"; }
   std::string description() const override {
@@ -148,15 +204,15 @@ class LocalRatioPerChannelSolver final : public Solver {
   }
 
  protected:
-  SolveReport solve_impl(const AuctionInstance& instance,
-                         const SolveOptions&) const override {
+  SolveReport solve_symmetric(const AuctionInstance& instance,
+                              const SolveOptions&) const override {
     SolveReport report;
     report.allocation = local_ratio_per_channel(instance);
     return report;
   }
 };
 
-class MechanismSolver final : public Solver {
+class MechanismSolver final : public SymmetricSolver {
  public:
   std::string name() const override { return "mechanism"; }
   std::string description() const override {
@@ -165,8 +221,8 @@ class MechanismSolver final : public Solver {
   }
 
  protected:
-  SolveReport solve_impl(const AuctionInstance& instance,
-                         const SolveOptions& options) const override {
+  SolveReport solve_symmetric(const AuctionInstance& instance,
+                              const SolveOptions& options) const override {
     MechanismOptions mechanism = options.mechanism;
     mechanism.sample_seed = options.seed;
     mechanism.decomposition.seed = options.seed;
@@ -183,6 +239,122 @@ class MechanismSolver final : public Solver {
     report.lp_upper_bound = outcome.vcg.optimum.objective;
     report.fractional = outcome.vcg.optimum;
     report.mechanism = std::move(outcome);
+    return report;
+  }
+};
+
+// -- Section 6: asymmetric channels -----------------------------------------
+
+class AsymmetricLpRoundingSolver final : public AsymmetricSolver {
+ public:
+  std::string name() const override { return "asymmetric-lp-rounding"; }
+  std::string description() const override {
+    return "Section 6 LP (per-channel wbar_j rows) + rounding at the "
+           "1/(2 k rho) scale; E[welfare] >= b*/(4 k rho), unweighted "
+           "per-channel graphs";
+  }
+
+ protected:
+  SolveReport solve_asymmetric(const AsymmetricInstance& instance,
+                               const SolveOptions& options) const override {
+    // Domain check before the (expensive) explicit LP: the rounding stage
+    // would reject weighted graphs anyway, so fail in O(1) up front.
+    if (!instance.unweighted()) {
+      throw std::invalid_argument(
+          "asymmetric-lp-rounding: unweighted per-channel graphs only");
+    }
+    PipelineOptions pipeline = options.pipeline;
+    pipeline.seed = options.seed;
+    // Same budget rule as the symmetric path: shared budget wins when set,
+    // otherwise a caller-armed section budget applies.
+    const double budget_seconds = options.time_budget_seconds > 0.0
+                                      ? options.time_budget_seconds
+                                      : pipeline.time_budget_seconds;
+    const Deadline deadline = Deadline::after(budget_seconds);
+    lp::SimplexOptions simplex;
+    simplex.deadline = deadline;
+
+    SolveReport report;
+    report.params =
+        "reps=" + std::to_string(pipeline.rounding_repetitions) + " lp=explicit";
+    // The common diagnostics carry the Section 6 sampling scale 2 k rho as
+    // the factor; conflict resolution costs another survival factor <= 2,
+    // so the proven expectation bound (the guarantee) is b* / (2 * factor)
+    // = b* / (4 k rho).
+    report.factor =
+        2.0 * static_cast<double>(instance.num_channels()) * instance.rho();
+
+    const FractionalSolution lp = solve_asymmetric_lp(instance, simplex);
+    if (lp.status == lp::SolveStatus::kTimeLimit) {
+      report.timed_out = true;
+      report.factor = 0.0;  // no bound can be claimed without the LP
+      return report;
+    }
+    if (lp.status != lp::SolveStatus::kOptimal) {
+      // Pivot limit / infeasibility: an error, not a silent zero report.
+      throw std::runtime_error("asymmetric-lp-rounding: LP solve failed (" +
+                               lp::to_string(lp.status) + ")");
+    }
+    bool timed_out = false;
+    report.allocation =
+        best_asymmetric_rounds(instance, lp, pipeline.rounding_repetitions,
+                               pipeline.seed, deadline, &timed_out);
+    report.timed_out = timed_out;
+    report.lp_upper_bound = lp.objective;
+    report.fractional = lp;
+    report.guarantee = lp.objective / (2.0 * report.factor);
+    return report;
+  }
+};
+
+class AsymmetricExactSolver final : public AsymmetricSolver {
+ public:
+  std::string name() const override { return "asymmetric-exact"; }
+  std::string description() const override {
+    return "exact winner determination over per-channel conflict graphs by "
+           "branch and bound (OPT reference; exponential, small instances "
+           "only)";
+  }
+
+ protected:
+  SolveReport solve_asymmetric(const AsymmetricInstance& instance,
+                               const SolveOptions& options) const override {
+    const BudgetedExactOptions budgeted = exact_options_with_budget(options);
+    return exact_report(solve_asymmetric_exact(instance, budgeted.options),
+                        budgeted);
+  }
+};
+
+class AsymmetricGreedyValueSolver final : public AsymmetricSolver {
+ public:
+  std::string name() const override { return "asymmetric-greedy-value"; }
+  std::string description() const override {
+    return "greedy by bidder max value over per-channel graphs (heuristic "
+           "baseline, no guarantee)";
+  }
+
+ protected:
+  SolveReport solve_asymmetric(const AsymmetricInstance& instance,
+                               const SolveOptions&) const override {
+    SolveReport report;
+    report.allocation = greedy_by_value_asymmetric(instance);
+    return report;
+  }
+};
+
+class AsymmetricGreedyDensitySolver final : public AsymmetricSolver {
+ public:
+  std::string name() const override { return "asymmetric-greedy-density"; }
+  std::string description() const override {
+    return "greedy over (bidder, bundle) pairs by value/|T| density with "
+           "per-channel feasibility (heuristic baseline, no guarantee)";
+  }
+
+ protected:
+  SolveReport solve_asymmetric(const AsymmetricInstance& instance,
+                               const SolveOptions&) const override {
+    SolveReport report;
+    report.allocation = greedy_by_density_asymmetric(instance);
     return report;
   }
 };
@@ -205,6 +377,13 @@ void register_builtin_solvers(SolverRegistry& registry) {
   registry.add("local-ratio-per-channel",
                factory_of<LocalRatioPerChannelSolver>());
   registry.add("mechanism", factory_of<MechanismSolver>());
+  registry.add("asymmetric-lp-rounding",
+               factory_of<AsymmetricLpRoundingSolver>());
+  registry.add("asymmetric-exact", factory_of<AsymmetricExactSolver>());
+  registry.add("asymmetric-greedy-value",
+               factory_of<AsymmetricGreedyValueSolver>());
+  registry.add("asymmetric-greedy-density",
+               factory_of<AsymmetricGreedyDensitySolver>());
 }
 
 }  // namespace detail

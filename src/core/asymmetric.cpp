@@ -1,8 +1,11 @@
 #include "core/asymmetric.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
+#include <string>
 
+#include "core/best_rounds.hpp"
 #include "graph/inductive_independence.hpp"
 #include "lp/simplex.hpp"
 #include "support/parallel.hpp"
@@ -17,8 +20,12 @@ AsymmetricInstance::AsymmetricInstance(std::vector<ConflictGraph> channel_graphs
       order_(std::move(order)),
       rho_(rho),
       valuations_(std::move(valuations)) {
-  if (graphs_.empty() || graphs_.size() > static_cast<std::size_t>(kMaxChannels)) {
-    throw std::invalid_argument("AsymmetricInstance: bad channel count");
+  if (graphs_.empty() ||
+      graphs_.size() > static_cast<std::size_t>(kMaxChannels)) {
+    throw std::invalid_argument(
+        "AsymmetricInstance: channel count must be in [1, " +
+        std::to_string(kMaxChannels) + "], got " +
+        std::to_string(graphs_.size()));
   }
   const std::size_t n = valuations_.size();
   for (const auto& graph : graphs_) {
@@ -56,8 +63,14 @@ double AsymmetricInstance::welfare(const Allocation& allocation) const {
 FractionalSolution solve_asymmetric_lp(const AsymmetricInstance& instance,
                                        lp::SimplexOptions options) {
   const int k = instance.num_channels();
-  if (k > 12) {
-    throw std::invalid_argument("solve_asymmetric_lp: k <= 12 required");
+  // Single-sourced with the constructor's validation: an AsymmetricInstance
+  // can never exceed kMaxChannels, so this only fires if the constraint is
+  // ever relaxed there without teaching the explicit LP to cope.
+  if (k > AsymmetricInstance::kMaxChannels) {
+    throw std::invalid_argument(
+        "solve_asymmetric_lp: k <= " +
+        std::to_string(AsymmetricInstance::kMaxChannels) + " required, got " +
+        std::to_string(k));
   }
   const std::size_t n = instance.num_bidders();
 
@@ -140,8 +153,11 @@ Allocation round_asymmetric(const AsymmetricInstance& instance,
     }
   }
 
-  // Conflict resolution: ascending pi; v is dropped entirely when some kept
-  // earlier vertex shares channel j and conflicts in graph j.
+  // Conflict resolution, ascending pi: as in Algorithm 1, a conflict with a
+  // kept earlier vertex on ANY channel j of v's bundle drops v's ENTIRE
+  // bundle (not just channel j). This is deliberate -- see the contract in
+  // asymmetric.hpp: per-channel trimming would leave sub-bundles the
+  // survival analysis never values, so the whole set is charged.
   for (int v : instance.order()) {
     const std::size_t sv = static_cast<std::size_t>(v);
     if (allocation.bundles[sv] == kEmptyBundle) continue;
@@ -165,25 +181,200 @@ Allocation round_asymmetric(const AsymmetricInstance& instance,
 
 Allocation best_asymmetric_rounds(const AsymmetricInstance& instance,
                                   const FractionalSolution& fractional,
-                                  int repetitions, std::uint64_t seed) {
-  if (repetitions < 1) {
-    throw std::invalid_argument("best_asymmetric_rounds: repetitions");
+                                  int repetitions, std::uint64_t seed,
+                                  const Deadline& deadline, bool* timed_out) {
+  // round_asymmetric's domain check, hoisted out of the parallel loop: an
+  // exception may not escape an OpenMP worker.
+  if (!instance.unweighted()) {
+    throw std::invalid_argument(
+        "round_asymmetric: unweighted per-channel graphs only");
   }
-  Rng base(seed);
-  std::vector<Allocation> allocations(static_cast<std::size_t>(repetitions));
-  std::vector<double> welfare(static_cast<std::size_t>(repetitions), 0.0);
-  parallel_for(repetitions, [&](std::ptrdiff_t r) {
-    Rng child = base.split(static_cast<std::uint64_t>(r));
-    allocations[static_cast<std::size_t>(r)] =
-        round_asymmetric(instance, fractional, child);
-    welfare[static_cast<std::size_t>(r)] =
-        instance.welfare(allocations[static_cast<std::size_t>(r)]);
+  return detail::best_rounds(
+      instance.num_bidders(), repetitions, seed, deadline, timed_out,
+      [&](Rng& rng) { return round_asymmetric(instance, fractional, rng); },
+      [&](const Allocation& a) { return instance.welfare(a); });
+}
+
+namespace {
+
+/// Whether bidder v can add bundle t against the current per-channel
+/// assignment: no neighbor in graph j may already hold channel j.
+bool fits_asymmetric(const AsymmetricInstance& instance,
+                     const std::vector<Bundle>& assigned, std::size_t v,
+                     Bundle t) {
+  const int k = instance.num_channels();
+  for (int j = 0; j < k; ++j) {
+    if (!bundle_has(t, j)) continue;
+    for (int u : instance.graph(j).neighbors(v)) {
+      if (bundle_has(assigned[static_cast<std::size_t>(u)], j)) return false;
+    }
+  }
+  return true;
+}
+
+/// DFS over bidders for per-channel graphs; the structural twin of
+/// core/exact.cpp's ExactSearch with the independence check swapped in.
+class AsymmetricSearch {
+ public:
+  AsymmetricSearch(const AsymmetricInstance& instance,
+                   const ExactOptions& options)
+      : instance_(instance), options_(options) {
+    const std::size_t n = instance.num_bidders();
+    const int k = instance.num_channels();
+    assigned_.assign(n, kEmptyBundle);
+    candidates_.resize(n);
+    remaining_max_.assign(n + 1, 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (Bundle t = 1; t < num_bundles(k); ++t) {
+        if (instance.value(v, t) > 0.0) candidates_[v].push_back(t);
+      }
+      std::sort(candidates_[v].begin(), candidates_[v].end(),
+                [&](Bundle a, Bundle b) {
+                  return instance.value(v, a) > instance.value(v, b);
+                });
+    }
+    for (std::size_t v = n; v-- > 0;) {
+      const double vmax =
+          candidates_[v].empty() ? 0.0 : instance.value(v, candidates_[v][0]);
+      remaining_max_[v] = remaining_max_[v + 1] + vmax;
+    }
+  }
+
+  ExactResult run() {
+    budget_ = options_.node_budget;
+    best_welfare_ = 0.0;
+    best_.bundles.assign(instance_.num_bidders(), kEmptyBundle);
+    if (options_.deadline.expired()) {
+      timed_out_ = true;
+    } else {
+      recurse(0, 0.0);
+    }
+    ExactResult result;
+    result.allocation = best_;
+    result.welfare = best_welfare_;
+    result.exact = budget_ > 0 && !timed_out_;
+    result.timed_out = timed_out_;
+    return result;
+  }
+
+ private:
+  void recurse(std::size_t v, double welfare) {
+    if (budget_-- <= 0 || timed_out_) return;
+    if ((budget_ & 4095) == 0 && options_.deadline.expired()) {
+      timed_out_ = true;
+      return;
+    }
+    if (welfare > best_welfare_) {
+      best_welfare_ = welfare;
+      best_.bundles = assigned_;
+    }
+    if (v >= instance_.num_bidders()) return;
+    if (welfare + remaining_max_[v] <= best_welfare_) return;  // bound
+
+    for (Bundle t : candidates_[v]) {
+      if (!fits_asymmetric(instance_, assigned_, v, t)) continue;
+      assigned_[v] = t;
+      recurse(v + 1, welfare + instance_.value(v, t));
+      assigned_[v] = kEmptyBundle;
+    }
+    recurse(v + 1, welfare);  // branch: v gets nothing
+  }
+
+  const AsymmetricInstance& instance_;
+  ExactOptions options_;
+  std::vector<std::vector<Bundle>> candidates_;
+  std::vector<double> remaining_max_;
+  std::vector<Bundle> assigned_;
+  Allocation best_;
+  double best_welfare_ = 0.0;
+  long long budget_ = 0;
+  bool timed_out_ = false;
+};
+
+}  // namespace
+
+ExactResult solve_asymmetric_exact(const AsymmetricInstance& instance,
+                                   ExactOptions options) {
+  if (instance.num_channels() > options.max_channels) {
+    throw std::invalid_argument(
+        "solve_asymmetric_exact: too many channels for B&B");
+  }
+  // The search prunes on binary conflicts (fits_asymmetric); weighted
+  // graphs admit allocations (incoming weight < 1) that pruning would
+  // never visit, so claiming exactness there would be wrong.
+  if (!instance.unweighted()) {
+    throw std::invalid_argument(
+        "solve_asymmetric_exact: unweighted per-channel graphs only");
+  }
+  return AsymmetricSearch(instance, options).run();
+}
+
+Allocation greedy_by_value_asymmetric(const AsymmetricInstance& instance) {
+  const int k = instance.num_channels();
+  const std::size_t n = instance.num_bidders();
+
+  std::vector<double> max_values(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (Bundle t = 1; t < num_bundles(k); ++t) {
+      max_values[v] = std::max(max_values[v], instance.value(v, t));
+    }
+  }
+  std::vector<std::size_t> bidders(n);
+  std::iota(bidders.begin(), bidders.end(), 0);
+  std::stable_sort(bidders.begin(), bidders.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return max_values[a] > max_values[b];
+                   });
+
+  Allocation allocation;
+  allocation.bundles.assign(n, kEmptyBundle);
+  for (std::size_t v : bidders) {
+    Bundle best = kEmptyBundle;
+    double best_value = 0.0;
+    for (Bundle t = 1; t < num_bundles(k); ++t) {
+      const double value = instance.value(v, t);
+      if (value > best_value &&
+          fits_asymmetric(instance, allocation.bundles, v, t)) {
+        best = t;
+        best_value = value;
+      }
+    }
+    allocation.bundles[v] = best;
+  }
+  return allocation;
+}
+
+Allocation greedy_by_density_asymmetric(const AsymmetricInstance& instance) {
+  const int k = instance.num_channels();
+  const std::size_t n = instance.num_bidders();
+
+  struct Bid {
+    std::size_t bidder;
+    Bundle bundle;
+    double density;
+  };
+  std::vector<Bid> bids;
+  for (std::size_t v = 0; v < n; ++v) {
+    for (Bundle t = 1; t < num_bundles(k); ++t) {
+      const double value = instance.value(v, t);
+      if (value > 0.0) {
+        bids.push_back(Bid{v, t, value / bundle_size(t)});
+      }
+    }
+  }
+  std::stable_sort(bids.begin(), bids.end(), [](const Bid& a, const Bid& b) {
+    return a.density > b.density;
   });
-  std::size_t best = 0;
-  for (std::size_t r = 1; r < welfare.size(); ++r) {
-    if (welfare[r] > welfare[best]) best = r;
+
+  Allocation allocation;
+  allocation.bundles.assign(n, kEmptyBundle);
+  for (const Bid& bid : bids) {
+    if (allocation.bundles[bid.bidder] != kEmptyBundle) continue;
+    if (fits_asymmetric(instance, allocation.bundles, bid.bidder, bid.bundle)) {
+      allocation.bundles[bid.bidder] = bid.bundle;
+    }
   }
-  return allocations[best];
+  return allocation;
 }
 
 }  // namespace ssa

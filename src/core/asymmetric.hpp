@@ -8,13 +8,20 @@
 /// factor that Theorem 18 shows is essentially optimal.
 ///
 /// Rounding is implemented for unweighted per-channel graphs (the setting
-/// of Theorem 18); the LP itself accepts weighted graphs.
+/// of Theorem 18); the LP itself accepts weighted graphs. Besides the
+/// LP+rounding pipeline this file carries the exact branch-and-bound and
+/// greedy baselines for asymmetric instances; all of them are exposed
+/// through the unified Solver registry as the "asymmetric-*" entries
+/// (api/solvers.cpp).
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/auction_lp.hpp"
+#include "core/exact.hpp"
 #include "core/instance.hpp"
+#include "support/deadline.hpp"
 #include "support/random.hpp"
 
 namespace ssa {
@@ -22,6 +29,16 @@ namespace ssa {
 /// Auction instance with one conflict graph per channel.
 class AsymmetricInstance {
  public:
+  /// Channel cap of the asymmetric path. Every asymmetric algorithm
+  /// enumerates the 2^k - 1 bundles per bidder explicitly (there is no
+  /// demand-oracle column generation for per-channel graphs yet), so the
+  /// limit lives on the instance and is the single source of truth for
+  /// the constructor, solve_asymmetric_lp and the greedy baselines. The
+  /// exact B&B additionally keeps its own tighter, caller-overridable
+  /// guard (ExactOptions::max_channels, default 6), exactly as in the
+  /// symmetric family.
+  static constexpr int kMaxChannels = 12;
+
   /// \p rho = 0 measures max over channels of rho_j(pi) with the verifier.
   AsymmetricInstance(std::vector<ConflictGraph> channel_graphs, Ordering order,
                      std::vector<ValuationPtr> valuations, double rho = 0.0);
@@ -64,19 +81,57 @@ class AsymmetricInstance {
   bool unweighted_;
 };
 
-/// Explicit LP for the asymmetric problem (k <= 12).
+/// Explicit LP for the asymmetric problem (the instance caps k at
+/// AsymmetricInstance::kMaxChannels).
 [[nodiscard]] FractionalSolution solve_asymmetric_lp(
     const AsymmetricInstance& instance, lp::SimplexOptions options = {});
 
-/// Randomized rounding with the 1/(2 k rho) scaling and per-channel
-/// conflict resolution toward pi-earlier vertices. Unweighted graphs only.
+/// Randomized rounding with the 1/(2 k rho) scaling. Unweighted graphs
+/// only. Conflict resolution follows Algorithm 1 verbatim (the paper's
+/// Section 6 keeps its structure): processing vertices in ascending pi, a
+/// vertex that conflicts with a kept earlier vertex on ANY channel of its
+/// bundle is removed ENTIRELY -- no per-channel trimming. Trimming would
+/// hand bidders sub-bundles the analysis never charges (a single-minded
+/// bidder would keep a worthless remainder while still blocking later
+/// vertices on its surviving channels); the full drop is what the
+/// survival-probability argument (expected conflicting earlier neighbors
+/// <= 1/(2k) per channel, <= 1/2 over the bundle) prices in, giving
+/// E[welfare] >= b* / (4 k rho).
 [[nodiscard]] Allocation round_asymmetric(const AsymmetricInstance& instance,
                                           const FractionalSolution& fractional,
                                           Rng& rng);
 
-/// Best of \p repetitions rounding passes.
+/// Best of \p repetitions rounding passes (parallel, deterministic for a
+/// fixed \p seed regardless of thread count as long as \p deadline does not
+/// fire). Repetition 0 always runs so the result is feasible even under an
+/// expired deadline; skipped repetitions set *\p timed_out when non-null.
 [[nodiscard]] Allocation best_asymmetric_rounds(
     const AsymmetricInstance& instance, const FractionalSolution& fractional,
-    int repetitions, std::uint64_t seed);
+    int repetitions, std::uint64_t seed, const Deadline& deadline = {},
+    bool* timed_out = nullptr);
+
+/// Exact winner determination for per-channel conflict graphs by branch and
+/// bound over bidders (OPT reference; exponential, small instances only).
+/// Unweighted per-channel graphs only, like round_asymmetric: the search
+/// prunes on binary conflicts, which on weighted graphs would skip
+/// allocations the incoming-weight feasibility admits and falsely claim
+/// exactness. Reuses ExactOptions/ExactResult from the symmetric solver,
+/// including the node budget and cooperative deadline.
+[[nodiscard]] ExactResult solve_asymmetric_exact(
+    const AsymmetricInstance& instance, ExactOptions options = {});
+
+/// Greedy baseline: bidders in decreasing max-value order each take the
+/// feasible bundle of maximum value against the per-channel graphs. On
+/// weighted graphs the binary-conflict check is conservative (it never
+/// yields an infeasible allocation, but may leave weighted-feasible value
+/// on the table) -- acceptable for a no-guarantee heuristic.
+[[nodiscard]] Allocation greedy_by_value_asymmetric(
+    const AsymmetricInstance& instance);
+
+/// Greedy baseline: all (bidder, bundle) pairs by value / |T| density,
+/// single pass with per-channel feasibility checks (conservative on
+/// weighted graphs, see greedy_by_value_asymmetric).
+[[nodiscard]] Allocation greedy_by_density_asymmetric(
+    const AsymmetricInstance& instance);
 
 }  // namespace ssa

@@ -1,0 +1,63 @@
+#pragma once
+/// \file best_rounds.hpp
+/// Shared skeleton of the best-of-R Monte-Carlo wrappers (symmetric
+/// best_of_rounds and asymmetric best_asymmetric_rounds): parallel
+/// repetitions with per-repetition split RNGs, cooperative deadline
+/// truncation (repetition 0 always runs so the result is feasible even
+/// under an expired budget; skipped repetitions flag *timed_out), and the
+/// best-welfare pick. Centralized so the two families' time-budget
+/// semantics cannot diverge.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "support/deadline.hpp"
+#include "support/parallel.hpp"
+#include "support/random.hpp"
+
+namespace ssa::detail {
+
+/// \p round_once: Rng& -> Allocation (one independent rounding pass).
+/// \p welfare_of: const Allocation& -> double.
+/// Deterministic for a fixed \p seed regardless of thread count as long as
+/// \p deadline does not fire.
+template <typename RoundOnce, typename WelfareOf>
+Allocation best_rounds(std::size_t num_bidders, int repetitions,
+                       std::uint64_t seed, const Deadline& deadline,
+                       bool* timed_out, const RoundOnce& round_once,
+                       const WelfareOf& welfare_of) {
+  if (repetitions < 1) {
+    throw std::invalid_argument("best_rounds: repetitions must be >= 1");
+  }
+  Rng base(seed);
+  std::vector<Allocation> allocations(static_cast<std::size_t>(repetitions));
+  std::vector<double> welfare(static_cast<std::size_t>(repetitions), 0.0);
+  std::atomic<bool> truncated{false};
+  parallel_for(repetitions, [&](std::ptrdiff_t r) {
+    // Cooperative deadline: repetition 0 always runs; later repetitions
+    // are skipped once it fires and the truncation is flagged.
+    if (r != 0 && deadline.expired()) {
+      truncated.store(true, std::memory_order_relaxed);
+      allocations[static_cast<std::size_t>(r)].bundles.assign(num_bidders,
+                                                              kEmptyBundle);
+      return;
+    }
+    Rng child = base.split(static_cast<std::uint64_t>(r));
+    allocations[static_cast<std::size_t>(r)] = round_once(child);
+    welfare[static_cast<std::size_t>(r)] =
+        welfare_of(allocations[static_cast<std::size_t>(r)]);
+  });
+  if (timed_out != nullptr && truncated.load(std::memory_order_relaxed)) {
+    *timed_out = true;
+  }
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < welfare.size(); ++r) {
+    if (welfare[r] > welfare[best]) best = r;
+  }
+  return allocations[best];
+}
+
+}  // namespace ssa::detail

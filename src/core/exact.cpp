@@ -42,11 +42,16 @@ class ExactSearch {
     budget_ = options_.node_budget;
     best_welfare_ = 0.0;
     best_.bundles.assign(instance_.num_bidders(), kEmptyBundle);
-    recurse(0, 0.0);
+    if (options_.deadline.expired()) {
+      timed_out_ = true;  // pre-expired budget: return the empty incumbent
+    } else {
+      recurse(0, 0.0);
+    }
     ExactResult result;
     result.allocation = best_;
     result.welfare = best_welfare_;
-    result.exact = budget_ > 0;
+    result.exact = budget_ > 0 && !timed_out_;
+    result.timed_out = timed_out_;
     return result;
   }
 
@@ -96,7 +101,13 @@ class ExactSearch {
   }
 
   void recurse(std::size_t v, double welfare) {
-    if (budget_-- <= 0) return;
+    if (budget_-- <= 0 || timed_out_) return;
+    // Cooperative deadline: polled every 4096 nodes (run() handles the
+    // pre-expired case before the first node).
+    if ((budget_ & 4095) == 0 && options_.deadline.expired()) {
+      timed_out_ = true;
+      return;
+    }
     if (welfare > best_welfare_) {
       best_welfare_ = welfare;
       best_.bundles = assigned_;
@@ -137,6 +148,7 @@ class ExactSearch {
   Allocation best_;
   double best_welfare_ = 0.0;
   long long budget_ = 0;
+  bool timed_out_ = false;
 };
 
 }  // namespace

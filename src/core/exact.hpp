@@ -5,18 +5,24 @@
 /// intended for small instances (n up to ~14 with k up to ~4).
 
 #include "core/instance.hpp"
+#include "support/deadline.hpp"
 
 namespace ssa {
 
 struct ExactOptions {
   long long node_budget = 50'000'000;  ///< search nodes before giving up
   int max_channels = 6;                ///< guard against 2^k blowup
+  /// Cooperative wall-clock deadline, polled every few thousand nodes; when
+  /// it fires the search stops and returns the incumbent with exact =
+  /// false and timed_out = true. Default: unlimited.
+  Deadline deadline = {};
 };
 
 struct ExactResult {
   Allocation allocation;
   double welfare = 0.0;
-  bool exact = true;  ///< false when the node budget was exhausted
+  bool exact = true;      ///< false when a budget stopped the search early
+  bool timed_out = false; ///< the deadline (not the node budget) fired
 };
 
 /// Maximum-welfare feasible allocation (Problem 1).

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/rounding.hpp"
+#include "support/deadline.hpp"
 #include "support/pairwise.hpp"
 
 namespace ssa {
@@ -22,23 +23,47 @@ PipelineResult run_auction(const AuctionInstance& instance,
   result.used_column_generation =
       options.force_column_generation ||
       instance.num_channels() > options.explicit_limit;
-  result.fractional = result.used_column_generation
-                          ? solve_auction_lp_colgen(instance)
-                          : solve_auction_lp(instance);
-  if (result.fractional.status != lp::SolveStatus::kOptimal) return result;
+  // One deadline covers the whole run; the LP and the rounding loop poll it
+  // cooperatively and truncation surfaces as result.timed_out.
+  const Deadline deadline = Deadline::after(options.time_budget_seconds);
+  lp::SimplexOptions simplex;
+  simplex.deadline = deadline;
+  lp::ColumnGenerationOptions colgen;
+  colgen.simplex = simplex;
+  ColGenStats colgen_stats;
+  result.fractional =
+      result.used_column_generation
+          ? solve_auction_lp_colgen(instance, &colgen_stats, colgen)
+          : solve_auction_lp(instance, simplex);
+  if (result.fractional.status != lp::SolveStatus::kOptimal) {
+    result.timed_out = result.fractional.status == lp::SolveStatus::kTimeLimit;
+    return result;
+  }
+  result.lp_bound_proven =
+      !result.used_column_generation || colgen_stats.proved_optimal;
 
-  result.allocation = best_of_rounds(instance, result.fractional,
-                                     options.rounding_repetitions, options.seed);
+  result.allocation =
+      best_of_rounds(instance, result.fractional, options.rounding_repetitions,
+                     options.seed, deadline, &result.timed_out);
   if (options.derandomize) {
-    const PairwiseFamily family(instance.num_bidders());
-    const Allocation derandomized =
-        derandomized_round(instance, result.fractional, family);
-    if (instance.welfare(derandomized) > instance.welfare(result.allocation)) {
-      result.allocation = derandomized;
+    if (deadline.expired()) {
+      result.timed_out = true;  // the derandomized sweep was skipped
+    } else {
+      const PairwiseFamily family(instance.num_bidders());
+      const Allocation derandomized =
+          derandomized_round(instance, result.fractional, family);
+      if (instance.welfare(derandomized) >
+          instance.welfare(result.allocation)) {
+        result.allocation = derandomized;
+      }
     }
   }
   result.welfare = instance.welfare(result.allocation);
-  result.guarantee = result.fractional.objective / result.factor;
+  // A restricted-master objective is a lower bound on b*: b*/factor would
+  // be an unproven claim, so the guarantee rides on the proven flag.
+  if (result.lp_bound_proven) {
+    result.guarantee = result.fractional.objective / result.factor;
+  }
   return result;
 }
 

@@ -21,6 +21,11 @@ struct PipelineOptions {
   /// k > explicit_limit).
   bool force_column_generation = false;
   int explicit_limit = 10;  ///< largest k solved by explicit enumeration
+  /// Soft wall-time target in seconds (0 = unlimited), enforced
+  /// cooperatively: the LP polls it between simplex pivots and the
+  /// rounding loop between repetitions. An exhausted budget truncates the
+  /// run and sets PipelineResult::timed_out instead of failing silently.
+  double time_budget_seconds = 0.0;
 };
 
 struct PipelineResult {
@@ -33,6 +38,15 @@ struct PipelineResult {
   /// weighted; guarantee = fractional.objective / factor.
   double factor = 0.0;
   bool used_column_generation = false;
+  /// Whether fractional.objective is a PROVEN LP optimum (explicit solve,
+  /// or column generation whose oracle certified optimality). A colgen run
+  /// that exhausted its pricing rounds returns only a restricted-master
+  /// optimum -- a lower bound on b* -- so no guarantee is claimed from it.
+  bool lp_bound_proven = false;
+  /// The time budget fired: the LP stopped early (status kTimeLimit, no
+  /// allocation) or some rounding repetitions were skipped. The returned
+  /// allocation is still feasible, possibly empty.
+  bool timed_out = false;
 };
 
 /// Runs LP + rounding end to end. The returned allocation is always

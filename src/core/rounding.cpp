@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/best_rounds.hpp"
 #include "support/parallel.hpp"
 
 namespace ssa {
@@ -252,23 +253,12 @@ Allocation round_once(const AuctionInstance& instance,
 
 Allocation best_of_rounds(const AuctionInstance& instance,
                           const FractionalSolution& fractional,
-                          int repetitions, std::uint64_t seed) {
-  if (repetitions < 1) throw std::invalid_argument("best_of_rounds: repetitions");
-  Rng base(seed);
-  std::vector<Allocation> allocations(static_cast<std::size_t>(repetitions));
-  std::vector<double> welfare(static_cast<std::size_t>(repetitions), 0.0);
-  parallel_for(repetitions, [&](std::ptrdiff_t r) {
-    Rng child = base.split(static_cast<std::uint64_t>(r));
-    allocations[static_cast<std::size_t>(r)] =
-        round_once(instance, fractional, child);
-    welfare[static_cast<std::size_t>(r)] =
-        instance.welfare(allocations[static_cast<std::size_t>(r)]);
-  });
-  std::size_t best = 0;
-  for (std::size_t r = 1; r < welfare.size(); ++r) {
-    if (welfare[r] > welfare[best]) best = r;
-  }
-  return allocations[best];
+                          int repetitions, std::uint64_t seed,
+                          const Deadline& deadline, bool* timed_out) {
+  return detail::best_rounds(
+      instance.num_bidders(), repetitions, seed, deadline, timed_out,
+      [&](Rng& rng) { return round_once(instance, fractional, rng); },
+      [&](const Allocation& a) { return instance.welfare(a); });
 }
 
 Allocation derandomized_round(const AuctionInstance& instance,

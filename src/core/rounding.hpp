@@ -20,6 +20,7 @@
 
 #include "core/auction_lp.hpp"
 #include "core/instance.hpp"
+#include "support/deadline.hpp"
 #include "support/pairwise.hpp"
 #include "support/random.hpp"
 
@@ -55,10 +56,16 @@ namespace ssa {
                                     Rng& rng);
 
 /// Best of \p repetitions independent rounding passes (parallel, but
-/// deterministic for a fixed \p seed regardless of thread count).
+/// deterministic for a fixed \p seed regardless of thread count as long as
+/// \p deadline does not fire). Repetition 0 always runs so the result is a
+/// feasible allocation even under an expired deadline; repetitions skipped
+/// after expiry set *\p timed_out (when non-null) -- a truncated run is
+/// reported, never silent.
 [[nodiscard]] Allocation best_of_rounds(const AuctionInstance& instance,
                                         const FractionalSolution& fractional,
-                                        int repetitions, std::uint64_t seed);
+                                        int repetitions, std::uint64_t seed,
+                                        const Deadline& deadline = {},
+                                        bool* timed_out = nullptr);
 
 /// Deterministic rounding: evaluates every seed of a pairwise-independent
 /// family (per-vertex thresholds quantized to multiples of 1/p) and keeps

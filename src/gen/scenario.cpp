@@ -275,4 +275,41 @@ AsymmetricInstance make_random_asymmetric(std::size_t n, int k, double p,
                             std::move(valuations));
 }
 
+AnyInstance NamedInstance::view() const {
+  return std::visit([](const auto& held) { return AnyInstance(held); },
+                    instance);
+}
+
+std::vector<NamedInstance> mixed_scenario_suite(std::size_t n, int k,
+                                                std::uint64_t seed) {
+  std::vector<NamedInstance> suite;
+  suite.push_back({"disk", make_disk_auction(n, k, ValuationMix::kMixed, seed)});
+  suite.push_back({"random-graph", make_random_graph_auction(
+                                       n, k, 0.25, ValuationMix::kMixed,
+                                       seed + 1)});
+  suite.push_back({"asym-random", make_random_asymmetric(
+                                      n, k, 0.25, ValuationMix::kMixed,
+                                      seed + 2)});
+  // Theorem 18 hardness construction: degree bound d = 2k keeps rho_j <= 2.
+  suite.push_back({"asym-hardness",
+                   make_hardness_instance(n, 2 * k, k, seed + 3)});
+  return suite;
+}
+
+std::vector<LabelledInstance> labelled_views(
+    std::span<const NamedInstance> suite) {
+  std::vector<LabelledInstance> views;
+  views.reserve(suite.size());
+  for (const NamedInstance& named : suite) {
+    views.push_back({named.label, named.view()});
+  }
+  return views;
+}
+
+std::vector<BatchJob> scenario_jobs(std::span<const NamedInstance> suite,
+                                    std::span<const std::string> solvers,
+                                    const SolveOptions& options) {
+  return cross_jobs(labelled_views(suite), solvers, options);
+}
+
 }  // namespace ssa::gen

@@ -5,8 +5,12 @@
 /// interference model, and the hardness construction of Theorem 18.
 
 #include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
 #include <vector>
 
+#include "api/batch.hpp"
 #include "core/asymmetric.hpp"
 #include "core/instance.hpp"
 #include "models/links.hpp"
@@ -92,5 +96,35 @@ enum class ValuationMix {
                                                         double p,
                                                         ValuationMix mix,
                                                         std::uint64_t seed);
+
+// -- batch hooks ------------------------------------------------------------
+// solve_batch jobs hold non-owning AnyInstance views, so suites of
+// generated instances need an owner; NamedInstance is it. These hooks let
+// the generators above (including make_random_asymmetric /
+// make_hardness_instance) feed mixed-type batch runs directly.
+
+/// One owned labelled instance, symmetric or asymmetric.
+struct NamedInstance {
+  std::string label;
+  std::variant<AuctionInstance, AsymmetricInstance> instance;
+
+  /// Non-owning view for BatchJob/LabelledInstance; valid while *this lives.
+  [[nodiscard]] AnyInstance view() const;
+};
+
+/// Reproducible mixed suite for comparison runs: a disk and a random-graph
+/// symmetric auction plus a make_random_asymmetric and a
+/// make_hardness_instance output, all over \p k channels.
+[[nodiscard]] std::vector<NamedInstance> mixed_scenario_suite(
+    std::size_t n, int k, std::uint64_t seed);
+
+/// Non-owning labelled views over \p suite (for cross_jobs).
+[[nodiscard]] std::vector<LabelledInstance> labelled_views(
+    std::span<const NamedInstance> suite);
+
+/// Cross product of \p suite and \p solvers as ready-to-run batch jobs.
+[[nodiscard]] std::vector<BatchJob> scenario_jobs(
+    std::span<const NamedInstance> suite, std::span<const std::string> solvers,
+    const SolveOptions& options = {});
 
 }  // namespace ssa::gen

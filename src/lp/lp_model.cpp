@@ -12,6 +12,7 @@ std::string to_string(SolveStatus status) {
     case SolveStatus::kInfeasible: return "infeasible";
     case SolveStatus::kUnbounded: return "unbounded";
     case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kTimeLimit: return "time-limit";
   }
   return "unknown";
 }

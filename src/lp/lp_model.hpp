@@ -24,8 +24,15 @@ struct ColumnEntry {
   double coeff = 0.0;
 };
 
-/// Outcome of a solve.
-enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+/// Outcome of a solve. kTimeLimit means the cooperative deadline
+/// (SimplexOptions::deadline) fired before optimality was proven.
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kTimeLimit
+};
 
 [[nodiscard]] std::string to_string(SolveStatus status);
 

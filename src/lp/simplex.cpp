@@ -133,6 +133,11 @@ SolveStatus SimplexEngine::iterate(int phase) {
 
   for (;;) {
     if (pivots_ >= options_.max_iterations) return SolveStatus::kIterationLimit;
+    // Cooperative deadline: polled every 32 pivots (and on entry, so an
+    // already-expired budget returns before the first BTRAN).
+    if ((pivots_ & 31) == 0 && options_.deadline.expired()) {
+      return SolveStatus::kTimeLimit;
+    }
 
     // BTRAN: y = c_B B^-1.
     std::vector<double> y(m_, 0.0);
@@ -268,7 +273,7 @@ Solution SimplexEngine::solve(const LinearProgram& lp) {
   load(lp);
   if (phase1_needed_) {
     const SolveStatus phase1 = iterate(1);
-    if (phase1 == SolveStatus::kIterationLimit) return extract_solution(phase1);
+    if (phase1 != SolveStatus::kOptimal) return extract_solution(phase1);
     double infeasibility = 0.0;
     for (std::size_t i = 0; i < m_; ++i) {
       if (cols_[basis_[i]].kind == ColKind::kArtificial) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "lp/lp_model.hpp"
+#include "support/deadline.hpp"
 #include "support/matrix.hpp"
 
 namespace ssa::lp {
@@ -29,6 +30,10 @@ struct SimplexOptions {
   int max_iterations = 200000;    ///< total pivot limit
   int refactor_period = 256;      ///< pivots between basis refactorizations
   int bland_after_stalls = 64;    ///< degenerate pivots before Bland's rule
+  /// Cooperative wall-clock deadline, polled every few pivots; an expired
+  /// deadline makes the solve return SolveStatus::kTimeLimit. Default:
+  /// unlimited.
+  Deadline deadline = {};
 };
 
 /// Stateful simplex engine supporting incremental column addition.

@@ -1,0 +1,47 @@
+#pragma once
+/// \file deadline.hpp
+/// Cooperative wall-clock deadline passed into long-running loops (simplex
+/// pivots, rounding repetitions, branch-and-bound nodes). A default
+/// Deadline is unlimited and costs one branch per check; an armed one
+/// compares against steady_clock. Loops poll expired() at a coarse cadence
+/// and surface truncation to the caller instead of returning a silently
+/// partial result.
+
+#include <chrono>
+
+namespace ssa {
+
+class Deadline {
+ public:
+  /// Unlimited: expired() is always false.
+  Deadline() = default;
+
+  /// Deadline \p seconds from now; seconds <= 0 means unlimited (matching
+  /// the SolveOptions::time_budget_seconds convention). Budgets too large
+  /// to represent in steady_clock ticks (~31+ years) are unlimited too --
+  /// the duration cast must not overflow a huge budget into an instantly
+  /// expired one.
+  [[nodiscard]] static Deadline after(double seconds) {
+    constexpr double kUnlimitedSeconds = 1.0e9;
+    Deadline deadline;
+    if (seconds > 0.0 && seconds < kUnlimitedSeconds) {
+      deadline.armed_ = true;
+      deadline.at_ = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(seconds));
+    }
+    return deadline;
+  }
+
+  [[nodiscard]] bool unlimited() const noexcept { return !armed_; }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return armed_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+}  // namespace ssa

@@ -1,11 +1,14 @@
 // Tests for the unified Solver API: registry round-trip over every
-// registered solver, solve_batch determinism across thread counts, error
-// capture for out-of-domain jobs, and equivalence of the deprecated
-// run_auction wrapper with the "lp-rounding" solver.
+// registered solver (symmetric and asymmetric), solve_batch determinism
+// across thread counts on mixed-type job lists, error capture for
+// out-of-domain jobs (including instance-type mismatches), cooperative
+// time budgets, and equivalence of the deprecated run_auction wrapper with
+// the "lp-rounding" solver.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "api/api.hpp"
 #include "gen/scenario.hpp"
@@ -19,15 +22,24 @@
 namespace ssa {
 namespace {
 
-TEST(SolverRegistry, AllSevenAlgorithmsRegistered) {
+/// Whether a registry name belongs to the Section-6 asymmetric family.
+bool is_asymmetric_solver(const std::string& name) {
+  return name.rfind("asymmetric-", 0) == 0;
+}
+
+TEST(SolverRegistry, AllBuiltinAlgorithmsRegistered) {
   const std::vector<std::string> names = available_solvers();
   for (const char* expected :
        {"lp-rounding", "exact", "greedy-value", "greedy-density",
-        "local-ratio-k1", "local-ratio-per-channel", "mechanism"}) {
+        "local-ratio-k1", "local-ratio-per-channel", "mechanism",
+        "asymmetric-lp-rounding", "asymmetric-exact",
+        "asymmetric-greedy-value", "asymmetric-greedy-density"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end())
         << "missing solver: " << expected;
   }
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // registry() is the documented shorthand for the global registry.
+  EXPECT_TRUE(registry().contains("asymmetric-lp-rounding"));
 }
 
 TEST(SolverRegistry, UnknownNameThrowsWithCatalog) {
@@ -50,16 +62,22 @@ TEST(SolverRegistry, DuplicateRegistrationThrows) {
   EXPECT_THROW(registry.add("b", SolverFactory{}), std::invalid_argument);
 }
 
-TEST(SolverRegistry, EveryRegisteredSolverSolvesSmallDiskAuction) {
-  // k = 1 keeps every solver in domain (local-ratio-k1 requires k == 1 and
-  // an unweighted graph; disk graphs are unweighted).
-  const AuctionInstance instance =
+TEST(SolverRegistry, EveryRegisteredSolverSolvesAnInstanceOfItsKind) {
+  // k = 1 keeps every symmetric solver in domain (local-ratio-k1 requires
+  // k == 1 and an unweighted graph; disk graphs are unweighted); the
+  // asymmetric solvers get a small random per-channel-graph instance.
+  const AuctionInstance symmetric =
       gen::make_disk_auction(10, 1, gen::ValuationMix::kMixed, 71);
+  const AsymmetricInstance asymmetric =
+      gen::make_random_asymmetric(10, 2, 0.3, gen::ValuationMix::kMixed, 72);
   for (const std::string& name : available_solvers()) {
     const auto solver = make_solver(name);
     ASSERT_NE(solver, nullptr);
     EXPECT_EQ(solver->name(), name);
     EXPECT_FALSE(solver->description().empty());
+    const AnyInstance instance = is_asymmetric_solver(name)
+                                     ? AnyInstance(asymmetric)
+                                     : AnyInstance(symmetric);
     const SolveReport report = solver->solve(instance);
     EXPECT_EQ(report.solver, name);
     EXPECT_TRUE(report.error.empty()) << name << ": " << report.error;
@@ -70,6 +88,27 @@ TEST(SolverRegistry, EveryRegisteredSolverSolvesSmallDiskAuction) {
         << name;
     EXPECT_GE(report.wall_time_seconds, 0.0) << name;
   }
+}
+
+TEST(SolverApi, InstanceTypeMismatchIsReportedNotThrown) {
+  const AuctionInstance symmetric =
+      gen::make_disk_auction(8, 2, gen::ValuationMix::kMixed, 12);
+  const AsymmetricInstance asymmetric =
+      gen::make_random_asymmetric(8, 2, 0.3, gen::ValuationMix::kMixed, 13);
+
+  const SolveReport wrong_sym =
+      make_solver("asymmetric-lp-rounding")->solve(symmetric);
+  EXPECT_FALSE(wrong_sym.error.empty());
+  EXPECT_NE(wrong_sym.error.find("AsymmetricInstance"), std::string::npos);
+  EXPECT_FALSE(wrong_sym.feasible);
+  EXPECT_DOUBLE_EQ(wrong_sym.welfare, 0.0);
+  // The report still carries an (empty) allocation sized to the instance.
+  EXPECT_EQ(wrong_sym.allocation.bundles.size(), symmetric.num_bidders());
+
+  const SolveReport wrong_asym = make_solver("lp-rounding")->solve(asymmetric);
+  EXPECT_FALSE(wrong_asym.error.empty());
+  EXPECT_NE(wrong_asym.error.find("symmetric"), std::string::npos);
+  EXPECT_FALSE(wrong_asym.feasible);
 }
 
 TEST(SolverApi, DiagnosticsBlockIsPopulated) {
@@ -118,18 +157,31 @@ TEST(SolverApi, SharedSeedSubsumesSectionSeeds) {
 }
 
 TEST(SolverApi, ThreadOptionNeverChangesTheResult) {
-  const AuctionInstance instance =
+  // Covers the Monte-Carlo solvers of both families: their rounding loops
+  // run under parallel_for with per-repetition split RNGs, so the thread
+  // count must never leak into the result.
+  const AuctionInstance symmetric =
       gen::make_disk_auction(14, 2, gen::ValuationMix::kMixed, 88);
-  SolveOptions one;
-  one.seed = 4;
-  one.threads = 1;
-  SolveOptions many = one;
-  many.threads = 8;
-  const auto solver = make_solver("lp-rounding");
-  const SolveReport a = solver->solve(instance, one);
-  const SolveReport b = solver->solve(instance, many);
-  EXPECT_EQ(a.allocation.bundles, b.allocation.bundles);
-  EXPECT_DOUBLE_EQ(a.welfare, b.welfare);
+  const AsymmetricInstance asymmetric =
+      gen::make_random_asymmetric(14, 2, 0.25, gen::ValuationMix::kMixed, 89);
+  const struct {
+    const char* solver;
+    AnyInstance instance;
+  } cases[] = {{"lp-rounding", AnyInstance(symmetric)},
+               {"asymmetric-lp-rounding", AnyInstance(asymmetric)}};
+  for (const auto& c : cases) {
+    SolveOptions one;
+    one.seed = 4;
+    one.threads = 1;
+    SolveOptions many = one;
+    many.threads = 8;
+    const auto solver = make_solver(c.solver);
+    const SolveReport a = solver->solve(c.instance, one);
+    const SolveReport b = solver->solve(c.instance, many);
+    EXPECT_TRUE(a.error.empty()) << c.solver << ": " << a.error;
+    EXPECT_EQ(a.allocation.bundles, b.allocation.bundles) << c.solver;
+    EXPECT_DOUBLE_EQ(a.welfare, b.welfare) << c.solver;
+  }
 }
 
 TEST(DeprecatedWrappers, RunAuctionMatchesLpRoundingSolver) {
@@ -226,16 +278,97 @@ TEST(SolveBatch, OutOfDomainJobReportsErrorInsteadOfThrowing) {
 }
 
 TEST(SolveBatch, ComparisonTableHasOneRowPerJob) {
-  const AuctionInstance instance =
+  const AuctionInstance symmetric =
       gen::make_disk_auction(8, 1, gen::ValuationMix::kMixed, 77);
-  const std::vector<LabelledInstance> instances = {{"tiny", &instance}};
-  std::vector<std::string> solvers = available_solvers();
-  const BatchResult result = solve_batch(cross_jobs(instances, solvers));
-  EXPECT_EQ(result.table().rows(), solvers.size());
+  const AsymmetricInstance asymmetric =
+      gen::make_random_asymmetric(8, 2, 0.3, gen::ValuationMix::kMixed, 78);
+  // Pair every registered solver with an instance of its kind: the full
+  // catalog runs without a single per-job error.
+  std::vector<BatchJob> jobs;
+  for (const std::string& name : available_solvers()) {
+    if (is_asymmetric_solver(name)) {
+      jobs.push_back({name, asymmetric, "tiny-asym", {}});
+    } else {
+      jobs.push_back({name, symmetric, "tiny", {}});
+    }
+  }
+  const BatchResult result = solve_batch(jobs);
+  EXPECT_EQ(result.table().rows(), jobs.size());
   for (const SolveReport& report : result.reports) {
     EXPECT_TRUE(report.error.empty())
         << report.solver << ": " << report.error;
   }
+}
+
+TEST(SolveBatch, MixedInstanceTypesDeterministicAcrossThreadCounts) {
+  // The gen/scenario batch hooks: an owned mixed suite (two symmetric, two
+  // asymmetric instances) crossed with solvers from both families. Jobs
+  // pairing a solver with the wrong instance type stay in the list on
+  // purpose -- they must degrade to per-row errors, identically at every
+  // thread count.
+  const std::vector<gen::NamedInstance> suite =
+      gen::mixed_scenario_suite(10, 2, 5100);
+  ASSERT_EQ(suite.size(), 4u);
+  const std::vector<std::string> solvers = {
+      "lp-rounding", "greedy-density", "asymmetric-lp-rounding",
+      "asymmetric-greedy-density"};
+  SolveOptions options;
+  options.seed = 2027;
+  options.pipeline.rounding_repetitions = 12;
+  const std::vector<BatchJob> jobs =
+      gen::scenario_jobs(suite, solvers, options);
+  ASSERT_EQ(jobs.size(), suite.size() * solvers.size());
+
+  const BatchResult serial = solve_batch(jobs, BatchOptions{.threads = 1});
+  const BatchResult parallel = solve_batch(jobs, BatchOptions{.threads = 0});
+  ASSERT_EQ(serial.reports.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(serial.labels[i], parallel.labels[i]);
+    EXPECT_EQ(serial.reports[i].error, parallel.reports[i].error);
+    EXPECT_EQ(serial.reports[i].allocation.bundles,
+              parallel.reports[i].allocation.bundles)
+        << serial.labels[i] << "/" << serial.reports[i].solver;
+    EXPECT_DOUBLE_EQ(serial.reports[i].welfare, parallel.reports[i].welfare);
+    // The comparison tables (what operators actually diff) match rendered.
+    EXPECT_EQ(serial.table().rows(), parallel.table().rows());
+  }
+
+  // Each instance kind found its matching solvers; mismatches are errors.
+  EXPECT_NE(serial.find("disk", "lp-rounding"), nullptr);
+  EXPECT_NE(serial.find("asym-random", "asymmetric-lp-rounding"), nullptr);
+  EXPECT_NE(serial.find("asym-hardness", "asymmetric-greedy-density"),
+            nullptr);
+  EXPECT_EQ(serial.find("disk", "asymmetric-lp-rounding"), nullptr);
+  EXPECT_EQ(serial.find("asym-random", "lp-rounding"), nullptr);
+}
+
+TEST(SolveBatch, TinyTimeBudgetReturnsPromptlyWithTimedOut) {
+  // Acceptance: a tiny budget on a large instance truncates cooperatively
+  // -- the report comes back promptly, flagged, feasible, error-free.
+  const AuctionInstance symmetric =
+      gen::make_disk_auction(40, 6, gen::ValuationMix::kMixed, 91);
+  const AsymmetricInstance asymmetric =
+      gen::make_random_asymmetric(24, 3, 0.25, gen::ValuationMix::kMixed, 92);
+  SolveOptions options;
+  options.time_budget_seconds = 1e-7;
+  options.pipeline.rounding_repetitions = 256;
+  for (const auto& [solver, instance] :
+       {std::pair<std::string, AnyInstance>{"lp-rounding", symmetric},
+        {"exact", symmetric},
+        {"asymmetric-lp-rounding", asymmetric},
+        {"asymmetric-exact", asymmetric}}) {
+    const SolveReport report = make_solver(solver)->solve(instance, options);
+    EXPECT_TRUE(report.error.empty()) << solver << ": " << report.error;
+    EXPECT_TRUE(report.timed_out) << solver;
+    EXPECT_TRUE(report.feasible) << solver;
+    EXPECT_FALSE(report.exact) << solver;
+    EXPECT_LT(report.wall_time_seconds, 10.0) << solver;
+  }
+
+  // An unlimited budget never reports a timeout.
+  const SolveReport unlimited = make_solver("lp-rounding")
+                                    ->solve(symmetric, SolveOptions{});
+  EXPECT_FALSE(unlimited.timed_out);
 }
 
 }  // namespace

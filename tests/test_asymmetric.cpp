@@ -78,6 +78,83 @@ TEST(AsymmetricRounding, ExpectedWelfareMeetsSection6Bound) {
   EXPECT_GE(stats.mean() + 3.0 * stats.ci95_halfwidth(), bound);
 }
 
+TEST(AsymmetricRounding, ConflictOnOneChannelDropsTheWholeBundle) {
+  // Regression pin for the Section 6 conflict-resolution step. The paper
+  // keeps Algorithm 1's structure: a vertex that loses against a kept
+  // pi-earlier neighbor on ANY channel of its bundle is removed ENTIRELY.
+  // Per-channel trimming would be wrong here -- a single-minded bidder
+  // would be left holding a worthless sub-bundle (the analysis never
+  // charges it) while still blocking later vertices on surviving channels.
+  //
+  // Two single-minded bidders both want {0,1} at value 1; they conflict
+  // only on channel 0. Under full drop the later bidder ends with the full
+  // bundle or nothing -- the strict sub-bundle {1} (what trimming would
+  // produce whenever both sample) must never appear.
+  std::vector<ConflictGraph> graphs;
+  graphs.emplace_back(2);
+  graphs.back().add_edge(0, 1);  // channel 0 only
+  graphs.emplace_back(2);
+  std::vector<ValuationPtr> vals(
+      2, std::make_shared<SingleMindedValuation>(2, full_bundle(2), 1.0));
+  const AsymmetricInstance instance(std::move(graphs), identity_ordering(2),
+                                    vals);
+  ASSERT_DOUBLE_EQ(instance.rho(), 1.0);
+
+  const FractionalSolution lp = solve_asymmetric_lp(instance);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(lp.objective, 2.0, 1e-6);  // both x_{v,{0,1}} = 1
+
+  // Sampling probability is x / (2 k rho) = 1/4 per bidder, so both sample
+  // together in ~1/16 of the trials; with 400 trials the drop path is
+  // exercised many times for this fixed seed.
+  Rng rng(2026);
+  RunningStats stats;
+  int full_drops = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const Allocation allocation = round_asymmetric(instance, lp, rng);
+    ASSERT_TRUE(instance.feasible(allocation));
+    for (std::size_t v = 0; v < 2; ++v) {
+      // Full bundle or nothing -- never a trimmed sub-bundle.
+      EXPECT_TRUE(allocation.bundles[v] == kEmptyBundle ||
+                  allocation.bundles[v] == full_bundle(2))
+          << "trial " << trial << " bidder " << v << " holds sub-bundle "
+          << allocation.bundles[v];
+    }
+    // Both winning would violate the channel-0 edge.
+    EXPECT_FALSE(allocation.bundles[0] == full_bundle(2) &&
+                 allocation.bundles[1] == full_bundle(2));
+    if (allocation.bundles[0] == full_bundle(2) &&
+        allocation.bundles[1] == kEmptyBundle) {
+      ++full_drops;
+    }
+    stats.add(instance.welfare(allocation));
+  }
+  // The conflict-drop path actually ran (P[no occurrence] < 1e-5).
+  EXPECT_GT(full_drops, 0);
+  // And the welfare guarantee the full drop is priced for still holds:
+  // E[welfare] >= b* / (4 k rho) = 0.25.
+  const double bound = lp.objective / (4.0 * 2.0 * instance.rho());
+  EXPECT_GE(stats.mean() + 3.0 * stats.ci95_halfwidth(), bound);
+}
+
+TEST(AsymmetricRounding, ExpiredDeadlineTruncatesButStaysFeasible) {
+  const AsymmetricInstance instance =
+      gen::make_random_asymmetric(14, 2, 0.3, gen::ValuationMix::kMixed, 55);
+  const FractionalSolution lp = solve_asymmetric_lp(instance);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  bool timed_out = false;
+  const Allocation allocation = best_asymmetric_rounds(
+      instance, lp, 64, 9, Deadline::after(1e-9), &timed_out);
+  EXPECT_TRUE(timed_out);  // repetitions beyond the first were skipped
+  EXPECT_TRUE(instance.feasible(allocation));  // repetition 0 always runs
+  // An unlimited deadline reports no truncation and matches the default.
+  bool untruncated = false;
+  const Allocation full =
+      best_asymmetric_rounds(instance, lp, 16, 9, Deadline{}, &untruncated);
+  EXPECT_FALSE(untruncated);
+  EXPECT_EQ(full.bundles, best_asymmetric_rounds(instance, lp, 16, 9).bundles);
+}
+
 TEST(AsymmetricRounding, BestOfRoundsDeterministic) {
   const AsymmetricInstance instance =
       gen::make_random_asymmetric(12, 2, 0.3, gen::ValuationMix::kMixed, 88);

@@ -115,6 +115,23 @@ TEST(BestOfRounds, AtLeastSinglePassAndDeterministic) {
   EXPECT_TRUE(instance.feasible(best32));
 }
 
+TEST(BestOfRounds, ExpiredDeadlineTruncatesButStaysFeasible) {
+  const AuctionInstance instance =
+      gen::make_disk_auction(18, 2, gen::ValuationMix::kMixed, 77);
+  const FractionalSolution lp = solve_auction_lp(instance);
+  bool timed_out = false;
+  const Allocation truncated =
+      best_of_rounds(instance, lp, 64, 5, Deadline::after(1e-9), &timed_out);
+  EXPECT_TRUE(timed_out);  // repetitions beyond the first were skipped
+  EXPECT_TRUE(instance.feasible(truncated));  // repetition 0 always runs
+  // An unlimited deadline leaves the result and the flag untouched.
+  bool untruncated = false;
+  const Allocation full =
+      best_of_rounds(instance, lp, 32, 5, Deadline{}, &untruncated);
+  EXPECT_FALSE(untruncated);
+  EXPECT_EQ(full.bundles, best_of_rounds(instance, lp, 32, 5).bundles);
+}
+
 class WeightedRounding : public ::testing::TestWithParam<int> {};
 
 TEST_P(WeightedRounding, PartialOutputsSatisfyCondition5) {
