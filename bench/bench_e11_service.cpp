@@ -1,0 +1,157 @@
+// Experiment E11: throughput of the long-lived AuctionService on mixed
+// symmetric/asymmetric scenario streams. A fixed stream of requests
+// (distinct scenarios from gen::mixed_scenario_suite, each recurring after
+// a cache-warming first rotation) is pushed through service configurations
+// of increasing concurrency; the series reports sustained requests/sec and
+// the cache hit rate. The welfare column doubles as a cross-configuration
+// invariant: results must not depend on the shard/worker layout.
+//
+// Concurrency is configurable: SSA_BENCH_SHARDS (comma-separated shard
+// counts, default "1,2,4,8") and SSA_BENCH_WORKERS (workers per shard,
+// default 1).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gen/scenario.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace ssa;
+
+std::vector<int> shard_counts_from_env() {
+  const char* env = std::getenv("SSA_BENCH_SHARDS");
+  if (env == nullptr) return {1, 2, 4, 8};
+  std::vector<int> counts;
+  std::string token;
+  for (const char* p = env;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) counts.push_back(std::max(1, std::atoi(token.c_str())));
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token += *p;
+    }
+  }
+  return counts.empty() ? std::vector<int>{1, 2, 4, 8} : counts;
+}
+
+int workers_from_env() {
+  const char* env = std::getenv("SSA_BENCH_WORKERS");
+  return env == nullptr ? 1 : std::max(1, std::atoi(env));
+}
+
+/// The benchmark workload: 5 mixed suites = 20 distinct scenarios.
+std::vector<gen::NamedInstance> make_scenarios() {
+  std::vector<gen::NamedInstance> scenarios;
+  for (std::uint64_t suite = 0; suite < 5; ++suite) {
+    for (gen::NamedInstance& named :
+         gen::mixed_scenario_suite(12, 2, 4200 + 31 * suite)) {
+      scenarios.push_back(std::move(named));
+    }
+  }
+  return scenarios;
+}
+
+struct StreamOutcome {
+  double seconds = 0.0;
+  double welfare = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t requests = 0;
+};
+
+/// Streams rotations of the scenario set through one service
+/// configuration: first rotation computes (cache warmup), later rotations
+/// replay. Claims every report and accumulates welfare.
+StreamOutcome drive_stream(const std::vector<gen::NamedInstance>& scenarios,
+                           int shards, int workers, int rotations) {
+  service::ServiceOptions config;
+  config.shards = shards;
+  config.threads_per_shard = workers;
+  service::AuctionService service(config);
+
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 12;
+
+  StreamOutcome outcome;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<service::RequestId> ids;
+  ids.reserve(scenarios.size() * static_cast<std::size_t>(rotations));
+  for (int rotation = 0; rotation < rotations; ++rotation) {
+    for (const gen::NamedInstance& scenario : scenarios) {
+      ids.push_back(
+          service.submit(scenario.view(), service::kAutoSolver, options));
+    }
+    if (rotation == 0) service.drain();  // warm the caches once
+  }
+  for (const service::RequestId id : ids) {
+    outcome.welfare += service.get(id).welfare;
+  }
+  outcome.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const service::ServiceStats stats = service.stats();
+  outcome.cache_hits = stats.cache_hits;
+  outcome.requests = stats.submitted;
+  return outcome;
+}
+
+void experiment_table() {
+  const std::vector<gen::NamedInstance> scenarios = make_scenarios();
+  const std::vector<int> shard_counts = shard_counts_from_env();
+  const int workers = workers_from_env();
+  const int rotations = 10;  // 20 scenarios x 10 = 200 requests per config
+
+  Table table({"shards", "workers/shard", "requests", "req/s", "cache hit %",
+               "total welfare", "ms"});
+  for (const int shards : shard_counts) {
+    const StreamOutcome outcome =
+        drive_stream(scenarios, shards, workers, rotations);
+    const double rate =
+        static_cast<double>(outcome.requests) / outcome.seconds;
+    const double hit_rate = 100.0 * static_cast<double>(outcome.cache_hits) /
+                            static_cast<double>(outcome.requests);
+    table.add_row({Table::integer(shards), Table::integer(workers),
+                   Table::integer(static_cast<long long>(outcome.requests)),
+                   Table::num(rate, 1), Table::num(hit_rate, 1),
+                   Table::num(outcome.welfare, 2),
+                   Table::num(1e3 * outcome.seconds, 1)});
+    bench::record(
+        {"e11/shards=" + std::to_string(shards) +
+             "/workers=" + std::to_string(workers),
+         outcome.seconds, outcome.welfare, "auto",
+         {{"requests", static_cast<double>(outcome.requests)},
+          {"requests_per_sec", rate},
+          {"cache_hit_rate", hit_rate / 100.0},
+          {"shards", static_cast<double>(shards)},
+          {"workers_per_shard", static_cast<double>(workers)}}});
+  }
+  bench::print_experiment(
+      "E11: auction service throughput (mixed scenario stream)", table,
+      "VERDICT: after the warmup rotation the stream is cache-dominated, so "
+      "requests/sec tracks fingerprint+lookup cost; total welfare is "
+      "invariant across shard/worker layouts (determinism), and shard "
+      "counts trade lock contention against cache fragmentation");
+}
+
+void bm_service_stream(benchmark::State& state) {
+  const std::vector<gen::NamedInstance> scenarios = make_scenarios();
+  const int shards = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const StreamOutcome outcome = drive_stream(scenarios, shards, 1, 3);
+    benchmark::DoNotOptimize(outcome.welfare);
+  }
+}
+BENCHMARK(bm_service_stream)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ssa::bench::run(argc, argv, experiment_table);
+}

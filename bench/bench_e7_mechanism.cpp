@@ -18,7 +18,7 @@ namespace {
 
 using namespace ssa;
 
-MechanismOutcome solve_mechanism(const AuctionInstance& instance,
+MechanismOutcome registry_mechanism(const AuctionInstance& instance,
                                  std::uint64_t seed = 1) {
   SolveOptions options;
   options.seed = seed;
@@ -61,7 +61,7 @@ void truthfulness_table() {
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const AuctionInstance truth =
         gen::make_disk_auction(8, 2, gen::ValuationMix::kMixed, 900 + seed);
-    const MechanismOutcome truthful_outcome = solve_mechanism(truth);
+    const MechanismOutcome truthful_outcome = registry_mechanism(truth);
     const std::vector<double> truthful_utility =
         expected_utilities(truthful_outcome, truth, truth);
     for (const std::size_t v : {0u, 3u, 6u}) {
@@ -73,7 +73,7 @@ void truthfulness_table() {
         const AuctionInstance reported = truth.with_valuation(
             v, std::make_shared<ExplicitValuation>(truth.num_channels(),
                                                    std::move(scaled)));
-        const MechanismOutcome lie_outcome = solve_mechanism(reported);
+        const MechanismOutcome lie_outcome = registry_mechanism(reported);
         const std::vector<double> lie_utility =
             expected_utilities(lie_outcome, truth, reported);
         const double gain = lie_utility[v] - truthful_utility[v];

@@ -2,15 +2,97 @@
 /// \file bench_util.hpp
 /// Shared helpers for the experiment binaries: every bench prints the
 /// series it measures as a table (these are the "rows" EXPERIMENTS.md
-/// records) and then runs its google-benchmark timings.
+/// records) and then runs its google-benchmark timings. Benches that call
+/// record() additionally emit a machine-readable BENCH_<name>.json next to
+/// the working directory, so the perf trajectory (wall time, welfare,
+/// solver key per measured row) can be tracked across PRs by tooling
+/// instead of table-scraping.
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "support/table.hpp"
 
 namespace ssa::bench {
+
+/// One machine-readable measurement row.
+struct BenchRecord {
+  std::string name;           ///< row identifier, e.g. "e11/shards=4"
+  double wall_seconds = 0.0;  ///< measured wall time of the row
+  double welfare = 0.0;       ///< welfare the row produced (0 if n/a)
+  std::string solver;         ///< registry key (or "auto"/"mixed")
+  /// Free-form extra metrics (requests/sec, cache hit rate, ...).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+namespace detail {
+
+inline std::vector<BenchRecord>& records() {
+  static std::vector<BenchRecord> storage;
+  return storage;
+}
+
+/// Minimal JSON string escaping (the fields we emit are ASCII labels).
+inline std::string json_escaped(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Writes BENCH_<basename(argv0)>.json into the working directory; no file
+/// when the bench recorded nothing.
+inline void write_json(const char* argv0) {
+  if (records().empty()) return;
+  std::string name(argv0 == nullptr ? "bench" : argv0);
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_util: cannot write " << path << "\n";
+    return;
+  }
+  out.precision(12);  // welfare sums need more than the default 6 digits
+  out << "{\n  \"bench\": \"" << json_escaped(name) << "\",\n  \"records\": [";
+  bool first_record = true;
+  for (const BenchRecord& record : records()) {
+    out << (first_record ? "\n" : ",\n");
+    first_record = false;
+    out << "    {\"name\": \"" << json_escaped(record.name)
+        << "\", \"wall_seconds\": " << record.wall_seconds
+        << ", \"welfare\": " << record.welfare << ", \"solver\": \""
+        << json_escaped(record.solver) << "\"";
+    for (const auto& [key, value] : record.extra) {
+      out << ", \"" << json_escaped(key) << "\": " << value;
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "wrote " << path << " (" << records().size() << " records)\n";
+}
+
+}  // namespace detail
+
+/// Registers one measurement row for the BENCH_*.json emitted by run().
+inline void record(BenchRecord record) {
+  detail::records().push_back(std::move(record));
+}
 
 /// Prints the experiment table and a one-line verdict.
 inline void print_experiment(const std::string& title, const Table& table,
@@ -20,11 +102,13 @@ inline void print_experiment(const std::string& title, const Table& table,
   std::cout << std::endl;
 }
 
-/// Runs the experiment table printer, then google-benchmark.
+/// Runs the experiment table printer, flushes the JSON records, then runs
+/// google-benchmark.
 /// Usage from main: return ssa::bench::run(argc, argv, [] { ...tables... });
 template <typename TableFn>
 int run(int argc, char** argv, const TableFn& tables) {
   tables();
+  detail::write_json(argc > 0 ? argv[0] : nullptr);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

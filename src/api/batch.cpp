@@ -1,8 +1,10 @@
 #include "api/batch.hpp"
 
+#include <algorithm>
 #include <exception>
 
 #include "api/registry.hpp"
+#include "api/scheduler.hpp"
 #include "support/parallel.hpp"
 
 namespace ssa {
@@ -46,31 +48,53 @@ BatchResult solve_batch(std::span<const BatchJob> jobs,
   result.labels.resize(jobs.size());
   result.reports.resize(jobs.size());
 
-  const auto run_one = [&](std::ptrdiff_t i) {
-    const BatchJob& job = jobs[static_cast<std::size_t>(i)];
-    SolveReport& report = result.reports[static_cast<std::size_t>(i)];
-    result.labels[static_cast<std::size_t>(i)] = job.instance_label;
+  const auto run_one = [&](std::size_t i, double queue_wait_seconds) {
+    const BatchJob& job = jobs[i];
+    SolveReport& report = result.reports[i];
+    result.labels[i] = job.instance_label;
     try {
       if (job.instance.empty()) {
         throw std::invalid_argument("solve_batch: empty instance");
       }
       report = make_solver(job.solver)->solve(job.instance, job.options);
     } catch (const std::exception& e) {
+      // Job-level failures (unknown solver, empty instance) degrade to a
+      // per-row error in the same normalized format the solvers use.
       report = SolveReport{};
       report.solver = job.solver;
-      report.error = e.what();
+      report.solver_selected = job.solver;
+      report.error = detail::normalized_solver_error(job.solver, e.what());
     }
+    report.queue_wait_seconds = queue_wait_seconds;
   };
 
   if (options.threads == 1) {
-    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(jobs.size());
-         ++i) {
-      run_one(i);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      run_one(i, 0.0);
     }
   } else {
-    // threads > 1 caps the worker pool; 0 keeps the runtime default.
-    const ThreadCountScope thread_scope(options.threads);
-    parallel_for(static_cast<std::ptrdiff_t>(jobs.size()), run_one);
+    // The shared scheduling core (also behind the AuctionService shard
+    // pools): one worker per requested thread drains the job queue. Each
+    // worker caps its solver's internal OpenMP loops at one thread --
+    // batch-level parallelism replaces loop-level parallelism, exactly as
+    // the old single OpenMP region did via non-nested teams. Results never
+    // depend on the thread count (job i always produces reports[i]).
+    // Never spawn more workers than jobs (the scheduler is per-call, so
+    // idle threads would be pure create/join overhead), but at least one:
+    // SolveScheduler reads 0 as "hardware concurrency".
+    const int requested =
+        options.threads == 0 ? parallel_threads() : options.threads;
+    const std::size_t workers = std::max<std::size_t>(
+        1, std::min(static_cast<std::size_t>(requested), jobs.size()));
+    SolveScheduler scheduler(static_cast<int>(workers));
+    const bool cap_inner_loops = scheduler.threads() > 1;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      scheduler.submit([&run_one, cap_inner_loops, i](double wait) {
+        const ThreadCountScope inner_scope(cap_inner_loops ? 1 : 0);
+        run_one(i, wait);
+      });
+    }
+    scheduler.drain();
   }
   return result;
 }

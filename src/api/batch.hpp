@@ -2,12 +2,13 @@
 /// \file batch.hpp
 /// Batch execution over the unified Solver API: a set of (instance, solver)
 /// jobs -- mixing symmetric AuctionInstances and Section-6
-/// AsymmetricInstances freely -- is run concurrently through
-/// support/parallel.hpp and the resulting SolveReports are aggregated into
-/// one comparison table. A job pairing a solver with the wrong instance
-/// type renders as a per-row error, not a batch abort. This replaces the
-/// hand-rolled "call every algorithm, collect a row" loops every bench and
-/// example used to carry.
+/// AsymmetricInstances freely -- is run concurrently through the shared
+/// SolveScheduler worker pool (api/scheduler.hpp, the same core the
+/// long-lived AuctionService shards run on) and the resulting SolveReports
+/// are aggregated into one comparison table. A job pairing a solver with
+/// the wrong instance type renders as a per-row error, not a batch abort.
+/// This replaces the hand-rolled "call every algorithm, collect a row"
+/// loops every bench and example used to carry.
 
 #include <span>
 #include <string>
@@ -30,9 +31,10 @@ struct BatchJob {
 };
 
 struct BatchOptions {
-  /// Worker cap for the batch: 0 = runtime default pool, 1 = strictly
-  /// serial, > 1 = cap the OpenMP pool at this many workers. Reports are
-  /// identical for any value: job i always produces reports[i].
+  /// Worker count for the batch scheduler: 0 = runtime default, 1 =
+  /// strictly serial (no worker threads spawned), > 1 = that many queue
+  /// workers. Reports are identical for any value: job i always produces
+  /// reports[i].
   int threads = 0;
 };
 

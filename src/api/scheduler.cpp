@@ -1,0 +1,91 @@
+#include "api/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ssa {
+
+SolveScheduler::SolveScheduler(int threads) {
+  if (threads <= 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SolveScheduler::~SolveScheduler() { shutdown(); }
+
+void SolveScheduler::submit(Task task) {
+  if (!task) {
+    throw std::invalid_argument("SolveScheduler::submit: empty task");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      throw std::runtime_error("SolveScheduler::submit: scheduler shut down");
+    }
+    queue_.push_back(
+        QueuedTask{std::move(task), std::chrono::steady_clock::now()});
+  }
+  work_ready_.notify_one();
+}
+
+void SolveScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void SolveScheduler::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    terminate_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::size_t SolveScheduler::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void SolveScheduler::worker_loop() {
+  for (;;) {
+    QueuedTask item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [this] { return terminate_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // terminate_ is set and the queue is drained: exit for good.
+        return;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    const double queue_wait_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      item.enqueued)
+            .count();
+    try {
+      item.task(queue_wait_seconds);
+    } catch (...) {
+      // Tasks are required not to throw (see header); swallowing here keeps
+      // the worker alive for the remaining queue.
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace ssa

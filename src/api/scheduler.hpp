@@ -1,0 +1,79 @@
+#pragma once
+/// \file scheduler.hpp
+/// The scheduling core shared by solve_batch (api/batch.cpp) and the
+/// long-lived AuctionService (service/auction_service.hpp): a FIFO task
+/// queue drained by a fixed pool of worker threads. solve_batch used to
+/// carry its own OpenMP loop; extracting the queue + worker loop here means
+/// the one-shot batch driver and the service shard pools run the exact same
+/// code, and both can report how long a task waited in the queue
+/// (SolveReport::queue_wait_seconds).
+///
+/// Tasks receive their measured queue wait in seconds. Tasks must not
+/// throw; a throwing task is caught and dropped (workers stay alive), which
+/// is acceptable because every caller in this library already converts
+/// solver failures into SolveReport::error before the task returns.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssa {
+
+/// Fixed-size worker pool over a FIFO queue. Thread-safe; submission from
+/// any thread. Destruction finishes all queued work, then joins.
+class SolveScheduler {
+ public:
+  /// Runs with \p threads workers (0 = hardware concurrency, clamped to at
+  /// least 1). Workers start immediately and sleep until work arrives.
+  explicit SolveScheduler(int threads = 0);
+
+  /// Equivalent to shutdown(): every already-queued task still runs.
+  ~SolveScheduler();
+
+  SolveScheduler(const SolveScheduler&) = delete;
+  SolveScheduler& operator=(const SolveScheduler&) = delete;
+
+  using Task = std::function<void(double queue_wait_seconds)>;
+
+  /// Enqueues a task; throws std::runtime_error after shutdown() began.
+  void submit(Task task);
+
+  /// Blocks until the queue is empty and no worker is mid-task. New work
+  /// may be submitted afterwards (the pool stays alive).
+  void drain();
+
+  /// Stops accepting new tasks, finishes everything already queued or
+  /// in flight, and joins the workers. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] int threads() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Tasks queued but not yet started (diagnostics only; racy by nature).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct QueuedTask {
+    Task task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;  // workers wait here
+  std::condition_variable all_idle_;    // drain()/shutdown() wait here
+  std::deque<QueuedTask> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t running_ = 0;   // tasks currently executing
+  bool accepting_ = true;     // submit() allowed
+  bool terminate_ = false;    // workers exit once the queue is empty
+};
+
+}  // namespace ssa

@@ -89,8 +89,26 @@ struct SolveReport {
   /// Empty on success. Filled (by solve() itself) when the instance is
   /// outside the solver's domain or the algorithm failed; solve_batch
   /// additionally stores job-level failures (unknown solver, empty
-  /// instance) here instead of propagating the exception.
+  /// instance) here instead of propagating the exception. Always in the
+  /// normalized "<solver-key>: <reason>" format -- the service's fallback
+  /// chains key off that prefix, so every layer (adapter domain checks,
+  /// solve(), solve_batch) enforces it.
   std::string error;
+
+  // -- provenance (filled by the execution layers) --------------------------
+  /// Registry key the execution layer resolved for this run. Solver::solve
+  /// sets it to the solver's own name; the AuctionService overwrites it
+  /// with the key its selection policy chose -- after fallbacks, that is
+  /// the solver which actually produced this report.
+  std::string solver_selected;
+  /// The report was answered from the service result cache: the payload --
+  /// including wall_time_seconds, which keeps documenting what the result
+  /// cost to compute originally -- is bitwise the originating run's; only
+  /// this flag and queue_wait_seconds are fresh.
+  bool cache_hit = false;
+  /// Seconds the request waited in a scheduler queue before a worker
+  /// picked it up (0 for direct Solver::solve calls and for cache hits).
+  double queue_wait_seconds = 0.0;
 
   // -- solver-specific payloads ---------------------------------------------
   std::optional<FractionalSolution> fractional;  ///< LP-based solvers
@@ -140,6 +158,14 @@ class SymmetricSolver : public Solver {
   [[nodiscard]] virtual SolveReport solve_symmetric(
       const AuctionInstance& instance, const SolveOptions& options) const = 0;
 };
+
+namespace detail {
+/// Enforces the normalized SolveReport::error format
+/// "<solver-key>: <reason>": prepends the key unless \p reason already
+/// carries it. Shared by Solver::solve, solve_batch and the service.
+[[nodiscard]] std::string normalized_solver_error(const std::string& solver,
+                                                  const std::string& reason);
+}  // namespace detail
 
 /// Adapter base for the Section-6 algorithms over AsymmetricInstance.
 class AsymmetricSolver : public Solver {

@@ -20,12 +20,6 @@
 #include "mechanism/mechanism.hpp"
 #include "support/deadline.hpp"
 
-// The adapters are the one sanctioned caller of the deprecated entry
-// points while the wrappers ride out their final release.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
 namespace ssa {
 namespace {
 
@@ -98,7 +92,7 @@ class LpRoundingSolver final : public SymmetricSolver {
     if (options.time_budget_seconds > 0.0) {
       pipeline.time_budget_seconds = options.time_budget_seconds;
     }
-    const PipelineResult result = run_auction(instance, pipeline);
+    const PipelineResult result = solve_pipeline(instance, pipeline);
     // An LP that failed for any reason other than the time budget (pivot
     // limit, infeasibility) is an error, not a silent zero-welfare report.
     if (result.fractional.status != lp::SolveStatus::kOptimal &&
@@ -226,7 +220,7 @@ class MechanismSolver final : public SymmetricSolver {
     MechanismOptions mechanism = options.mechanism;
     mechanism.sample_seed = options.seed;
     mechanism.decomposition.seed = options.seed;
-    MechanismOutcome outcome = run_mechanism(instance, mechanism);
+    MechanismOutcome outcome = solve_mechanism(instance, mechanism);
     SolveReport report;
     report.params = "alpha=" + std::to_string(outcome.decomposition.alpha) +
                     (outcome.used_colgen ? " lp=colgen" : " lp=explicit");

@@ -8,8 +8,8 @@
 
 namespace ssa {
 
-PipelineResult run_auction(const AuctionInstance& instance,
-                           PipelineOptions options) {
+PipelineResult solve_pipeline(const AuctionInstance& instance,
+                              PipelineOptions options) {
   PipelineResult result;
   const double sqrt_k =
       std::sqrt(static_cast<double>(instance.num_channels()));

@@ -1,10 +1,12 @@
 #pragma once
 /// \file pipeline.hpp
-/// One-call convenience API: solve the LP relaxation (choosing the explicit
-/// or the demand-oracle path automatically), round it with the right
-/// algorithm for the instance (Algorithm 1, or 2 + 3), and report what
-/// happened. This is the entry point a downstream spectrum-market operator
-/// would call per auction round.
+/// The LP + rounding algorithm body: solve the LP relaxation (choosing the
+/// explicit or the demand-oracle path automatically), round it with the
+/// right algorithm for the instance (Algorithm 1, or 2 + 3), and report
+/// what happened. Downstream callers reach this through the registry as
+/// make_solver("lp-rounding") (api/api.hpp) or through the AuctionService;
+/// solve_pipeline is the internal engine behind that adapter. The old
+/// deprecated run_auction entry point is gone.
 
 #include <cstdint>
 
@@ -51,12 +53,10 @@ struct PipelineResult {
 
 /// Runs LP + rounding end to end. The returned allocation is always
 /// feasible; `guarantee` is the paper's worst-case expectation bound
-/// (Theorem 3 or Lemmas 7+8) evaluated for this instance.
-///
-/// \deprecated Kept as a thin wrapper for one release; use
-/// `make_solver("lp-rounding")->solve(instance, options)` (api/api.hpp).
-[[nodiscard, deprecated(
-    "use make_solver(\"lp-rounding\") from api/api.hpp")]] PipelineResult
-run_auction(const AuctionInstance& instance, PipelineOptions options = {});
+/// (Theorem 3 or Lemmas 7+8) evaluated for this instance. Prefer
+/// `make_solver("lp-rounding")->solve(instance, options)` (api/api.hpp)
+/// unless you need the raw PipelineResult.
+[[nodiscard]] PipelineResult solve_pipeline(const AuctionInstance& instance,
+                                            PipelineOptions options = {});
 
 }  // namespace ssa

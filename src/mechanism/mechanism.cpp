@@ -19,8 +19,8 @@ double payment_for(const FractionalVcg& vcg,
 }
 }  // namespace
 
-MechanismOutcome run_mechanism(const AuctionInstance& instance,
-                               MechanismOptions options) {
+MechanismOutcome solve_mechanism(const AuctionInstance& instance,
+                                 MechanismOptions options) {
   // Auto-select the demand-oracle path beyond the explicit-enumeration
   // limit (the explicit LP rejects k > 12 on its own).
   if (instance.num_channels() > options.explicit_limit) {
@@ -32,7 +32,7 @@ MechanismOutcome run_mechanism(const AuctionInstance& instance,
   outcome.decomposition = decompose_fractional(instance, outcome.vcg.optimum,
                                                options.decomposition);
   if (outcome.decomposition.entries.empty()) {
-    throw std::runtime_error("run_mechanism: empty decomposition");
+    throw std::runtime_error("solve_mechanism: empty decomposition");
   }
 
   // Draw an allocation.

@@ -38,13 +38,13 @@ struct MechanismOutcome {
   std::vector<double> expected_payments;  ///< p^f_v / alpha
 };
 
-/// Runs the full mechanism on the reported instance.
-///
-/// \deprecated Kept as a thin wrapper for one release; use
-/// `make_solver("mechanism")->solve(instance, options)` (api/api.hpp).
-[[nodiscard, deprecated(
-    "use make_solver(\"mechanism\") from api/api.hpp")]] MechanismOutcome
-run_mechanism(const AuctionInstance& instance, MechanismOptions options = {});
+/// Runs the full mechanism on the reported instance. Prefer
+/// `make_solver("mechanism")->solve(instance, options)` (api/api.hpp),
+/// whose report carries this outcome as SolveReport::mechanism, unless you
+/// need the raw payload. (The old deprecated run_mechanism entry point is
+/// gone.)
+[[nodiscard]] MechanismOutcome solve_mechanism(const AuctionInstance& instance,
+                                               MechanismOptions options = {});
 
 /// Expected utility of every bidder under \p true_instance when the
 /// mechanism ran on (possibly misreported) valuations:

@@ -1,0 +1,354 @@
+#include "service/auction_service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+
+#include "api/registry.hpp"
+#include "api/scheduler.hpp"
+#include "service/result_cache.hpp"
+#include "support/fingerprint.hpp"
+#include "support/parallel.hpp"
+
+namespace ssa::service {
+
+namespace {
+
+/// Low bits of a RequestId address the shard; the rest is a sequence
+/// number, so ids stay unique service-wide while get() can route to the
+/// owning shard without a global table.
+constexpr int kShardBits = 8;
+constexpr int kMaxShards = 1 << kShardBits;
+
+/// Folds the result-relevant SolveOptions fields into the cache key.
+/// Fields that can never change the report payload (threads) stay out, so
+/// resubmissions with a different thread cap still hit. time_budget_seconds
+/// is included: although timed-out reports are never cached, the budget
+/// also scales the exact solvers' node budgets, which changes reports that
+/// finish in time.
+void mix_options(FingerprintHasher& hasher, const SolveOptions& options) {
+  hasher.mix(options.seed);
+  hasher.mix(options.time_budget_seconds);
+  hasher.mix(options.pipeline.rounding_repetitions);
+  hasher.mix(static_cast<std::uint64_t>(options.pipeline.derandomize));
+  hasher.mix(static_cast<std::uint64_t>(
+      options.pipeline.force_column_generation));
+  hasher.mix(options.pipeline.explicit_limit);
+  hasher.mix(options.pipeline.time_budget_seconds);
+  hasher.mix(options.exact.node_budget);
+  hasher.mix(options.exact.max_channels);
+  hasher.mix(static_cast<std::uint64_t>(options.mechanism.use_colgen));
+  hasher.mix(options.mechanism.explicit_limit);
+  hasher.mix(options.mechanism.decomposition.alpha);
+  hasher.mix(options.mechanism.decomposition.rounding_repetitions);
+  hasher.mix(options.mechanism.decomposition.max_rounds);
+  hasher.mix(static_cast<std::uint64_t>(
+      options.mechanism.decomposition.use_exact_pricing));
+  // Section seeds are subsumed by the shared seed in every adapter, so
+  // they do not enter the key.
+}
+
+}  // namespace
+
+/// One queued/completed request. Owns a copy of the instance: the service
+/// outlives the caller's stack frame, so views would dangle.
+struct AuctionService::Request {
+  std::variant<std::monostate, AuctionInstance, AsymmetricInstance> instance;
+  std::string solver;
+  SolveOptions options;
+  Fingerprint key;
+
+  [[nodiscard]] AnyInstance view() const {
+    if (const auto* sym = std::get_if<AuctionInstance>(&instance)) {
+      return AnyInstance(*sym);
+    }
+    if (const auto* asym = std::get_if<AsymmetricInstance>(&instance)) {
+      return AnyInstance(*asym);
+    }
+    return AnyInstance();
+  }
+};
+
+/// Shard: worker pool + result cache + completion table, with one lock.
+/// Each request belongs to exactly one shard (chosen by its fingerprint),
+/// so shards never contend with each other.
+struct AuctionService::Shard {
+  Shard(int threads, std::size_t cache_bytes)
+      : cache(cache_bytes), scheduler(threads) {}
+
+  std::mutex mutex;
+  std::condition_variable completed_cv;
+  ResultCache cache;
+  /// Pending requests (owned until their worker finishes) and completed
+  /// reports awaiting their get()/try_get() claim.
+  std::unordered_map<RequestId, std::shared_ptr<Request>> pending;
+  std::unordered_map<RequestId, SolveReport> completed;
+  /// Declared last: the scheduler's destructor joins its workers before
+  /// the maps above are torn down.
+  SolveScheduler scheduler;
+};
+
+AuctionService::AuctionService(ServiceOptions options)
+    : options_(options),
+      policy_(options.policy ? options.policy
+                             : std::make_shared<DefaultSelectionPolicy>()) {
+  const int shard_count = std::clamp(options_.shards, 1, kMaxShards);
+  const int threads = std::max(1, options_.threads_per_shard);
+  shards_.reserve(static_cast<std::size_t>(shard_count));
+  for (int s = 0; s < shard_count; ++s) {
+    shards_.push_back(
+        std::make_unique<Shard>(threads, options_.cache_bytes_per_shard));
+  }
+}
+
+AuctionService::~AuctionService() { shutdown(); }
+
+int AuctionService::shards() const noexcept {
+  return static_cast<int>(shards_.size());
+}
+
+AuctionService::Shard& AuctionService::shard_of(RequestId id) const {
+  // The low kShardBits of every id are its shard index (see submit).
+  const std::size_t index =
+      static_cast<std::size_t>(id) & (static_cast<std::size_t>(kMaxShards) - 1);
+  if (index >= shards_.size()) {
+    throw std::invalid_argument("AuctionService: malformed request id");
+  }
+  return *shards_[index];
+}
+
+RequestId AuctionService::submit(const AnyInstance& instance,
+                                 const std::string& solver,
+                                 const SolveOptions& options) {
+  if (!accepting_.load()) {
+    throw std::runtime_error("AuctionService::submit: service shut down");
+  }
+  if (instance.empty()) {
+    throw std::invalid_argument("AuctionService::submit: empty instance view");
+  }
+
+  auto request = std::make_shared<Request>();
+  if (instance.is_symmetric()) {
+    request->instance = instance.symmetric();
+  } else {
+    request->instance = instance.asymmetric();
+  }
+  request->solver = solver;
+  request->options = options;
+
+  // Canonical request fingerprint: instance content + policy + request key
+  // + result-relevant options. Routing by the key keeps equal requests on
+  // one shard, which is what makes the per-shard caches effective without
+  // any cross-shard coordination.
+  FingerprintHasher hasher;
+  const Fingerprint instance_fp = fingerprint(request->view());
+  hasher.mix(instance_fp.hi);
+  hasher.mix(instance_fp.lo);
+  hasher.mix(std::string_view(policy_->name()));
+  hasher.mix(std::string_view(request->solver));
+  mix_options(hasher, request->options);
+  request->key = hasher.digest();
+
+  const std::size_t shard_index = static_cast<std::size_t>(
+      request->key.hi % static_cast<std::uint64_t>(shards_.size()));
+  Shard& shard = *shards_[shard_index];
+  const RequestId id =
+      (next_sequence_.fetch_add(1) << kShardBits) | shard_index;
+  submitted_.fetch_add(1);
+
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto cached = shard.cache.lookup(request->key)) {
+      // Served from cache: bitwise the originating run's payload; only the
+      // provenance/timing fields are fresh. wall_time_seconds stays the
+      // originating run's (it documents what the result cost to compute).
+      cached->cache_hit = true;
+      cached->queue_wait_seconds = 0.0;
+      shard.completed.emplace(id, std::move(*cached));
+      cache_hits_.fetch_add(1);
+      completed_.fetch_add(1);
+      shard.completed_cv.notify_all();
+      return id;
+    }
+    shard.pending.emplace(id, request);
+  }
+
+  try {
+    enqueue(shard, id, request);
+  } catch (...) {
+    // Lost the race against shutdown(): the scheduler stopped accepting
+    // after our accepting_ check. Roll the registration back so the
+    // request is not stranded in pending (and stats stay consistent),
+    // then surface the shutdown to the caller.
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.pending.erase(id);
+    }
+    submitted_.fetch_sub(1);
+    throw;
+  }
+  return id;
+}
+
+void AuctionService::enqueue(Shard& shard, RequestId id,
+                             const std::shared_ptr<Request>& request) {
+  shard.scheduler.submit([this, &shard, id, request](double queue_wait) {
+    // Workers provide request-level parallelism; solvers' internal OpenMP
+    // loops run serially per worker (SolveOptions::threads still overrides
+    // inside Solver::solve).
+    const ThreadCountScope inner_scope(1);
+    // Every request MUST complete, whatever throws on the way (a
+    // user-installed policy, allocation failure, ...): get(id) waits on
+    // the pending -> completed transition, so an escaping exception here
+    // would strand the caller forever.
+    SolveReport report;
+    try {
+      report = execute(*request);
+    } catch (const std::exception& e) {
+      report = SolveReport{};
+      report.error =
+          detail::normalized_solver_error("auction-service", e.what());
+    } catch (...) {
+      report = SolveReport{};
+      report.error = "auction-service: unknown failure while executing";
+    }
+    report.queue_wait_seconds = queue_wait;
+    report.cache_hit = false;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      // Cache only clean, complete runs: errors would pin failures and
+      // timed-out reports depend on wall-clock luck, not content. A cache
+      // failure must not lose the report, so it cannot abort completion.
+      if (report.error.empty() && !report.timed_out) {
+        try {
+          shard.cache.insert(request->key, report);
+        } catch (...) {
+          // Uncached is merely slower; the report still completes below.
+        }
+      }
+      shard.pending.erase(id);
+      shard.completed.emplace(id, std::move(report));
+    }
+    completed_.fetch_add(1);
+    shard.completed_cv.notify_all();
+  });
+}
+
+SolveReport AuctionService::execute(const Request& request) {
+  const AnyInstance view = request.view();
+  const std::vector<std::string> chain =
+      policy_->chain(request.solver, view, request.options);
+
+  // The fallbacks counter means "request not served by its chain head":
+  // it ticks exactly when the returned report's producer differs from
+  // chain[0] -- an explicit single-solver chain that errors is the head
+  // serving the request, not a fallback.
+  const auto finish = [&](SolveReport report) {
+    if (!chain.empty() && report.solver_selected != chain.front()) {
+      fallbacks_.fetch_add(1);
+    }
+    return report;
+  };
+
+  SolveReport first_failure;
+  bool have_failure = false;
+  SolveReport best_timeout;
+  bool have_timeout = false;
+
+  for (const std::string& key : chain) {
+    SolveReport report;
+    try {
+      report = make_solver(key)->solve(view, request.options);
+    } catch (const std::exception& e) {
+      // Unknown registry key (bad explicit request or policy bug).
+      report.solver = key;
+      report.error = detail::normalized_solver_error(key, e.what());
+    }
+    report.solver_selected = key;
+    if (report.error.empty() && !report.timed_out) {
+      return finish(std::move(report));
+    }
+    if (report.error.empty() && report.timed_out) {
+      // Truncated but feasible: worth keeping if nothing finishes cleanly.
+      if (!have_timeout || report.welfare > best_timeout.welfare) {
+        best_timeout = std::move(report);
+        have_timeout = true;
+      }
+    } else if (!have_failure) {
+      first_failure = std::move(report);
+      have_failure = true;
+    }
+  }
+  // Nothing in the chain finished cleanly: prefer a feasible truncated
+  // result over an error; otherwise surface the primary failure.
+  if (have_timeout) return finish(std::move(best_timeout));
+  if (have_failure) return finish(std::move(first_failure));
+  SolveReport report;  // empty chain (policy bug): report it as such
+  report.error = "auction-service: selection policy '" + policy_->name() +
+                 "' produced an empty chain";
+  return report;
+}
+
+SolveReport AuctionService::get(RequestId id) {
+  Shard& shard = shard_of(id);
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  shard.completed_cv.wait(lock, [&] {
+    return shard.completed.contains(id) || !shard.pending.contains(id);
+  });
+  const auto it = shard.completed.find(id);
+  if (it == shard.completed.end()) {
+    throw std::invalid_argument(
+        "AuctionService::get: unknown or already-claimed request id");
+  }
+  SolveReport report = std::move(it->second);
+  shard.completed.erase(it);
+  return report;
+}
+
+std::optional<SolveReport> AuctionService::try_get(RequestId id) {
+  Shard& shard = shard_of(id);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.completed.find(id);
+  if (it != shard.completed.end()) {
+    SolveReport report = std::move(it->second);
+    shard.completed.erase(it);
+    return report;
+  }
+  if (shard.pending.contains(id)) return std::nullopt;
+  throw std::invalid_argument(
+      "AuctionService::try_get: unknown or already-claimed request id");
+}
+
+void AuctionService::drain() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->scheduler.drain();
+  }
+}
+
+void AuctionService::shutdown() {
+  accepting_.store(false);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->scheduler.shutdown();  // finishes queued + in-flight, then joins
+  }
+}
+
+ServiceStats AuctionService::stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load();
+  stats.completed = completed_.load();
+  stats.cache_hits = cache_hits_.load();
+  stats.fallbacks = fallbacks_.load();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.cache_entries += shard->cache.entries();
+    stats.cache_bytes += shard->cache.bytes();
+  }
+  return stats;
+}
+
+}  // namespace ssa::service

@@ -1,0 +1,133 @@
+#pragma once
+/// \file auction_service.hpp
+/// The long-lived auction-serving layer over the solver registry: the
+/// repeated, online allocation workload of secondary spectrum markets
+/// (every auction round is one request) served by a sharded worker pool on
+/// top of the same SolveScheduler core that drives solve_batch.
+///
+///     AuctionService service;                       // 4 shards by default
+///     RequestId id = service.submit(instance);      // auto solver selection
+///     SolveReport report = service.get(id);         // blocking claim
+///
+/// Per request the service:
+///  1. copies the instance into the request (submit takes the usual
+///     non-owning AnyInstance view but the service outlives its callers'
+///     stack frames, so requests own their data);
+///  2. fingerprints the request (canonical instance hash + solver request +
+///     the result-relevant SolveOptions fields, support/fingerprint.hpp)
+///     and routes it to the shard the fingerprint selects -- equal requests
+///     always meet the same shard and therefore the same cache;
+///  3. answers from the shard's LRU result cache on a fingerprint hit
+///     (SolveReport::cache_hit = true, allocation bitwise-equal to the
+///     originating run) or enqueues it on the shard's worker pool;
+///  4. resolves the solver through the installed SelectionPolicy: an
+///     explicit registry key, or "auto" with a per-policy fallback chain
+///     that advances when a solver rejects the instance or times out
+///     (SolveReport::solver_selected records the winner).
+///
+/// Results are deterministic for a fixed request stream regardless of the
+/// shard count and worker counts: sharding and caching change placement and
+/// latency, never the report payload (a cached report differs from a fresh
+/// one only in the provenance/timing fields).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/any_instance.hpp"
+#include "api/solver.hpp"
+#include "service/selection_policy.hpp"
+
+namespace ssa::service {
+
+/// Ticket for a submitted request; claimed exactly once with get/try_get.
+using RequestId = std::uint64_t;
+
+struct ServiceOptions {
+  /// Independent shards (worker pool + result cache + lock each); clamped
+  /// to [1, 256]. More shards = more cache/queue independence, not
+  /// different results.
+  int shards = 4;
+  /// Worker threads per shard (>= 1). Each worker caps its solver's
+  /// internal OpenMP loops at one thread, exactly like solve_batch workers
+  /// -- request-level parallelism replaces loop-level parallelism.
+  int threads_per_shard = 1;
+  /// LRU byte budget per shard; 0 disables result caching.
+  std::size_t cache_bytes_per_shard = std::size_t{8} << 20;
+  /// Solver selection policy; null installs DefaultSelectionPolicy.
+  SelectionPolicyPtr policy = nullptr;
+};
+
+/// Monotonic service counters (stats()); approximate under concurrency.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;   ///< includes cache hits
+  std::uint64_t cache_hits = 0;
+  std::uint64_t fallbacks = 0;   ///< requests not served by their chain head
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = 0;
+};
+
+/// Sharded, cached, long-lived solving service. Thread-safe: submit/get
+/// freely from any thread. Destruction performs a clean shutdown (finishes
+/// everything in flight and queued, then joins).
+class AuctionService {
+ public:
+  explicit AuctionService(ServiceOptions options = {});
+  ~AuctionService();
+
+  AuctionService(const AuctionService&) = delete;
+  AuctionService& operator=(const AuctionService&) = delete;
+
+  /// Enqueues one request. \p solver is a registry key or kAutoSolver; the
+  /// instance is copied, so the caller's object may die immediately after.
+  /// Throws std::runtime_error once shutdown() began and
+  /// std::invalid_argument for an empty instance view.
+  RequestId submit(const AnyInstance& instance,
+                   const std::string& solver = kAutoSolver,
+                   const SolveOptions& options = {});
+
+  /// Blocks until \p id completes and claims its report (each id can be
+  /// claimed once; a second claim throws std::invalid_argument).
+  [[nodiscard]] SolveReport get(RequestId id);
+
+  /// Non-blocking poll: claims and returns the report when done, nullopt
+  /// while still queued/running. Unknown or already-claimed ids throw.
+  [[nodiscard]] std::optional<SolveReport> try_get(RequestId id);
+
+  /// Blocks until every submitted request has completed (the service stays
+  /// open for new submissions).
+  void drain();
+
+  /// Stops accepting submissions, completes everything queued or in
+  /// flight, joins the workers. Completed reports stay claimable through
+  /// get/try_get. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] int shards() const noexcept;
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  struct Shard;
+  struct Request;
+
+  [[nodiscard]] Shard& shard_of(RequestId id) const;
+  void enqueue(Shard& shard, RequestId id,
+               const std::shared_ptr<Request>& request);
+  [[nodiscard]] SolveReport execute(const Request& request);
+
+  ServiceOptions options_;
+  SelectionPolicyPtr policy_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_sequence_{1};
+  std::atomic<bool> accepting_{true};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> fallbacks_{0};
+};
+
+}  // namespace ssa::service

@@ -1,0 +1,63 @@
+#pragma once
+/// \file result_cache.hpp
+/// Per-shard LRU result cache of the AuctionService, keyed by the canonical
+/// request fingerprint (instance content + solver request + options, see
+/// support/fingerprint.hpp). Each shard owns one ResultCache guarded by the
+/// shard's own mutex, so cache traffic never takes a service-global lock.
+/// Eviction is by byte budget: every stored SolveReport is costed with
+/// estimated_report_bytes and least-recently-used entries are dropped until
+/// the shard is back under budget.
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "api/solver.hpp"
+#include "support/fingerprint.hpp"
+
+namespace ssa::service {
+
+/// Approximate heap footprint of a stored report (allocation, strings, LP
+/// columns, mechanism payload). Used for the cache byte budget; exact
+/// accounting is not required, consistent accounting is.
+[[nodiscard]] std::size_t estimated_report_bytes(const SolveReport& report);
+
+/// Single-shard LRU cache. NOT thread-safe: the owning shard serializes
+/// access (one mutex per shard, by design -- see the file comment).
+class ResultCache {
+ public:
+  /// \p byte_budget 0 disables caching entirely (every lookup misses).
+  explicit ResultCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+  /// Returns the cached report for \p key and marks it most recently used.
+  [[nodiscard]] std::optional<SolveReport> lookup(const Fingerprint& key);
+
+  /// Inserts (or refreshes) \p report under \p key, then evicts LRU entries
+  /// until the byte budget holds. A report larger than the whole budget is
+  /// not cached.
+  void insert(const Fingerprint& key, SolveReport report);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return index_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t byte_budget() const noexcept {
+    return byte_budget_;
+  }
+
+ private:
+  struct Entry {
+    Fingerprint key;
+    SolveReport report;
+    std::size_t bytes = 0;
+  };
+
+  void evict_to_budget();
+
+  std::size_t byte_budget_;
+  std::size_t bytes_ = 0;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Fingerprint, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace ssa::service

@@ -1,0 +1,79 @@
+#pragma once
+/// \file selection_policy.hpp
+/// Pluggable solver selection for the AuctionService. A request names a
+/// registry solver explicitly or asks for kAutoSolver; the installed policy
+/// turns the request plus the instance's features (type, size, channel
+/// count, weightedness) into an ordered fallback chain of registry keys.
+/// The service runs the chain head; when a solver rejects the instance
+/// (SolveReport::error, always "<solver-key>: <reason>") or reports
+/// timed_out, the next key in the chain is tried.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/any_instance.hpp"
+#include "api/solver.hpp"
+
+namespace ssa::service {
+
+/// Request sentinel: let the policy pick the solver.
+inline constexpr const char* kAutoSolver = "auto";
+
+/// Strategy interface mapping a request onto a fallback chain.
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Ordered, non-empty fallback chain for \p requested on \p instance;
+  /// chain[0] is the primary. Every entry must be a registered solver key.
+  [[nodiscard]] virtual std::vector<std::string> chain(
+      const std::string& requested, const AnyInstance& instance,
+      const SolveOptions& options) const = 0;
+};
+
+using SelectionPolicyPtr = std::shared_ptr<const SelectionPolicy>;
+
+/// The built-in default:
+///  - an explicit registry key runs exactly as requested (no fallback;
+///    operators asking for one algorithm get that algorithm or its error);
+///  - kAutoSolver picks by instance features:
+///      symmetric, small (n and k within exact reach)  -> exact first;
+///      symmetric, k = 1 and unweighted                -> local-ratio-k1
+///                                                        (factor rho) first;
+///      symmetric otherwise                            -> lp-rounding first;
+///      asymmetric, small                              -> asymmetric-exact
+///                                                        first;
+///      asymmetric, unweighted                         -> asymmetric-lp-
+///                                                        rounding first;
+///      asymmetric, weighted                           -> greedy only (the
+///                                                        Section 6 rounding
+///                                                        rejects weighted
+///                                                        per-channel
+///                                                        graphs);
+///    each chain degrades to the greedy baselines, which accept anything of
+///    their instance type and never time out.
+class DefaultSelectionPolicy final : public SelectionPolicy {
+ public:
+  /// Largest instance the auto policy hands to the exact B&B solvers.
+  struct ExactReach {
+    std::size_t max_bidders = 14;
+    int max_channels = 4;
+  };
+
+  DefaultSelectionPolicy() = default;
+  explicit DefaultSelectionPolicy(ExactReach reach) : reach_(reach) {}
+
+  [[nodiscard]] std::string name() const override { return "default"; }
+
+  [[nodiscard]] std::vector<std::string> chain(
+      const std::string& requested, const AnyInstance& instance,
+      const SolveOptions& options) const override;
+
+ private:
+  ExactReach reach_{};
+};
+
+}  // namespace ssa::service

@@ -1,0 +1,12 @@
+#pragma once
+/// \file service.hpp
+/// Umbrella header for the long-lived auction-serving layer:
+///     ssa::service::AuctionService service;
+///     auto id = service.submit(instance);            // "auto" selection
+///     SolveReport report = service.get(id);
+/// See auction_service.hpp for the request lifecycle, selection_policy.hpp
+/// for solver selection and result_cache.hpp for the cache semantics.
+
+#include "service/auction_service.hpp"   // IWYU pragma: export
+#include "service/result_cache.hpp"      // IWYU pragma: export
+#include "service/selection_policy.hpp"  // IWYU pragma: export

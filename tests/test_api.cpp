@@ -1,9 +1,10 @@
 // Tests for the unified Solver API: registry round-trip over every
 // registered solver (symmetric and asymmetric), solve_batch determinism
 // across thread counts on mixed-type job lists, error capture for
-// out-of-domain jobs (including instance-type mismatches), cooperative
-// time budgets, and equivalence of the deprecated run_auction wrapper with
-// the "lp-rounding" solver.
+// out-of-domain jobs (including instance-type mismatches and the pinned
+// "<solver-key>: <reason>" error format), cooperative time budgets, and
+// equivalence of the registry adapters with the solve_pipeline /
+// solve_mechanism engine entry points they wrap.
 
 #include <gtest/gtest.h>
 
@@ -12,12 +13,6 @@
 
 #include "api/api.hpp"
 #include "gen/scenario.hpp"
-
-// The wrapper-equivalence tests are exactly the sanctioned remaining use of
-// the deprecated entry points.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
 
 namespace ssa {
 namespace {
@@ -111,6 +106,36 @@ TEST(SolverApi, InstanceTypeMismatchIsReportedNotThrown) {
   EXPECT_FALSE(wrong_asym.feasible);
 }
 
+TEST(SolverApi, DomainMismatchErrorFormatIsPinned) {
+  // The normalized "<solver-key>: <reason>" format is load-bearing: the
+  // service selection policy's fallback logic keys off the prefix, so the
+  // symmetric and asymmetric domain-mismatch strings are pinned verbatim.
+  const AuctionInstance symmetric =
+      gen::make_disk_auction(6, 2, gen::ValuationMix::kMixed, 21);
+  const AsymmetricInstance asymmetric =
+      gen::make_random_asymmetric(6, 2, 0.3, gen::ValuationMix::kMixed, 22);
+
+  EXPECT_EQ(
+      make_solver("asymmetric-lp-rounding")->solve(symmetric).error,
+      "asymmetric-lp-rounding: expected an AsymmetricInstance, got symmetric "
+      "instance");
+  EXPECT_EQ(make_solver("lp-rounding")->solve(asymmetric).error,
+            "lp-rounding: expected a symmetric AuctionInstance, got "
+            "asymmetric instance");
+
+  // Every error any solver reports carries its own "<solver-key>: " prefix
+  // -- including non-mismatch domain errors and batch-level failures.
+  const SolveReport weighted = make_solver("local-ratio-k1")->solve(symmetric);
+  ASSERT_FALSE(weighted.error.empty());  // k = 2 is out of domain for k1
+  EXPECT_EQ(weighted.error.rfind("local-ratio-k1: ", 0), 0u) << weighted.error;
+
+  const std::vector<BatchJob> jobs = {{"no-such-solver", symmetric, "x", {}}};
+  const BatchResult batch = solve_batch(jobs);
+  ASSERT_FALSE(batch.reports[0].error.empty());
+  EXPECT_EQ(batch.reports[0].error.rfind("no-such-solver: ", 0), 0u)
+      << batch.reports[0].error;
+}
+
 TEST(SolverApi, DiagnosticsBlockIsPopulated) {
   const AuctionInstance instance =
       gen::make_disk_auction(12, 2, gen::ValuationMix::kMixed, 5);
@@ -184,14 +209,16 @@ TEST(SolverApi, ThreadOptionNeverChangesTheResult) {
   }
 }
 
-TEST(DeprecatedWrappers, RunAuctionMatchesLpRoundingSolver) {
+TEST(EngineEquivalence, SolvePipelineMatchesLpRoundingSolver) {
+  // The registry adapter is a faithful wrapper over the solve_pipeline
+  // engine: same allocation, welfare, guarantee and LP bound.
   for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
     const AuctionInstance instance =
         gen::make_disk_auction(16, 2, gen::ValuationMix::kMixed, 300 + seed);
-    PipelineOptions legacy;
-    legacy.rounding_repetitions = 24;
-    legacy.seed = seed;
-    const PipelineResult old_result = run_auction(instance, legacy);
+    PipelineOptions engine;
+    engine.rounding_repetitions = 24;
+    engine.seed = seed;
+    const PipelineResult engine_result = solve_pipeline(instance, engine);
 
     SolveOptions options;
     options.seed = seed;
@@ -199,29 +226,31 @@ TEST(DeprecatedWrappers, RunAuctionMatchesLpRoundingSolver) {
     const SolveReport report =
         make_solver("lp-rounding")->solve(instance, options);
 
-    EXPECT_EQ(old_result.allocation.bundles, report.allocation.bundles);
-    EXPECT_DOUBLE_EQ(old_result.welfare, report.welfare);
-    EXPECT_DOUBLE_EQ(old_result.guarantee, report.guarantee);
+    EXPECT_EQ(engine_result.allocation.bundles, report.allocation.bundles);
+    EXPECT_DOUBLE_EQ(engine_result.welfare, report.welfare);
+    EXPECT_DOUBLE_EQ(engine_result.guarantee, report.guarantee);
     ASSERT_TRUE(report.lp_upper_bound.has_value());
-    EXPECT_DOUBLE_EQ(old_result.fractional.objective, *report.lp_upper_bound);
+    EXPECT_DOUBLE_EQ(engine_result.fractional.objective,
+                     *report.lp_upper_bound);
   }
 }
 
-TEST(DeprecatedWrappers, RunMechanismMatchesMechanismSolver) {
+TEST(EngineEquivalence, SolveMechanismMatchesMechanismSolver) {
   const AuctionInstance instance =
       gen::make_disk_auction(8, 2, gen::ValuationMix::kMixed, 404);
-  MechanismOptions legacy;
-  legacy.sample_seed = 77;
-  legacy.decomposition.seed = 77;
-  const MechanismOutcome old_outcome = run_mechanism(instance, legacy);
+  MechanismOptions engine;
+  engine.sample_seed = 77;
+  engine.decomposition.seed = 77;
+  const MechanismOutcome engine_outcome = solve_mechanism(instance, engine);
 
   SolveOptions options;
   options.seed = 77;
   const SolveReport report = make_solver("mechanism")->solve(instance, options);
   ASSERT_TRUE(report.mechanism.has_value());
-  EXPECT_EQ(old_outcome.allocation.bundles, report.allocation.bundles);
-  EXPECT_EQ(old_outcome.payments, report.mechanism->payments);
-  EXPECT_EQ(old_outcome.expected_payments, report.mechanism->expected_payments);
+  EXPECT_EQ(engine_outcome.allocation.bundles, report.allocation.bundles);
+  EXPECT_EQ(engine_outcome.payments, report.mechanism->payments);
+  EXPECT_EQ(engine_outcome.expected_payments,
+            report.mechanism->expected_payments);
 }
 
 TEST(SolveBatch, DeterministicAcrossThreadCounts) {

@@ -1,0 +1,139 @@
+// Tests for the canonical instance fingerprints (support/fingerprint.hpp):
+// equal content hashes equal, any structural perturbation (graph edge,
+// edge weight, valuation, channel count, ordering, instance family)
+// changes the fingerprint, and the AnyInstance dispatch covers the empty
+// view with its own sentinel.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gen/scenario.hpp"
+#include "support/fingerprint.hpp"
+
+namespace ssa {
+namespace {
+
+AuctionInstance tiny_instance(double extra_weight = 0.0,
+                              double second_value = 3.0, int k = 2) {
+  ConflictGraph graph(3);
+  graph.add_edge(0, 1);
+  if (extra_weight > 0.0) graph.set_weight(1, 2, extra_weight);
+  std::vector<ValuationPtr> valuations;
+  valuations.push_back(std::make_shared<AdditiveValuation>(
+      std::vector<double>(static_cast<std::size_t>(k), 4.0)));
+  valuations.push_back(std::make_shared<AdditiveValuation>(
+      std::vector<double>(static_cast<std::size_t>(k), second_value)));
+  valuations.push_back(std::make_shared<UnitDemandValuation>(
+      std::vector<double>(static_cast<std::size_t>(k), 2.0)));
+  return AuctionInstance(std::move(graph), identity_ordering(3), k,
+                         std::move(valuations));
+}
+
+TEST(Fingerprint, EqualContentHashesEqual) {
+  // Two independently built but structurally identical instances.
+  const Fingerprint a = fingerprint(tiny_instance());
+  const Fingerprint b = fingerprint(tiny_instance());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hex(), b.hex());
+  EXPECT_EQ(a.hex().size(), 32u);
+
+  // Generator reproducibility carries over to fingerprints.
+  const AuctionInstance g1 =
+      gen::make_disk_auction(15, 2, gen::ValuationMix::kMixed, 99);
+  const AuctionInstance g2 =
+      gen::make_disk_auction(15, 2, gen::ValuationMix::kMixed, 99);
+  EXPECT_EQ(fingerprint(g1), fingerprint(g2));
+}
+
+TEST(Fingerprint, StructuralPerturbationsChangeTheHash) {
+  const Fingerprint base = fingerprint(tiny_instance());
+  // A new weighted edge, a different edge weight, a different valuation
+  // and a different channel count must all be distinguishable.
+  EXPECT_NE(base, fingerprint(tiny_instance(0.5)));
+  EXPECT_NE(fingerprint(tiny_instance(0.5)), fingerprint(tiny_instance(0.7)));
+  EXPECT_NE(base, fingerprint(tiny_instance(0.0, 3.5)));
+  EXPECT_NE(base, fingerprint(tiny_instance(0.0, 3.0, 3)));
+
+  const AuctionInstance g1 =
+      gen::make_disk_auction(15, 2, gen::ValuationMix::kMixed, 99);
+  const AuctionInstance g2 =
+      gen::make_disk_auction(15, 2, gen::ValuationMix::kMixed, 100);
+  EXPECT_NE(fingerprint(g1), fingerprint(g2));
+}
+
+TEST(Fingerprint, OrderingEntersTheHash) {
+  ConflictGraph graph(3);
+  graph.add_edge(0, 1);
+  std::vector<ValuationPtr> valuations;
+  for (int v = 0; v < 3; ++v) {
+    valuations.push_back(std::make_shared<AdditiveValuation>(
+        std::vector<double>{4.0, 2.0}));
+  }
+  auto graph2 = graph;
+  auto valuations2 = valuations;
+  const AuctionInstance identity(std::move(graph), identity_ordering(3), 2,
+                                 std::move(valuations));
+  const AuctionInstance reversed(std::move(graph2), Ordering{2, 1, 0}, 2,
+                                 std::move(valuations2));
+  EXPECT_NE(fingerprint(identity), fingerprint(reversed));
+}
+
+TEST(Fingerprint, FamiliesAndEmptyViewAreDistinct) {
+  // A symmetric and an asymmetric instance over the same bidder count must
+  // not collide through the shared AnyInstance entry point.
+  const AuctionInstance symmetric =
+      gen::make_disk_auction(10, 2, gen::ValuationMix::kMixed, 7);
+  const AsymmetricInstance asymmetric =
+      gen::make_random_asymmetric(10, 2, 0.3, gen::ValuationMix::kMixed, 7);
+  const Fingerprint sym_fp = fingerprint(AnyInstance(symmetric));
+  const Fingerprint asym_fp = fingerprint(AnyInstance(asymmetric));
+  EXPECT_NE(sym_fp, asym_fp);
+  EXPECT_EQ(sym_fp, fingerprint(symmetric));
+  EXPECT_EQ(asym_fp, fingerprint(asymmetric));
+
+  const Fingerprint empty_fp = fingerprint(AnyInstance());
+  EXPECT_NE(empty_fp, sym_fp);
+  EXPECT_NE(empty_fp, asym_fp);
+  EXPECT_EQ(empty_fp, fingerprint(AnyInstance()));
+}
+
+TEST(Fingerprint, AsymmetricPerChannelGraphsAreCovered) {
+  const AsymmetricInstance a =
+      gen::make_random_asymmetric(12, 3, 0.25, gen::ValuationMix::kMixed, 40);
+  const AsymmetricInstance b =
+      gen::make_random_asymmetric(12, 3, 0.25, gen::ValuationMix::kMixed, 40);
+  const AsymmetricInstance c =
+      gen::make_random_asymmetric(12, 3, 0.25, gen::ValuationMix::kMixed, 41);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_NE(fingerprint(a), fingerprint(c));
+}
+
+TEST(Fingerprint, HasherExtensionsAreOrderSensitive) {
+  // The service composes cache keys by extending instance fingerprints;
+  // the mixer must separate permuted and split inputs.
+  FingerprintHasher ab;
+  ab.mix(std::uint64_t{1});
+  ab.mix(std::uint64_t{2});
+  FingerprintHasher ba;
+  ba.mix(std::uint64_t{2});
+  ba.mix(std::uint64_t{1});
+  EXPECT_NE(ab.digest(), ba.digest());
+
+  FingerprintHasher joined;
+  joined.mix(std::string_view("ab"));
+  FingerprintHasher split;
+  split.mix(std::string_view("a"));
+  split.mix(std::string_view("b"));
+  EXPECT_NE(joined.digest(), split.digest());
+
+  FingerprintHasher zero;
+  zero.mix(0.0);
+  FingerprintHasher negative_zero;
+  negative_zero.mix(-0.0);
+  EXPECT_EQ(zero.digest(), negative_zero.digest());
+}
+
+}  // namespace
+}  // namespace ssa

@@ -23,7 +23,7 @@ AuctionInstance small_instance(std::uint64_t seed) {
 
 /// Runs the Section 5 mechanism through the unified Solver API and hands
 /// back its payload.
-MechanismOutcome solve_mechanism(const AuctionInstance& instance) {
+MechanismOutcome registry_mechanism(const AuctionInstance& instance) {
   const SolveReport report = make_solver("mechanism")->solve(instance);
   return *report.mechanism;
 }
@@ -106,7 +106,7 @@ TEST(Decomposition, DefaultAlphaFollowsPaper) {
 
 TEST(Mechanism, ExpectedPaymentMatchesScaledVcg) {
   const AuctionInstance instance = small_instance(4);
-  const MechanismOutcome outcome = solve_mechanism(instance);
+  const MechanismOutcome outcome = registry_mechanism(instance);
   // E[p_v] over the decomposition = p^f_v / alpha by the payment rule.
   for (std::size_t v = 0; v < instance.num_bidders(); ++v) {
     double expected = 0.0;
@@ -125,7 +125,7 @@ TEST(Mechanism, ExpectedPaymentMatchesScaledVcg) {
 
 TEST(Mechanism, SampledAllocationFeasibleAndPaymentsCharged) {
   const AuctionInstance instance = small_instance(5);
-  const MechanismOutcome outcome = solve_mechanism(instance);
+  const MechanismOutcome outcome = registry_mechanism(instance);
   EXPECT_TRUE(instance.feasible(outcome.allocation));
   for (std::size_t v = 0; v < instance.num_bidders(); ++v) {
     EXPECT_GE(outcome.payments[v], 0.0);
@@ -137,7 +137,7 @@ TEST(Mechanism, SampledAllocationFeasibleAndPaymentsCharged) {
 
 TEST(Mechanism, IndividualRationalityInExpectation) {
   const AuctionInstance instance = small_instance(6);
-  const MechanismOutcome outcome = solve_mechanism(instance);
+  const MechanismOutcome outcome = registry_mechanism(instance);
   const std::vector<double> utilities =
       expected_utilities(outcome, instance, instance);
   for (std::size_t v = 0; v < instance.num_bidders(); ++v) {
@@ -153,7 +153,7 @@ TEST_P(Truthfulness, MisreportsDoNotHelpInExpectation) {
   // (tolerance covers the decomposition residual).
   const AuctionInstance truth =
       small_instance(static_cast<std::uint64_t>(GetParam()) + 800);
-  const MechanismOutcome truthful_outcome = solve_mechanism(truth);
+  const MechanismOutcome truthful_outcome = registry_mechanism(truth);
   const std::vector<double> truthful_utilities =
       expected_utilities(truthful_outcome, truth, truth);
 
@@ -168,7 +168,7 @@ TEST_P(Truthfulness, MisreportsDoNotHelpInExpectation) {
     const AuctionInstance reported = truth.with_valuation(
         v, std::make_shared<ExplicitValuation>(truth.num_channels(),
                                                std::move(scaled)));
-    const MechanismOutcome lie_outcome = solve_mechanism(reported);
+    const MechanismOutcome lie_outcome = registry_mechanism(reported);
     const std::vector<double> lie_utilities =
         expected_utilities(lie_outcome, truth, reported);
     EXPECT_LE(lie_utilities[v], truthful_utilities[v] + 1e-3)
@@ -181,7 +181,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, Truthfulness, ::testing::Range(0, 5));
 TEST(Mechanism, WeightedInstanceSupported) {
   const AuctionInstance instance = gen::make_physical_auction(
       7, 2, PowerScheme::kUniform, gen::ValuationMix::kMixed, 9);
-  const MechanismOutcome outcome = solve_mechanism(instance);
+  const MechanismOutcome outcome = registry_mechanism(instance);
   EXPECT_TRUE(instance.feasible(outcome.allocation));
   EXPECT_LE(outcome.decomposition.residual, 1e-5);
 }

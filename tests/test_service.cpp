@@ -1,0 +1,348 @@
+// Tests for the long-lived AuctionService (service/auction_service.hpp):
+// cache-hit equivalence (a cached report equals a fresh one modulo
+// provenance/timing fields, allocations bitwise-equal), determinism of
+// results across 1/4/16 shards, selection-policy fallback chains when the
+// primary solver rejects or times out, clean shutdown with in-flight
+// requests, and the request-claim lifecycle (get/try_get).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/scenario.hpp"
+#include "service/service.hpp"
+
+namespace ssa {
+namespace {
+
+using service::AuctionService;
+using service::kAutoSolver;
+using service::RequestId;
+using service::ServiceOptions;
+using service::ServiceStats;
+
+/// Test policy: the same fixed chain for every request.
+class FixedChainPolicy final : public service::SelectionPolicy {
+ public:
+  explicit FixedChainPolicy(std::vector<std::string> chain)
+      : chain_(std::move(chain)) {}
+  std::string name() const override { return "fixed"; }
+  std::vector<std::string> chain(const std::string&, const AnyInstance&,
+                                 const SolveOptions&) const override {
+    return chain_;
+  }
+
+ private:
+  std::vector<std::string> chain_;
+};
+
+ServiceOptions single_shard() {
+  ServiceOptions options;
+  options.shards = 1;
+  options.threads_per_shard = 1;
+  return options;
+}
+
+/// A weighted asymmetric instance (k = 2): the Section 6 rounding rejects
+/// it, so the auto policy must route it to the greedy baselines.
+AsymmetricInstance weighted_asymmetric(std::size_t n) {
+  std::vector<ConflictGraph> graphs;
+  for (int channel = 0; channel < 2; ++channel) {
+    ConflictGraph graph(n);
+    for (std::size_t u = 0; u + 1 < n; ++u) {
+      graph.set_weight(u, u + 1, 0.4);
+      graph.set_weight(u + 1, u, 0.4);
+    }
+    graphs.push_back(std::move(graph));
+  }
+  std::vector<ValuationPtr> valuations;
+  for (std::size_t v = 0; v < n; ++v) {
+    valuations.push_back(std::make_shared<AdditiveValuation>(
+        std::vector<double>{3.0 + static_cast<double>(v), 2.0}));
+  }
+  return AsymmetricInstance(std::move(graphs), identity_ordering(n),
+                            std::move(valuations));
+}
+
+TEST(AuctionService, CacheHitEquivalence) {
+  AuctionService service(single_shard());
+  const AuctionInstance instance =
+      gen::make_disk_auction(16, 2, gen::ValuationMix::kMixed, 501);
+  SolveOptions options;
+  options.seed = 9;
+  options.pipeline.rounding_repetitions = 16;
+
+  const SolveReport fresh =
+      service.get(service.submit(instance, "lp-rounding", options));
+  ASSERT_TRUE(fresh.error.empty()) << fresh.error;
+  EXPECT_FALSE(fresh.cache_hit);
+
+  const SolveReport cached =
+      service.get(service.submit(instance, "lp-rounding", options));
+  EXPECT_TRUE(cached.cache_hit);
+  // Bitwise-equal payload, fresh provenance: only cache_hit and the
+  // queue-wait timing may differ.
+  EXPECT_EQ(cached.allocation.bundles, fresh.allocation.bundles);
+  EXPECT_EQ(cached.solver, fresh.solver);
+  EXPECT_EQ(cached.solver_selected, fresh.solver_selected);
+  EXPECT_EQ(cached.params, fresh.params);
+  EXPECT_DOUBLE_EQ(cached.welfare, fresh.welfare);
+  EXPECT_DOUBLE_EQ(cached.guarantee, fresh.guarantee);
+  EXPECT_DOUBLE_EQ(cached.factor, fresh.factor);
+  ASSERT_EQ(cached.lp_upper_bound.has_value(), fresh.lp_upper_bound.has_value());
+  EXPECT_DOUBLE_EQ(*cached.lp_upper_bound, *fresh.lp_upper_bound);
+  EXPECT_EQ(cached.feasible, fresh.feasible);
+  EXPECT_EQ(cached.timed_out, fresh.timed_out);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_GE(stats.cache_entries, 1u);
+  EXPECT_GT(stats.cache_bytes, 0u);
+}
+
+TEST(AuctionService, DifferentOptionsOrSolverNeverHitTheSameEntry) {
+  AuctionService service(single_shard());
+  const AuctionInstance instance =
+      gen::make_disk_auction(12, 2, gen::ValuationMix::kMixed, 502);
+  SolveOptions options;
+  options.seed = 1;
+  (void)service.get(service.submit(instance, "lp-rounding", options));
+
+  // Same instance, different seed: a different run, not a cache hit.
+  SolveOptions reseeded = options;
+  reseeded.seed = 2;
+  EXPECT_FALSE(
+      service.get(service.submit(instance, "lp-rounding", reseeded)).cache_hit);
+  // Same instance and options, different solver: also distinct.
+  EXPECT_FALSE(
+      service.get(service.submit(instance, "greedy-value", options)).cache_hit);
+  // The original request still hits.
+  EXPECT_TRUE(
+      service.get(service.submit(instance, "lp-rounding", options)).cache_hit);
+}
+
+TEST(AuctionService, DeterministicAcrossShardCounts) {
+  // The same request stream through 1-, 4- and 16-shard services yields
+  // identical reports (allocations, welfare, selected solvers): sharding
+  // changes placement and latency, never results.
+  const std::vector<gen::NamedInstance> suite =
+      gen::mixed_scenario_suite(10, 2, 5100);
+  SolveOptions options;
+  options.seed = 2028;
+  options.pipeline.rounding_repetitions = 12;
+
+  std::vector<std::vector<SolveReport>> runs;
+  for (const int shard_count : {1, 4, 16}) {
+    ServiceOptions config;
+    config.shards = shard_count;
+    config.threads_per_shard = 1;
+    AuctionService service(config);
+    std::vector<RequestId> ids;
+    for (int rotation = 0; rotation < 2; ++rotation) {
+      for (const gen::NamedInstance& named : suite) {
+        ids.push_back(service.submit(named.view(), kAutoSolver, options));
+      }
+    }
+    std::vector<SolveReport> reports;
+    for (const RequestId id : ids) reports.push_back(service.get(id));
+    runs.push_back(std::move(reports));
+  }
+
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  ASSERT_EQ(runs[0].size(), runs[2].size());
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    for (std::size_t other : {1ul, 2ul}) {
+      EXPECT_EQ(runs[0][i].allocation.bundles, runs[other][i].allocation.bundles)
+          << "request " << i;
+      EXPECT_DOUBLE_EQ(runs[0][i].welfare, runs[other][i].welfare);
+      EXPECT_EQ(runs[0][i].solver_selected, runs[other][i].solver_selected);
+      EXPECT_EQ(runs[0][i].error, runs[other][i].error);
+    }
+  }
+}
+
+TEST(AuctionService, AutoSelectionPicksByInstanceFeatures) {
+  AuctionService service(single_shard());
+  // Small symmetric -> exact; large symmetric -> lp-rounding.
+  const AuctionInstance small_sym =
+      gen::make_disk_auction(10, 2, gen::ValuationMix::kMixed, 601);
+  const AuctionInstance large_sym =
+      gen::make_disk_auction(24, 2, gen::ValuationMix::kMixed, 602);
+  // Small asymmetric -> asymmetric-exact; weighted -> greedy (the Section 6
+  // rounding is unweighted-only and the policy knows it).
+  const AsymmetricInstance small_asym =
+      gen::make_random_asymmetric(10, 2, 0.3, gen::ValuationMix::kMixed, 603);
+  const AsymmetricInstance weighted = weighted_asymmetric(20);
+
+  EXPECT_EQ(service.get(service.submit(small_sym)).solver_selected, "exact");
+  EXPECT_EQ(service.get(service.submit(large_sym)).solver_selected,
+            "lp-rounding");
+  EXPECT_EQ(service.get(service.submit(small_asym)).solver_selected,
+            "asymmetric-exact");
+  const SolveReport weighted_report = service.get(service.submit(weighted));
+  EXPECT_EQ(weighted_report.solver_selected, "asymmetric-greedy-density");
+  EXPECT_TRUE(weighted_report.error.empty()) << weighted_report.error;
+  EXPECT_TRUE(weighted_report.feasible);
+}
+
+TEST(AuctionService, FallbackChainAdvancesOnError) {
+  // local-ratio-k1 rejects k = 2, so the chain's second entry serves.
+  ServiceOptions config = single_shard();
+  config.policy = std::make_shared<FixedChainPolicy>(
+      std::vector<std::string>{"local-ratio-k1", "greedy-value"});
+  AuctionService service(config);
+  const AuctionInstance instance =
+      gen::make_disk_auction(12, 2, gen::ValuationMix::kMixed, 604);
+
+  const SolveReport report = service.get(service.submit(instance));
+  EXPECT_TRUE(report.error.empty()) << report.error;
+  EXPECT_EQ(report.solver, "greedy-value");
+  EXPECT_EQ(report.solver_selected, "greedy-value");
+  EXPECT_TRUE(report.feasible);
+  EXPECT_EQ(service.stats().fallbacks, 1u);
+}
+
+TEST(AuctionService, FallbackChainAdvancesOnTimeout) {
+  // A tiny budget truncates the exact search (timed_out); the greedy
+  // fallback ignores the budget and finishes cleanly.
+  ServiceOptions config = single_shard();
+  config.policy = std::make_shared<FixedChainPolicy>(
+      std::vector<std::string>{"exact", "greedy-value"});
+  AuctionService service(config);
+  const AuctionInstance instance =
+      gen::make_disk_auction(40, 6, gen::ValuationMix::kMixed, 605);
+  SolveOptions options;
+  options.time_budget_seconds = 1e-7;
+
+  const SolveReport report =
+      service.get(service.submit(instance, kAutoSolver, options));
+  EXPECT_TRUE(report.error.empty()) << report.error;
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_EQ(report.solver_selected, "greedy-value");
+}
+
+TEST(AuctionService, ExhaustedChainPrefersTruncatedOverError) {
+  // A chain that only times out still returns the feasible truncated
+  // report; a chain that only errors surfaces the primary failure in the
+  // pinned "<solver-key>: <reason>" format.
+  ServiceOptions timeout_config = single_shard();
+  timeout_config.policy = std::make_shared<FixedChainPolicy>(
+      std::vector<std::string>{"exact"});
+  AuctionService timeout_service(timeout_config);
+  const AuctionInstance big =
+      gen::make_disk_auction(40, 6, gen::ValuationMix::kMixed, 606);
+  SolveOptions tiny_budget;
+  tiny_budget.time_budget_seconds = 1e-7;
+  const SolveReport truncated =
+      timeout_service.get(timeout_service.submit(big, kAutoSolver, tiny_budget));
+  EXPECT_TRUE(truncated.error.empty()) << truncated.error;
+  EXPECT_TRUE(truncated.timed_out);
+  EXPECT_TRUE(truncated.feasible);
+  EXPECT_EQ(truncated.solver_selected, "exact");
+
+  AuctionService explicit_service(single_shard());
+  const AsymmetricInstance asymmetric =
+      gen::make_random_asymmetric(8, 2, 0.3, gen::ValuationMix::kMixed, 607);
+  const SolveReport mismatch =
+      explicit_service.get(explicit_service.submit(asymmetric, "lp-rounding"));
+  EXPECT_EQ(mismatch.error,
+            "lp-rounding: expected a symmetric AuctionInstance, got "
+            "asymmetric instance");
+  EXPECT_EQ(mismatch.solver_selected, "lp-rounding");
+  EXPECT_FALSE(mismatch.feasible);
+}
+
+TEST(AuctionService, TimedOutAndErroredRunsAreNeverCached) {
+  ServiceOptions config = single_shard();
+  config.policy = std::make_shared<FixedChainPolicy>(
+      std::vector<std::string>{"exact"});
+  AuctionService service(config);
+  const AuctionInstance big =
+      gen::make_disk_auction(40, 6, gen::ValuationMix::kMixed, 608);
+  SolveOptions tiny_budget;
+  tiny_budget.time_budget_seconds = 1e-7;
+  const SolveReport first =
+      service.get(service.submit(big, kAutoSolver, tiny_budget));
+  EXPECT_TRUE(first.timed_out);
+  const SolveReport second =
+      service.get(service.submit(big, kAutoSolver, tiny_budget));
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(service.stats().cache_entries, 0u);
+}
+
+TEST(AuctionService, CleanShutdownCompletesInFlightRequests) {
+  // Queue up more work than the workers can start, shut down immediately,
+  // and verify every request still completes with a valid report.
+  ServiceOptions config;
+  config.shards = 2;
+  config.threads_per_shard = 1;
+  AuctionService service(config);
+  const std::vector<gen::NamedInstance> suite =
+      gen::mixed_scenario_suite(12, 2, 5200);
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 24;
+
+  std::vector<RequestId> ids;
+  for (int rotation = 0; rotation < 4; ++rotation) {
+    for (const gen::NamedInstance& named : suite) {
+      ids.push_back(service.submit(named.view(), kAutoSolver, options));
+    }
+  }
+  service.shutdown();  // drains the queues and joins the workers
+
+  for (const RequestId id : ids) {
+    const SolveReport report = service.get(id);
+    EXPECT_TRUE(report.error.empty()) << report.error;
+    EXPECT_TRUE(report.feasible);
+  }
+  EXPECT_EQ(service.stats().completed, ids.size());
+  EXPECT_THROW((void)service.submit(suite[0].view()), std::runtime_error);
+}
+
+TEST(AuctionService, ThrowingPolicyCompletesWithErrorInsteadOfHanging) {
+  // A user-installed policy that throws must not strand the request:
+  // get(id) still returns, carrying the failure as a structured error.
+  class ThrowingPolicy final : public service::SelectionPolicy {
+   public:
+    std::string name() const override { return "throwing"; }
+    std::vector<std::string> chain(const std::string&, const AnyInstance&,
+                                   const SolveOptions&) const override {
+      throw std::runtime_error("policy exploded");
+    }
+  };
+  ServiceOptions config = single_shard();
+  config.policy = std::make_shared<ThrowingPolicy>();
+  AuctionService service(config);
+  const AuctionInstance instance =
+      gen::make_disk_auction(6, 2, gen::ValuationMix::kMixed, 610);
+  const SolveReport report = service.get(service.submit(instance));
+  EXPECT_EQ(report.error, "auction-service: policy exploded");
+  EXPECT_FALSE(report.feasible);
+  EXPECT_EQ(service.stats().completed, 1u);
+}
+
+TEST(AuctionService, RequestLifecycleClaimsAndErrors) {
+  AuctionService service(single_shard());
+  const AuctionInstance instance =
+      gen::make_disk_auction(8, 2, gen::ValuationMix::kMixed, 609);
+
+  EXPECT_THROW((void)service.submit(AnyInstance()), std::invalid_argument);
+
+  const RequestId id = service.submit(instance, "greedy-value");
+  service.drain();
+  const auto polled = service.try_get(id);
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_TRUE(polled->error.empty());
+  // A claim is final: the id is gone afterwards, for both accessors.
+  EXPECT_THROW((void)service.try_get(id), std::invalid_argument);
+  EXPECT_THROW((void)service.get(id), std::invalid_argument);
+  // Unknown ids are rejected rather than blocking forever.
+  EXPECT_THROW((void)service.get(id + 0x1000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssa
