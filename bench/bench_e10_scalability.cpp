@@ -60,13 +60,11 @@ void experiment_table() {
                      Table::num(1e3 * round_s, 2),
                      Table::num(1e3 * report.wall_time_seconds, 2),
                      Table::num(lp_value, 1)});
-      bench::record({"e10/n=" + std::to_string(n) + "/k=" + std::to_string(k),
-                     report.wall_time_seconds,
-                     report.welfare,
-                     "lp-rounding",
-                     {{"lp_upper_bound", lp_value},
-                      {"lp_explicit_seconds", explicit_s},
-                      {"lp_colgen_seconds", colgen_s}}});
+      bench::record_report(
+          "e10/n=" + std::to_string(n) + "/k=" + std::to_string(k), report,
+          {{"lp_upper_bound", lp_value},
+           {"lp_explicit_seconds", explicit_s},
+           {"lp_colgen_seconds", colgen_s}});
     }
   }
   bench::print_experiment(

@@ -46,6 +46,15 @@ void decomposition_table() {
                      Table::integer(static_cast<long long>(
                          decomposition.entries.size())),
                      Table::num(decomposition.residual, 8)});
+      // The mechanism path lands in the perf trajectory like every other
+      // solve (BENCH_bench_e7_mechanism.json via the shared helper).
+      bench::record_report(
+          "e7/n=" + std::to_string(n) + "/k=" + std::to_string(k), report,
+          {{"lp_upper_bound", *report.lp_upper_bound},
+           {"expected_welfare", expected_welfare},
+           {"decomposition_entries",
+            static_cast<double>(decomposition.entries.size())},
+           {"decomposition_residual", decomposition.residual}});
     }
   }
   bench::print_experiment(
@@ -92,6 +101,8 @@ void truthfulness_table() {
           ? "VERDICT: no bidder gains by misreporting (max gain " +
                 Table::num(max_gain, 6) + ")"
           : "VERDICT: POSITIVE deviation gain found: " + Table::num(max_gain, 6));
+  bench::record({"e7/misreport_sweep", 0.0, 0.0, "mechanism",
+                 {{"max_misreport_gain", max_gain}}});
 }
 
 void bm_mechanism(benchmark::State& state) {

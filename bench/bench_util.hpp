@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/solver.hpp"
 #include "support/table.hpp"
 
 namespace ssa::bench {
@@ -92,6 +93,21 @@ inline void write_json(const char* argv0) {
 /// Registers one measurement row for the BENCH_*.json emitted by run().
 inline void record(BenchRecord record) {
   detail::records().push_back(std::move(record));
+}
+
+/// Registers a row straight from a SolveReport: wall time, welfare and the
+/// solver key (solver_selected when the execution layer filled it) come
+/// from the report, extra metrics ride along. This is the one helper every
+/// bench that measures solves goes through (e7/e10/e11), so the JSON rows
+/// stay structurally identical across experiments instead of each bench
+/// hand-assembling its own BenchRecord.
+inline void record_report(
+    std::string name, const SolveReport& report,
+    std::vector<std::pair<std::string, double>> extra = {}) {
+  record(BenchRecord{
+      std::move(name), report.wall_time_seconds, report.welfare,
+      report.solver_selected.empty() ? report.solver : report.solver_selected,
+      std::move(extra)});
 }
 
 /// Prints the experiment table and a one-line verdict.

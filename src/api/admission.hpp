@@ -1,0 +1,58 @@
+#pragma once
+/// \file admission.hpp
+/// Shared vocabulary of the deadline-aware scheduling core: how a queue
+/// orders runnable tasks (QueuePolicy), what to do with a task whose
+/// deadline is already unmeetable when it is submitted (AdmissionPolicy),
+/// and the per-task verdict the scheduler hands back (Admission). Kept in
+/// its own small header because both the generic SolveScheduler
+/// (api/scheduler.hpp) and the SolveReport provenance block
+/// (api/solver.hpp) speak this vocabulary.
+
+#include <string_view>
+
+namespace ssa {
+
+/// How a scheduler queue orders runnable tasks.
+enum class QueuePolicy {
+  /// Earliest effective deadline (submit time + time budget) first;
+  /// submission order breaks ties and orders tasks without a deadline
+  /// (which sort after every deadlined task).
+  kDeadline,
+  /// Strict submission order, ignoring deadlines (the pre-deadline
+  /// behavior; kept as the measurable baseline for the e11 bench).
+  kFifo,
+};
+
+/// What a scheduler does with a task whose effective deadline is already
+/// unmeetable at submission time, given the queue depth and the measured
+/// cost of recent tasks.
+enum class AdmissionPolicy {
+  /// Never reject or degrade; every task is enqueued as submitted.
+  kAcceptAll,
+  /// Enqueue the task but report Admission::kDegraded so the caller can
+  /// shrink the work (the AuctionService clamps the solver's time budget
+  /// to the wall time remaining before the deadline).
+  kDegrade,
+  /// Do not enqueue the task at all; the caller completes it immediately
+  /// as rejected instead of wasting a worker on a missed deadline.
+  kReject,
+};
+
+/// Per-task admission verdict. Tasks without a deadline, and every task
+/// under AdmissionPolicy::kAcceptAll, are always kAccepted.
+enum class Admission {
+  kAccepted,
+  kDegraded,
+  kRejected,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Admission admission) {
+  switch (admission) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kDegraded: return "degraded";
+    case Admission::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+}  // namespace ssa

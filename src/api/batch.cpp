@@ -5,6 +5,7 @@
 
 #include "api/registry.hpp"
 #include "api/scheduler.hpp"
+#include "support/deadline.hpp"
 #include "support/parallel.hpp"
 
 namespace ssa {
@@ -89,10 +90,21 @@ BatchResult solve_batch(std::span<const BatchJob> jobs,
     SolveScheduler scheduler(static_cast<int>(workers));
     const bool cap_inner_loops = scheduler.threads() > 1;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      scheduler.submit([&run_one, cap_inner_loops, i](double wait) {
-        const ThreadCountScope inner_scope(cap_inner_loops ? 1 : 0);
-        run_one(i, wait);
-      });
+      // Deadline-ordered execution: a job's time budget is its effective
+      // deadline, so tightly-budgeted jobs start first. Pure scheduling --
+      // reports[i] never depends on the execution order, and batch jobs
+      // are never rejected or degraded (AdmissionPolicy::kAcceptAll). The
+      // budget resolves with the same shared-vs-section precedence the
+      // solvers apply (support/deadline.hpp), so a job budgeted only
+      // through its pipeline section still sorts by that budget.
+      (void)scheduler.submit(
+          [&run_one, cap_inner_loops, i](double wait) {
+            const ThreadCountScope inner_scope(cap_inner_loops ? 1 : 0);
+            run_one(i, wait);
+          },
+          SolveScheduler::TaskOptions{
+              effective_budget(jobs[i].options.time_budget_seconds,
+                               jobs[i].options.pipeline.time_budget_seconds)});
     }
     scheduler.drain();
   }

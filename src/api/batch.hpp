@@ -3,9 +3,12 @@
 /// Batch execution over the unified Solver API: a set of (instance, solver)
 /// jobs -- mixing symmetric AuctionInstances and Section-6
 /// AsymmetricInstances freely -- is run concurrently through the shared
-/// SolveScheduler worker pool (api/scheduler.hpp, the same core the
-/// long-lived AuctionService shards run on) and the resulting SolveReports
-/// are aggregated into one comparison table. A job pairing a solver with
+/// SolveScheduler worker pool (api/scheduler.hpp, the same deadline-aware
+/// core the long-lived AuctionService shards run on) and the resulting
+/// SolveReports are aggregated into one comparison table. Jobs with a
+/// time budget are started in deadline order (tightest budget first);
+/// ordering never changes reports[i], and batch jobs are never rejected
+/// or degraded by admission. A job pairing a solver with
 /// the wrong instance type renders as a per-row error, not a batch abort.
 /// This replaces the hand-rolled "call every algorithm, collect a row"
 /// loops every bench and example used to carry.

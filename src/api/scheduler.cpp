@@ -4,11 +4,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/deadline.hpp"
+
 namespace ssa {
 
-SolveScheduler::SolveScheduler(int threads) {
+SolveScheduler::SolveScheduler(const SchedulerOptions& options)
+    : queue_policy_(options.queue), admission_policy_(options.admission) {
+  int threads = options.threads;
   if (threads <= 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   }
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
@@ -18,19 +22,78 @@ SolveScheduler::SolveScheduler(int threads) {
 
 SolveScheduler::~SolveScheduler() { shutdown(); }
 
+bool SolveScheduler::runs_after(const QueuedTask& a,
+                                const QueuedTask& b) const {
+  if (queue_policy_ == QueuePolicy::kDeadline && a.deadline != b.deadline) {
+    return a.deadline > b.deadline;
+  }
+  return a.sequence > b.sequence;
+}
+
+void SolveScheduler::push_locked(QueuedTask task) {
+  queue_.push_back(std::move(task));
+  std::push_heap(queue_.begin(), queue_.end(), heap_comparator());
+}
+
+bool SolveScheduler::deadline_unmeetable_locked(
+    std::chrono::steady_clock::time_point now,
+    std::chrono::steady_clock::time_point deadline) const {
+  if (task_seconds_ema_ <= 0.0) return false;  // no cost signal yet
+  const double workers =
+      static_cast<double>(std::max<std::size_t>(1, workers_.size()));
+  const auto projected = [&](std::size_t ahead) {
+    const double seconds =
+        (static_cast<double>(ahead) / workers + 1.0) * task_seconds_ema_;
+    return now +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(seconds));
+  };
+  // Tasks that will be served before the new one: everything already
+  // running, plus -- under deadline ordering -- the queued tasks with an
+  // earlier-or-equal deadline (under FIFO, the whole queue). First try
+  // the conservative upper bound (the whole queue ahead): when even that
+  // fits the deadline -- the common case -- admission is O(1) and the
+  // heap never needs scanning.
+  const std::size_t worst_case_ahead = running_ + queue_.size();
+  if (projected(worst_case_ahead) <= deadline) return false;
+  if (queue_policy_ == QueuePolicy::kFifo) return true;  // bound is exact
+  std::size_t ahead = running_;
+  for (const QueuedTask& queued : queue_) {
+    if (queued.deadline <= deadline) ++ahead;
+  }
+  return projected(ahead) > deadline;
+}
+
 void SolveScheduler::submit(Task task) {
+  (void)submit(std::move(task), TaskOptions{});
+}
+
+Admission SolveScheduler::submit(Task task, const TaskOptions& options) {
   if (!task) {
     throw std::invalid_argument("SolveScheduler::submit: empty task");
   }
+  Admission admission = Admission::kAccepted;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!accepting_) {
       throw std::runtime_error("SolveScheduler::submit: scheduler shut down");
     }
-    queue_.push_back(
-        QueuedTask{std::move(task), std::chrono::steady_clock::now()});
+    const auto now = std::chrono::steady_clock::now();
+    const auto deadline = deadline_at(now, options.deadline_seconds);
+    if (deadline != std::chrono::steady_clock::time_point::max() &&
+        admission_policy_ != AdmissionPolicy::kAcceptAll &&
+        deadline_unmeetable_locked(now, deadline)) {
+      if (admission_policy_ == AdmissionPolicy::kReject) {
+        return Admission::kRejected;  // never enqueued; caller completes it
+      }
+      admission = Admission::kDegraded;
+    }
+    push_locked(QueuedTask{std::move(task), now, deadline, next_sequence_++,
+                           /*count_in_cost_ema=*/admission !=
+                               Admission::kDegraded});
   }
   work_ready_.notify_one();
+  return admission;
 }
 
 void SolveScheduler::drain() {
@@ -55,6 +118,11 @@ std::size_t SolveScheduler::pending() const {
   return queue_.size();
 }
 
+double SolveScheduler::estimated_task_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return task_seconds_ema_;
+}
+
 void SolveScheduler::worker_loop() {
   for (;;) {
     QueuedTask item;
@@ -66,22 +134,34 @@ void SolveScheduler::worker_loop() {
         // terminate_ is set and the queue is drained: exit for good.
         return;
       }
-      item = std::move(queue_.front());
-      queue_.pop_front();
+      std::pop_heap(queue_.begin(), queue_.end(), heap_comparator());
+      item = std::move(queue_.back());
+      queue_.pop_back();
       ++running_;
     }
+    const auto started = std::chrono::steady_clock::now();
     const double queue_wait_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      item.enqueued)
-            .count();
+        std::chrono::duration<double>(started - item.enqueued).count();
     try {
       item.task(queue_wait_seconds);
     } catch (...) {
       // Tasks are required not to throw (see header); swallowing here keeps
       // the worker alive for the remaining queue.
     }
+    const double task_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (item.count_in_cost_ema) {
+        // Smooth enough to ride out one outlier, fresh enough to track a
+        // workload shift within a handful of tasks.
+        task_seconds_ema_ =
+            task_seconds_ema_ <= 0.0
+                ? task_seconds
+                : 0.8 * task_seconds_ema_ + 0.2 * task_seconds;
+      }
       --running_;
       if (queue_.empty() && running_ == 0) all_idle_.notify_all();
     }

@@ -1,12 +1,22 @@
 #pragma once
 /// \file scheduler.hpp
-/// The scheduling core shared by solve_batch (api/batch.cpp) and the
-/// long-lived AuctionService (service/auction_service.hpp): a FIFO task
-/// queue drained by a fixed pool of worker threads. solve_batch used to
-/// carry its own OpenMP loop; extracting the queue + worker loop here means
-/// the one-shot batch driver and the service shard pools run the exact same
-/// code, and both can report how long a task waited in the queue
-/// (SolveReport::queue_wait_seconds).
+/// The deadline-aware scheduling core shared by solve_batch (api/batch.cpp)
+/// and the long-lived AuctionService (service/auction_service.hpp): a
+/// priority queue ordered by effective deadline (submit time + time budget,
+/// submission order as the tie-break; tasks without a budget sort last among
+/// themselves in FIFO order) drained by a fixed pool of worker threads, plus
+/// an admission check that flags tasks whose deadline is already unmeetable
+/// when they are submitted. solve_batch used to carry its own OpenMP loop;
+/// extracting the queue + worker loop here means the one-shot batch driver
+/// and the service shard pools run the exact same code, and both can report
+/// how long a task waited in the queue (SolveReport::queue_wait_seconds).
+///
+/// Admission estimates the wait ahead of a new task as
+///     (tasks scheduled before it / workers + 1) * EMA of completed task cost
+/// and compares the projection against the task's deadline. The estimate is
+/// deliberately rough (no per-task cost model); it exists to keep obviously
+/// dead requests out of the queue under load, not to promise SLOs. Until the
+/// first task completes, the EMA is zero and everything is admitted.
 ///
 /// Tasks receive their measured queue wait in seconds. Tasks must not
 /// throw; a throwing task is caught and dropped (workers stay alive), which
@@ -16,21 +26,38 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "api/admission.hpp"
+
 namespace ssa {
 
-/// Fixed-size worker pool over a FIFO queue. Thread-safe; submission from
-/// any thread. Destruction finishes all queued work, then joins.
+/// Configuration of a SolveScheduler beyond the worker count.
+struct SchedulerOptions {
+  /// Worker threads (0 = hardware concurrency, clamped to at least 1).
+  int threads = 0;
+  /// Queue order; kDeadline is the default, kFifo the measurable baseline.
+  QueuePolicy queue = QueuePolicy::kDeadline;
+  /// Handling of tasks whose deadline is unmeetable at submission.
+  AdmissionPolicy admission = AdmissionPolicy::kAcceptAll;
+};
+
+/// Fixed-size worker pool over a deadline-ordered queue. Thread-safe;
+/// submission from any thread. Destruction finishes all queued work, then
+/// joins.
 class SolveScheduler {
  public:
-  /// Runs with \p threads workers (0 = hardware concurrency, clamped to at
-  /// least 1). Workers start immediately and sleep until work arrives.
-  explicit SolveScheduler(int threads = 0);
+  /// Runs with \p threads workers and the default deadline ordering.
+  /// Workers start immediately and sleep until work arrives.
+  explicit SolveScheduler(int threads = 0)
+      : SolveScheduler(SchedulerOptions{threads, QueuePolicy::kDeadline,
+                                        AdmissionPolicy::kAcceptAll}) {}
+
+  explicit SolveScheduler(const SchedulerOptions& options);
 
   /// Equivalent to shutdown(): every already-queued task still runs.
   ~SolveScheduler();
@@ -40,8 +67,26 @@ class SolveScheduler {
 
   using Task = std::function<void(double queue_wait_seconds)>;
 
-  /// Enqueues a task; throws std::runtime_error after shutdown() began.
+  /// Per-task scheduling parameters.
+  struct TaskOptions {
+    /// Wall-time budget in seconds; the task's effective deadline is its
+    /// submission time plus this budget. <= 0 (or >= the
+    /// kUnlimitedBudgetSeconds clamp, see support/deadline.hpp) means no
+    /// deadline: the task is always admitted and sorts after every
+    /// deadlined task.
+    double deadline_seconds = 0.0;
+  };
+
+  /// Enqueues a task (no deadline, always Admission::kAccepted); throws
+  /// std::runtime_error after shutdown() began.
   void submit(Task task);
+
+  /// Enqueues a task under the admission policy. Returns the verdict:
+  /// kAccepted or kDegraded mean the task was enqueued and will run;
+  /// kRejected (policy AdmissionPolicy::kReject only) means the task was
+  /// NOT enqueued and will never run -- the caller owns completing it.
+  /// Throws std::runtime_error after shutdown() began.
+  Admission submit(Task task, const TaskOptions& options);
 
   /// Blocks until the queue is empty and no worker is mid-task. New work
   /// may be submitted afterwards (the pool stays alive).
@@ -58,22 +103,59 @@ class SolveScheduler {
   /// Tasks queued but not yet started (diagnostics only; racy by nature).
   [[nodiscard]] std::size_t pending() const;
 
+  /// Exponential moving average of completed task durations in seconds
+  /// (0 until the first completion). Drives the admission estimate;
+  /// exposed for diagnostics and tests.
+  [[nodiscard]] double estimated_task_seconds() const;
+
  private:
   struct QueuedTask {
     Task task;
     std::chrono::steady_clock::time_point enqueued;
+    /// Effective deadline; time_point::max() = none.
+    std::chrono::steady_clock::time_point deadline;
+    /// Submission order: the FIFO tie-break within equal deadlines.
+    std::uint64_t sequence = 0;
+    /// Degraded tasks run with caller-shrunk work, so their duration says
+    /// nothing about the true task cost: keep them out of the EMA, or
+    /// sustained overload would collapse the estimate and disarm the very
+    /// admission check that degraded them.
+    bool count_in_cost_ema = true;
   };
 
+  /// True when \p a should run after \p b (std heap comparator: the heap
+  /// top is the task that runs next).
+  [[nodiscard]] bool runs_after(const QueuedTask& a, const QueuedTask& b) const;
+
+  /// The one heap comparator (push and pop must always agree).
+  [[nodiscard]] auto heap_comparator() const {
+    return [this](const QueuedTask& a, const QueuedTask& b) {
+      return runs_after(a, b);
+    };
+  }
+
+  /// Admission estimate for a task with \p deadline submitted now; must be
+  /// called with mutex_ held.
+  [[nodiscard]] bool deadline_unmeetable_locked(
+      std::chrono::steady_clock::time_point now,
+      std::chrono::steady_clock::time_point deadline) const;
+
+  void push_locked(QueuedTask task);
   void worker_loop();
+
+  const QueuePolicy queue_policy_;
+  const AdmissionPolicy admission_policy_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;  // workers wait here
   std::condition_variable all_idle_;    // drain()/shutdown() wait here
-  std::deque<QueuedTask> queue_;
+  std::vector<QueuedTask> queue_;       // heap under runs_after
   std::vector<std::thread> workers_;
-  std::size_t running_ = 0;   // tasks currently executing
-  bool accepting_ = true;     // submit() allowed
-  bool terminate_ = false;    // workers exit once the queue is empty
+  std::uint64_t next_sequence_ = 0;
+  double task_seconds_ema_ = 0.0;  // completed-task cost estimate
+  std::size_t running_ = 0;        // tasks currently executing
+  bool accepting_ = true;          // submit() allowed
+  bool terminate_ = false;         // workers exit once the queue is empty
 };
 
 }  // namespace ssa

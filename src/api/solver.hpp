@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 
+#include "api/admission.hpp"
 #include "api/any_instance.hpp"
 #include "core/auction_lp.hpp"
 #include "core/exact.hpp"
@@ -108,7 +109,22 @@ struct SolveReport {
   bool cache_hit = false;
   /// Seconds the request waited in a scheduler queue before a worker
   /// picked it up (0 for direct Solver::solve calls and for cache hits).
+  /// For coalesced followers (coalesced = true) this is the attach-to-
+  /// completion latency instead -- the follower never entered a queue,
+  /// and the leader's solve overlaps it, so do not add wall_time_seconds
+  /// on top for coalesced reports.
   double queue_wait_seconds = 0.0;
+  /// Verdict of the deadline-aware admission check (api/admission.hpp).
+  /// kAccepted for direct Solver::solve calls, batch jobs, cache hits and
+  /// every request whose deadline looked meetable at submission. kDegraded:
+  /// the service clamped the solver's time budget to the wall time left
+  /// before the deadline (degraded reports are never cached). kRejected:
+  /// the request was never executed; error carries the reason.
+  Admission admission = Admission::kAccepted;
+  /// The request attached to an identical in-flight computation instead of
+  /// running a solver itself: the payload is the leader's, bitwise (the
+  /// leader's own report has coalesced = false and cache_hit = false).
+  bool coalesced = false;
 
   // -- solver-specific payloads ---------------------------------------------
   std::optional<FractionalSolution> fractional;  ///< LP-based solvers

@@ -87,11 +87,9 @@ class LpRoundingSolver final : public SymmetricSolver {
                               const SolveOptions& options) const override {
     PipelineOptions pipeline = options.pipeline;
     pipeline.seed = options.seed;
-    // The shared budget wins when set; an unset one leaves a caller-armed
-    // section budget alone (same rule as exact_options_with_budget).
-    if (options.time_budget_seconds > 0.0) {
-      pipeline.time_budget_seconds = options.time_budget_seconds;
-    }
+    // Shared-vs-section budget precedence pinned in support/deadline.hpp.
+    pipeline.time_budget_seconds = effective_budget(
+        options.time_budget_seconds, pipeline.time_budget_seconds);
     const PipelineResult result = solve_pipeline(instance, pipeline);
     // An LP that failed for any reason other than the time budget (pivot
     // limit, infeasibility) is an error, not a silent zero-welfare report.
@@ -259,11 +257,9 @@ class AsymmetricLpRoundingSolver final : public AsymmetricSolver {
     }
     PipelineOptions pipeline = options.pipeline;
     pipeline.seed = options.seed;
-    // Same budget rule as the symmetric path: shared budget wins when set,
-    // otherwise a caller-armed section budget applies.
-    const double budget_seconds = options.time_budget_seconds > 0.0
-                                      ? options.time_budget_seconds
-                                      : pipeline.time_budget_seconds;
+    // Shared-vs-section budget precedence pinned in support/deadline.hpp.
+    const double budget_seconds = effective_budget(
+        options.time_budget_seconds, pipeline.time_budget_seconds);
     const Deadline deadline = Deadline::after(budget_seconds);
     lp::SimplexOptions simplex;
     simplex.deadline = deadline;

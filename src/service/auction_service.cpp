@@ -1,8 +1,11 @@
 #include "service/auction_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <exception>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
@@ -12,7 +15,7 @@
 #include "api/registry.hpp"
 #include "api/scheduler.hpp"
 #include "service/result_cache.hpp"
-#include "support/fingerprint.hpp"
+#include "support/deadline.hpp"
 #include "support/parallel.hpp"
 
 namespace ssa::service {
@@ -62,6 +65,13 @@ struct AuctionService::Request {
   std::string solver;
   SolveOptions options;
   Fingerprint key;
+  /// Effective deadline (submit time + time budget; time_point::max() when
+  /// unlimited). Degraded runs clamp their solver budget against it.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Admission verdict, written under the shard lock before the worker
+  /// task can observe the request.
+  Admission admission = Admission::kAccepted;
 
   [[nodiscard]] AnyInstance view() const {
     if (const auto* sym = std::get_if<AuctionInstance>(&instance)) {
@@ -74,12 +84,19 @@ struct AuctionService::Request {
   }
 };
 
-/// Shard: worker pool + result cache + completion table, with one lock.
-/// Each request belongs to exactly one shard (chosen by its fingerprint),
-/// so shards never contend with each other.
+/// Shard: worker pool + result cache + completion and in-flight tables,
+/// with one lock. Each request belongs to exactly one shard (chosen by its
+/// fingerprint), so shards never contend with each other.
 struct AuctionService::Shard {
-  Shard(int threads, std::size_t cache_bytes)
-      : cache(cache_bytes), scheduler(threads) {}
+  Shard(const SchedulerOptions& scheduler_options, std::size_t cache_bytes)
+      : cache(cache_bytes), scheduler(scheduler_options) {}
+
+  /// A request attached to an in-flight leader; completed from the
+  /// leader's report with coalesced = true and its own queue wait.
+  struct Follower {
+    RequestId id = 0;
+    std::chrono::steady_clock::time_point attached;
+  };
 
   std::mutex mutex;
   std::condition_variable completed_cv;
@@ -88,22 +105,30 @@ struct AuctionService::Shard {
   /// reports awaiting their get()/try_get() claim.
   std::unordered_map<RequestId, std::shared_ptr<Request>> pending;
   std::unordered_map<RequestId, SolveReport> completed;
+  /// In-flight table: a key is present from the leader's enqueue until its
+  /// completion; duplicate submissions in that window attach here instead
+  /// of enqueueing a second computation.
+  std::unordered_map<Fingerprint, std::vector<Follower>> inflight;
   /// Declared last: the scheduler's destructor joins its workers before
   /// the maps above are torn down.
   SolveScheduler scheduler;
 };
 
 AuctionService::AuctionService(ServiceOptions options)
-    : options_(options),
-      policy_(options.policy ? options.policy
-                             : std::make_shared<DefaultSelectionPolicy>()) {
+    : options_(std::move(options)),
+      policy_(options_.policy ? options_.policy
+                              : std::make_shared<DefaultSelectionPolicy>()) {
   const int shard_count = std::clamp(options_.shards, 1, kMaxShards);
-  const int threads = std::max(1, options_.threads_per_shard);
+  SchedulerOptions scheduler_options;
+  scheduler_options.threads = std::max(1, options_.threads_per_shard);
+  scheduler_options.queue = options_.queue;
+  scheduler_options.admission = options_.admission;
   shards_.reserve(static_cast<std::size_t>(shard_count));
   for (int s = 0; s < shard_count; ++s) {
-    shards_.push_back(
-        std::make_unique<Shard>(threads, options_.cache_bytes_per_shard));
+    shards_.push_back(std::make_unique<Shard>(scheduler_options,
+                                              options_.cache_bytes_per_shard));
   }
+  if (!options_.snapshot_path.empty()) restore_snapshot();
 }
 
 AuctionService::~AuctionService() { shutdown(); }
@@ -120,6 +145,69 @@ AuctionService::Shard& AuctionService::shard_of(RequestId id) const {
     throw std::invalid_argument("AuctionService: malformed request id");
   }
   return *shards_[index];
+}
+
+void AuctionService::restore_snapshot() {
+  try {
+    std::ifstream in(options_.snapshot_path, std::ios::binary);
+    if (!in) return;  // no snapshot yet: cold start
+    const std::optional<std::vector<SnapshotEntry>> entries =
+        read_snapshot(in);
+    if (!entries) return;  // corrupt/mismatched snapshot: cold start
+    for (const SnapshotEntry& entry : *entries) {
+      // Re-route by the CURRENT shard count -- the snapshot may come from
+      // a different layout; what must match submit's routing is the
+      // modulus.
+      Shard& shard = *shards_[static_cast<std::size_t>(
+          entry.key.hi % static_cast<std::uint64_t>(shards_.size()))];
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.cache.insert(entry.key, entry.report);
+    }
+    // Report what the caches actually retained, not what the file held:
+    // a restart with smaller byte budgets evicts during the loop above,
+    // and stats must not claim warmth the cache does not have. (The
+    // caches are empty before restore, so the post-restore entry count is
+    // exactly the retained set.)
+    std::uint64_t retained = 0;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      retained += shard->cache.entries();
+    }
+    snapshot_restored_.store(retained);
+  } catch (...) {
+    // The snapshot is a warm-start optimization; whatever went wrong
+    // (allocation failure on hostile lengths, filesystem trouble), the
+    // contract is "cold start, never a crash".
+  }
+}
+
+bool AuctionService::save_snapshot(const std::string& path) const {
+  // Copy the entries one shard at a time, then serialize and write with
+  // no lock held at all: cache entries are immutable content keyed by
+  // fingerprint, so cross-shard atomicity buys nothing and a mid-run
+  // checkpoint only ever stalls one shard for the duration of its copy,
+  // never the whole request path (and never for the disk I/O).
+  std::vector<SnapshotEntry> entries;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    append_snapshot_entries(shard->cache, entries);
+  }
+  // Write-then-rename so a kill mid-write leaves the previous good
+  // snapshot intact: losing the latest delta costs some warmth, losing
+  // the whole file would cost all of it.
+  const std::string staging = path + ".tmp";
+  {
+    std::ofstream out(staging, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    write_snapshot(out, entries);
+    out.flush();
+    if (!out.good()) return false;
+  }
+  if (std::rename(staging.c_str(), path.c_str()) != 0) {
+    std::remove(staging.c_str());
+    return false;
+  }
+  return true;
 }
 
 RequestId AuctionService::submit(const AnyInstance& instance,
@@ -143,8 +231,8 @@ RequestId AuctionService::submit(const AnyInstance& instance,
 
   // Canonical request fingerprint: instance content + policy + request key
   // + result-relevant options. Routing by the key keeps equal requests on
-  // one shard, which is what makes the per-shard caches effective without
-  // any cross-shard coordination.
+  // one shard, which is what makes the per-shard caches and the in-flight
+  // coalescing table effective without any cross-shard coordination.
   FingerprintHasher hasher;
   const Fingerprint instance_fp = fingerprint(request->view());
   hasher.mix(instance_fp.hi);
@@ -161,88 +249,177 @@ RequestId AuctionService::submit(const AnyInstance& instance,
       (next_sequence_.fetch_add(1) << kShardBits) | shard_index;
   submitted_.fetch_add(1);
 
-  {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    if (auto cached = shard.cache.lookup(request->key)) {
-      // Served from cache: bitwise the originating run's payload; only the
-      // provenance/timing fields are fresh. wall_time_seconds stays the
-      // originating run's (it documents what the result cost to compute).
-      cached->cache_hit = true;
-      cached->queue_wait_seconds = 0.0;
-      shard.completed.emplace(id, std::move(*cached));
-      cache_hits_.fetch_add(1);
-      completed_.fetch_add(1);
-      shard.completed_cv.notify_all();
-      return id;
-    }
+  const auto now = std::chrono::steady_clock::now();
+  // The deadline resolves with the same shared-vs-section precedence the
+  // solvers apply (support/deadline.hpp), so a request budgeted only
+  // through its pipeline section still sorts and admits by that budget --
+  // exactly like solve_batch.
+  const double budget_seconds = effective_budget(
+      options.time_budget_seconds, options.pipeline.time_budget_seconds);
+  request->deadline = deadline_at(now, budget_seconds);
+
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (auto cached = shard.cache.lookup(request->key)) {
+    // Served from cache: bitwise the originating run's payload; only the
+    // provenance/timing fields are fresh. wall_time_seconds stays the
+    // originating run's (it documents what the result cost to compute).
+    cached->cache_hit = true;
+    cached->queue_wait_seconds = 0.0;
+    shard.completed.emplace(id, std::move(*cached));
+    cache_hits_.fetch_add(1);
+    completed_.fetch_add(1);
+    shard.completed_cv.notify_all();
+    return id;
+  }
+  if (const auto inflight = shard.inflight.find(request->key);
+      inflight != shard.inflight.end()) {
+    // Coalesce: an identical computation is already queued or running.
+    // Attach and let the leader's completion fan its report out; no second
+    // solver run, no admission check (attaching costs no worker time).
     shard.pending.emplace(id, request);
+    inflight->second.push_back(Shard::Follower{id, now});
+    coalesced_.fetch_add(1);
+    return id;
   }
 
+  // This request is the leader for its key: register it, then enqueue.
+  // Everything below happens under the shard lock, so a worker cannot
+  // observe the request before its admission verdict is recorded, and
+  // duplicate submissions cannot slip between the table insert and the
+  // scheduler handoff.
+  shard.pending.emplace(id, request);
+  shard.inflight.emplace(request->key, std::vector<Shard::Follower>{});
+  Admission admission = Admission::kRejected;
   try {
-    enqueue(shard, id, request);
+    admission = shard.scheduler.submit(
+        [this, &shard, id, request](double queue_wait) {
+          // Workers provide request-level parallelism; solvers' internal
+          // OpenMP loops run serially per worker (SolveOptions::threads
+          // still overrides inside Solver::solve).
+          const ThreadCountScope inner_scope(1);
+          Admission verdict;
+          {
+            const std::lock_guard<std::mutex> admission_lock(shard.mutex);
+            verdict = request->admission;
+          }
+          SolveOptions effective = request->options;
+          if (verdict == Admission::kDegraded) {
+            // The deadline was unmeetable at admission: clamp the solver
+            // budget to whatever wall time is left, so the run truncates
+            // (and falls back down its chain) instead of blowing the
+            // deadline further. A deadline already in the past leaves a
+            // near-zero budget: the solver gives up immediately and the
+            // chain's never-timing-out tail serves.
+            const double remaining =
+                std::chrono::duration<double>(
+                    request->deadline - std::chrono::steady_clock::now())
+                    .count();
+            effective.time_budget_seconds = std::max(1e-9, remaining);
+          }
+          if (options_.on_solve) {
+            try {
+              options_.on_solve(request->key);
+            } catch (...) {
+              // A throwing hook must not take the request down with it.
+            }
+          }
+          // Every request MUST complete, whatever throws on the way (a
+          // user-installed policy, allocation failure, ...): get(id) waits
+          // on the pending -> completed transition, so an escaping
+          // exception here would strand the caller forever.
+          SolveReport report;
+          try {
+            report = execute(*request, effective);
+          } catch (const std::exception& e) {
+            report = SolveReport{};
+            report.error =
+                detail::normalized_solver_error("auction-service", e.what());
+          } catch (...) {
+            report = SolveReport{};
+            report.error = "auction-service: unknown failure while executing";
+          }
+          report.queue_wait_seconds = queue_wait;
+          report.cache_hit = false;
+          report.coalesced = false;
+          report.admission = verdict;
+          std::size_t follower_count = 0;
+          {
+            const std::lock_guard<std::mutex> completion_lock(shard.mutex);
+            // Cache only clean, complete, undegraded runs: errors would pin
+            // failures, and timed-out or budget-clamped reports depend on
+            // wall-clock luck, not content. A cache failure must not lose
+            // the report, so it cannot abort completion.
+            if (report.error.empty() && !report.timed_out &&
+                verdict == Admission::kAccepted) {
+              try {
+                shard.cache.insert(request->key, report);
+              } catch (...) {
+                // Uncached is merely slower; the report still completes.
+              }
+            }
+            // Fan the report out to every coalesced follower: bitwise the
+            // leader's payload, fresh coalesced/queue-wait provenance.
+            auto inflight_node = shard.inflight.extract(request->key);
+            if (!inflight_node.empty()) {
+              const auto completed_at = std::chrono::steady_clock::now();
+              for (const Shard::Follower& follower : inflight_node.mapped()) {
+                SolveReport fanned = report;
+                fanned.coalesced = true;
+                fanned.queue_wait_seconds =
+                    std::chrono::duration<double>(completed_at -
+                                                  follower.attached)
+                        .count();
+                shard.pending.erase(follower.id);
+                shard.completed.emplace(follower.id, std::move(fanned));
+                ++follower_count;
+              }
+            }
+            shard.pending.erase(id);
+            shard.completed.emplace(id, std::move(report));
+          }
+          completed_.fetch_add(1 + follower_count);
+          shard.completed_cv.notify_all();
+        },
+        SolveScheduler::TaskOptions{budget_seconds});
   } catch (...) {
     // Lost the race against shutdown(): the scheduler stopped accepting
     // after our accepting_ check. Roll the registration back so the
     // request is not stranded in pending (and stats stay consistent),
     // then surface the shutdown to the caller.
-    {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
-      shard.pending.erase(id);
-    }
+    shard.pending.erase(id);
+    shard.inflight.erase(request->key);
     submitted_.fetch_sub(1);
     throw;
   }
+
+  if (admission == Admission::kRejected) {
+    // The scheduler never took the task (AdmissionPolicy::kReject and an
+    // unmeetable deadline): complete the request right here as rejected.
+    shard.pending.erase(id);
+    shard.inflight.erase(request->key);
+    SolveReport report;
+    report.admission = Admission::kRejected;
+    report.error = detail::normalized_solver_error(
+        "auction-service",
+        "admission rejected: time budget of " +
+            std::to_string(budget_seconds) +
+            "s is unmeetable at the current queue depth");
+    shard.completed.emplace(id, std::move(report));
+    admission_rejected_.fetch_add(1);
+    completed_.fetch_add(1);
+    shard.completed_cv.notify_all();
+    return id;
+  }
+  request->admission = admission;
+  if (admission == Admission::kDegraded) admission_degraded_.fetch_add(1);
   return id;
 }
 
-void AuctionService::enqueue(Shard& shard, RequestId id,
-                             const std::shared_ptr<Request>& request) {
-  shard.scheduler.submit([this, &shard, id, request](double queue_wait) {
-    // Workers provide request-level parallelism; solvers' internal OpenMP
-    // loops run serially per worker (SolveOptions::threads still overrides
-    // inside Solver::solve).
-    const ThreadCountScope inner_scope(1);
-    // Every request MUST complete, whatever throws on the way (a
-    // user-installed policy, allocation failure, ...): get(id) waits on
-    // the pending -> completed transition, so an escaping exception here
-    // would strand the caller forever.
-    SolveReport report;
-    try {
-      report = execute(*request);
-    } catch (const std::exception& e) {
-      report = SolveReport{};
-      report.error =
-          detail::normalized_solver_error("auction-service", e.what());
-    } catch (...) {
-      report = SolveReport{};
-      report.error = "auction-service: unknown failure while executing";
-    }
-    report.queue_wait_seconds = queue_wait;
-    report.cache_hit = false;
-    {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
-      // Cache only clean, complete runs: errors would pin failures and
-      // timed-out reports depend on wall-clock luck, not content. A cache
-      // failure must not lose the report, so it cannot abort completion.
-      if (report.error.empty() && !report.timed_out) {
-        try {
-          shard.cache.insert(request->key, report);
-        } catch (...) {
-          // Uncached is merely slower; the report still completes below.
-        }
-      }
-      shard.pending.erase(id);
-      shard.completed.emplace(id, std::move(report));
-    }
-    completed_.fetch_add(1);
-    shard.completed_cv.notify_all();
-  });
-}
-
-SolveReport AuctionService::execute(const Request& request) {
+SolveReport AuctionService::execute(const Request& request,
+                                    const SolveOptions& options) {
   const AnyInstance view = request.view();
   const std::vector<std::string> chain =
-      policy_->chain(request.solver, view, request.options);
+      policy_->chain(request.solver, view, options);
 
   // The fallbacks counter means "request not served by its chain head":
   // it ticks exactly when the returned report's producer differs from
@@ -263,7 +440,7 @@ SolveReport AuctionService::execute(const Request& request) {
   for (const std::string& key : chain) {
     SolveReport report;
     try {
-      report = make_solver(key)->solve(view, request.options);
+      report = make_solver(key)->solve(view, options);
     } catch (const std::exception& e) {
       // Unknown registry key (bad explicit request or policy bug).
       report.solver = key;
@@ -335,6 +512,9 @@ void AuctionService::shutdown() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
     shard->scheduler.shutdown();  // finishes queued + in-flight, then joins
   }
+  if (!options_.snapshot_path.empty() && !snapshot_written_.exchange(true)) {
+    (void)save_snapshot(options_.snapshot_path);
+  }
 }
 
 ServiceStats AuctionService::stats() const {
@@ -343,6 +523,10 @@ ServiceStats AuctionService::stats() const {
   stats.completed = completed_.load();
   stats.cache_hits = cache_hits_.load();
   stats.fallbacks = fallbacks_.load();
+  stats.coalesced = coalesced_.load();
+  stats.admission_degraded = admission_degraded_.load();
+  stats.admission_rejected = admission_rejected_.load();
+  stats.snapshot_restored = snapshot_restored_.load();
   for (const std::unique_ptr<Shard>& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     stats.cache_entries += shard->cache.entries();

@@ -3,7 +3,8 @@
 /// The long-lived auction-serving layer over the solver registry: the
 /// repeated, online allocation workload of secondary spectrum markets
 /// (every auction round is one request) served by a sharded worker pool on
-/// top of the same SolveScheduler core that drives solve_batch.
+/// top of the same deadline-aware SolveScheduler core that drives
+/// solve_batch.
 ///
 ///     AuctionService service;                       // 4 shards by default
 ///     RequestId id = service.submit(instance);      // auto solver selection
@@ -19,27 +20,69 @@
 ///     always meet the same shard and therefore the same cache;
 ///  3. answers from the shard's LRU result cache on a fingerprint hit
 ///     (SolveReport::cache_hit = true, allocation bitwise-equal to the
-///     originating run) or enqueues it on the shard's worker pool;
+///     originating run), attaches to an identical request already queued or
+///     running (coalescing, below), or enqueues it on the shard's worker
+///     pool under the deadline/admission rules (below);
 ///  4. resolves the solver through the installed SelectionPolicy: an
 ///     explicit registry key, or "auto" with a per-policy fallback chain
 ///     that advances when a solver rejects the instance or times out
 ///     (SolveReport::solver_selected records the winner).
 ///
+/// Deadlines and admission. A request's SolveOptions::time_budget_seconds
+/// doubles as its effective deadline: submit time + budget. The shard queue
+/// runs earliest-deadline-first (submission order tie-break; requests
+/// without a budget run FIFO after every deadlined request), and the
+/// scheduler's admission check projects the wait ahead of a new request
+/// (queue depth x measured task cost); a request whose deadline is already
+/// unmeetable is, per ServiceOptions::admission, either degraded -- it
+/// still runs, but with its solver time budget clamped to the wall time
+/// left before the deadline, so it truncates (and falls back down its
+/// chain) instead of blowing the deadline further -- or rejected: never
+/// executed, completed immediately with SolveReport::admission ==
+/// Admission::kRejected and the reason in error. Degraded and rejected
+/// requests are never cached (their payload depends on queue timing, not
+/// content). ServiceOptions{QueuePolicy::kFifo, AdmissionPolicy::kAcceptAll}
+/// reproduces the PR-3 behavior exactly.
+///
+/// Coalescing. Duplicate submissions of one fingerprint while the original
+/// is still queued or in flight attach to it instead of recomputing: one
+/// solver run (the leader's) completes every attached request with a
+/// bitwise-identical payload. Only the provenance differs: the leader has
+/// coalesced = false, followers have coalesced = true with
+/// queue_wait_seconds holding their attach-to-completion latency (they
+/// never enter a queue, and the leader's solve overlaps it -- see the
+/// field doc in solver.hpp); cache_hit is false for all of them (the
+/// cache never held the entry). Followers are always admitted --
+/// attaching costs no worker time.
+///
+/// Persistence. With ServiceOptions::snapshot_path set, the constructor
+/// restores the result caches from that file (a missing, truncated,
+/// corrupt or version-mismatched snapshot is a clean cold start) and
+/// shutdown() writes the merged caches back. Snapshot entries are
+/// re-routed by the current shard count on restore, so layouts may change
+/// between runs. See result_cache.hpp for the on-disk format and its
+/// compatibility policy.
+///
 /// Results are deterministic for a fixed request stream regardless of the
-/// shard count and worker counts: sharding and caching change placement and
-/// latency, never the report payload (a cached report differs from a fresh
-/// one only in the provenance/timing fields).
+/// shard count and worker counts as long as no request is degraded:
+/// sharding, caching and coalescing change placement and latency, never
+/// the report payload (a cached report differs from a fresh one only in
+/// the provenance/timing fields; a degraded run depends on queue timing by
+/// design, which is why it is never cached).
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "api/admission.hpp"
 #include "api/any_instance.hpp"
 #include "api/solver.hpp"
 #include "service/selection_policy.hpp"
+#include "support/fingerprint.hpp"
 
 namespace ssa::service {
 
@@ -59,14 +102,32 @@ struct ServiceOptions {
   std::size_t cache_bytes_per_shard = std::size_t{8} << 20;
   /// Solver selection policy; null installs DefaultSelectionPolicy.
   SelectionPolicyPtr policy = nullptr;
+  /// Shard queue order (see the file comment); kFifo is the baseline.
+  QueuePolicy queue = QueuePolicy::kDeadline;
+  /// Handling of requests whose deadline is unmeetable at submission.
+  AdmissionPolicy admission = AdmissionPolicy::kDegrade;
+  /// Result-cache persistence: restore from this file at construction,
+  /// write it back on shutdown(). Empty disables persistence.
+  std::string snapshot_path;
+  /// Observability/test hook, called on a worker thread right before a
+  /// request actually executes its solver chain -- never for cache hits,
+  /// coalesced followers or rejected requests, so it counts real solves.
+  /// Must be thread-safe; a slow hook stalls that worker (tests use this
+  /// deliberately to hold a leader in flight).
+  std::function<void(const Fingerprint&)> on_solve;
 };
 
 /// Monotonic service counters (stats()); approximate under concurrency.
 struct ServiceStats {
   std::uint64_t submitted = 0;
-  std::uint64_t completed = 0;   ///< includes cache hits
+  std::uint64_t completed = 0;   ///< includes cache hits and rejections
   std::uint64_t cache_hits = 0;
   std::uint64_t fallbacks = 0;   ///< requests not served by their chain head
+  std::uint64_t coalesced = 0;   ///< followers attached to an in-flight run
+  std::uint64_t admission_degraded = 0;
+  std::uint64_t admission_rejected = 0;
+  /// Cache entries restored from the snapshot at construction.
+  std::uint64_t snapshot_restored = 0;
   std::size_t cache_entries = 0;
   std::size_t cache_bytes = 0;
 };
@@ -103,9 +164,16 @@ class AuctionService {
   void drain();
 
   /// Stops accepting submissions, completes everything queued or in
-  /// flight, joins the workers. Completed reports stay claimable through
-  /// get/try_get. Idempotent.
+  /// flight, joins the workers, and -- when ServiceOptions::snapshot_path
+  /// is set -- writes the cache snapshot. Completed reports stay claimable
+  /// through get/try_get. Idempotent.
   void shutdown();
+
+  /// Writes the merged result-cache snapshot to \p path (mid-run
+  /// checkpoint; shutdown() does this automatically when
+  /// ServiceOptions::snapshot_path is set). Returns false when the file
+  /// cannot be written.
+  bool save_snapshot(const std::string& path) const;
 
   [[nodiscard]] int shards() const noexcept;
   [[nodiscard]] ServiceStats stats() const;
@@ -115,19 +183,24 @@ class AuctionService {
   struct Request;
 
   [[nodiscard]] Shard& shard_of(RequestId id) const;
-  void enqueue(Shard& shard, RequestId id,
-               const std::shared_ptr<Request>& request);
-  [[nodiscard]] SolveReport execute(const Request& request);
+  [[nodiscard]] SolveReport execute(const Request& request,
+                                    const SolveOptions& options);
+  void restore_snapshot();
 
   ServiceOptions options_;
   SelectionPolicyPtr policy_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_sequence_{1};
   std::atomic<bool> accepting_{true};
+  std::atomic<bool> snapshot_written_{false};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> fallbacks_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> admission_degraded_{0};
+  std::atomic<std::uint64_t> admission_rejected_{0};
+  std::atomic<std::uint64_t> snapshot_restored_{0};
 };
 
 }  // namespace ssa::service

@@ -7,12 +7,29 @@
 /// Eviction is by byte budget: every stored SolveReport is costed with
 /// estimated_report_bytes and least-recently-used entries are dropped until
 /// the shard is back under budget.
+///
+/// Snapshot format (write_snapshot/read_snapshot): a versioned binary dump
+/// of every cached (fingerprint, report) pair so a service restart resumes
+/// with its prior hit rate. Layout: an 8-byte magic, a u32
+/// kSnapshotVersion, a u64 entry count, then the entries least-recently
+/// used first (replaying the file in order through insert() reproduces the
+/// recency order). Scalars are written in the host's native byte order --
+/// snapshots are a warm-start artifact for the same machine, not a wire
+/// format. Readers treat ANY anomaly (wrong magic, other version,
+/// truncation, implausible sizes) as "no snapshot" and return nullopt, so
+/// a corrupt file costs a cold start, never a crash. Bump kSnapshotVersion
+/// whenever the serialized SolveReport layout or the fingerprint scheme
+/// changes (tests/test_fingerprint.cpp pins golden fingerprint values so a
+/// silent scheme drift fails loudly).
 
 #include <cstddef>
+#include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "api/solver.hpp"
 #include "support/fingerprint.hpp"
@@ -28,6 +45,10 @@ namespace ssa::service {
 /// access (one mutex per shard, by design -- see the file comment).
 class ResultCache {
  public:
+  /// Schema version of the snapshot files; see the file comment for when
+  /// to bump it.
+  static constexpr std::uint32_t kSnapshotVersion = 1;
+
   /// \p byte_budget 0 disables caching entirely (every lookup misses).
   explicit ResultCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
 
@@ -38,6 +59,14 @@ class ResultCache {
   /// until the byte budget holds. A report larger than the whole budget is
   /// not cached.
   void insert(const Fingerprint& key, SolveReport report);
+
+  /// Visits every entry least-recently used first (snapshot order).
+  template <typename Fn>
+  void for_each_lru_first(Fn&& fn) const {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      fn(it->key, it->report);
+    }
+  }
 
   [[nodiscard]] std::size_t entries() const noexcept { return index_.size(); }
   [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
@@ -59,5 +88,30 @@ class ResultCache {
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<Fingerprint, std::list<Entry>::iterator> index_;
 };
+
+/// One (key, report) pair of a snapshot.
+struct SnapshotEntry {
+  Fingerprint key;
+  SolveReport report;
+};
+
+/// Copies every entry of \p cache, least-recently used first (snapshot
+/// order: replaying through insert() reproduces the recency), onto
+/// \p entries. Callers snapshot under their own locks, then serialize the
+/// copies with write_snapshot after releasing them -- the disk write must
+/// never run inside a shard lock.
+void append_snapshot_entries(const ResultCache& cache,
+                             std::vector<SnapshotEntry>& entries);
+
+/// Writes \p entries as one snapshot stream (see the format notes in the
+/// file comment).
+void write_snapshot(std::ostream& out,
+                    const std::vector<SnapshotEntry>& entries);
+
+/// Parses a snapshot stream. Returns nullopt -- never throws, never
+/// returns a partial prefix -- on wrong magic, version mismatch,
+/// truncation or any other corruption: the caller cold-starts.
+[[nodiscard]] std::optional<std::vector<SnapshotEntry>> read_snapshot(
+    std::istream& in);
 
 }  // namespace ssa::service

@@ -7,6 +7,13 @@
 /// The service runs the chain head; when a solver rejects the instance
 /// (SolveReport::error, always "<solver-key>: <reason>") or reports
 /// timed_out, the next key in the chain is tried.
+///
+/// Interplay with deadline-aware admission (auction_service.hpp): a
+/// degraded request runs its chain with the solver time budget clamped to
+/// the wall time left before its deadline, so budget-aware heads truncate
+/// quickly and the chain's never-timing-out greedy tail serves -- chains
+/// should therefore always end in a solver that ignores the budget.
+/// Policies see the effective (possibly clamped) options.
 
 #include <memory>
 #include <string>

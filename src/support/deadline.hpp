@@ -6,10 +6,50 @@
 /// compares against steady_clock. Loops poll expired() at a coarse cadence
 /// and surface truncation to the caller instead of returning a silently
 /// partial result.
+///
+/// Budget precedence (pinned by tests/test_deadline.cpp): every adapter
+/// resolves the run's budget with effective_budget(shared, section) --
+/// SolveOptions::time_budget_seconds, the shared request-level budget, wins
+/// whenever it is set (> 0); an unset shared budget leaves a caller-armed
+/// section budget (e.g. PipelineOptions::time_budget_seconds) alone. This
+/// mirrors how the shared seed subsumes the per-section seeds.
+///
+/// Overflow clamp (also pinned by tests/test_deadline.cpp): budgets at or
+/// beyond kUnlimitedBudgetSeconds (~31 years) are treated as unlimited.
+/// Converting such a budget into steady_clock ticks would overflow near
+/// time_point::max() and wrap a huge budget into an instantly expired
+/// deadline, so both Deadline::after and deadline_at clamp first.
 
 #include <chrono>
 
 namespace ssa {
+
+/// Budgets at or above this many seconds (and budgets <= 0, the
+/// SolveOptions convention for "no budget") mean unlimited.
+inline constexpr double kUnlimitedBudgetSeconds = 1.0e9;
+
+/// The shared request budget wins when set; otherwise the section budget
+/// applies (<= 0 everywhere means unlimited).
+[[nodiscard]] constexpr double effective_budget(double shared_seconds,
+                                                double section_seconds) noexcept {
+  return shared_seconds > 0.0 ? shared_seconds : section_seconds;
+}
+
+/// Absolute deadline \p budget_seconds after \p start for schedulers that
+/// order by time_point: unlimited budgets (<= 0 or >= the clamp above) map
+/// to time_point::max(), which sorts after every armed deadline.
+[[nodiscard]] inline std::chrono::steady_clock::time_point deadline_at(
+    std::chrono::steady_clock::time_point start,
+    double budget_seconds) noexcept {
+  // Positive-form guard so NaN budgets land in the unlimited branch (the
+  // duration cast of a NaN would be undefined), same as Deadline::after.
+  if (budget_seconds > 0.0 && budget_seconds < kUnlimitedBudgetSeconds) {
+    return start +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(budget_seconds));
+  }
+  return std::chrono::steady_clock::time_point::max();
+}
 
 class Deadline {
  public:
@@ -18,17 +58,13 @@ class Deadline {
 
   /// Deadline \p seconds from now; seconds <= 0 means unlimited (matching
   /// the SolveOptions::time_budget_seconds convention). Budgets too large
-  /// to represent in steady_clock ticks (~31+ years) are unlimited too --
-  /// the duration cast must not overflow a huge budget into an instantly
-  /// expired one.
+  /// to represent in steady_clock ticks are unlimited too -- see the
+  /// overflow clamp in the file comment.
   [[nodiscard]] static Deadline after(double seconds) {
-    constexpr double kUnlimitedSeconds = 1.0e9;
     Deadline deadline;
-    if (seconds > 0.0 && seconds < kUnlimitedSeconds) {
+    if (seconds > 0.0 && seconds < kUnlimitedBudgetSeconds) {
       deadline.armed_ = true;
-      deadline.at_ = std::chrono::steady_clock::now() +
-                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                         std::chrono::duration<double>(seconds));
+      deadline.at_ = deadline_at(std::chrono::steady_clock::now(), seconds);
     }
     return deadline;
   }

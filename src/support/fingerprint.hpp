@@ -16,6 +16,15 @@
 /// Collisions of the underlying 128-bit mix are possible in principle and
 /// harmless in practice: a cache hit replays a report for a fingerprint
 /// match, exactly like any content-addressed cache.
+///
+/// STABILITY: fingerprints are persisted -- they are the keys of the
+/// result-cache snapshot files (service/result_cache.hpp), so the hashing
+/// scheme is load-bearing across process restarts, not just within one
+/// run. Any change to the mixing constants, the field order, or the
+/// sampling scheme MUST bump ResultCache::kSnapshotVersion so old
+/// snapshots are discarded as a cold start instead of silently never
+/// hitting. tests/test_fingerprint.cpp pins golden fingerprint values to
+/// make accidental drift fail loudly.
 
 #include <cstdint>
 #include <string>

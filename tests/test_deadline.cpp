@@ -1,0 +1,86 @@
+// Pins the budget semantics of support/deadline.hpp: the precedence rule
+// between the shared request-level time budget and a per-section budget
+// (the shared one wins whenever it is set), and the overflow clamp that
+// keeps budgets near time_point::max() unlimited instead of letting the
+// duration cast wrap them into instantly expired deadlines.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "support/deadline.hpp"
+
+namespace ssa {
+namespace {
+
+TEST(Deadline, SharedBudgetWinsOverSectionBudget) {
+  // The precedence rule every adapter in api/solvers.cpp resolves with:
+  // a set shared budget overrides the section budget entirely...
+  EXPECT_DOUBLE_EQ(effective_budget(2.5, 7.0), 2.5);
+  // ...even when the section budget is tighter...
+  EXPECT_DOUBLE_EQ(effective_budget(9.0, 0.001), 9.0);
+  // ...while an unset shared budget leaves a caller-armed section budget
+  // alone, and "everything unset" stays unlimited (0).
+  EXPECT_DOUBLE_EQ(effective_budget(0.0, 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(effective_budget(-1.0, 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(effective_budget(0.0, 0.0), 0.0);
+}
+
+TEST(Deadline, UnlimitedAndOverflowClampedBudgetsNeverExpire) {
+  // Unset budgets are unlimited by convention.
+  EXPECT_TRUE(Deadline().unlimited());
+  EXPECT_TRUE(Deadline::after(0.0).unlimited());
+  EXPECT_TRUE(Deadline::after(-3.0).unlimited());
+
+  // The overflow-clamp edge: budgets at/beyond kUnlimitedBudgetSeconds
+  // would overflow the steady_clock duration cast near time_point::max()
+  // and come out instantly expired without the clamp.
+  EXPECT_TRUE(Deadline::after(kUnlimitedBudgetSeconds).unlimited());
+  EXPECT_TRUE(Deadline::after(1.0e18).unlimited());
+  EXPECT_TRUE(
+      Deadline::after(std::numeric_limits<double>::max()).unlimited());
+  EXPECT_TRUE(
+      Deadline::after(std::numeric_limits<double>::infinity()).unlimited());
+  EXPECT_FALSE(Deadline::after(1.0e18).expired());
+
+  // A huge-but-representable budget is armed and still far from expiring.
+  const Deadline wide = Deadline::after(kUnlimitedBudgetSeconds / 2.0);
+  EXPECT_FALSE(wide.unlimited());
+  EXPECT_FALSE(wide.expired());
+}
+
+TEST(Deadline, ArmedDeadlineExpires) {
+  const Deadline deadline = Deadline::after(1e-4);
+  EXPECT_FALSE(deadline.unlimited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(Deadline, DeadlineAtClampsLikeAfter) {
+  const auto now = std::chrono::steady_clock::now();
+  constexpr auto kNever = std::chrono::steady_clock::time_point::max();
+  // The scheduler-facing absolute form shares the clamp: unset and
+  // overflow-prone budgets map to time_point::max() (sorts last, never
+  // admission-checked), and deadline_at must never wrap past now.
+  EXPECT_EQ(deadline_at(now, 0.0), kNever);
+  EXPECT_EQ(deadline_at(now, -5.0), kNever);
+  EXPECT_EQ(deadline_at(now, kUnlimitedBudgetSeconds), kNever);
+  EXPECT_EQ(deadline_at(now, 1.0e18), kNever);
+  EXPECT_EQ(deadline_at(now, std::numeric_limits<double>::max()), kNever);
+  // NaN budgets must land in the unlimited branch, not the duration cast
+  // (casting NaN to the integral tick count is undefined behavior).
+  EXPECT_EQ(deadline_at(now, std::numeric_limits<double>::quiet_NaN()),
+            kNever);
+  EXPECT_TRUE(
+      Deadline::after(std::numeric_limits<double>::quiet_NaN()).unlimited());
+
+  const auto armed = deadline_at(now, 2.0);
+  EXPECT_GT(armed, now);
+  EXPECT_LT(armed, kNever);
+  EXPECT_NEAR(std::chrono::duration<double>(armed - now).count(), 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ssa

@@ -110,6 +110,25 @@ TEST(Fingerprint, AsymmetricPerChannelGraphsAreCovered) {
   EXPECT_NE(fingerprint(a), fingerprint(c));
 }
 
+TEST(Fingerprint, GoldenValuesPinTheOnDiskKeyFormat) {
+  // Fingerprints are the keys of the persisted result-cache snapshots
+  // (service/result_cache.hpp), so the hashing scheme must not drift
+  // silently between builds: a drift would turn every restored snapshot
+  // into a permanent cache miss. These exact values were produced by the
+  // scheme shipped with snapshot version 1; if a deliberate scheme change
+  // breaks this test, bump ResultCache::kSnapshotVersion and re-pin.
+  EXPECT_EQ(fingerprint(tiny_instance()).hex(),
+            "526e5319d800497b64abcc2a42c8e469");
+  EXPECT_EQ(fingerprint(AnyInstance()).hex(),
+            "08ebe3ad81e0d286b5a170f7fa4fb61b");
+
+  FingerprintHasher hasher;
+  hasher.mix(std::uint64_t{42});
+  hasher.mix(1.5);
+  hasher.mix(std::string_view("spectrum"));
+  EXPECT_EQ(hasher.digest().hex(), "6899486d0b84e466edca37da00dd05de");
+}
+
 TEST(Fingerprint, HasherExtensionsAreOrderSensitive) {
   // The service composes cache keys by extending instance fingerprints;
   // the mixer must separate permuted and split inputs.

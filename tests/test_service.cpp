@@ -3,10 +3,17 @@
 // provenance/timing fields, allocations bitwise-equal), determinism of
 // results across 1/4/16 shards, selection-policy fallback chains when the
 // primary solver rejects or times out, clean shutdown with in-flight
-// requests, and the request-claim lifecycle (get/try_get).
+// requests, the request-claim lifecycle (get/try_get), request coalescing
+// (N identical in-flight submissions -> one solve), deadline-aware
+// admission (degrade/reject), and result-cache snapshot persistence
+// (restart warm, corruption = cold start).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -323,6 +330,286 @@ TEST(AuctionService, ThrowingPolicyCompletesWithErrorInsteadOfHanging) {
   EXPECT_EQ(report.error, "auction-service: policy exploded");
   EXPECT_FALSE(report.feasible);
   EXPECT_EQ(service.stats().completed, 1u);
+}
+
+TEST(AuctionService, CoalescingRunsOneSolveAndFansTheReportOut) {
+  // Hold the leader inside the solve hook, pile up identical submissions,
+  // then release: exactly one solver run must serve all of them.
+  constexpr int kFollowers = 5;
+  std::atomic<int> solve_count{0};
+  auto leader_entered = std::make_shared<std::promise<void>>();
+  auto release = std::make_shared<std::promise<void>>();
+  std::shared_future<void> release_future(release->get_future());
+
+  ServiceOptions config = single_shard();
+  config.on_solve = [&, release_future](const Fingerprint&) {
+    if (solve_count.fetch_add(1) == 0) leader_entered->set_value();
+    release_future.wait();
+  };
+  AuctionService service(config);
+  const AuctionInstance instance =
+      gen::make_disk_auction(14, 2, gen::ValuationMix::kMixed, 701);
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 8;
+
+  const RequestId leader = service.submit(instance, "lp-rounding", options);
+  leader_entered->get_future().wait();  // the leader is now mid-solve
+  std::vector<RequestId> followers;
+  for (int i = 0; i < kFollowers; ++i) {
+    followers.push_back(service.submit(instance, "lp-rounding", options));
+  }
+  release->set_value();
+
+  const SolveReport lead_report = service.get(leader);
+  ASSERT_TRUE(lead_report.error.empty()) << lead_report.error;
+  EXPECT_FALSE(lead_report.cache_hit);
+  EXPECT_FALSE(lead_report.coalesced);
+  for (const RequestId id : followers) {
+    const SolveReport fanned = service.get(id);
+    // Bitwise the leader's payload; only the coalescing provenance and
+    // the follower's own queue wait are fresh.
+    EXPECT_TRUE(fanned.coalesced);
+    EXPECT_FALSE(fanned.cache_hit);
+    EXPECT_EQ(fanned.allocation.bundles, lead_report.allocation.bundles);
+    EXPECT_EQ(fanned.solver_selected, lead_report.solver_selected);
+    EXPECT_EQ(fanned.params, lead_report.params);
+    EXPECT_DOUBLE_EQ(fanned.welfare, lead_report.welfare);
+    EXPECT_DOUBLE_EQ(fanned.wall_time_seconds, lead_report.wall_time_seconds);
+  }
+  EXPECT_EQ(solve_count.load(), 1);  // the whole point of coalescing
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.coalesced, static_cast<std::uint64_t>(kFollowers));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kFollowers) + 1);
+
+  // After completion the leader's report is cached: the next identical
+  // submission is a plain cache hit, not a coalesce.
+  EXPECT_TRUE(
+      service.get(service.submit(instance, "lp-rounding", options)).cache_hit);
+  EXPECT_EQ(service.stats().coalesced, static_cast<std::uint64_t>(kFollowers));
+  EXPECT_EQ(solve_count.load(), 1);
+}
+
+TEST(AuctionService, SnapshotRestartKeepsTheCacheWarmAcrossShardLayouts) {
+  const std::string path = "test_service_snapshot.bin";
+  const std::vector<gen::NamedInstance> suite =
+      gen::mixed_scenario_suite(10, 2, 5300);
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 8;
+
+  std::vector<SolveReport> fresh_reports;
+  {
+    ServiceOptions config;
+    config.shards = 2;
+    config.snapshot_path = path;
+    AuctionService warm(config);
+    std::vector<RequestId> ids;
+    for (const gen::NamedInstance& named : suite) {
+      ids.push_back(warm.submit(named.view(), kAutoSolver, options));
+    }
+    for (const RequestId id : ids) fresh_reports.push_back(warm.get(id));
+    warm.shutdown();  // writes the snapshot
+  }
+
+  // Restart with a DIFFERENT shard count: entries must be re-routed by
+  // the new layout and every replayed request must hit.
+  ServiceOptions config;
+  config.shards = 3;
+  config.snapshot_path = path;
+  AuctionService restarted(config);
+  EXPECT_GE(restarted.stats().snapshot_restored, suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const SolveReport replay =
+        restarted.get(restarted.submit(suite[i].view(), kAutoSolver, options));
+    EXPECT_TRUE(replay.cache_hit) << suite[i].label;
+    EXPECT_EQ(replay.allocation.bundles, fresh_reports[i].allocation.bundles);
+    EXPECT_DOUBLE_EQ(replay.welfare, fresh_reports[i].welfare);
+    EXPECT_EQ(replay.solver_selected, fresh_reports[i].solver_selected);
+  }
+  EXPECT_EQ(restarted.stats().cache_hits, suite.size());
+  std::remove(path.c_str());
+}
+
+TEST(AuctionService, CorruptSnapshotsAreACleanColdStart) {
+  const std::string path = "test_service_snapshot_corrupt.bin";
+  const AuctionInstance instance =
+      gen::make_disk_auction(10, 2, gen::ValuationMix::kMixed, 702);
+
+  // Build one valid snapshot to mutilate.
+  {
+    ServiceOptions config = single_shard();
+    config.snapshot_path = path;
+    AuctionService service(config);
+    (void)service.get(service.submit(instance, "greedy-value"));
+    service.shutdown();
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string snapshot((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(snapshot.size(), 16u);
+
+  const auto cold_start_with = [&](const std::string& contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+    out.close();
+    ServiceOptions config = single_shard();
+    config.snapshot_path = path;
+    // Caching off keeps the shutdown-time snapshot empty; shutdown still
+    // rewrites the file with that valid empty snapshot, which is fine --
+    // every case below writes its own contents first.
+    config.cache_bytes_per_shard = 0;
+    AuctionService service(config);
+    EXPECT_EQ(service.stats().snapshot_restored, 0u);
+    // The service still works; the snapshot was simply ignored.
+    const SolveReport report =
+        service.get(service.submit(instance, "greedy-value"));
+    EXPECT_TRUE(report.error.empty()) << report.error;
+  };
+
+  cold_start_with(snapshot.substr(0, snapshot.size() / 2));  // truncated
+  cold_start_with("not a snapshot at all");                  // garbage magic
+  std::string version_bumped = snapshot;
+  version_bumped[8] = static_cast<char>(version_bumped[8] + 1);  // version
+  cold_start_with(version_bumped);
+  std::string bad_count = snapshot;
+  bad_count[15] = static_cast<char>(0x7f);  // implausible entry count
+  cold_start_with(bad_count);
+  std::string inflated_count = snapshot;
+  // A large-but-plausible count (below the reader's sanity cap) with no
+  // data behind it: must fail on the missing entries without ballooning
+  // memory first, not crash with bad_alloc.
+  inflated_count[14] = static_cast<char>(0x01);  // count |= 1 << 16
+  cold_start_with(inflated_count);
+
+  // A missing file is the everyday cold start.
+  std::remove(path.c_str());
+  {
+    ServiceOptions config = single_shard();
+    config.snapshot_path = path;
+    AuctionService service(config);
+    EXPECT_EQ(service.stats().snapshot_restored, 0u);
+  }  // the destructor's shutdown recreates the file; clean it up last
+  std::remove(path.c_str());
+}
+
+TEST(AuctionService, UnmeetableDeadlinesDegradeByDefault) {
+  // Prime the cost estimate with one real solve, hold the worker, stack
+  // the queue, then submit a hopeless 1ms budget: the default policy
+  // degrades it -- it still completes, clamped, and is never cached.
+  auto gate_on = std::make_shared<std::atomic<bool>>(false);
+  auto release = std::make_shared<std::promise<void>>();
+  std::shared_future<void> release_future(release->get_future());
+  auto blocked = std::make_shared<std::promise<void>>();
+  std::atomic<bool> blocked_signalled{false};
+
+  ServiceOptions config = single_shard();
+  config.on_solve = [=, &blocked_signalled](const Fingerprint&) {
+    if (gate_on->load()) {
+      if (!blocked_signalled.exchange(true)) blocked->set_value();
+      release_future.wait();
+    }
+  };
+  AuctionService service(config);
+
+  const AuctionInstance slow =
+      gen::make_disk_auction(40, 2, gen::ValuationMix::kMixed, 703);
+  SolveOptions slow_options;
+  slow_options.pipeline.rounding_repetitions = 48;
+  (void)service.get(service.submit(slow, "lp-rounding", slow_options));
+
+  gate_on->store(true);
+  SolveOptions variant = slow_options;
+  variant.seed = 2;  // distinct fingerprints so nothing coalesces
+  const RequestId holder = service.submit(slow, "lp-rounding", variant);
+  blocked->get_future().wait();
+  std::vector<RequestId> queued;
+  for (std::uint64_t seed = 3; seed < 7; ++seed) {
+    SolveOptions filler = slow_options;
+    filler.seed = seed;
+    queued.push_back(service.submit(slow, "lp-rounding", filler));
+  }
+
+  SolveOptions hopeless = slow_options;
+  hopeless.seed = 99;
+  hopeless.time_budget_seconds = 1e-4;
+  const std::size_t cached_before = service.stats().cache_entries;
+  const RequestId tight = service.submit(slow, kAutoSolver, hopeless);
+  gate_on->store(false);
+  release->set_value();
+
+  const SolveReport report = service.get(tight);
+  EXPECT_EQ(report.admission, Admission::kDegraded)
+      << "verdict: " << to_string(report.admission);
+  // Degraded = clamped budget: the budget-aware head truncates and the
+  // chain still produces a feasible answer (greedy tail or truncated LP).
+  EXPECT_TRUE(report.error.empty()) << report.error;
+  (void)service.get(holder);
+  for (const RequestId id : queued) (void)service.get(id);
+  EXPECT_GE(service.stats().admission_degraded, 1u);
+  // Degraded runs must not poison the cache (their payload depends on
+  // queue timing): the entry count cannot have grown by this request.
+  EXPECT_EQ(service.stats().cache_entries, cached_before + 5u);
+}
+
+TEST(AuctionService, RejectPolicyCompletesUnmeetableDeadlinesImmediately) {
+  auto gate_on = std::make_shared<std::atomic<bool>>(false);
+  auto release = std::make_shared<std::promise<void>>();
+  std::shared_future<void> release_future(release->get_future());
+  auto blocked = std::make_shared<std::promise<void>>();
+  std::atomic<bool> blocked_signalled{false};
+
+  ServiceOptions config = single_shard();
+  config.admission = AdmissionPolicy::kReject;
+  config.on_solve = [=, &blocked_signalled](const Fingerprint&) {
+    if (gate_on->load()) {
+      if (!blocked_signalled.exchange(true)) blocked->set_value();
+      release_future.wait();
+    }
+  };
+  AuctionService service(config);
+
+  const AuctionInstance slow =
+      gen::make_disk_auction(40, 2, gen::ValuationMix::kMixed, 704);
+  SolveOptions slow_options;
+  slow_options.pipeline.rounding_repetitions = 48;
+  (void)service.get(service.submit(slow, "lp-rounding", slow_options));
+
+  gate_on->store(true);
+  SolveOptions variant = slow_options;
+  variant.seed = 2;
+  const RequestId holder = service.submit(slow, "lp-rounding", variant);
+  blocked->get_future().wait();
+  std::vector<RequestId> queued;
+  for (std::uint64_t seed = 3; seed < 7; ++seed) {
+    SolveOptions filler = slow_options;
+    filler.seed = seed;
+    queued.push_back(service.submit(slow, "lp-rounding", filler));
+  }
+
+  SolveOptions hopeless = slow_options;
+  hopeless.seed = 99;
+  hopeless.time_budget_seconds = 1e-4;
+  const RequestId rejected = service.submit(slow, kAutoSolver, hopeless);
+  // Rejection is immediate: claimable before the queue moves at all.
+  const auto polled = service.try_get(rejected);
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_EQ(polled->admission, Admission::kRejected)
+      << "verdict: " << to_string(polled->admission);
+  EXPECT_FALSE(polled->error.empty());
+  EXPECT_NE(polled->error.find("auction-service:"), std::string::npos);
+  EXPECT_NE(polled->error.find("admission rejected"), std::string::npos);
+  EXPECT_FALSE(polled->feasible);
+
+  gate_on->store(false);
+  release->set_value();
+  (void)service.get(holder);
+  for (const RequestId id : queued) (void)service.get(id);
+  EXPECT_EQ(service.stats().admission_rejected, 1u);
+  // An unlimited-budget request is never rejected, whatever the queue.
+  EXPECT_TRUE(
+      service.get(service.submit(slow, "greedy-value")).error.empty());
 }
 
 TEST(AuctionService, RequestLifecycleClaimsAndErrors) {
