@@ -364,12 +364,18 @@ void restart_table() {
     restart_requests += stats.submitted;
     first_life.shutdown();  // writes the snapshot ("kill")
   }
+  bool clean_baseline = true;
   {
     service::ServiceOptions config;
     config.shards = 4;  // different layout: restore must re-route
     config.snapshot_path = snapshot_path;
     service::AuctionService second_life(config);
-    restored = second_life.stats().snapshot_restored;
+    const service::ServiceStats at_restore = second_life.stats();
+    restored = at_restore.snapshot_restored;
+    // Post-restore hit rates must be computed from a clean baseline: the
+    // restore brings cache entries, never traffic counters.
+    clean_baseline = at_restore.cache_hits == 0 && at_restore.submitted == 0 &&
+                     at_restore.completed == 0;
     run_rotations(second_life, 1, restart_welfare);
     const service::ServiceStats stats = second_life.stats();
     restart_hits += stats.cache_hits;
@@ -397,7 +403,8 @@ void restart_table() {
   bench::record({"e11/restart/resumed", 0.0, restart_welfare, "auto",
                  {{"cache_hit_rate", restart_hit_rate},
                   {"snapshot_restored", static_cast<double>(restored)},
-                  {"hit_rate_gap_points", gap_points}}});
+                  {"hit_rate_gap_points", gap_points},
+                  {"clean_stats_baseline", clean_baseline ? 1.0 : 0.0}}});
   bench::print_experiment(
       "E11c: kill/restart with cache snapshot persistence", table,
       (gap_points <= 5.0 && gap_points >= -5.0
@@ -408,7 +415,9 @@ void restart_table() {
           "); welfare " +
           (baseline_welfare == restart_welfare ? "matches exactly"
                                                : "DIVERGED") +
-          " across the restart");
+          " across the restart; post-restore counters " +
+          (clean_baseline ? "start from a clean baseline"
+                          : "REGRESSION: inherited stale traffic"));
 }
 
 void bm_service_stream(benchmark::State& state) {

@@ -1,0 +1,293 @@
+// Experiment E12: the cross-process serving path under load.
+//
+// E12a (loopback throughput): a cache-warm mixed request stream measured
+// through each rung of the serving ladder on one machine -- LocalClient
+// (in-process, the PR-3/PR-4 baseline), TcpClient -> ServiceServer (one
+// wire hop), and TcpClient -> FrontDoor -> backend (two wire hops) -- so
+// the cost of serialization and loopback RTT is measured, not guessed.
+// Requests run on several client threads (one TcpClient each; a TcpClient
+// serializes its own calls by design), matching how a real front door is
+// driven.
+//
+// E12b (backend scaling): a SOLVE-BOUND concurrent stream against a
+// FrontDoor over 1 vs 2 backends' ServiceServers (in-process here, so
+// the bench stays self-contained; the wire path is identical). Cache-warm
+// requests measure the wire, not the backends -- only a compute-bound
+// stream can show the keyspace split buying throughput -- so E12b uses
+// its own workload: larger disk auctions pinned to "lp-rounding" with a
+// heavy repetition count (milliseconds per solve, uniformly), every
+// request carrying a distinct seed (a distinct cache key = a real solve).
+// Reported: requests/sec for both backend counts, the scaling ratio, and
+// two welfare invariants -- the warm sum across every serving path and
+// the solve-bound sum across backend counts. Both must match EXACTLY:
+// the split changes placement, never payloads. The scaling ratio is a
+// report, not an assertion: it tracks ~2x on multi-core hosts (the CI
+// runners) and degenerates to ~1.0 on a single-core machine, where no
+// backend count can buy compute.
+//
+// Both series land in BENCH_bench_e12_front_door.json via bench_util.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "client/client.hpp"
+#include "gen/scenario.hpp"
+#include "net/front_door.hpp"
+#include "net/service_server.hpp"
+
+namespace {
+
+using namespace ssa;
+
+std::vector<gen::NamedInstance> make_scenarios() {
+  std::vector<gen::NamedInstance> scenarios;
+  for (std::uint64_t day = 0; day < 4; ++day) {
+    for (gen::NamedInstance& named :
+         gen::mixed_scenario_suite(12, 2, 8800 + 7 * day)) {
+      scenarios.push_back(std::move(named));
+    }
+  }
+  return scenarios;  // 16 distinct instances
+}
+
+service::ServiceOptions backend_options() {
+  service::ServiceOptions config;
+  config.shards = 2;
+  config.threads_per_shard = 1;
+  return config;
+}
+
+SolveOptions stream_options() {
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 12;
+  return options;
+}
+
+constexpr int kClientThreads = 8;
+constexpr int kWarmRequestsPerThread = 64;
+constexpr int kSolveRequestsPerThread = 24;
+
+/// One measured run: warms every scenario once through \p make_client,
+/// then drives the concurrent phase across kClientThreads clients.
+struct StreamResult {
+  double seconds = 0.0;
+  int requests = 0;       ///< measured-phase request count
+  double welfare = 0.0;   ///< warm-phase welfare: cross-topology invariant
+  double measured = 0.0;  ///< measured-phase welfare sum
+  double hit_rate = 0.0;
+
+  [[nodiscard]] double rate() const {
+    return static_cast<double>(requests) / seconds;
+  }
+};
+
+/// Per-request options: the warm stream replays the fixed scenario keys;
+/// the solve-bound stream makes every request a distinct cache key
+/// ("lp-rounding", heavy repetitions, unique seed), so every request is
+/// a real, milliseconds-scale solve and backend compute dominates the
+/// loopback RTT -- otherwise the scaling ratio would measure the door.
+struct StreamKind {
+  bool distinct_seeds = false;
+  const char* solver = client::kAutoSolver;
+};
+
+template <typename MakeClient>
+StreamResult drive(const std::vector<gen::NamedInstance>& scenarios,
+                   const MakeClient& make_client,
+                   const StreamKind& kind = {}) {
+  const SolveOptions options = stream_options();
+  const int per_thread =
+      kind.distinct_seeds ? kSolveRequestsPerThread : kWarmRequestsPerThread;
+  StreamResult result;
+  result.requests = kClientThreads * per_thread;
+  // Warm phase (single client, lockstep): every distinct scenario solves
+  // once; its welfare sum is the cross-topology invariant.
+  {
+    const std::unique_ptr<client::AuctionClient> warm = make_client();
+    for (const gen::NamedInstance& scenario : scenarios) {
+      result.welfare +=
+          warm->get(warm->submit(scenario.view(), client::kAutoSolver,
+                                 options))
+              .welfare;
+    }
+  }
+  // Measured phase: concurrent clients.
+  std::vector<std::unique_ptr<client::AuctionClient>> clients;
+  for (int t = 0; t < kClientThreads; ++t) clients.push_back(make_client());
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<double> thread_welfare(kClientThreads, 0.0);
+  for (int t = 0; t < kClientThreads; ++t) {
+    threads.emplace_back([&, t] {
+      client::AuctionClient& client = *clients[static_cast<std::size_t>(t)];
+      for (int r = 0; r < per_thread; ++r) {
+        const gen::NamedInstance& scenario =
+            scenarios[static_cast<std::size_t>(r + t) % scenarios.size()];
+        SolveOptions request_options = options;
+        if (kind.distinct_seeds) {
+          request_options.seed =
+              1000u + static_cast<std::uint64_t>(t) * 1000u +
+              static_cast<std::uint64_t>(r);
+          request_options.pipeline.rounding_repetitions = 256;
+        }
+        const SolveReport report = client.get(
+            client.submit(scenario.view(), kind.solver, request_options));
+        if (report.cache_hit) hits.fetch_add(1);
+        thread_welfare[static_cast<std::size_t>(t)] += report.welfare;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  result.hit_rate =
+      static_cast<double>(hits.load()) / static_cast<double>(result.requests);
+  for (const double welfare : thread_welfare) result.measured += welfare;
+  return result;
+}
+
+/// The E12b workload: disk auctions too big for the exact solvers'
+/// auto-policy reach, so every request runs the LP + rounding pipeline --
+/// uniformly heavy, which is what makes backend compute the bottleneck.
+std::vector<gen::NamedInstance> make_solve_scenarios() {
+  std::vector<gen::NamedInstance> scenarios;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    scenarios.push_back(gen::NamedInstance{
+        "disk40#" + std::to_string(i),
+        gen::make_disk_auction(40, 2, gen::ValuationMix::kMixed, 9900 + i)});
+  }
+  return scenarios;
+}
+
+void front_door_tables() {
+  const std::vector<gen::NamedInstance> scenarios = make_scenarios();
+  const std::vector<gen::NamedInstance> solve_scenarios =
+      make_solve_scenarios();
+
+  // Shared in-process service for the LocalClient rung (all client
+  // threads hit one service, like all connections hit one server).
+  const auto shared_service =
+      std::make_shared<service::AuctionService>(backend_options());
+  const StreamResult local = drive(scenarios, [&] {
+    return std::make_unique<client::LocalClient>(shared_service);
+  });
+  shared_service->shutdown();
+
+  // One wire hop: TcpClient straight at a ServiceServer.
+  net::ServiceServer direct_server({backend_options(), 0});
+  const StreamResult direct = drive(scenarios, [&] {
+    return std::make_unique<client::TcpClient>(direct_server.port());
+  });
+  direct_server.stop();
+
+  // Two wire hops, 1 and 2 backends behind a FrontDoor: once cache-warm
+  // (E12a, measures the wire) and once solve-bound (E12b, measures the
+  // split buying compute).
+  const auto door_run = [&](int backend_count, const StreamKind& kind) {
+    std::vector<std::unique_ptr<net::ServiceServer>> backends;
+    std::vector<net::Endpoint> endpoints;
+    for (int b = 0; b < backend_count; ++b) {
+      backends.push_back(std::make_unique<net::ServiceServer>(
+          net::ServiceServerOptions{backend_options(), 0}));
+      endpoints.push_back(
+          net::Endpoint{net::kLoopbackHost, backends.back()->port()});
+    }
+    net::FrontDoor door({endpoints, 0});
+    const StreamResult result = drive(
+        kind.distinct_seeds ? solve_scenarios : scenarios,
+        [&] { return std::make_unique<client::TcpClient>(door.port()); },
+        kind);
+    door.stop();
+    for (const auto& backend : backends) backend->stop();
+    return result;
+  };
+  const StreamKind warm_kind;
+  const StreamKind solve_kind{true, "lp-rounding"};
+  const StreamResult one_backend = door_run(1, warm_kind);
+  const StreamResult two_backends = door_run(2, warm_kind);
+  const StreamResult one_backend_solve = door_run(1, solve_kind);
+  const StreamResult two_backends_solve = door_run(2, solve_kind);
+  const double scaling = two_backends_solve.rate() / one_backend_solve.rate();
+
+  Table table({"path", "req/s", "cache hit %", "warm welfare"});
+  const auto row = [&](const char* label, const StreamResult& result) {
+    table.add_row({label, Table::num(result.rate(), 0),
+                   Table::num(100.0 * result.hit_rate, 1),
+                   Table::num(result.welfare, 2)});
+  };
+  row("LocalClient (in-process)", local);
+  row("TcpClient -> ServiceServer", direct);
+  row("TcpClient -> FrontDoor -> 1 backend", one_backend);
+  row("TcpClient -> FrontDoor -> 2 backends", two_backends);
+  row("FrontDoor, solve-bound, 1 backend", one_backend_solve);
+  row("FrontDoor, solve-bound, 2 backends", two_backends_solve);
+
+  bench::record({"e12/local", local.seconds, local.welfare, "auto",
+                 {{"requests_per_sec", local.rate()},
+                  {"cache_hit_rate", local.hit_rate}}});
+  bench::record({"e12/direct", direct.seconds, direct.welfare, "auto",
+                 {{"requests_per_sec", direct.rate()},
+                  {"cache_hit_rate", direct.hit_rate}}});
+  bench::record({"e12/door/backends=1", one_backend.seconds,
+                 one_backend.welfare, "auto",
+                 {{"requests_per_sec", one_backend.rate()},
+                  {"cache_hit_rate", one_backend.hit_rate}}});
+  bench::record({"e12/door/backends=2", two_backends.seconds,
+                 two_backends.welfare, "auto",
+                 {{"requests_per_sec", two_backends.rate()},
+                  {"cache_hit_rate", two_backends.hit_rate}}});
+  bench::record({"e12/door/solve/backends=1", one_backend_solve.seconds,
+                 one_backend_solve.measured, "lp-rounding",
+                 {{"requests_per_sec", one_backend_solve.rate()}}});
+  bench::record({"e12/door/solve/backends=2", two_backends_solve.seconds,
+                 two_backends_solve.measured, "lp-rounding",
+                 {{"requests_per_sec", two_backends_solve.rate()},
+                  {"scaling_vs_1_backend", scaling}}});
+
+  // Two exact invariants: the warm welfare across every serving path, and
+  // the solve-bound stream's welfare across backend counts (same request
+  // stream, same seeds: the split must not change a single payload bit).
+  const bool welfare_invariant =
+      local.welfare == direct.welfare &&
+      local.welfare == one_backend.welfare &&
+      local.welfare == two_backends.welfare &&
+      one_backend_solve.measured == two_backends_solve.measured;
+  bench::print_experiment(
+      "E12: loopback wire throughput and front-door backend scaling", table,
+      std::string("VERDICT: welfare ") +
+          (welfare_invariant ? "EXACTLY invariant" : "DIVERGED") +
+          " across serving paths and backend counts; solve-bound 2-backend "
+          "scaling x" +
+          Table::num(scaling, 2) + " over 1 backend");
+}
+
+void bm_front_door_roundtrip(benchmark::State& state) {
+  // Per-request wire cost on a warm cache: one scenario, one backend.
+  const std::vector<gen::NamedInstance> scenarios = make_scenarios();
+  net::ServiceServer server({backend_options(), 0});
+  client::TcpClient client(server.port());
+  const SolveOptions options = stream_options();
+  (void)client.get(
+      client.submit(scenarios[0].view(), client::kAutoSolver, options));
+  for (auto _ : state) {
+    const SolveReport report = client.get(
+        client.submit(scenarios[0].view(), client::kAutoSolver, options));
+    benchmark::DoNotOptimize(report.welfare);
+  }
+  client.shutdown();
+}
+BENCHMARK(bm_front_door_roundtrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ssa::bench::run(argc, argv, [] { front_door_tables(); });
+}

@@ -3,6 +3,11 @@
 // it -- submit every incoming round, let the selection policy pick the
 // algorithm, and let the per-shard result cache absorb repeated rounds.
 //
+// The demo drives the service through the transport-agnostic
+// AuctionClient API (client/client.hpp): swap the LocalClient below for a
+// TcpClient at a FrontDoor's port and the same code runs against N
+// service processes (see front_door_demo.cpp).
+//
 // The stream interleaves 200 requests over a rotating set of 25 distinct
 // scenarios (symmetric disk/random-graph auctions and Section-6 asymmetric
 // instances), so each instance recurs 8 times: the first submission
@@ -14,18 +19,19 @@
 #include <iostream>
 #include <vector>
 
+#include "client/client.hpp"
 #include "gen/scenario.hpp"
-#include "service/service.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace ssa;
 
-  // A long-lived service: 4 shards, one worker each, 8 MiB cache per shard.
+  // A long-lived service: 4 shards, one worker each, 8 MiB cache per shard,
+  // reached through the in-process AuctionClient.
   service::ServiceOptions config;
   config.shards = 4;
   config.threads_per_shard = 1;
-  service::AuctionService service(config);
+  client::LocalClient client(config);
 
   // 25 distinct scenarios (a rotating daily workload), streamed 8x each.
   std::vector<gen::NamedInstance> scenarios;
@@ -41,25 +47,29 @@ int main() {
       {"clique", gen::make_clique_auction(10, 77)});  // 25th scenario
 
   const int kRequests = 200;
-  std::vector<service::RequestId> ids;
+  std::vector<client::RequestId> ids;
   ids.reserve(kRequests);
+  std::vector<SolveReport> reports;
+  reports.reserve(kRequests);
   SolveOptions options;
   options.pipeline.rounding_repetitions = 16;
   for (int r = 0; r < kRequests; ++r) {
     const gen::NamedInstance& scenario = scenarios[r % scenarios.size()];
     // "auto": the policy picks by instance type/size/weightedness.
     ids.push_back(
-        service.submit(scenario.view(), service::kAutoSolver, options));
-    // The first rotation (day one) computes every scenario once; waiting
-    // for it seeds the caches, so the remaining seven rotations replay
-    // from cache instead of racing the original computations.
-    if (static_cast<std::size_t>(r) == scenarios.size() - 1) service.drain();
+        client.submit(scenario.view(), client::kAutoSolver, options));
+    // The first rotation (day one) computes every scenario once; claiming
+    // it before submitting more seeds the caches -- through the portable
+    // AuctionClient calls alone -- so the remaining seven rotations
+    // replay from cache instead of racing the original computations.
+    if (static_cast<std::size_t>(r) == scenarios.size() - 1) {
+      for (const client::RequestId id : ids) reports.push_back(client.get(id));
+      ids.clear();
+    }
   }
 
-  // Claim everything (blocking gets; submission order is irrelevant).
-  std::vector<SolveReport> reports;
-  reports.reserve(ids.size());
-  for (const service::RequestId id : ids) reports.push_back(service.get(id));
+  // Claim the rest (blocking gets; submission order is irrelevant).
+  for (const client::RequestId id : ids) reports.push_back(client.get(id));
 
   // First occurrence of each scenario vs its later (cached) submissions.
   Table table({"scenario", "solver selected", "welfare", "cache hits",
@@ -82,7 +92,7 @@ int main() {
   }
   table.print(std::cout, "auction service: 200-request mixed stream");
 
-  const service::ServiceStats stats = service.stats();
+  const client::ServiceStats stats = client.stats();
   std::cout << "requests: " << stats.completed << "/" << stats.submitted
             << " completed, cache hits: " << stats.cache_hits << " ("
             << Table::num(100.0 * static_cast<double>(stats.cache_hits) /
@@ -90,9 +100,9 @@ int main() {
                           1)
             << "%), fallbacks: " << stats.fallbacks
             << ", cache: " << stats.cache_entries << " entries / "
-            << stats.cache_bytes << " bytes across " << service.shards()
+            << stats.cache_bytes << " bytes across " << config.shards
             << " shards\n";
-  service.shutdown();
+  client.shutdown();
 
   // Demo doubles as a smoke test: every repeat must have hit the cache
   // with a bitwise-identical allocation.

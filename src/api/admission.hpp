@@ -8,7 +8,11 @@
 /// (api/scheduler.hpp) and the SolveReport provenance block
 /// (api/solver.hpp) speak this vocabulary.
 
+#include <bit>
+#include <cstddef>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 
 namespace ssa {
 
@@ -53,6 +57,70 @@ enum class Admission {
     case Admission::kRejected: return "rejected";
   }
   return "unknown";
+}
+
+/// Cost model behind the admission estimate: exponential moving averages
+/// of completed-task wall time, kept PER COST KEY -- canonically
+/// "(solver key, instance-size bucket)", see admission_cost_key -- with a
+/// global EMA as the fallback for keys that have not completed a task
+/// yet. A single global EMA (the original model) let a stream of
+/// millisecond greedy solves collapse the estimate and wave every
+/// branch-and-bound request through (or, worse, a B&B burst inflate the
+/// estimate and reject cheap greedy requests); keyed EMAs keep the two
+/// workloads' cost signals apart while the global average still gives a
+/// new key a sane first guess.
+///
+/// Not thread-safe: the owner (SolveScheduler) serializes access under
+/// its queue mutex.
+class AdmissionCostModel {
+ public:
+  /// Records a completed task of \p seconds under \p key ("" = global
+  /// only). Both the keyed and the global EMA update: the global stays a
+  /// meaningful fallback because it keeps seeing every workload.
+  void observe(const std::string& key, double seconds) {
+    update(global_, seconds);
+    if (!key.empty()) update(by_key_[key], seconds);
+  }
+
+  /// Expected cost of the next task under \p key: the keyed EMA when that
+  /// key has history, the global EMA otherwise (0 until anything at all
+  /// completed -- admission then accepts, having no signal).
+  [[nodiscard]] double estimate(const std::string& key) const {
+    if (!key.empty()) {
+      if (const auto it = by_key_.find(key); it != by_key_.end()) {
+        return it->second;
+      }
+    }
+    return global_;
+  }
+
+  [[nodiscard]] double global_estimate() const { return global_; }
+
+ private:
+  static void update(double& ema, double seconds) {
+    // Smooth enough to ride out one outlier, fresh enough to track a
+    // workload shift within a handful of tasks.
+    ema = ema <= 0.0 ? seconds : 0.8 * ema + 0.2 * seconds;
+  }
+
+  double global_ = 0.0;
+  std::unordered_map<std::string, double> by_key_;
+};
+
+/// Canonical cost key for the model above: the requested solver key plus
+/// a power-of-two bidder-count bucket, e.g. "exact/n16..31". Bucketing by
+/// size keeps the key space small while separating the regimes where one
+/// solver's cost differs by orders of magnitude; bucketing by solver
+/// separates algorithms (the ROADMAP-named gap). An explicit request and
+/// "auto" bucket separately -- "auto"'s realized chain depends on the
+/// instance, so its cost profile is its own.
+[[nodiscard]] inline std::string admission_cost_key(std::string_view solver,
+                                                    std::size_t num_bidders) {
+  const int width = num_bidders == 0 ? 0 : std::bit_width(num_bidders);
+  const std::size_t low = width == 0 ? 0 : (std::size_t{1} << (width - 1));
+  const std::size_t high = width == 0 ? 0 : (std::size_t{1} << width) - 1;
+  return std::string(solver) + "/n" + std::to_string(low) + ".." +
+         std::to_string(high);
 }
 
 }  // namespace ssa

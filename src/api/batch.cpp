@@ -104,7 +104,14 @@ BatchResult solve_batch(std::span<const BatchJob> jobs,
           },
           SolveScheduler::TaskOptions{
               effective_budget(jobs[i].options.time_budget_seconds,
-                               jobs[i].options.pipeline.time_budget_seconds)});
+                               jobs[i].options.pipeline.time_budget_seconds),
+              // Train the keyed cost model even though batch runs never
+              // reject (kAcceptAll): a service sharing patterns with
+              // batch-calibrated tests sees the same keys.
+              admission_cost_key(jobs[i].solver,
+                                 jobs[i].instance.empty()
+                                     ? 0
+                                     : jobs[i].instance.num_bidders())});
     }
     scheduler.drain();
   }

@@ -11,9 +11,9 @@
 ///     SolveReport report = solver->solve(instance);
 ///
 /// Built-in names: "lp-rounding", "exact", "greedy-value", "greedy-density",
-/// "local-ratio-k1", "local-ratio-per-channel", "mechanism",
-/// "asymmetric-lp-rounding", "asymmetric-exact", "asymmetric-greedy-value",
-/// "asymmetric-greedy-density".
+/// "submodular-greedy", "local-ratio-k1", "local-ratio-per-channel",
+/// "mechanism", "asymmetric-lp-rounding", "asymmetric-exact",
+/// "asymmetric-greedy-value", "asymmetric-greedy-density".
 
 #include <functional>
 #include <memory>

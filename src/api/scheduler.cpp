@@ -37,13 +37,20 @@ void SolveScheduler::push_locked(QueuedTask task) {
 
 bool SolveScheduler::deadline_unmeetable_locked(
     std::chrono::steady_clock::time_point now,
-    std::chrono::steady_clock::time_point deadline) const {
-  if (task_seconds_ema_ <= 0.0) return false;  // no cost signal yet
+    std::chrono::steady_clock::time_point deadline,
+    const std::string& cost_key) const {
+  // The new task's own cost comes from its key (global fallback for an
+  // unseen key); the queue ahead of it drains at the global average --
+  // its tasks are a mix of keys, so the mixed-workload EMA is the honest
+  // drain-rate signal.
+  const double own_cost = cost_model_.estimate(cost_key);
+  const double drain_cost = cost_model_.global_estimate();
+  if (own_cost <= 0.0 && drain_cost <= 0.0) return false;  // no signal yet
   const double workers =
       static_cast<double>(std::max<std::size_t>(1, workers_.size()));
   const auto projected = [&](std::size_t ahead) {
     const double seconds =
-        (static_cast<double>(ahead) / workers + 1.0) * task_seconds_ema_;
+        (static_cast<double>(ahead) / workers) * drain_cost + own_cost;
     return now +
            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                std::chrono::duration<double>(seconds));
@@ -82,13 +89,14 @@ Admission SolveScheduler::submit(Task task, const TaskOptions& options) {
     const auto deadline = deadline_at(now, options.deadline_seconds);
     if (deadline != std::chrono::steady_clock::time_point::max() &&
         admission_policy_ != AdmissionPolicy::kAcceptAll &&
-        deadline_unmeetable_locked(now, deadline)) {
+        deadline_unmeetable_locked(now, deadline, options.cost_key)) {
       if (admission_policy_ == AdmissionPolicy::kReject) {
         return Admission::kRejected;  // never enqueued; caller completes it
       }
       admission = Admission::kDegraded;
     }
     push_locked(QueuedTask{std::move(task), now, deadline, next_sequence_++,
+                           options.cost_key,
                            /*count_in_cost_ema=*/admission !=
                                Admission::kDegraded});
   }
@@ -120,7 +128,13 @@ std::size_t SolveScheduler::pending() const {
 
 double SolveScheduler::estimated_task_seconds() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return task_seconds_ema_;
+  return cost_model_.global_estimate();
+}
+
+double SolveScheduler::estimated_task_seconds(
+    const std::string& cost_key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cost_model_.estimate(cost_key);
 }
 
 void SolveScheduler::worker_loop() {
@@ -155,12 +169,7 @@ void SolveScheduler::worker_loop() {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (item.count_in_cost_ema) {
-        // Smooth enough to ride out one outlier, fresh enough to track a
-        // workload shift within a handful of tasks.
-        task_seconds_ema_ =
-            task_seconds_ema_ <= 0.0
-                ? task_seconds
-                : 0.8 * task_seconds_ema_ + 0.2 * task_seconds;
+        cost_model_.observe(item.cost_key, task_seconds);
       }
       --running_;
       if (queue_.empty() && running_ == 0) all_idle_.notify_all();

@@ -11,12 +11,20 @@
 /// and the service shard pools run the exact same code, and both can report
 /// how long a task waited in the queue (SolveReport::queue_wait_seconds).
 ///
-/// Admission estimates the wait ahead of a new task as
-///     (tasks scheduled before it / workers + 1) * EMA of completed task cost
-/// and compares the projection against the task's deadline. The estimate is
-/// deliberately rough (no per-task cost model); it exists to keep obviously
-/// dead requests out of the queue under load, not to promise SLOs. Until the
-/// first task completes, the EMA is zero and everything is admitted.
+/// Admission estimates the completion time of a new task as
+///     (tasks scheduled before it / workers) * global cost EMA
+///         + the task's own keyed cost EMA
+/// and compares the projection against the task's deadline. Costs are
+/// keyed: tasks carry a cost key (TaskOptions::cost_key, canonically the
+/// "(solver, size bucket)" of admission_cost_key) and the new task's own
+/// cost prefers its key's history, falling back to the global average
+/// for unseen keys (AdmissionCostModel, api/admission.hpp) -- a
+/// cheap-solver stream can no longer collapse the estimate under an
+/// expensive solver's requests or vice versa. The queue ahead drains at
+/// the global average (it is a mix of keys). The estimate stays
+/// deliberately rough; it exists to keep obviously dead requests out of
+/// the queue under load, not to promise SLOs. Until the first task
+/// completes, every estimate is zero and everything is admitted.
 ///
 /// Tasks receive their measured queue wait in seconds. Tasks must not
 /// throw; a throwing task is caught and dropped (workers stay alive), which
@@ -75,6 +83,10 @@ class SolveScheduler {
     /// deadline: the task is always admitted and sorts after every
     /// deadlined task.
     double deadline_seconds = 0.0;
+    /// Cost-model key (admission_cost_key); its EMA learns this task's
+    /// measured duration and prices future admissions of the same key.
+    /// Empty trains and consults only the global fallback EMA.
+    std::string cost_key;
   };
 
   /// Enqueues a task (no deadline, always Admission::kAccepted); throws
@@ -103,10 +115,15 @@ class SolveScheduler {
   /// Tasks queued but not yet started (diagnostics only; racy by nature).
   [[nodiscard]] std::size_t pending() const;
 
-  /// Exponential moving average of completed task durations in seconds
-  /// (0 until the first completion). Drives the admission estimate;
-  /// exposed for diagnostics and tests.
+  /// Global exponential moving average of completed task durations in
+  /// seconds (0 until the first completion) -- the admission fallback for
+  /// unseen cost keys. Exposed for diagnostics and tests.
   [[nodiscard]] double estimated_task_seconds() const;
+
+  /// Cost estimate for \p cost_key: its own EMA when tasks of that key
+  /// have completed, the global average otherwise (the exact value the
+  /// admission check would use for a task submitted with this key now).
+  [[nodiscard]] double estimated_task_seconds(const std::string& cost_key) const;
 
  private:
   struct QueuedTask {
@@ -116,6 +133,8 @@ class SolveScheduler {
     std::chrono::steady_clock::time_point deadline;
     /// Submission order: the FIFO tie-break within equal deadlines.
     std::uint64_t sequence = 0;
+    /// Cost-model key the measured duration trains (TaskOptions::cost_key).
+    std::string cost_key;
     /// Degraded tasks run with caller-shrunk work, so their duration says
     /// nothing about the true task cost: keep them out of the EMA, or
     /// sustained overload would collapse the estimate and disarm the very
@@ -134,11 +153,12 @@ class SolveScheduler {
     };
   }
 
-  /// Admission estimate for a task with \p deadline submitted now; must be
-  /// called with mutex_ held.
+  /// Admission estimate for a task with \p deadline and \p cost_key
+  /// submitted now; must be called with mutex_ held.
   [[nodiscard]] bool deadline_unmeetable_locked(
       std::chrono::steady_clock::time_point now,
-      std::chrono::steady_clock::time_point deadline) const;
+      std::chrono::steady_clock::time_point deadline,
+      const std::string& cost_key) const;
 
   void push_locked(QueuedTask task);
   void worker_loop();
@@ -152,7 +172,7 @@ class SolveScheduler {
   std::vector<QueuedTask> queue_;       // heap under runs_after
   std::vector<std::thread> workers_;
   std::uint64_t next_sequence_ = 0;
-  double task_seconds_ema_ = 0.0;  // completed-task cost estimate
+  AdmissionCostModel cost_model_;  // completed-task cost estimates
   std::size_t running_ = 0;        // tasks currently executing
   bool accepting_ = true;          // submit() allowed
   bool terminate_ = false;         // workers exit once the queue is empty

@@ -169,6 +169,24 @@ class GreedyDensitySolver final : public SymmetricSolver {
   }
 };
 
+class SubmodularGreedySolver final : public SymmetricSolver {
+ public:
+  std::string name() const override { return "submodular-greedy"; }
+  std::string description() const override {
+    return "marginal-value greedy over (bidder, channel) pairs for the "
+           "submodular-bidder setting of Hoefer-Kesselheim "
+           "(arXiv:1110.5753); heuristic on arbitrary valuations";
+  }
+
+ protected:
+  SolveReport solve_symmetric(const AuctionInstance& instance,
+                              const SolveOptions&) const override {
+    SolveReport report;
+    report.allocation = greedy_submodular(instance);
+    return report;
+  }
+};
+
 class LocalRatioSingleChannelSolver final : public SymmetricSolver {
  public:
   std::string name() const override { return "local-ratio-k1"; }
@@ -363,6 +381,11 @@ void register_builtin_solvers(SolverRegistry& registry) {
   registry.add("exact", factory_of<ExactSolver>());
   registry.add("greedy-value", factory_of<GreedyValueSolver>());
   registry.add("greedy-density", factory_of<GreedyDensitySolver>());
+  // Follow-up paper entry (arXiv:1110.5753): a plain registry add() over
+  // the existing SymmetricSolver adapter -- new algorithms need no new
+  // entry points, which is exactly what keeps them servable through every
+  // AuctionClient transport unchanged.
+  registry.add("submodular-greedy", factory_of<SubmodularGreedySolver>());
   registry.add("local-ratio-k1", factory_of<LocalRatioSingleChannelSolver>());
   registry.add("local-ratio-per-channel",
                factory_of<LocalRatioPerChannelSolver>());

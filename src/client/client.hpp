@@ -1,0 +1,13 @@
+#pragma once
+/// \file client.hpp
+/// Umbrella header for the transport-agnostic serving API:
+///     ssa::client::LocalClient client;               // in-process
+///     ssa::client::TcpClient client(port);           // wire protocol
+///     auto id = client.submit(instance);             // "auto" selection
+///     SolveReport report = client.get(id);
+/// See auction_client.hpp for the interface contract, net/service_server.hpp
+/// and net/front_door.hpp for the server side of the wire.
+
+#include "client/auction_client.hpp"  // IWYU pragma: export
+#include "client/local_client.hpp"    // IWYU pragma: export
+#include "client/tcp_client.hpp"      // IWYU pragma: export

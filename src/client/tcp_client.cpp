@@ -1,0 +1,149 @@
+#include "client/tcp_client.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace ssa::client {
+
+namespace {
+
+using wire::ErrorKind;
+using wire::MessageType;
+
+/// Rethrows a server-reported error as the exception kind the in-process
+/// call would have thrown.
+[[noreturn]] void throw_wire_error(const std::string& payload) {
+  const std::optional<wire::WireError> error = wire::decode_error(payload);
+  if (!error) {
+    throw std::runtime_error("tcp-client: malformed error frame");
+  }
+  if (error->kind == ErrorKind::kInvalidArgument) {
+    throw std::invalid_argument(error->message);
+  }
+  throw std::runtime_error(error->message);
+}
+
+}  // namespace
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port)
+    : connection_(net::TcpConnection::connect(host, port)) {}
+
+wire::Frame TcpClient::rpc(MessageType type, const std::string& payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (poisoned_) {
+    throw std::runtime_error(
+        "tcp-client: connection poisoned by an earlier transport failure");
+  }
+  try {
+    connection_.send_frame(wire::encode_frame(type, payload));
+    std::optional<std::string> body = connection_.recv_frame();
+    if (!body) {
+      throw std::runtime_error("tcp-client: server closed the connection");
+    }
+    std::optional<wire::Frame> frame = wire::decode_frame_body(*body);
+    if (!frame) {
+      throw std::runtime_error("tcp-client: malformed response frame");
+    }
+    return *std::move(frame);
+  } catch (...) {
+    // Transport/framing trouble leaves the stream in an unknown state:
+    // poison it so every later call fails fast instead of misparsing.
+    poisoned_ = true;
+    connection_.close();
+    throw;
+  }
+}
+
+RequestId TcpClient::submit(const AnyInstance& instance,
+                            const std::string& solver,
+                            const SolveOptions& options) {
+  // Encoding rejects empty views (std::invalid_argument) before any bytes
+  // move, mirroring the in-process submit precondition.
+  const std::string payload = wire::encode_submit(instance, solver, options);
+  const wire::Frame response = rpc(MessageType::kSubmit, payload);
+  if (response.type == MessageType::kError) {
+    throw_wire_error(response.payload);
+  }
+  if (response.type != MessageType::kSubmitOk) {
+    throw std::runtime_error("tcp-client: unexpected submit response");
+  }
+  wire::Reader reader(response.payload);
+  const std::uint64_t id = reader.u64();
+  if (reader.failed()) {
+    throw std::runtime_error("tcp-client: malformed submit ack");
+  }
+  return id;
+}
+
+wire::Frame TcpClient::get_frame(RequestId id, bool blocking) {
+  wire::Writer writer;
+  writer.u64(id);
+  writer.boolean(blocking);
+  wire::Frame response = rpc(MessageType::kGet, writer.buffer());
+  if (response.type == MessageType::kError) {
+    throw_wire_error(response.payload);
+  }
+  if (response.type != MessageType::kReport) {
+    throw std::runtime_error("tcp-client: unexpected get response");
+  }
+  return response;
+}
+
+SolveReport TcpClient::get(RequestId id) {
+  const wire::Frame response = get_frame(id, /*blocking=*/true);
+  wire::Reader reader(response.payload);
+  if (reader.u8() != 1) {
+    throw std::runtime_error("tcp-client: blocking get returned no report");
+  }
+  SolveReport report = wire::read_report(reader);
+  if (reader.failed() || !reader.exhausted()) {
+    throw std::runtime_error("tcp-client: malformed report payload");
+  }
+  return report;
+}
+
+std::optional<SolveReport> TcpClient::try_get(RequestId id) {
+  const wire::Frame response = get_frame(id, /*blocking=*/false);
+  wire::Reader reader(response.payload);
+  if (reader.u8() == 0) {
+    if (reader.failed() || !reader.exhausted()) {
+      throw std::runtime_error("tcp-client: malformed report payload");
+    }
+    return std::nullopt;  // still queued/running
+  }
+  SolveReport report = wire::read_report(reader);
+  if (reader.failed() || !reader.exhausted()) {
+    throw std::runtime_error("tcp-client: malformed report payload");
+  }
+  return report;
+}
+
+ServiceStats TcpClient::stats() {
+  const wire::Frame response = rpc(MessageType::kStats, {});
+  if (response.type == MessageType::kError) {
+    throw_wire_error(response.payload);
+  }
+  if (response.type != MessageType::kStatsOk) {
+    throw std::runtime_error("tcp-client: unexpected stats response");
+  }
+  wire::Reader reader(response.payload);
+  (void)reader.u32();  // shard count: surfaced via the wire, unused here
+  const ServiceStats stats = wire::read_stats(reader);
+  if (reader.failed() || !reader.exhausted()) {
+    throw std::runtime_error("tcp-client: malformed stats payload");
+  }
+  return stats;
+}
+
+void TcpClient::shutdown() {
+  const wire::Frame response = rpc(MessageType::kShutdown, {});
+  if (response.type == MessageType::kError) {
+    throw_wire_error(response.payload);
+  }
+  if (response.type != MessageType::kShutdownOk) {
+    throw std::runtime_error("tcp-client: unexpected shutdown response");
+  }
+}
+
+}  // namespace ssa::client

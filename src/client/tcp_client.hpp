@@ -1,0 +1,64 @@
+#pragma once
+/// \file tcp_client.hpp
+/// The remote AuctionClient: speaks the versioned wire protocol
+/// (wire/protocol.hpp) over one TCP connection to a ServiceServer or a
+/// FrontDoor -- the two are indistinguishable from here, which is the
+/// point of the transport-agnostic API.
+///
+/// Concurrency model: one connection, one in-flight call -- every RPC
+/// (submit, get, try_get, stats, shutdown) holds the connection for its
+/// full round trip under an internal mutex, so the class is thread-safe
+/// but a blocking get() serializes the OTHER calls of this client behind
+/// it (the server keeps solving everything it already accepted
+/// meanwhile). Callers that need concurrent blocking gets open one
+/// TcpClient per thread; connections are cheap and the server handles
+/// each on its own thread.
+///
+/// Failure model: transport errors and protocol anomalies throw
+/// std::runtime_error and poison the connection (every later call throws
+/// too -- reconnect by constructing a new client); server-reported errors
+/// rethrow as the exception kind the in-process call would have thrown,
+/// with the server's message (solver-layer messages keep their
+/// "<solver-key>: <reason>" pin).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "client/auction_client.hpp"
+#include "net/socket.hpp"
+#include "wire/protocol.hpp"
+
+namespace ssa::client {
+
+class TcpClient final : public AuctionClient {
+ public:
+  /// Connects immediately; throws std::runtime_error when nobody listens
+  /// on \p host:\p port.
+  TcpClient(const std::string& host, std::uint16_t port);
+
+  /// Loopback convenience (the demo/test topology).
+  explicit TcpClient(std::uint16_t port)
+      : TcpClient(net::kLoopbackHost, port) {}
+
+  [[nodiscard]] RequestId submit(const AnyInstance& instance,
+                                 const std::string& solver = kAutoSolver,
+                                 const SolveOptions& options = {}) override;
+  [[nodiscard]] SolveReport get(RequestId id) override;
+  [[nodiscard]] std::optional<SolveReport> try_get(RequestId id) override;
+  [[nodiscard]] ServiceStats stats() override;
+  void shutdown() override;
+
+ private:
+  /// One framed round trip under the connection mutex; decodes the
+  /// response body, converts kError frames into the matching exception.
+  [[nodiscard]] wire::Frame rpc(wire::MessageType type,
+                                const std::string& payload);
+  [[nodiscard]] wire::Frame get_frame(RequestId id, bool blocking);
+
+  std::mutex mutex_;
+  net::TcpConnection connection_;
+  bool poisoned_ = false;
+};
+
+}  // namespace ssa::client

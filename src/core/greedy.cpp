@@ -167,6 +167,53 @@ Allocation local_ratio_single_channel(const AuctionInstance& instance) {
   return allocation;
 }
 
+Allocation greedy_submodular(const AuctionInstance& instance) {
+  const std::size_t n = instance.num_bidders();
+  const int k = instance.num_channels();
+  const ConflictGraph& graph = instance.graph();
+
+  Allocation allocation;
+  allocation.bundles.assign(n, kEmptyBundle);
+  // holders[j]: bidders currently assigned channel j (the independence
+  // constraint is per channel).
+  std::vector<std::vector<int>> holders(static_cast<std::size_t>(k));
+
+  for (;;) {
+    std::size_t best_bidder = n;
+    int best_channel = k;
+    double best_marginal = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double base = allocation.bundles[v] == kEmptyBundle
+                              ? 0.0
+                              : instance.value(v, allocation.bundles[v]);
+      for (int j = 0; j < k; ++j) {
+        if (bundle_has(allocation.bundles[v], j)) continue;
+        const double marginal =
+            instance.value(v, allocation.bundles[v] | (1u << j)) - base;
+        // Strict improvement with the deterministic (bidder, channel)
+        // tie-break baked into the scan order.
+        if (marginal <= best_marginal) continue;
+        bool conflicts = false;
+        for (const int u : holders[static_cast<std::size_t>(j)]) {
+          if (graph.has_conflict(static_cast<std::size_t>(u), v)) {
+            conflicts = true;
+            break;
+          }
+        }
+        if (conflicts) continue;
+        best_bidder = v;
+        best_channel = j;
+        best_marginal = marginal;
+      }
+    }
+    if (best_bidder == n) break;  // no pair improves welfare
+    allocation.bundles[best_bidder] |= (1u << best_channel);
+    holders[static_cast<std::size_t>(best_channel)].push_back(
+        static_cast<int>(best_bidder));
+  }
+  return allocation;
+}
+
 Allocation local_ratio_per_channel(const AuctionInstance& instance) {
   if (!instance.unweighted()) {
     throw std::invalid_argument(

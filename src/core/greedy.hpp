@@ -34,4 +34,18 @@ namespace ssa {
 [[nodiscard]] Allocation local_ratio_per_channel(
     const AuctionInstance& instance);
 
+/// Marginal-value greedy for the submodular-bidder setting of
+/// Hoefer-Kesselheim (arXiv:1110.5753): repeatedly assign the single
+/// (bidder, channel) pair of maximum marginal value
+///     b_v(S_v + j) - b_v(S_v)
+/// among the pairs that keep every channel's holder set conflict-free,
+/// until no pair improves welfare. For submodular valuations marginals
+/// only shrink as bundles grow, so stopping at the first non-positive
+/// maximum is lossless there; on arbitrary valuations (where a
+/// complementary bidder's marginal could *rise* later) it is a heuristic
+/// like the other greedy baselines. Ties break by bidder id, then channel
+/// id (deterministic). The conflict check is binary and therefore
+/// conservative on weighted graphs, exactly like greedy_by_value.
+[[nodiscard]] Allocation greedy_submodular(const AuctionInstance& instance);
+
 }  // namespace ssa

@@ -55,6 +55,12 @@ class ExplicitValuation final : public Valuation {
 
   [[nodiscard]] double value(Bundle bundle) const override;
 
+  /// Defining data, exposed for serialization (wire/instance_codec.hpp):
+  /// the 2^k-entry value table.
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
  private:
   std::vector<double> values_;
 };
@@ -67,6 +73,11 @@ class AdditiveValuation final : public Valuation {
   [[nodiscard]] double value(Bundle bundle) const override;
   [[nodiscard]] DemandResult demand(std::span<const double> prices) const override;
   [[nodiscard]] double max_value() const override;
+
+  /// Defining data, exposed for serialization (wire/instance_codec.hpp).
+  [[nodiscard]] const std::vector<double>& channel_values() const noexcept {
+    return channel_values_;
+  }
 
  private:
   std::vector<double> channel_values_;
@@ -81,6 +92,11 @@ class UnitDemandValuation final : public Valuation {
   [[nodiscard]] DemandResult demand(std::span<const double> prices) const override;
   [[nodiscard]] double max_value() const override;
 
+  /// Defining data, exposed for serialization (wire/instance_codec.hpp).
+  [[nodiscard]] const std::vector<double>& channel_values() const noexcept {
+    return channel_values_;
+  }
+
  private:
   std::vector<double> channel_values_;
 };
@@ -93,6 +109,10 @@ class SingleMindedValuation final : public Valuation {
   [[nodiscard]] double value(Bundle bundle) const override;
   [[nodiscard]] DemandResult demand(std::span<const double> prices) const override;
   [[nodiscard]] double max_value() const override;
+
+  /// Defining data, exposed for serialization (wire/instance_codec.hpp).
+  [[nodiscard]] Bundle target() const noexcept { return target_; }
+  [[nodiscard]] double target_value() const noexcept { return target_value_; }
 
  private:
   Bundle target_;
@@ -107,6 +127,12 @@ class BudgetAdditiveValuation final : public Valuation {
 
   [[nodiscard]] double value(Bundle bundle) const override;
   [[nodiscard]] double max_value() const override;
+
+  /// Defining data, exposed for serialization (wire/instance_codec.hpp).
+  [[nodiscard]] const std::vector<double>& channel_values() const noexcept {
+    return channel_values_;
+  }
+  [[nodiscard]] double budget() const noexcept { return budget_; }
 
  private:
   std::vector<double> channel_values_;
@@ -129,6 +155,11 @@ class XorValuation final : public Valuation {
   [[nodiscard]] DemandResult demand(std::span<const double> prices) const override;
   [[nodiscard]] double max_value() const override;
 
+  /// Defining data, exposed for serialization (wire/instance_codec.hpp).
+  [[nodiscard]] const std::vector<Atom>& atoms() const noexcept {
+    return atoms_;
+  }
+
  private:
   std::vector<Atom> atoms_;
 };
@@ -147,6 +178,14 @@ class CoverageValuation final : public Valuation {
   /// Coverage is monotone, so the maximum is the full bundle: one O(k *
   /// elements) evaluation instead of the default 2^k enumeration.
   [[nodiscard]] double max_value() const override;
+
+  /// Defining data, exposed for serialization (wire/instance_codec.hpp).
+  [[nodiscard]] const std::vector<double>& element_weights() const noexcept {
+    return element_weights_;
+  }
+  [[nodiscard]] const std::vector<std::vector<int>>& coverage() const noexcept {
+    return coverage_;
+  }
 
  private:
   std::vector<double> element_weights_;

@@ -1,0 +1,92 @@
+#include "net/connection_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ssa::net {
+
+ConnectionServer::ConnectionServer(TcpListener listener, Handler handler)
+    : handler_(std::move(handler)), listener_(std::move(listener)) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+ConnectionServer::~ConnectionServer() { stop(); }
+
+void ConnectionServer::shutdown_listener() noexcept {
+  // Leaves the fd open (close() would race the accept thread reusing the
+  // number); stop() releases it after the join.
+  listener_.shutdown();
+}
+
+void ConnectionServer::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock handlers parked in recv_frame (their clients may hold the
+  // connection open), then join everything.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (TcpConnection* connection : open_connections_) {
+      connection->shutdown_both();
+    }
+  }
+  std::list<HandlerThread> joining;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    joining.swap(handlers_);
+  }
+  for (HandlerThread& handler : joining) {
+    if (handler.thread.joinable()) handler.thread.join();
+  }
+  listener_.close();
+}
+
+void ConnectionServer::reap_finished_locked() {
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if (*it->done) {
+      it->thread.join();  // finished: the join returns immediately
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ConnectionServer::accept_loop() {
+  for (;;) {
+    std::optional<TcpConnection> accepted = listener_.accept();
+    if (!accepted) return;  // listener shut down
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;  // raced a concurrent stop: drop the connection
+    reap_finished_locked();
+    // Registration happens HERE, atomically with the stopping_ check: if
+    // it happened inside the handler thread, a stop() running between
+    // spawn and registration would miss this connection in its half-close
+    // sweep and then hang joining a handler parked in recv.
+    auto connection = std::make_shared<TcpConnection>(std::move(*accepted));
+    open_connections_.push_back(connection.get());
+    HandlerThread& entry = handlers_.emplace_back();
+    entry.thread =
+        std::thread([this, done = entry.done, connection]() mutable {
+          try {
+            handler_(*connection);
+          } catch (...) {
+            // A handler must not take the server down; the connection
+            // simply ends.
+          }
+          const std::lock_guard<std::mutex> registry(mutex_);
+          open_connections_.erase(
+              std::remove(open_connections_.begin(), open_connections_.end(),
+                          connection.get()),
+              open_connections_.end());
+          // Last shared-state action: after this the thread only returns,
+          // so a reaper observing done == true can join without blocking.
+          *done = true;
+        });
+  }
+}
+
+}  // namespace ssa::net

@@ -1,0 +1,80 @@
+#pragma once
+/// \file connection_server.hpp
+/// The accept-loop/handler-thread skeleton shared by every wire server
+/// (ServiceServer, FrontDoor): one listener, one accept thread, one
+/// handler thread per live connection, with the teardown subtleties
+/// solved once --
+///  - finished handlers are REAPED on every accept (a long-lived server
+///    over many short-lived connections must not accumulate one dead
+///    thread per past connection until shutdown);
+///  - open connections are tracked so stop() can half-close them and
+///    unblock handlers parked in recv_frame;
+///  - the stop sequence is shutdown-listener -> join accept thread ->
+///    half-close connections -> join handlers -> close listener, which
+///    never closes an fd another thread is still using.
+/// The protocol logic stays in the owner's handler callback; a handler
+/// that returns ends its connection.
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace ssa::net {
+
+/// Runs \p handler on a dedicated thread per accepted connection.
+/// Thread-safe; the destructor performs a full stop().
+class ConnectionServer {
+ public:
+  using Handler = std::function<void(TcpConnection&)>;
+
+  /// Takes ownership of \p listener and starts accepting immediately.
+  ConnectionServer(TcpListener listener, Handler handler);
+  ~ConnectionServer();
+
+  ConnectionServer(const ConnectionServer&) = delete;
+  ConnectionServer& operator=(const ConnectionServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+
+  /// Stops accepting new connections (live handlers keep running). Safe
+  /// from any thread INCLUDING a handler -- the piece of stop() a
+  /// wire-shutdown message may trigger from inside a connection.
+  void shutdown_listener() noexcept;
+
+  /// Full stop: shutdown_listener, join the accept thread, half-close
+  /// every open connection (unblocking handlers parked in recv), join
+  /// every handler, close the listener. Idempotent; must NOT be called
+  /// from a handler thread (it would join itself).
+  void stop();
+
+ private:
+  struct HandlerThread {
+    std::thread thread;
+    /// Set by the handler wrapper as its last shared-state action, so
+    /// the accept loop can join-and-erase finished entries cheaply.
+    std::shared_ptr<bool> done = std::make_shared<bool>(false);
+  };
+
+  void accept_loop();
+  /// Joins and erases finished handler threads; requires mutex_ held.
+  void reap_finished_locked();
+
+  Handler handler_;
+  TcpListener listener_;
+
+  std::mutex mutex_;
+  bool stopping_ = false;
+  std::list<HandlerThread> handlers_;
+  std::vector<TcpConnection*> open_connections_;
+
+  std::thread accept_thread_;  ///< last member: joined before the rest dies
+};
+
+}  // namespace ssa::net

@@ -1,0 +1,373 @@
+#include "net/front_door.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "net/connection_server.hpp"
+#include "service/auction_service.hpp"
+#include "support/fingerprint.hpp"
+#include "wire/protocol.hpp"
+
+namespace ssa::net {
+
+namespace {
+
+using wire::ErrorKind;
+using wire::MessageType;
+
+std::string error_frame(ErrorKind kind, const std::string& message) {
+  return wire::encode_frame(MessageType::kError,
+                            wire::encode_error(kind, message));
+}
+
+/// Connection pool to one backend: every call checks a connection out for
+/// its full request/response round trip (a blocking get parks one),
+/// returns it to the idle list on success and drops it on any transport
+/// error. Concurrent calls simply open additional connections. Busy
+/// connections are tracked so close_all() can half-close them and
+/// unblock callers parked in recv -- without that, a FrontDoor stop
+/// would wait out every in-flight solve (or hang on a stalled backend).
+class BackendPool {
+ public:
+  explicit BackendPool(Endpoint endpoint) : endpoint_(std::move(endpoint)) {}
+
+  /// One round trip: sends \p frame, returns the response BODY. Throws
+  /// std::runtime_error on connect/transport failure.
+  [[nodiscard]] std::string rpc(const std::string& frame) {
+    // On any throw below, `connection` dies with the stack frame: a
+    // stream in an unknown state is never pooled again.
+    TcpConnection connection = acquire();
+    const auto deregister = [&] {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      busy_.erase(std::remove(busy_.begin(), busy_.end(), &connection),
+                  busy_.end());
+    };
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      busy_.push_back(&connection);
+    }
+    try {
+      connection.send_frame(frame);
+      std::optional<std::string> body = connection.recv_frame();
+      if (!body) {
+        throw std::runtime_error("backend closed the connection");
+      }
+      deregister();
+      release(std::move(connection));
+      return *std::move(body);
+    } catch (...) {
+      deregister();
+      throw;
+    }
+  }
+
+  /// Half-closes every busy connection (their rpcs fail promptly) and
+  /// drops the idle ones. Part of the FrontDoor stop sequence.
+  void close_all() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (TcpConnection* connection : busy_) connection->shutdown_both();
+    idle_.clear();
+  }
+
+  [[nodiscard]] const Endpoint& endpoint() const noexcept { return endpoint_; }
+
+ private:
+  [[nodiscard]] TcpConnection acquire() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        TcpConnection connection = std::move(idle_.back());
+        idle_.pop_back();
+        return connection;
+      }
+    }
+    return TcpConnection::connect(endpoint_.host, endpoint_.port);
+  }
+
+  void release(TcpConnection connection) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(connection));
+  }
+
+  Endpoint endpoint_;
+  std::mutex mutex_;
+  std::vector<TcpConnection> idle_;
+  std::vector<TcpConnection*> busy_;  ///< checked out to an in-flight rpc
+};
+
+}  // namespace
+
+struct FrontDoor::Impl {
+  explicit Impl(FrontDoorOptions options) {
+    if (options.backends.empty()) {
+      throw std::invalid_argument("FrontDoor: no backends configured");
+    }
+    pools.reserve(options.backends.size());
+    for (Endpoint& endpoint : options.backends) {
+      pools.push_back(std::make_unique<BackendPool>(std::move(endpoint)));
+    }
+    server.emplace(
+        TcpListener::bind_loopback(options.port),
+        [this](TcpConnection& connection) { handle_connection(connection); });
+  }
+
+  /// Where a door-assigned request id lives.
+  struct Route {
+    std::size_t backend = 0;
+    std::uint64_t remote_id = 0;
+  };
+
+  void request_stop() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (stopping) return;
+      stopping = true;
+    }
+    server->shutdown_listener();
+    stopped_cv.notify_all();
+  }
+
+  void stop() {
+    request_stop();
+    // Unblock handlers parked on a backend (in-flight rpcs fail fast)
+    // BEFORE the server joins them; handlers parked on their client are
+    // unblocked by the server's own connection shutdown.
+    for (const std::unique_ptr<BackendPool>& pool : pools) {
+      pool->close_all();
+    }
+    server->stop();
+  }
+
+  /// Forwards \p frame (a full sendable frame) to backend \p index and
+  /// returns the response BODY; a door-keyed kError body on failure.
+  [[nodiscard]] std::string forward(std::size_t index,
+                                    const std::string& frame) {
+    try {
+      return pools[index]->rpc(frame);
+    } catch (const std::exception& e) {
+      return wire::encode_frame_body(
+          MessageType::kError,
+          wire::encode_error(
+              ErrorKind::kRuntime,
+              "front-door: backend " + std::to_string(index) + " (" +
+                  pools[index]->endpoint().host + ":" +
+                  std::to_string(pools[index]->endpoint().port) +
+                  ") failed: " + e.what()));
+    }
+  }
+
+  void handle_submit(TcpConnection& connection, const wire::Frame& frame) {
+    // Decode only to fingerprint: the forwarded bytes are the ORIGINAL
+    // payload, so the backend decodes exactly what the client encoded.
+    const std::optional<wire::SubmitRequest> request =
+        wire::decode_submit(frame.payload);
+    if (!request) {
+      connection.send_frame(
+          error_frame(ErrorKind::kInvalidArgument,
+                      "front-door: malformed submit payload"));
+      return;
+    }
+    const Fingerprint key = fingerprint(request->instance.view());
+    const std::size_t backend = static_cast<std::size_t>(
+        key.hi % static_cast<std::uint64_t>(pools.size()));
+    const std::string response = forward(
+        backend, wire::encode_frame(MessageType::kSubmit, frame.payload));
+    const std::optional<wire::Frame> parsed =
+        wire::decode_frame_body(response);
+    if (!parsed) {
+      connection.send_frame(error_frame(
+          ErrorKind::kRuntime, "front-door: malformed backend response"));
+      return;
+    }
+    if (parsed->type != MessageType::kSubmitOk) {
+      // Backend-side error (shut down, rejected submit, ...): verbatim.
+      connection.send_frame(wire::reframe_body(response));
+      return;
+    }
+    wire::Reader reader(parsed->payload);
+    const std::uint64_t remote_id = reader.u64();
+    if (reader.failed()) {
+      connection.send_frame(error_frame(
+          ErrorKind::kRuntime, "front-door: malformed backend submit ack"));
+      return;
+    }
+    std::uint64_t door_id = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      door_id = next_id++;
+      routes.emplace(door_id, Route{backend, remote_id});
+    }
+    wire::Writer writer;
+    writer.u64(door_id);
+    connection.send_frame(
+        wire::encode_frame(MessageType::kSubmitOk, writer.buffer()));
+  }
+
+  void handle_get(TcpConnection& connection, const wire::Frame& frame) {
+    wire::Reader reader(frame.payload);
+    const std::uint64_t door_id = reader.u64();
+    const bool blocking = reader.boolean();
+    if (reader.failed() || !reader.exhausted()) {
+      connection.send_frame(error_frame(
+          ErrorKind::kInvalidArgument, "front-door: malformed get payload"));
+      return;
+    }
+    Route route;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      const auto it = routes.find(door_id);
+      if (it == routes.end()) {
+        // Match the in-process wording so client-visible behavior is
+        // identical whichever side detects the bad id.
+        connection.send_frame(error_frame(
+            ErrorKind::kInvalidArgument,
+            "front-door: unknown or already-claimed request id"));
+        return;
+      }
+      route = it->second;
+    }
+    wire::Writer writer;
+    writer.u64(route.remote_id);
+    writer.boolean(blocking);
+    const std::string response = forward(
+        route.backend, wire::encode_frame(MessageType::kGet, writer.buffer()));
+    const std::optional<wire::Frame> parsed =
+        wire::decode_frame_body(response);
+    // The route is spent once the backend delivered the report (claimed
+    // remotely) or rejected the id; it survives only a "still pending"
+    // try_get answer and door-level transport failures (retryable).
+    bool spent = false;
+    if (parsed && parsed->type == MessageType::kReport) {
+      wire::Reader report_reader(parsed->payload);
+      spent = report_reader.u8() == 1;
+    } else if (parsed && parsed->type == MessageType::kError) {
+      const std::optional<wire::WireError> error =
+          wire::decode_error(parsed->payload);
+      spent = error && error->kind == ErrorKind::kInvalidArgument;
+    }
+    if (spent) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      routes.erase(door_id);
+    }
+    connection.send_frame(wire::reframe_body(response));  // verbatim
+  }
+
+  void handle_stats(TcpConnection& connection) {
+    std::uint32_t shards = 0;
+    service::ServiceStats total;
+    for (std::size_t i = 0; i < pools.size(); ++i) {
+      const std::string response =
+          forward(i, wire::encode_frame(MessageType::kStats, {}));
+      const std::optional<wire::Frame> parsed =
+          wire::decode_frame_body(response);
+      if (!parsed || parsed->type != MessageType::kStatsOk) {
+        // First failing backend wins, verbatim.
+        connection.send_frame(wire::reframe_body(response));
+        return;
+      }
+      wire::Reader reader(parsed->payload);
+      shards += reader.u32();
+      const service::ServiceStats stats = wire::read_stats(reader);
+      if (reader.failed()) {
+        connection.send_frame(error_frame(
+            ErrorKind::kRuntime, "front-door: malformed backend stats"));
+        return;
+      }
+      total.submitted += stats.submitted;
+      total.completed += stats.completed;
+      total.cache_hits += stats.cache_hits;
+      total.fallbacks += stats.fallbacks;
+      total.coalesced += stats.coalesced;
+      total.admission_degraded += stats.admission_degraded;
+      total.admission_rejected += stats.admission_rejected;
+      total.snapshot_restored += stats.snapshot_restored;
+      total.cache_entries += stats.cache_entries;
+      total.cache_bytes += stats.cache_bytes;
+    }
+    wire::Writer writer;
+    writer.u32(shards);
+    wire::write_stats(writer, total);
+    connection.send_frame(
+        wire::encode_frame(MessageType::kStatsOk, writer.buffer()));
+  }
+
+  void handle_shutdown(TcpConnection& connection) {
+    // Fan out to every backend first: when the client sees the door's ack,
+    // every backend has drained and snapshotted. A backend that is already
+    // gone counts as shut down.
+    for (std::size_t i = 0; i < pools.size(); ++i) {
+      (void)forward(i, wire::encode_frame(MessageType::kShutdown, {}));
+    }
+    request_stop();
+    connection.send_frame(wire::encode_frame(MessageType::kShutdownOk, {}));
+  }
+
+  void handle_connection(TcpConnection& connection) {
+    for (;;) {
+      std::optional<std::string> body = connection.recv_frame();
+      if (!body) return;
+      const std::optional<wire::Frame> frame = wire::decode_frame_body(*body);
+      if (!frame) {
+        connection.send_frame(
+            error_frame(ErrorKind::kRuntime, "front-door: malformed frame"));
+        return;
+      }
+      switch (frame->type) {
+        case MessageType::kSubmit:
+          handle_submit(connection, *frame);
+          break;
+        case MessageType::kGet:
+          handle_get(connection, *frame);
+          break;
+        case MessageType::kStats:
+          handle_stats(connection);
+          break;
+        case MessageType::kShutdown:
+          handle_shutdown(connection);
+          return;
+        default:
+          connection.send_frame(error_frame(
+              ErrorKind::kRuntime, "front-door: unexpected message type"));
+          break;
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<BackendPool>> pools;
+
+  std::mutex mutex;
+  std::condition_variable stopped_cv;
+  bool stopping = false;
+  std::unordered_map<std::uint64_t, Route> routes;
+  std::uint64_t next_id = 1;
+
+  /// Last member: joins every network thread before the rest dies.
+  std::optional<ConnectionServer> server;
+};
+
+FrontDoor::FrontDoor(FrontDoorOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+FrontDoor::~FrontDoor() {
+  if (impl_) impl_->stop();
+}
+
+std::uint16_t FrontDoor::port() const noexcept { return impl_->server->port(); }
+
+std::size_t FrontDoor::backend_count() const noexcept {
+  return impl_->pools.size();
+}
+
+void FrontDoor::wait() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->stopped_cv.wait(lock, [this] { return impl_->stopping; });
+}
+
+void FrontDoor::stop() { impl_->stop(); }
+
+}  // namespace ssa::net

@@ -1,0 +1,155 @@
+#include "net/service_server.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "wire/protocol.hpp"
+
+namespace ssa::net {
+
+namespace {
+
+using wire::ErrorKind;
+using wire::MessageType;
+
+std::string error_frame(ErrorKind kind, const std::string& message) {
+  return wire::encode_frame(MessageType::kError,
+                            wire::encode_error(kind, message));
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(ServiceServerOptions options)
+    : service_(std::move(options.service)) {
+  server_.emplace(TcpListener::bind_loopback(options.port),
+                  [this](TcpConnection& connection) {
+                    handle_connection(connection);
+                  });
+}
+
+ServiceServer::~ServiceServer() { stop(); }
+
+std::uint16_t ServiceServer::port() const noexcept { return server_->port(); }
+
+service::AuctionService& ServiceServer::service() noexcept { return service_; }
+
+void ServiceServer::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stopped_cv_.wait(lock, [this] { return stopping_; });
+}
+
+void ServiceServer::request_stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  // Completes everything queued/in flight and writes the snapshot when
+  // configured -- the remote analogue of an in-process shutdown(). Also
+  // what lets stop() join handlers safely: a handler blocked in a
+  // blocking get() is released by the drain.
+  service_.shutdown();
+  server_->shutdown_listener();
+  stopped_cv_.notify_all();
+}
+
+void ServiceServer::stop() {
+  request_stop();
+  server_->stop();
+}
+
+void ServiceServer::handle_connection(TcpConnection& connection) {
+  for (;;) {
+    std::optional<std::string> body = connection.recv_frame();
+    if (!body) return;  // client closed
+    const std::optional<wire::Frame> frame = wire::decode_frame_body(*body);
+    if (!frame) {
+      // Wrong magic/version/type: answer once, then drop the stream --
+      // after a framing error nothing later on it can be trusted.
+      connection.send_frame(
+          error_frame(ErrorKind::kRuntime, "service-server: malformed frame"));
+      return;
+    }
+    switch (frame->type) {
+      case MessageType::kSubmit: {
+        const std::optional<wire::SubmitRequest> request =
+            wire::decode_submit(frame->payload);
+        if (!request) {
+          connection.send_frame(
+              error_frame(ErrorKind::kInvalidArgument,
+                          "service-server: malformed submit payload"));
+          break;
+        }
+        try {
+          const service::RequestId id = service_.submit(
+              request->instance.view(), request->solver, request->options);
+          wire::Writer writer;
+          writer.u64(id);
+          connection.send_frame(
+              wire::encode_frame(MessageType::kSubmitOk, writer.buffer()));
+        } catch (const std::invalid_argument& e) {
+          connection.send_frame(
+              error_frame(ErrorKind::kInvalidArgument, e.what()));
+        } catch (const std::exception& e) {
+          connection.send_frame(error_frame(ErrorKind::kRuntime, e.what()));
+        }
+        break;
+      }
+      case MessageType::kGet: {
+        wire::Reader reader(frame->payload);
+        const std::uint64_t id = reader.u64();
+        const bool blocking = reader.boolean();
+        if (reader.failed() || !reader.exhausted()) {
+          connection.send_frame(
+              error_frame(ErrorKind::kInvalidArgument,
+                          "service-server: malformed get payload"));
+          break;
+        }
+        try {
+          std::optional<SolveReport> report;
+          if (blocking) {
+            report = service_.get(id);
+          } else {
+            report = service_.try_get(id);
+          }
+          wire::Writer writer;
+          writer.u8(report.has_value() ? 1 : 0);
+          if (report) wire::write_report(writer, *report);
+          connection.send_frame(
+              wire::encode_frame(MessageType::kReport, writer.buffer()));
+        } catch (const std::invalid_argument& e) {
+          connection.send_frame(
+              error_frame(ErrorKind::kInvalidArgument, e.what()));
+        } catch (const std::exception& e) {
+          connection.send_frame(error_frame(ErrorKind::kRuntime, e.what()));
+        }
+        break;
+      }
+      case MessageType::kStats: {
+        wire::Writer writer;
+        writer.u32(static_cast<std::uint32_t>(service_.shards()));
+        wire::write_stats(writer, service_.stats());
+        connection.send_frame(
+            wire::encode_frame(MessageType::kStatsOk, writer.buffer()));
+        break;
+      }
+      case MessageType::kShutdown: {
+        // Ack AFTER the service drained: when the client sees the reply,
+        // every previously submitted request has completed and the
+        // snapshot (when configured) is on disk.
+        request_stop();
+        connection.send_frame(
+            wire::encode_frame(MessageType::kShutdownOk, {}));
+        return;
+      }
+      default:
+        connection.send_frame(error_frame(
+            ErrorKind::kRuntime, "service-server: unexpected message type"));
+        break;
+    }
+  }
+}
+
+}  // namespace ssa::net

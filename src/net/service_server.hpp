@@ -1,0 +1,83 @@
+#pragma once
+/// \file service_server.hpp
+/// One AuctionService behind a wire-protocol listener: the backend process
+/// of the cross-process serving topology. A ServiceServer binds a loopback
+/// port, accepts connections (one handler thread each, reaped as they
+/// finish -- net/connection_server.hpp) and answers the protocol's
+/// submit/get/stats/shutdown frames by driving its in-process
+/// AuctionService -- the same construction the FrontDoor's backends and
+/// the front_door_demo's child processes run.
+///
+/// Error passthrough: solver/domain failures stay INSIDE SolveReport::
+/// error (already "<solver-key>: <reason>"-pinned) and travel as normal
+/// kReport frames; only API-surface exceptions (bad request id, submit
+/// after shutdown, malformed frames) become kError frames, tagged with
+/// the exception kind so a remote client rethrows exactly what the
+/// in-process call would have thrown.
+///
+/// A wire kShutdown stops the whole server: the service completes its
+/// queue and writes its snapshot (when configured), the listener stops
+/// accepting, wait() returns. That is the remote analogue of
+/// AuctionService::shutdown() and what the demo uses to reap its spawned
+/// backend processes.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "net/connection_server.hpp"
+#include "service/auction_service.hpp"
+
+namespace ssa::net {
+
+struct ServiceServerOptions {
+  /// Configuration of the served AuctionService (shards, caches, policy,
+  /// snapshot persistence -- everything the in-process service accepts).
+  service::ServiceOptions service;
+  /// Loopback port to listen on; 0 picks an ephemeral port (port()).
+  std::uint16_t port = 0;
+};
+
+/// Serves one AuctionService over the wire protocol. Thread-safe surface;
+/// the destructor performs a full stop().
+class ServiceServer {
+ public:
+  explicit ServiceServer(ServiceServerOptions options = {});
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// The bound loopback port (resolved when options.port was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// The served service (tests inspect stats; the server owns it).
+  [[nodiscard]] service::AuctionService& service() noexcept;
+
+  /// Blocks until a wire kShutdown arrives or stop() is called.
+  void wait();
+
+  /// Full stop: shuts the service down (draining its queues), stops
+  /// accepting, unblocks every connection handler and joins all threads.
+  /// Idempotent; safe from any thread except a connection handler.
+  void stop();
+
+ private:
+  void handle_connection(TcpConnection& connection);
+  /// Shutdown initiation usable FROM a handler thread (no joins): flags
+  /// the stop, shuts the service and listener down, wakes wait().
+  void request_stop();
+
+  service::AuctionService service_;
+
+  std::mutex mutex_;
+  std::condition_variable stopped_cv_;
+  bool stopping_ = false;
+
+  /// Last: its destructor/stop() joins every network thread before the
+  /// members above die.
+  std::optional<ConnectionServer> server_;
+};
+
+}  // namespace ssa::net

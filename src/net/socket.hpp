@@ -1,0 +1,98 @@
+#pragma once
+/// \file socket.hpp
+/// Minimal RAII TCP primitives for the serving front door and its clients
+/// (POSIX sockets; the library's deployment targets are Linux hosts).
+/// TcpConnection sends/receives whole wire frames (wire/protocol.hpp) --
+/// the length prefix is handled here, so the layers above only ever see
+/// complete frame bodies. All operations are blocking; concurrency comes
+/// from the callers' threads (one handler thread per accepted connection,
+/// one pooled connection per in-flight backend call).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ssa::net {
+
+/// One established, blocking TCP stream. Movable, not copyable; the
+/// destructor closes the socket.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  /// Adopts an already-connected file descriptor (accept(), tests).
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Connects to \p host:\p port; throws std::runtime_error on failure.
+  [[nodiscard]] static TcpConnection connect(const std::string& host,
+                                             std::uint16_t port);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Sends one pre-encoded frame (length prefix included,
+  /// wire::encode_frame). Throws std::runtime_error when the peer is gone.
+  void send_frame(std::string_view frame);
+
+  /// Receives one frame and returns its BODY (the bytes after the length
+  /// prefix, ready for wire::decode_frame_body). nullopt on clean EOF
+  /// before the first byte; throws std::runtime_error on mid-frame EOF,
+  /// transport errors, or a length beyond wire::kMaxFrameBytes.
+  [[nodiscard]] std::optional<std::string> recv_frame();
+
+  /// Half-closes both directions WITHOUT releasing the descriptor: a peer
+  /// thread blocked in recv_frame() observes EOF and exits cleanly, after
+  /// which the owner may close(). (Closing under a live recv() races the
+  /// kernel reusing the fd number, exactly like the listener case.)
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket bound to the loopback interface. close() (or the
+/// destructor) unblocks a concurrent accept().
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:\p port (0 = ephemeral; port() reports the choice)
+  /// and listens. Throws std::runtime_error on failure.
+  [[nodiscard]] static TcpListener bind_loopback(std::uint16_t port);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks for the next connection; nullopt once shutdown()/close() was
+  /// called (the accept-loop exit signal).
+  [[nodiscard]] std::optional<TcpConnection> accept();
+
+  /// Unblocks a concurrent accept() WITHOUT closing the descriptor, so a
+  /// stop sequence can join its accept thread before close() releases the
+  /// fd (closing first would race the kernel reusing the number).
+  void shutdown() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// The loopback address every component of this library binds/dials.
+inline constexpr const char* kLoopbackHost = "127.0.0.1";
+
+}  // namespace ssa::net

@@ -174,6 +174,15 @@ void AuctionService::restore_snapshot() {
       retained += shard->cache.entries();
     }
     snapshot_restored_.store(retained);
+    // Restored warmth must not inherit measured traffic: the hit/miss
+    // counters restart at zero so the post-restore hit rate is computed
+    // from a clean baseline (snapshot_restored alone says what carried
+    // over). Explicit rather than implied by construction order, so a
+    // future restore-at-runtime path keeps the invariant.
+    cache_hits_.store(0);
+    submitted_.store(0);
+    completed_.store(0);
+    coalesced_.store(0);
   } catch (...) {
     // The snapshot is a warm-start optimization; whatever went wrong
     // (allocation failure on hostile lengths, filesystem trouble), the
@@ -380,7 +389,12 @@ RequestId AuctionService::submit(const AnyInstance& instance,
           completed_.fetch_add(1 + follower_count);
           shard.completed_cv.notify_all();
         },
-        SolveScheduler::TaskOptions{budget_seconds});
+        // The cost key separates the admission EMA by requested solver and
+        // instance-size bucket (api/admission.hpp): a stream of cheap
+        // greedy requests no longer prices a B&B request's admission.
+        SolveScheduler::TaskOptions{
+            budget_seconds,
+            admission_cost_key(request->solver, instance.num_bidders())});
   } catch (...) {
     // Lost the race against shutdown(): the scheduler stopped accepting
     // after our accepting_ check. Roll the registration back so the

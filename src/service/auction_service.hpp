@@ -118,6 +118,10 @@ struct ServiceOptions {
 };
 
 /// Monotonic service counters (stats()); approximate under concurrency.
+/// A snapshot restore (ServiceOptions::snapshot_path) zeroes the traffic
+/// counters (submitted/completed/cache_hits/coalesced): restored warmth
+/// is visible as snapshot_restored + cache_entries, while hit rates are
+/// always computed over THIS process life's traffic, never inherited.
 struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;   ///< includes cache hits and rejections

@@ -2,8 +2,11 @@
 
 #include <cstring>
 #include <istream>
+#include <iterator>
 #include <ostream>
 #include <string>
+
+#include "wire/codec.hpp"
 
 namespace ssa::service {
 
@@ -68,250 +71,15 @@ void ResultCache::evict_to_budget() {
 }
 
 // ---------------------------------------------------------------- snapshots
+// The report byte layout itself lives in wire/codec.cpp now -- one codec
+// shared by the snapshot files and the network wire protocol, so the two
+// formats can never drift apart field by field. This file only owns the
+// snapshot envelope (magic, kSnapshotVersion, entry list).
 
 namespace {
 
 /// First 8 bytes of every snapshot file.
 constexpr char kSnapshotMagic[8] = {'S', 'S', 'A', 'R', 'C', 'S', 'N', 'P'};
-
-/// Upper bound on any serialized count (entries, vector sizes, string
-/// lengths). Far above anything a real cache holds; its only job is to
-/// stop a corrupt length field from driving a multi-gigabyte allocation.
-constexpr std::uint64_t kMaxCount = std::uint64_t{1} << 26;
-
-/// Scalar-by-scalar binary writer (host byte order; see the header's
-/// format notes).
-class Writer {
- public:
-  explicit Writer(std::ostream& out) : out_(out) {}
-
-  void u8(std::uint8_t value) { raw(&value, sizeof value); }
-  void u32(std::uint32_t value) { raw(&value, sizeof value); }
-  void u64(std::uint64_t value) { raw(&value, sizeof value); }
-  void f64(double value) { raw(&value, sizeof value); }
-  void boolean(bool value) { u8(value ? 1 : 0); }
-
-  void str(const std::string& text) {
-    u64(text.size());
-    raw(text.data(), text.size());
-  }
-
-  template <typename T, typename Fn>
-  void vec(const std::vector<T>& values, Fn&& element) {
-    u64(values.size());
-    for (const T& value : values) element(value);
-  }
-
- private:
-  void raw(const void* data, std::size_t size) {
-    out_.write(static_cast<const char*>(data),
-               static_cast<std::streamsize>(size));
-  }
-
-  std::ostream& out_;
-};
-
-/// Bounds-checked reader: any short read or implausible size latches
-/// failed() and every subsequent read returns a zero value, so parsers can
-/// run straight through and check once at the end.
-class Reader {
- public:
-  explicit Reader(std::istream& in) : in_(in) {}
-
-  [[nodiscard]] bool failed() const { return failed_; }
-
-  std::uint8_t u8() { return scalar<std::uint8_t>(); }
-  std::uint32_t u32() { return scalar<std::uint32_t>(); }
-  std::uint64_t u64() { return scalar<std::uint64_t>(); }
-  double f64() { return scalar<double>(); }
-  bool boolean() { return u8() != 0; }
-
-  std::string str() {
-    const std::uint64_t size = count();
-    std::string text(static_cast<std::size_t>(size), '\0');
-    raw(text.data(), text.size());
-    if (failed_) return {};
-    return text;
-  }
-
-  /// A size field sanity-capped at kMaxCount.
-  std::uint64_t count() {
-    const std::uint64_t value = u64();
-    if (value > kMaxCount) failed_ = true;
-    return failed_ ? 0 : value;
-  }
-
-  template <typename T, typename Fn>
-  std::vector<T> vec(Fn&& element) {
-    const std::uint64_t size = count();
-    std::vector<T> values;
-    // Deliberately no reserve(size): the count came off disk, and a
-    // corrupt value below the kMaxCount sanity cap could still drive a
-    // huge speculative allocation. Growing as elements actually parse
-    // bounds memory by the real stream length (a short read fails fast).
-    for (std::uint64_t i = 0; i < size && !failed_; ++i) {
-      values.push_back(element());
-    }
-    return values;
-  }
-
- private:
-  template <typename T>
-  T scalar() {
-    T value{};
-    raw(&value, sizeof value);
-    return failed_ ? T{} : value;
-  }
-
-  void raw(void* data, std::size_t size) {
-    if (failed_) return;
-    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-    if (static_cast<std::size_t>(in_.gcount()) != size) failed_ = true;
-  }
-
-  std::istream& in_;
-  bool failed_ = false;
-};
-
-void write_allocation(Writer& writer, const Allocation& allocation) {
-  writer.vec(allocation.bundles,
-             [&](Bundle bundle) { writer.u32(bundle); });
-}
-
-Allocation read_allocation(Reader& reader) {
-  Allocation allocation;
-  allocation.bundles =
-      reader.vec<Bundle>([&] { return static_cast<Bundle>(reader.u32()); });
-  return allocation;
-}
-
-void write_fractional(Writer& writer, const FractionalSolution& fractional) {
-  writer.u8(static_cast<std::uint8_t>(fractional.status));
-  writer.f64(fractional.objective);
-  writer.vec(fractional.columns, [&](const FractionalColumn& column) {
-    writer.u32(static_cast<std::uint32_t>(column.bidder));
-    writer.u32(column.bundle);
-    writer.f64(column.x);
-  });
-}
-
-FractionalSolution read_fractional(Reader& reader) {
-  FractionalSolution fractional;
-  fractional.status = static_cast<lp::SolveStatus>(reader.u8());
-  fractional.objective = reader.f64();
-  fractional.columns = reader.vec<FractionalColumn>([&] {
-    FractionalColumn column;
-    column.bidder = static_cast<int>(reader.u32());
-    column.bundle = static_cast<Bundle>(reader.u32());
-    column.x = reader.f64();
-    return column;
-  });
-  return fractional;
-}
-
-void write_doubles(Writer& writer, const std::vector<double>& values) {
-  writer.vec(values, [&](double value) { writer.f64(value); });
-}
-
-std::vector<double> read_doubles(Reader& reader) {
-  return reader.vec<double>([&] { return reader.f64(); });
-}
-
-void write_mechanism(Writer& writer, const MechanismOutcome& outcome) {
-  write_fractional(writer, outcome.vcg.optimum);
-  write_doubles(writer, outcome.vcg.bidder_value);
-  write_doubles(writer, outcome.vcg.payments);
-  writer.vec(outcome.decomposition.entries,
-             [&](const DecompositionEntry& entry) {
-               write_allocation(writer, entry.allocation);
-               writer.f64(entry.probability);
-             });
-  writer.f64(outcome.decomposition.alpha);
-  writer.f64(outcome.decomposition.residual);
-  writer.u32(static_cast<std::uint32_t>(outcome.decomposition.rounds));
-  writer.u32(
-      static_cast<std::uint32_t>(outcome.decomposition.columns_generated));
-  writer.boolean(outcome.used_colgen);
-  writer.u64(outcome.sampled_index);
-  write_allocation(writer, outcome.allocation);
-  write_doubles(writer, outcome.payments);
-  write_doubles(writer, outcome.expected_payments);
-}
-
-MechanismOutcome read_mechanism(Reader& reader) {
-  MechanismOutcome outcome;
-  outcome.vcg.optimum = read_fractional(reader);
-  outcome.vcg.bidder_value = read_doubles(reader);
-  outcome.vcg.payments = read_doubles(reader);
-  outcome.decomposition.entries = reader.vec<DecompositionEntry>([&] {
-    DecompositionEntry entry;
-    entry.allocation = read_allocation(reader);
-    entry.probability = reader.f64();
-    return entry;
-  });
-  outcome.decomposition.alpha = reader.f64();
-  outcome.decomposition.residual = reader.f64();
-  outcome.decomposition.rounds = static_cast<int>(reader.u32());
-  outcome.decomposition.columns_generated = static_cast<int>(reader.u32());
-  outcome.used_colgen = reader.boolean();
-  outcome.sampled_index = static_cast<std::size_t>(reader.u64());
-  outcome.allocation = read_allocation(reader);
-  outcome.payments = read_doubles(reader);
-  outcome.expected_payments = read_doubles(reader);
-  return outcome;
-}
-
-void write_report(Writer& writer, const SolveReport& report) {
-  writer.str(report.solver);
-  writer.str(report.params);
-  write_allocation(writer, report.allocation);
-  writer.f64(report.welfare);
-  writer.boolean(report.feasible);
-  writer.f64(report.guarantee);
-  writer.f64(report.factor);
-  writer.boolean(report.lp_upper_bound.has_value());
-  if (report.lp_upper_bound) writer.f64(*report.lp_upper_bound);
-  writer.boolean(report.exact);
-  writer.boolean(report.timed_out);
-  writer.f64(report.wall_time_seconds);
-  writer.str(report.error);
-  writer.str(report.solver_selected);
-  // Provenance: snapshots only ever hold clean, non-degraded, fresh runs,
-  // but the fields are written anyway so the layout stays field-for-field
-  // with SolveReport (one less invariant for the version bump checklist).
-  writer.boolean(report.cache_hit);
-  writer.f64(report.queue_wait_seconds);
-  writer.u8(static_cast<std::uint8_t>(report.admission));
-  writer.boolean(report.coalesced);
-  writer.boolean(report.fractional.has_value());
-  if (report.fractional) write_fractional(writer, *report.fractional);
-  writer.boolean(report.mechanism.has_value());
-  if (report.mechanism) write_mechanism(writer, *report.mechanism);
-}
-
-SolveReport read_report(Reader& reader) {
-  SolveReport report;
-  report.solver = reader.str();
-  report.params = reader.str();
-  report.allocation = read_allocation(reader);
-  report.welfare = reader.f64();
-  report.feasible = reader.boolean();
-  report.guarantee = reader.f64();
-  report.factor = reader.f64();
-  if (reader.boolean()) report.lp_upper_bound = reader.f64();
-  report.exact = reader.boolean();
-  report.timed_out = reader.boolean();
-  report.wall_time_seconds = reader.f64();
-  report.error = reader.str();
-  report.solver_selected = reader.str();
-  report.cache_hit = reader.boolean();
-  report.queue_wait_seconds = reader.f64();
-  report.admission = static_cast<Admission>(reader.u8());
-  report.coalesced = reader.boolean();
-  if (reader.boolean()) report.fractional = read_fractional(reader);
-  if (reader.boolean()) report.mechanism = read_mechanism(reader);
-  return report;
-}
 
 }  // namespace
 
@@ -325,57 +93,53 @@ void append_snapshot_entries(const ResultCache& cache,
 
 void write_snapshot(std::ostream& out,
                     const std::vector<SnapshotEntry>& entries) {
-  Writer writer(out);
-  out.write(kSnapshotMagic, sizeof kSnapshotMagic);
+  wire::Writer writer;
+  writer.bytes(std::string_view(kSnapshotMagic, sizeof kSnapshotMagic));
   writer.u32(ResultCache::kSnapshotVersion);
   writer.u64(entries.size());
   for (const SnapshotEntry& entry : entries) {
     writer.u64(entry.key.hi);
     writer.u64(entry.key.lo);
-    write_report(writer, entry.report);
+    wire::write_report(writer, entry.report);
   }
+  const std::string& buffer = writer.buffer();
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
 }
 
 std::optional<std::vector<SnapshotEntry>> read_snapshot(std::istream& in) {
-  char magic[sizeof kSnapshotMagic] = {};
-  in.read(magic, sizeof magic);
-  if (static_cast<std::size_t>(in.gcount()) != sizeof magic ||
-      std::memcmp(magic, kSnapshotMagic, sizeof magic) != 0) {
+  // Fail fast on the envelope BEFORE loading anything: a wrong or
+  // foreign file pointed at snapshot_path must cost a 12-byte read, not
+  // a whole-file slurp into RAM.
+  char header[sizeof kSnapshotMagic + sizeof(std::uint32_t)] = {};
+  in.read(header, sizeof header);
+  if (static_cast<std::size_t>(in.gcount()) != sizeof header ||
+      std::memcmp(header, kSnapshotMagic, sizeof kSnapshotMagic) != 0) {
     return std::nullopt;
   }
-  Reader reader(in);
-  if (reader.u32() != ResultCache::kSnapshotVersion) return std::nullopt;
+  std::uint32_t version = 0;
+  std::memcpy(&version, header + sizeof kSnapshotMagic, sizeof version);
+  if (version != ResultCache::kSnapshotVersion) return std::nullopt;
+  // The envelope checks out: load the body and parse with the shared
+  // bounds-checked reader. Any anomaly -- truncation, implausible sizes,
+  // out-of-range enums (wire::read_report validates them), trailing
+  // garbage -- is "no snapshot" and the caller cold-starts.
+  const std::string data(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>{});
+  wire::Reader reader(data);
   const std::uint64_t total = reader.count();
   if (reader.failed()) return std::nullopt;  // implausible entry count
-  // No reserve(total): see Reader::vec -- a corrupt entry count must not
-  // allocate ahead of what the stream actually holds.
+  // No reserve(total): a corrupt entry count must not allocate ahead of
+  // what the buffer actually holds (see wire::Reader::vec).
   std::vector<SnapshotEntry> entries;
   for (std::uint64_t i = 0; i < total; ++i) {
     SnapshotEntry entry;
     entry.key.hi = reader.u64();
     entry.key.lo = reader.u64();
-    entry.report = read_report(reader);
+    entry.report = wire::read_report(reader);
     if (reader.failed()) return std::nullopt;
-    // Enum fields came off disk: reject values outside their ranges
-    // instead of carrying poisoned enums into the service.
-    if (static_cast<std::uint8_t>(entry.report.admission) >
-        static_cast<std::uint8_t>(Admission::kRejected)) {
-      return std::nullopt;
-    }
-    const auto status_in_range = [](lp::SolveStatus status) {
-      return static_cast<std::uint8_t>(status) <=
-             static_cast<std::uint8_t>(lp::SolveStatus::kTimeLimit);
-    };
-    if (entry.report.fractional &&
-        !status_in_range(entry.report.fractional->status)) {
-      return std::nullopt;
-    }
-    if (entry.report.mechanism &&
-        !status_in_range(entry.report.mechanism->vcg.optimum.status)) {
-      return std::nullopt;
-    }
     entries.push_back(std::move(entry));
   }
+  if (!reader.exhausted()) return std::nullopt;  // trailing garbage
   return entries;
 }
 

@@ -13,14 +13,16 @@
 /// with its prior hit rate. Layout: an 8-byte magic, a u32
 /// kSnapshotVersion, a u64 entry count, then the entries least-recently
 /// used first (replaying the file in order through insert() reproduces the
-/// recency order). Scalars are written in the host's native byte order --
-/// snapshots are a warm-start artifact for the same machine, not a wire
-/// format. Readers treat ANY anomaly (wrong magic, other version,
+/// recency order). The per-report byte layout is the shared codec of
+/// wire/codec.hpp -- the same bytes the network wire protocol ships -- so
+/// the two formats cannot drift apart; this file owns only the snapshot
+/// envelope. Readers treat ANY anomaly (wrong magic, other version,
 /// truncation, implausible sizes) as "no snapshot" and return nullopt, so
 /// a corrupt file costs a cold start, never a crash. Bump kSnapshotVersion
 /// whenever the serialized SolveReport layout or the fingerprint scheme
-/// changes (tests/test_fingerprint.cpp pins golden fingerprint values so a
-/// silent scheme drift fails loudly).
+/// changes (tests/test_fingerprint.cpp pins golden fingerprint values and
+/// tests/test_wire.cpp pins golden report bytes, so silent drift of either
+/// fails loudly).
 
 #include <cstddef>
 #include <cstdint>

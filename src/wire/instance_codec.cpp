@@ -1,0 +1,334 @@
+#include "wire/instance_codec.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/valuation.hpp"
+#include "graph/ordering.hpp"
+
+namespace ssa::wire {
+
+namespace {
+
+// -- tags -------------------------------------------------------------------
+
+enum class InstanceKind : std::uint8_t {
+  kSymmetric = 1,
+  kAsymmetric = 2,
+};
+
+enum class ValuationTag : std::uint8_t {
+  kExplicit = 1,
+  kAdditive = 2,
+  kUnitDemand = 3,
+  kSingleMinded = 4,
+  kBudgetAdditive = 5,
+  kXor = 6,
+  kCoverage = 7,
+};
+
+// -- graphs -----------------------------------------------------------------
+
+void write_graph(Writer& writer, const ConflictGraph& graph) {
+  writer.u64(graph.size());
+  // Sparse directed weights: conflict graphs are overwhelmingly sparse
+  // relative to their dense n^2 storage, and replaying set_weight on the
+  // decoder side preserves every weight's bit pattern (and thereby the
+  // graph's unweightedness classification).
+  std::uint64_t nonzero = 0;
+  for (std::size_t u = 0; u < graph.size(); ++u) {
+    for (std::size_t v = 0; v < graph.size(); ++v) {
+      if (graph.weight(u, v) != 0.0) ++nonzero;
+    }
+  }
+  writer.u64(nonzero);
+  for (std::size_t u = 0; u < graph.size(); ++u) {
+    for (std::size_t v = 0; v < graph.size(); ++v) {
+      const double weight = graph.weight(u, v);
+      if (weight == 0.0) continue;
+      writer.u32(static_cast<std::uint32_t>(u));
+      writer.u32(static_cast<std::uint32_t>(v));
+      writer.f64(weight);
+    }
+  }
+}
+
+/// \p cell_budget: remaining dense-cell allowance across the whole
+/// instance (kMaxGraphCells at the start of read_instance), drawn down by
+/// n^2 per graph so a multi-graph frame cannot multiply the worst case.
+ConflictGraph read_graph(Reader& reader, std::uint64_t& cell_budget) {
+  const std::uint64_t size = reader.u64();
+  // Dense-storage guards (see kMaxGraphVertices/kMaxGraphCells), plus the
+  // every-length rule that a count can never exceed the bytes still in
+  // the buffer (any honest instance encoding carries >= 4n ordering
+  // bytes after its graph, so real graphs always pass).
+  if (size > kMaxGraphVertices || size > reader.remaining() ||
+      size * size > cell_budget) {
+    reader.fail();
+  }
+  if (reader.failed()) return ConflictGraph(0);
+  cell_budget -= size * size;
+  ConflictGraph graph(static_cast<std::size_t>(size));
+  const std::uint64_t nonzero = reader.count();
+  for (std::uint64_t i = 0; i < nonzero && !reader.failed(); ++i) {
+    const std::uint32_t u = reader.u32();
+    const std::uint32_t v = reader.u32();
+    const double weight = reader.f64();
+    if (reader.failed()) break;
+    if (u >= size || v >= size || u == v) {
+      reader.fail();
+      break;
+    }
+    graph.set_weight(u, v, weight);
+  }
+  return graph;
+}
+
+// -- valuations -------------------------------------------------------------
+// Double sequences use the shared write_doubles/read_doubles layout of
+// codec.hpp, so the two codecs cannot diverge field by field.
+
+void write_valuation(Writer& writer, const Valuation& valuation) {
+  if (const auto* v = dynamic_cast<const ExplicitValuation*>(&valuation)) {
+    writer.u8(static_cast<std::uint8_t>(ValuationTag::kExplicit));
+    writer.u32(static_cast<std::uint32_t>(v->num_channels()));
+    write_doubles(writer, v->values());
+    return;
+  }
+  if (const auto* v = dynamic_cast<const AdditiveValuation*>(&valuation)) {
+    writer.u8(static_cast<std::uint8_t>(ValuationTag::kAdditive));
+    write_doubles(writer, v->channel_values());
+    return;
+  }
+  if (const auto* v = dynamic_cast<const UnitDemandValuation*>(&valuation)) {
+    writer.u8(static_cast<std::uint8_t>(ValuationTag::kUnitDemand));
+    write_doubles(writer, v->channel_values());
+    return;
+  }
+  if (const auto* v = dynamic_cast<const SingleMindedValuation*>(&valuation)) {
+    writer.u8(static_cast<std::uint8_t>(ValuationTag::kSingleMinded));
+    writer.u32(static_cast<std::uint32_t>(v->num_channels()));
+    writer.u32(v->target());
+    writer.f64(v->target_value());
+    return;
+  }
+  if (const auto* v =
+          dynamic_cast<const BudgetAdditiveValuation*>(&valuation)) {
+    writer.u8(static_cast<std::uint8_t>(ValuationTag::kBudgetAdditive));
+    write_doubles(writer, v->channel_values());
+    writer.f64(v->budget());
+    return;
+  }
+  if (const auto* v = dynamic_cast<const XorValuation*>(&valuation)) {
+    writer.u8(static_cast<std::uint8_t>(ValuationTag::kXor));
+    writer.u32(static_cast<std::uint32_t>(v->num_channels()));
+    writer.vec(v->atoms(), [&](const XorValuation::Atom& atom) {
+      writer.u32(atom.bundle);
+      writer.f64(atom.value);
+    });
+    return;
+  }
+  if (const auto* v = dynamic_cast<const CoverageValuation*>(&valuation)) {
+    writer.u8(static_cast<std::uint8_t>(ValuationTag::kCoverage));
+    write_doubles(writer, v->element_weights());
+    writer.vec(v->coverage(), [&](const std::vector<int>& covered) {
+      writer.vec(covered,
+                 [&](int element) {
+                   writer.u32(static_cast<std::uint32_t>(element));
+                 });
+    });
+    return;
+  }
+  // Unknown subclass: canonicalize to an explicit table. Value-identical
+  // on every bundle; the table blowup is why the channel cap exists.
+  const int k = valuation.num_channels();
+  if (k > kExplicitFallbackChannels) {
+    throw std::invalid_argument(
+        "wire: cannot serialize an unknown Valuation subclass over " +
+        std::to_string(k) + " channels (explicit fallback caps at " +
+        std::to_string(kExplicitFallbackChannels) + ")");
+  }
+  std::vector<double> values(num_bundles(k), 0.0);
+  for (Bundle t = 1; t < num_bundles(k); ++t) values[t] = valuation.value(t);
+  writer.u8(static_cast<std::uint8_t>(ValuationTag::kExplicit));
+  writer.u32(static_cast<std::uint32_t>(k));
+  write_doubles(writer, values);
+}
+
+ValuationPtr read_valuation(Reader& reader) {
+  // Constructors validate decoded data (negative values, bad bundles, bad
+  // channel counts) by throwing; the catch below converts any such reject
+  // into the reader's latched failure, so hostile bytes cost a clean
+  // decode error, never an escaping exception.
+  try {
+    const std::uint8_t tag = reader.u8();
+    switch (static_cast<ValuationTag>(tag)) {
+      case ValuationTag::kExplicit: {
+        const int k = static_cast<int>(reader.u32());
+        std::vector<double> values = read_doubles(reader);
+        if (reader.failed()) return nullptr;
+        return std::make_shared<ExplicitValuation>(k, std::move(values));
+      }
+      case ValuationTag::kAdditive: {
+        std::vector<double> values = read_doubles(reader);
+        if (reader.failed()) return nullptr;
+        return std::make_shared<AdditiveValuation>(std::move(values));
+      }
+      case ValuationTag::kUnitDemand: {
+        std::vector<double> values = read_doubles(reader);
+        if (reader.failed()) return nullptr;
+        return std::make_shared<UnitDemandValuation>(std::move(values));
+      }
+      case ValuationTag::kSingleMinded: {
+        const int k = static_cast<int>(reader.u32());
+        const Bundle target = static_cast<Bundle>(reader.u32());
+        const double value = reader.f64();
+        if (reader.failed()) return nullptr;
+        return std::make_shared<SingleMindedValuation>(k, target, value);
+      }
+      case ValuationTag::kBudgetAdditive: {
+        std::vector<double> values = read_doubles(reader);
+        const double budget = reader.f64();
+        if (reader.failed()) return nullptr;
+        return std::make_shared<BudgetAdditiveValuation>(std::move(values),
+                                                         budget);
+      }
+      case ValuationTag::kXor: {
+        const int k = static_cast<int>(reader.u32());
+        std::vector<XorValuation::Atom> atoms =
+            reader.vec<XorValuation::Atom>([&] {
+              XorValuation::Atom atom;
+              atom.bundle = static_cast<Bundle>(reader.u32());
+              atom.value = reader.f64();
+              return atom;
+            });
+        if (reader.failed()) return nullptr;
+        return std::make_shared<XorValuation>(k, std::move(atoms));
+      }
+      case ValuationTag::kCoverage: {
+        std::vector<double> weights = read_doubles(reader);
+        std::vector<std::vector<int>> coverage =
+            reader.vec<std::vector<int>>([&] {
+              return reader.vec<int>(
+                  [&] { return static_cast<int>(reader.u32()); });
+            });
+        if (reader.failed()) return nullptr;
+        return std::make_shared<CoverageValuation>(std::move(weights),
+                                                   std::move(coverage));
+      }
+    }
+  } catch (...) {
+    // fall through to the shared failure latch
+  }
+  reader.fail();
+  return nullptr;
+}
+
+std::vector<ValuationPtr> read_valuations(Reader& reader) {
+  return reader.vec<ValuationPtr>([&] { return read_valuation(reader); });
+}
+
+Ordering read_ordering(Reader& reader) {
+  return reader.vec<int>([&] { return static_cast<int>(reader.u32()); });
+}
+
+void write_ordering(Writer& writer, const Ordering& order) {
+  writer.vec(order,
+             [&](int vertex) { writer.u32(static_cast<std::uint32_t>(vertex)); });
+}
+
+void write_valuations(Writer& writer,
+                      const std::vector<ValuationPtr>& valuations) {
+  writer.u64(valuations.size());
+  for (const ValuationPtr& valuation : valuations) {
+    write_valuation(writer, *valuation);
+  }
+}
+
+}  // namespace
+
+void write_instance(Writer& writer, const AnyInstance& instance) {
+  if (instance.is_symmetric()) {
+    const AuctionInstance& sym = instance.symmetric();
+    writer.u8(static_cast<std::uint8_t>(InstanceKind::kSymmetric));
+    write_graph(writer, sym.graph());
+    write_ordering(writer, sym.order());
+    writer.u32(static_cast<std::uint32_t>(sym.num_channels()));
+    // The FINAL rho (measured when the builder passed 0, clamped to >= 1):
+    // the decoding constructor takes it verbatim and never re-measures.
+    writer.f64(sym.rho());
+    write_valuations(writer, sym.valuations());
+    return;
+  }
+  if (instance.is_asymmetric()) {
+    const AsymmetricInstance& asym = instance.asymmetric();
+    writer.u8(static_cast<std::uint8_t>(InstanceKind::kAsymmetric));
+    writer.u64(static_cast<std::uint64_t>(asym.num_channels()));
+    for (const ConflictGraph& graph : asym.graphs()) {
+      write_graph(writer, graph);
+    }
+    write_ordering(writer, asym.order());
+    writer.f64(asym.rho());
+    // AsymmetricInstance exposes valuations only one at a time.
+    writer.u64(asym.num_bidders());
+    for (std::size_t v = 0; v < asym.num_bidders(); ++v) {
+      write_valuation(writer, asym.valuation(v));
+    }
+    return;
+  }
+  throw std::invalid_argument("wire: cannot serialize an empty instance view");
+}
+
+OwnedInstance read_instance(Reader& reader) {
+  // Instance constructors validate cross-field consistency (permutation
+  // orderings, one valuation per vertex, channel-count agreement); any
+  // throw latches the reader's failure like every other anomaly.
+  try {
+    std::uint64_t cell_budget = kMaxGraphCells;
+    const std::uint8_t kind = reader.u8();
+    if (kind == static_cast<std::uint8_t>(InstanceKind::kSymmetric)) {
+      ConflictGraph graph = read_graph(reader, cell_budget);
+      Ordering order = read_ordering(reader);
+      const int k = static_cast<int>(reader.u32());
+      const double rho = reader.f64();
+      std::vector<ValuationPtr> valuations = read_valuations(reader);
+      if (reader.failed() || rho <= 0.0) {
+        reader.fail();
+        return OwnedInstance();
+      }
+      return OwnedInstance(AuctionInstance(std::move(graph), std::move(order),
+                                           k, std::move(valuations), rho));
+    }
+    if (kind == static_cast<std::uint8_t>(InstanceKind::kAsymmetric)) {
+      const std::uint64_t channels = reader.u64();
+      if (channels == 0 ||
+          channels > static_cast<std::uint64_t>(
+                         AsymmetricInstance::kMaxChannels)) {
+        reader.fail();
+        return OwnedInstance();
+      }
+      std::vector<ConflictGraph> graphs;
+      graphs.reserve(static_cast<std::size_t>(channels));
+      for (std::uint64_t j = 0; j < channels && !reader.failed(); ++j) {
+        graphs.push_back(read_graph(reader, cell_budget));
+      }
+      Ordering order = read_ordering(reader);
+      const double rho = reader.f64();
+      std::vector<ValuationPtr> valuations = read_valuations(reader);
+      if (reader.failed() || rho <= 0.0) {
+        reader.fail();
+        return OwnedInstance();
+      }
+      return OwnedInstance(AsymmetricInstance(std::move(graphs),
+                                              std::move(order),
+                                              std::move(valuations), rho));
+    }
+  } catch (...) {
+    // fall through to the shared failure latch
+  }
+  reader.fail();
+  return OwnedInstance();
+}
+
+}  // namespace ssa::wire

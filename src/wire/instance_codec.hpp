@@ -1,0 +1,101 @@
+#pragma once
+/// \file instance_codec.hpp
+/// Serialization of auction instances for the wire protocol: both instance
+/// types behind AnyInstance (the symmetric AuctionInstance and the
+/// Section-6 AsymmetricInstance) with their conflict graphs, orderings,
+/// rho and valuations travel as bytes, and decode to an OwnedInstance the
+/// receiving process can solve.
+///
+/// Valuations are encoded POLYMORPHICALLY: each of the library's concrete
+/// classes (explicit table, additive, unit demand, single minded, budget
+/// additive, XOR, coverage) has a type tag and ships its defining data, so
+/// the decoder reconstructs the exact same class with the exact same
+/// doubles. That is what makes the cross-process guarantee bitwise: the
+/// remote solver runs the same closed-form demand()/max_value() code paths
+/// (same tie-breaks, same floating-point summation order) as an in-process
+/// solve of the original object. A Valuation subclass the codec does not
+/// know falls back to an explicit value table -- value-identical on every
+/// bundle (and fingerprint-identical, support/fingerprint.hpp), but
+/// demand-oracle tie-breaks may differ from the original's closed form --
+/// and requires num_channels() <= kExplicitFallbackChannels.
+///
+/// Graphs ship sparsely (only non-zero directed weights), orderings as
+/// vertex lists, rho as the instance's final (measured, clamped) value, so
+/// the decoded constructor never re-measures: structurally equal instances
+/// stay bitwise equal across the wire.
+///
+/// Versioning: the instance layout is part of the wire protocol
+/// (wire::kWireVersion) -- bump it on any change here. Golden byte pins
+/// live in tests/test_wire.cpp.
+
+#include <variant>
+
+#include "api/any_instance.hpp"
+#include "core/asymmetric.hpp"
+#include "core/instance.hpp"
+#include "wire/codec.hpp"
+
+namespace ssa::wire {
+
+/// Largest channel count the explicit-table fallback for unknown Valuation
+/// subclasses will materialize (2^k doubles per bidder); the known classes
+/// have no such limit beyond the instance types' own caps.
+inline constexpr int kExplicitFallbackChannels = 16;
+
+/// Largest decodable conflict-graph vertex count. ConflictGraph stores a
+/// dense n^2 weight matrix, so the generic length caps are not enough: a
+/// corrupt vertex count within them could still demand gigabytes before
+/// any element parses. 4096 vertices (a 128 MiB matrix) is far above any
+/// servable instance and cheap enough that hostile bytes cannot hurt.
+inline constexpr std::uint64_t kMaxGraphVertices = 4096;
+
+/// Cap on the CUMULATIVE dense weight cells (sum of n^2 over every graph
+/// of one instance) a single decode may materialize -- equal to one
+/// maximum-size graph. Without it, an asymmetric frame of a few KiB
+/// could claim kMaxChannels graphs of kMaxGraphVertices each and demand
+/// ~1.5 GiB before the first parse failure; with it, hostile bytes can
+/// never allocate more than one legitimate worst-case instance does.
+inline constexpr std::uint64_t kMaxGraphCells =
+    kMaxGraphVertices * kMaxGraphVertices;
+
+/// A decoded instance with owned storage (AnyInstance is a non-owning
+/// view, but bytes off the wire have no caller-owned original to point
+/// into). view() is valid while the OwnedInstance lives.
+class OwnedInstance {
+ public:
+  OwnedInstance() = default;
+  explicit OwnedInstance(AuctionInstance instance)
+      : holder_(std::move(instance)) {}
+  explicit OwnedInstance(AsymmetricInstance instance)
+      : holder_(std::move(instance)) {}
+
+  [[nodiscard]] bool empty() const noexcept {
+    return std::holds_alternative<std::monostate>(holder_);
+  }
+
+  [[nodiscard]] AnyInstance view() const {
+    if (const auto* sym = std::get_if<AuctionInstance>(&holder_)) {
+      return AnyInstance(*sym);
+    }
+    if (const auto* asym = std::get_if<AsymmetricInstance>(&holder_)) {
+      return AnyInstance(*asym);
+    }
+    return AnyInstance();
+  }
+
+ private:
+  std::variant<std::monostate, AuctionInstance, AsymmetricInstance> holder_;
+};
+
+/// Encodes the instance behind \p instance. Throws std::invalid_argument
+/// for an empty view and for an unknown Valuation subclass over more than
+/// kExplicitFallbackChannels channels (the two conditions a caller can
+/// actually hit; both surface as submit() failures, never mid-stream).
+void write_instance(Writer& writer, const AnyInstance& instance);
+
+/// Decodes an instance; on ANY anomaly (truncation, bad tags, data a
+/// constructor rejects) the reader's failure latches and the returned
+/// holder is empty. Never throws.
+[[nodiscard]] OwnedInstance read_instance(Reader& reader);
+
+}  // namespace ssa::wire

@@ -1,0 +1,99 @@
+#include "wire/protocol.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ssa::wire {
+
+std::string encode_frame_body(MessageType type, std::string_view payload) {
+  // header = magic + version + type
+  const std::size_t body_size = sizeof kWireMagic + sizeof kWireVersion +
+                                sizeof(std::uint8_t) + payload.size();
+  if (body_size > kMaxFrameBytes) {
+    throw std::invalid_argument("wire: frame payload exceeds kMaxFrameBytes");
+  }
+  Writer writer;
+  writer.u32(kWireMagic);
+  writer.u16(kWireVersion);
+  writer.u8(static_cast<std::uint8_t>(type));
+  writer.bytes(payload);
+  return writer.take();
+}
+
+std::string encode_frame(MessageType type, std::string_view payload) {
+  return reframe_body(encode_frame_body(type, payload));
+}
+
+std::string reframe_body(std::string_view body) {
+  if (body.size() > kMaxFrameBytes) {
+    throw std::invalid_argument("wire: frame body exceeds kMaxFrameBytes");
+  }
+  Writer writer;
+  writer.u32(static_cast<std::uint32_t>(body.size()));
+  writer.bytes(body);
+  return writer.take();
+}
+
+std::optional<Frame> decode_frame_body(std::string_view body) {
+  Reader reader(body);
+  const std::uint32_t magic = reader.u32();
+  const std::uint16_t version = reader.u16();
+  const std::uint8_t type = reader.u8();
+  if (reader.failed() || magic != kWireMagic || version != kWireVersion) {
+    return std::nullopt;
+  }
+  if (type < static_cast<std::uint8_t>(MessageType::kSubmit) ||
+      type > static_cast<std::uint8_t>(MessageType::kError)) {
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(type);
+  frame.payload = reader.bytes(reader.remaining());
+  return frame;
+}
+
+std::string encode_submit(const AnyInstance& instance,
+                          const std::string& solver,
+                          const SolveOptions& options) {
+  Writer writer;
+  writer.str(solver);
+  write_options(writer, options);
+  write_instance(writer, instance);
+  return writer.take();
+}
+
+std::optional<SubmitRequest> decode_submit(std::string_view payload) {
+  Reader reader(payload);
+  SubmitRequest request;
+  request.solver = reader.str();
+  request.options = read_options(reader);
+  request.instance = read_instance(reader);
+  // Strict: trailing bytes after the instance are an anomaly, not padding.
+  if (reader.failed() || !reader.exhausted() || request.instance.empty()) {
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::string encode_error(ErrorKind kind, const std::string& message) {
+  Writer writer;
+  writer.u8(static_cast<std::uint8_t>(kind));
+  writer.str(message);
+  return writer.take();
+}
+
+std::optional<WireError> decode_error(std::string_view payload) {
+  Reader reader(payload);
+  WireError error;
+  const std::uint8_t kind = reader.u8();
+  error.message = reader.str();
+  if (reader.failed() ||
+      kind < static_cast<std::uint8_t>(ErrorKind::kInvalidArgument) ||
+      kind > static_cast<std::uint8_t>(ErrorKind::kRuntime)) {
+    return std::nullopt;
+  }
+  error.kind = static_cast<ErrorKind>(kind);
+  return error;
+}
+
+}  // namespace ssa::wire

@@ -26,8 +26,8 @@ TEST(SolverRegistry, AllBuiltinAlgorithmsRegistered) {
   const std::vector<std::string> names = available_solvers();
   for (const char* expected :
        {"lp-rounding", "exact", "greedy-value", "greedy-density",
-        "local-ratio-k1", "local-ratio-per-channel", "mechanism",
-        "asymmetric-lp-rounding", "asymmetric-exact",
+        "submodular-greedy", "local-ratio-k1", "local-ratio-per-channel",
+        "mechanism", "asymmetric-lp-rounding", "asymmetric-exact",
         "asymmetric-greedy-value", "asymmetric-greedy-density"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end())
         << "missing solver: " << expected;

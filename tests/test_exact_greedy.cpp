@@ -92,6 +92,55 @@ TEST_P(GreedyBaselines, FeasibleAndAtMostExact) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GreedyBaselines, ::testing::Range(0, 10));
 
+class SubmodularGreedy : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubmodularGreedy, FeasibleAndAtMostExact) {
+  const AuctionInstance instance = gen::make_disk_auction(
+      9, 2, gen::ValuationMix::kMixed,
+      static_cast<std::uint64_t>(GetParam()) + 700);
+  const Allocation allocation = greedy_submodular(instance);
+  EXPECT_TRUE(instance.feasible(allocation));
+  EXPECT_LE(instance.welfare(allocation),
+            solve_exact(instance).welfare + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubmodularGreedy, ::testing::Range(0, 10));
+
+TEST(SubmodularGreedy, ExactOnConflictFreeAdditiveInstances) {
+  // With no conflicts and additive (hence submodular) valuations, every
+  // positive (bidder, channel) marginal survives to the end: the greedy
+  // collects the full additive optimum.
+  ConflictGraph graph(3);  // no edges
+  std::vector<ValuationPtr> valuations = {
+      std::make_shared<AdditiveValuation>(std::vector<double>{1.0, 4.0}),
+      std::make_shared<AdditiveValuation>(std::vector<double>{2.0, 0.0}),
+      std::make_shared<AdditiveValuation>(std::vector<double>{3.0, 5.0})};
+  const AuctionInstance instance(std::move(graph), identity_ordering(3), 2,
+                                 std::move(valuations), 1.0);
+  const Allocation allocation = greedy_submodular(instance);
+  EXPECT_DOUBLE_EQ(instance.welfare(allocation), 15.0);
+}
+
+TEST(SubmodularGreedy, RespectsPerChannelIndependence) {
+  // A path 0-1-2 with one channel and unit-demand values 1, 3, 1: the
+  // greedy takes bidder 1 first (largest marginal) and the conflict
+  // constraint then blocks 0 and 2 on that channel.
+  const std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}};
+  ConflictGraph graph = ConflictGraph::from_edges(3, edges);
+  std::vector<ValuationPtr> valuations = {
+      std::make_shared<UnitDemandValuation>(std::vector<double>{1.0}),
+      std::make_shared<UnitDemandValuation>(std::vector<double>{3.0}),
+      std::make_shared<UnitDemandValuation>(std::vector<double>{1.0})};
+  const AuctionInstance instance(std::move(graph), identity_ordering(3), 1,
+                                 std::move(valuations), 1.0);
+  const Allocation allocation = greedy_submodular(instance);
+  EXPECT_TRUE(instance.feasible(allocation));
+  EXPECT_DOUBLE_EQ(instance.welfare(allocation), 3.0);
+  EXPECT_EQ(allocation.bundles[1], 1u);
+  EXPECT_EQ(allocation.bundles[0], kEmptyBundle);
+  EXPECT_EQ(allocation.bundles[2], kEmptyBundle);
+}
+
 class LocalRatio : public ::testing::TestWithParam<int> {};
 
 TEST_P(LocalRatio, AchievesRhoApproximation) {

@@ -1,0 +1,318 @@
+// Cross-process serving path, end to end on loopback: AuctionClient
+// surface semantics (LocalClient and TcpClient must be interchangeable),
+// ServiceServer round trips, and the FrontDoor topology -- TcpClient ->
+// FrontDoor -> N in-process ServiceServer backends -- pinned bitwise
+// against a LocalClient run of the same request stream, welfare invariant
+// across backend counts. Labelled `net` (CMakeLists), so the service-smoke
+// CI job runs all of this under sanitizers too.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <future>
+#include <thread>
+
+#include "client/client.hpp"
+#include "gen/scenario.hpp"
+#include "net/front_door.hpp"
+#include "net/service_server.hpp"
+#include "net/socket.hpp"
+#include "wire/codec.hpp"
+
+namespace ssa {
+namespace {
+
+using client::AuctionClient;
+using client::LocalClient;
+using client::TcpClient;
+
+/// The mixed request stream every topology replays: rotations over a
+/// fixed scenario suite, so each distinct instance recurs and the repeat
+/// behavior (cache hits) is part of what gets compared.
+std::vector<gen::NamedInstance> mixed_scenarios() {
+  std::vector<gen::NamedInstance> scenarios;
+  for (std::uint64_t day = 0; day < 2; ++day) {
+    for (gen::NamedInstance& named :
+         gen::mixed_scenario_suite(10, 2, 4200 + 31 * day)) {
+      scenarios.push_back(std::move(named));
+    }
+  }
+  return scenarios;
+}
+
+SolveOptions stream_options() {
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 8;
+  return options;
+}
+
+/// Replays \p total requests over the rotating scenario set in lockstep
+/// (submit then immediately claim), so cache-hit provenance is
+/// deterministic for every topology.
+std::vector<SolveReport> replay(AuctionClient& client,
+                                const std::vector<gen::NamedInstance>& set,
+                                int total) {
+  std::vector<SolveReport> reports;
+  reports.reserve(static_cast<std::size_t>(total));
+  const SolveOptions options = stream_options();
+  for (int r = 0; r < total; ++r) {
+    const gen::NamedInstance& scenario = set[static_cast<std::size_t>(r) %
+                                             set.size()];
+    const client::RequestId id =
+        client.submit(scenario.view(), client::kAutoSolver, options);
+    reports.push_back(client.get(id));
+  }
+  return reports;
+}
+
+service::ServiceOptions small_service() {
+  service::ServiceOptions config;
+  config.shards = 2;
+  config.threads_per_shard = 1;
+  return config;
+}
+
+// ------------------------------------------------------------ LocalClient
+
+TEST(LocalClientTest, ApiSurfaceMatchesServiceSemantics) {
+  LocalClient local(small_service());
+  const AuctionInstance instance =
+      gen::make_disk_auction(8, 2, gen::ValuationMix::kMixed, 11);
+  const auto id = local.submit(instance);
+  const SolveReport report = local.get(id);
+  EXPECT_TRUE(report.error.empty());
+  EXPECT_GT(report.welfare, 0.0);
+  EXPECT_THROW((void)local.get(id), std::invalid_argument);  // second claim
+  EXPECT_THROW((void)local.try_get(id), std::invalid_argument);
+  EXPECT_EQ(local.stats().submitted, 1u);
+  local.shutdown();
+  EXPECT_THROW((void)local.submit(instance), std::runtime_error);
+}
+
+// ---------------------------------------------- TcpClient <-> ServiceServer
+
+TEST(ServiceServerTest, TcpClientMatchesLocalClientOnTheSameStream) {
+  const std::vector<gen::NamedInstance> scenarios = mixed_scenarios();
+  LocalClient local(small_service());
+  const std::vector<SolveReport> local_reports = replay(local, scenarios, 24);
+
+  net::ServiceServer server({small_service(), 0});
+  TcpClient remote(server.port());
+  const std::vector<SolveReport> remote_reports =
+      replay(remote, scenarios, 24);
+
+  ASSERT_EQ(local_reports.size(), remote_reports.size());
+  for (std::size_t i = 0; i < local_reports.size(); ++i) {
+    EXPECT_TRUE(wire::reports_payload_equal(local_reports[i],
+                                            remote_reports[i]))
+        << "request " << i << " diverged across the wire";
+  }
+  // Same traffic profile: the remote cache behaves like the local one.
+  const auto local_stats = local.stats();
+  const auto remote_stats = remote.stats();
+  EXPECT_EQ(local_stats.submitted, remote_stats.submitted);
+  EXPECT_EQ(local_stats.cache_hits, remote_stats.cache_hits);
+  local.shutdown();
+  remote.shutdown();
+  EXPECT_THROW((void)remote.submit(scenarios[0].view()), std::runtime_error);
+}
+
+TEST(ServiceServerTest, ExceptionKindsCrossTheWire) {
+  net::ServiceServer server({small_service(), 0});
+  TcpClient remote(server.port());
+  // Bad request id: std::invalid_argument, exactly like in process.
+  EXPECT_THROW((void)remote.try_get(0xdeadbeef), std::invalid_argument);
+
+  // Solver-layer failure: stays INSIDE the report with the pinned
+  // "<solver-key>: <reason>" format, never an exception.
+  const AsymmetricInstance asymmetric =
+      gen::make_random_asymmetric(6, 2, 0.3, gen::ValuationMix::kAdditive, 5);
+  const auto id = remote.submit(asymmetric, "lp-rounding");
+  const SolveReport report = remote.get(id);
+  EXPECT_EQ(report.error.rfind("lp-rounding: ", 0), 0u) << report.error;
+  remote.shutdown();
+}
+
+TEST(ServiceServerTest, TryGetPollsAcrossTheWire) {
+  net::ServiceServer server({small_service(), 0});
+  TcpClient remote(server.port());
+  const AuctionInstance instance =
+      gen::make_disk_auction(8, 2, gen::ValuationMix::kAdditive, 3);
+  const auto id = remote.submit(instance);
+  std::optional<SolveReport> report;
+  while (!report) report = remote.try_get(id);
+  EXPECT_TRUE(report->error.empty());
+  remote.shutdown();
+}
+
+// --------------------------------------------------------------- FrontDoor
+
+std::vector<net::Endpoint> loopback_backends(
+    const std::vector<std::unique_ptr<net::ServiceServer>>& servers) {
+  std::vector<net::Endpoint> endpoints;
+  endpoints.reserve(servers.size());
+  for (const auto& server : servers) {
+    endpoints.push_back(net::Endpoint{net::kLoopbackHost, server->port()});
+  }
+  return endpoints;
+}
+
+/// The acceptance topology: TcpClient -> FrontDoor -> \p backend_count
+/// in-process backends, replaying \p total mixed requests.
+struct FrontDoorRun {
+  std::vector<SolveReport> reports;
+  service::ServiceStats stats;  // aggregated across backends
+};
+
+FrontDoorRun run_front_door(const std::vector<gen::NamedInstance>& scenarios,
+                            int backend_count, int total) {
+  std::vector<std::unique_ptr<net::ServiceServer>> backends;
+  for (int b = 0; b < backend_count; ++b) {
+    backends.push_back(std::make_unique<net::ServiceServer>(
+        net::ServiceServerOptions{small_service(), 0}));
+  }
+  net::FrontDoor door({loopback_backends(backends), 0});
+  TcpClient client(door.port());
+  FrontDoorRun run;
+  run.reports = replay(client, scenarios, total);
+  run.stats = client.stats();
+  client.shutdown();  // fans out to both backends, stops the door
+  for (const auto& backend : backends) backend->wait();
+  return run;
+}
+
+TEST(FrontDoorTest, TwoBackendsMatchLocalClientBitwiseOn200Requests) {
+  const std::vector<gen::NamedInstance> scenarios = mixed_scenarios();
+  const int kRequests = 200;
+
+  LocalClient local(small_service());
+  const std::vector<SolveReport> local_reports =
+      replay(local, scenarios, kRequests);
+  const service::ServiceStats local_stats = local.stats();
+  local.shutdown();
+
+  const FrontDoorRun door_run =
+      run_front_door(scenarios, /*backend_count=*/2, kRequests);
+
+  ASSERT_EQ(door_run.reports.size(), local_reports.size());
+  double local_welfare = 0.0;
+  double door_welfare = 0.0;
+  for (std::size_t i = 0; i < local_reports.size(); ++i) {
+    EXPECT_TRUE(
+        wire::reports_payload_equal(local_reports[i], door_run.reports[i]))
+        << "request " << i << " diverged through the front door";
+    local_welfare += local_reports[i].welfare;
+    door_welfare += door_run.reports[i].welfare;
+  }
+  EXPECT_EQ(local_welfare, door_welfare);  // bitwise, not approximately
+
+  // Aggregated stats describe the same traffic; the keyspace split means
+  // both backends saw work (fingerprints spread over 2 buckets).
+  EXPECT_EQ(door_run.stats.submitted,
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(door_run.stats.cache_hits, local_stats.cache_hits);
+}
+
+TEST(FrontDoorTest, WelfareInvariantAcrossBackendCounts) {
+  const std::vector<gen::NamedInstance> scenarios = mixed_scenarios();
+  const int kRequests = 40;
+  const FrontDoorRun one = run_front_door(scenarios, 1, kRequests);
+  const FrontDoorRun two = run_front_door(scenarios, 2, kRequests);
+  ASSERT_EQ(one.reports.size(), two.reports.size());
+  for (std::size_t i = 0; i < one.reports.size(); ++i) {
+    EXPECT_TRUE(wire::reports_payload_equal(one.reports[i], two.reports[i]))
+        << "request " << i << " depends on the backend count";
+  }
+}
+
+TEST(FrontDoorTest, UnknownIdAndErrorPassthrough) {
+  net::ServiceServer backend({small_service(), 0});
+  net::FrontDoor door(
+      {{net::Endpoint{net::kLoopbackHost, backend.port()}}, 0});
+  TcpClient client(door.port());
+  EXPECT_THROW((void)client.try_get(12345), std::invalid_argument);
+
+  // A solver-layer error report passes through the door with its pinned
+  // format -- the door never rewrites backend payloads.
+  const AuctionInstance instance =
+      gen::make_disk_auction(6, 2, gen::ValuationMix::kAdditive, 9);
+  const auto id = client.submit(instance, "no-such-solver");
+  const SolveReport report = client.get(id);
+  EXPECT_EQ(report.error.rfind("no-such-solver: ", 0), 0u) << report.error;
+
+  // Claiming an id the backend already served: invalid_argument, and the
+  // door's own map agrees with the backend's claim bookkeeping.
+  EXPECT_THROW((void)client.get(id), std::invalid_argument);
+  client.shutdown();
+  backend.wait();
+}
+
+TEST(FrontDoorTest, StopDoesNotWaitOutAStalledBackend) {
+  // A backend that accepts and never answers: the door's forwarding rpc
+  // parks in recv. stop() must half-close the busy pool connection and
+  // return promptly instead of waiting out the stall (the client then
+  // sees a door-keyed backend-failure error).
+  net::TcpListener stalled = net::TcpListener::bind_loopback(0);
+  std::thread sink([&] {
+    std::vector<net::TcpConnection> accepted;
+    while (auto connection = stalled.accept()) {
+      accepted.push_back(std::move(*connection));  // hold open, never reply
+    }
+  });
+
+  const AuctionInstance instance =
+      gen::make_disk_auction(6, 2, gen::ValuationMix::kAdditive, 13);
+  std::future<void> submitter;
+  {
+    net::FrontDoor door(
+        {{net::Endpoint{net::kLoopbackHost, stalled.port()}}, 0});
+    auto client = std::make_shared<client::TcpClient>(door.port());
+    std::promise<void> sent;
+    std::future<void> sent_future = sent.get_future();
+    submitter = std::async(std::launch::async, [client, &instance, &sent] {
+      sent.set_value();
+      // The submit is forwarded to the stalled backend; it must resolve
+      // as a runtime_error once the door stops, not hang.
+      EXPECT_THROW((void)client->submit(instance), std::runtime_error);
+    });
+    sent_future.wait();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // Destructor runs stop(): must not block on the in-flight rpc.
+  }
+  submitter.wait();
+  stalled.shutdown();  // unblocks the sink's accept; close after the join
+  sink.join();
+  stalled.close();
+}
+
+TEST(FrontDoorTest, ServesNewRegistryEntriesWithNoNewEntryPoints) {
+  // The arXiv:1110.5753 submodular-greedy entry went in as one registry
+  // add(); the transport-agnostic API serves it everywhere unchanged.
+  const AuctionInstance instance =
+      gen::make_disk_auction(10, 2, gen::ValuationMix::kMixed, 21);
+
+  LocalClient local(small_service());
+  const SolveReport local_report =
+      local.get(local.submit(instance, "submodular-greedy"));
+  local.shutdown();
+
+  net::ServiceServer backend({small_service(), 0});
+  net::FrontDoor door(
+      {{net::Endpoint{net::kLoopbackHost, backend.port()}}, 0});
+  TcpClient client(door.port());
+  const SolveReport remote_report =
+      client.get(client.submit(instance, "submodular-greedy"));
+  client.shutdown();
+  backend.wait();
+
+  EXPECT_TRUE(local_report.error.empty());
+  EXPECT_EQ(local_report.solver_selected, "submodular-greedy");
+  EXPECT_TRUE(wire::reports_payload_equal(local_report, remote_report));
+}
+
+}  // namespace
+}  // namespace ssa

@@ -165,6 +165,92 @@ TEST(SolveScheduler, AcceptAllNeverRejects) {
   scheduler.drain();
 }
 
+TEST(AdmissionCostModel, KeyedEmasFallBackToGlobal) {
+  AdmissionCostModel model;
+  EXPECT_EQ(model.estimate("exact/n8..15"), 0.0);  // no signal at all
+  model.observe("greedy/n8..15", 0.001);
+  // Unseen key: the global fallback (trained by every observation).
+  EXPECT_NEAR(model.estimate("exact/n8..15"), 0.001, 1e-9);
+  model.observe("exact/n8..15", 1.0);
+  // Seen key: its own EMA, not the cheap-solver-diluted global.
+  EXPECT_NEAR(model.estimate("exact/n8..15"), 1.0, 1e-9);
+  EXPECT_NEAR(model.estimate("greedy/n8..15"), 0.001, 1e-9);
+  EXPECT_LT(model.global_estimate(), 1.0);
+  EXPECT_GT(model.global_estimate(), 0.001);
+}
+
+TEST(AdmissionCostModel, CostKeyBucketsBySolverAndSize) {
+  EXPECT_EQ(admission_cost_key("exact", 12), "exact/n8..15");
+  EXPECT_EQ(admission_cost_key("exact", 8), "exact/n8..15");
+  EXPECT_EQ(admission_cost_key("exact", 16), "exact/n16..31");
+  EXPECT_EQ(admission_cost_key("auto", 1), "auto/n1..1");
+  EXPECT_EQ(admission_cost_key("greedy-value", 0), "greedy-value/n0..0");
+  // Different solver or different size regime = different EMA.
+  EXPECT_NE(admission_cost_key("exact", 12), admission_cost_key("auto", 12));
+  EXPECT_NE(admission_cost_key("exact", 12), admission_cost_key("exact", 40));
+}
+
+TEST(SolveScheduler, CheapSolverTrafficDoesNotInflateExpensiveKeysEstimate) {
+  // The ROADMAP-named gap pinned: a stream of cheap (greedy-like) tasks
+  // used to drag the single global EMA down, so a B&B-priced request was
+  // admitted against a millisecond estimate -- and a B&B burst inflated
+  // the estimate under cheap requests. With keyed EMAs, each key prices
+  // its own admissions.
+  SolveScheduler scheduler(1);
+  const std::string cheap = admission_cost_key("greedy-value", 12);
+  const std::string expensive = admission_cost_key("exact", 12);
+
+  // One expensive completion, then a burst of cheap ones.
+  scheduler.submit(
+      [](double) { std::this_thread::sleep_for(std::chrono::milliseconds(50)); },
+      TaskOptions{0.0, expensive});
+  scheduler.drain();
+  const double expensive_before = scheduler.estimated_task_seconds(expensive);
+  ASSERT_GE(expensive_before, 0.040);
+  for (int i = 0; i < 20; ++i) {
+    scheduler.submit([](double) {}, TaskOptions{0.0, cheap});
+  }
+  scheduler.drain();
+
+  // The cheap burst collapsed the global average but left the B&B key's
+  // estimate intact -- that is exactly the inflation/deflation bug.
+  EXPECT_LT(scheduler.estimated_task_seconds(), 0.010);
+  EXPECT_LT(scheduler.estimated_task_seconds(cheap), 0.010);
+  EXPECT_GE(scheduler.estimated_task_seconds(expensive), 0.040);
+  EXPECT_EQ(scheduler.estimated_task_seconds(expensive), expensive_before);
+}
+
+TEST(SolveScheduler, AdmissionUsesTheSubmittedKeysEstimate) {
+  // One worker blocked, one 50ms "exact" completion on record, and a
+  // fast-lane "greedy" key trained at ~0ms. Under a 20ms budget the
+  // greedy task must be admitted (its own key's estimate plus the queue
+  // drain clears the projection) while an exact task is rejected (its
+  // key prices it out), with the SAME queue state -- the global-EMA
+  // model could not tell the two apart.
+  SchedulerOptions options;
+  options.threads = 1;
+  options.admission = AdmissionPolicy::kReject;
+  SolveScheduler scheduler(options);
+  const std::string cheap = admission_cost_key("greedy-value", 12);
+  const std::string expensive = admission_cost_key("exact", 12);
+  scheduler.submit(
+      [](double) { std::this_thread::sleep_for(std::chrono::milliseconds(50)); },
+      TaskOptions{0.0, expensive});
+  for (int i = 0; i < 8; ++i) {
+    scheduler.submit([](double) {}, TaskOptions{0.0, cheap});
+  }
+  scheduler.drain();
+
+  WorkerGate gate;
+  gate.block_worker(scheduler);
+  EXPECT_EQ(scheduler.submit([](double) {}, TaskOptions{20e-3, cheap}),
+            Admission::kAccepted);
+  EXPECT_EQ(scheduler.submit([](double) {}, TaskOptions{20e-3, expensive}),
+            Admission::kRejected);
+  gate.release();
+  scheduler.drain();
+}
+
 TEST(SolveScheduler, QueueWaitIsMeasuredAndSubmitAfterShutdownThrows) {
   SolveScheduler scheduler(1);
   WorkerGate gate;

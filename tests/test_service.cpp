@@ -418,6 +418,12 @@ TEST(AuctionService, SnapshotRestartKeepsTheCacheWarmAcrossShardLayouts) {
   config.snapshot_path = path;
   AuctionService restarted(config);
   EXPECT_GE(restarted.stats().snapshot_restored, suite.size());
+  // Restored warmth, clean baseline: the hit/miss counters start at zero
+  // after a restore, so the post-restore hit rate measures THIS process
+  // life's traffic only (the E11c bench asserts the same invariant).
+  EXPECT_EQ(restarted.stats().cache_hits, 0u);
+  EXPECT_EQ(restarted.stats().submitted, 0u);
+  EXPECT_EQ(restarted.stats().completed, 0u);
   for (std::size_t i = 0; i < suite.size(); ++i) {
     const SolveReport replay =
         restarted.get(restarted.submit(suite[i].view(), kAutoSolver, options));
