@@ -1,8 +1,9 @@
 // Experiment E11: the long-lived AuctionService under three lenses.
 //
 // E11a (throughput): a fixed stream of requests (distinct scenarios from
-// gen::mixed_scenario_suite, each recurring after a cache-warming first
-// rotation) is pushed through service configurations of increasing
+// the load harness's deterministic pool, load::ScenarioPool, each
+// recurring after a cache-warming first rotation) is pushed through
+// service configurations of increasing
 // concurrency; the series reports sustained requests/sec and the cache hit
 // rate. The welfare column doubles as a cross-configuration invariant:
 // results must not depend on the shard/worker layout.
@@ -38,6 +39,7 @@
 #include "api/registry.hpp"
 #include "bench_util.hpp"
 #include "gen/scenario.hpp"
+#include "load/workload.hpp"
 #include "service/service.hpp"
 
 namespace {
@@ -66,14 +68,22 @@ int workers_from_env() {
   return env == nullptr ? 1 : std::max(1, std::atoi(env));
 }
 
-/// The benchmark workload: 5 mixed suites = 20 distinct scenarios.
+/// The benchmark workload: 20 distinct scenarios from the load harness's
+/// deterministic pool (load::ScenarioPool cycles the five generator
+/// families per derived seed), so the mixed-stream definition lives in
+/// the same spec vocabulary E13's soak traces replay.
 std::vector<gen::NamedInstance> make_scenarios() {
+  load::TraceSpec spec;
+  spec.seed = 4200;
+  spec.pool_size = 20;
+  spec.bidders = 12;
+  spec.channels = 2;
+  load::ScenarioPool pool(spec);
   std::vector<gen::NamedInstance> scenarios;
-  for (std::uint64_t suite = 0; suite < 5; ++suite) {
-    for (gen::NamedInstance& named :
-         gen::mixed_scenario_suite(12, 2, 4200 + 31 * suite)) {
-      scenarios.push_back(std::move(named));
-    }
+  scenarios.reserve(pool.size());
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(pool.size());
+       ++s) {
+    scenarios.push_back(pool.instance(s));
   }
   return scenarios;
 }

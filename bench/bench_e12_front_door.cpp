@@ -38,6 +38,7 @@
 #include "bench_util.hpp"
 #include "client/client.hpp"
 #include "gen/scenario.hpp"
+#include "load/workload.hpp"
 #include "net/front_door.hpp"
 #include "net/service_server.hpp"
 
@@ -45,15 +46,23 @@ namespace {
 
 using namespace ssa;
 
+/// 16 distinct mixed instances from the load harness's deterministic
+/// pool -- the shared workload definition (same spec vocabulary as the
+/// E13 soak traces).
 std::vector<gen::NamedInstance> make_scenarios() {
+  load::TraceSpec spec;
+  spec.seed = 8800;
+  spec.pool_size = 16;
+  spec.bidders = 12;
+  spec.channels = 2;
+  load::ScenarioPool pool(spec);
   std::vector<gen::NamedInstance> scenarios;
-  for (std::uint64_t day = 0; day < 4; ++day) {
-    for (gen::NamedInstance& named :
-         gen::mixed_scenario_suite(12, 2, 8800 + 7 * day)) {
-      scenarios.push_back(std::move(named));
-    }
+  scenarios.reserve(pool.size());
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(pool.size());
+       ++s) {
+    scenarios.push_back(pool.instance(s));
   }
-  return scenarios;  // 16 distinct instances
+  return scenarios;
 }
 
 service::ServiceOptions backend_options() {

@@ -1,0 +1,341 @@
+// Experiment E13: minutes-long open-loop soak of the serving stack.
+//
+// A seed-pinned bursty trace (load::generate_trace: on/off bursts, a
+// diurnal ramp, Zipf popularity over a 12-scenario pool, churn variants,
+// tight/loose/none deadline classes) replays open-loop (load::run_trace)
+// against two transports of the SAME serving configuration:
+//   e13/local -- LocalClient over an in-process AuctionService;
+//   e13/door  -- TcpClient -> FrontDoor -> 2 in-process ServiceServer
+//                backends (one connection per driver thread: a TcpClient
+//                serializes its own calls by design, which would otherwise
+//                turn the open loop into a closed one).
+// The offered rate and the deadline budgets are calibrated from a probe
+// phase (median real-solve cost of the pool on this machine), so the soak
+// stresses comparably on fast and slow hosts. SSA_SOAK_SECONDS scales the
+// horizon (default 60; the CI smoke runs 10).
+//
+// Reported per transport: p50/p99/p999 service latency, p99 turnaround,
+// driver lateness (schedule slip, kept in its own histogram so it cannot
+// be booked as service time), shed/degrade/timeout/coalesce/cache-hit
+// rates and per-class deadline hit rates. A final invariant phase replays
+// a prefix of the same trace with budgets stripped through FRESH instances
+// of both transports: total welfare must match EXACTLY -- the
+// location-transparency guarantee. (Only the budget-free replay is
+// comparable bitwise: degraded payloads are timing-dependent and are
+// never cached for the same reason.)
+//
+// Every row lands in BENCH_bench_e13_soak.json via bench_util.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "client/client.hpp"
+#include "load/load.hpp"
+#include "net/front_door.hpp"
+#include "net/service_server.hpp"
+
+namespace {
+
+using namespace ssa;
+
+double soak_seconds() {
+  if (const char* env = std::getenv("SSA_SOAK_SECONDS")) {
+    const double value = std::atof(env);
+    if (value > 0.0) return value;
+  }
+  return 60.0;
+}
+
+/// The serving configuration under test -- identical for the local
+/// service and for each door backend, so the transports differ only in
+/// the wire between the driver and the solvers.
+service::ServiceOptions backend_options() {
+  service::ServiceOptions config;
+  config.shards = 2;
+  config.threads_per_shard = 1;
+  return config;  // admission kDegrade: unmeetable deadlines degrade
+}
+
+/// AuctionClient adapter that opens one TcpClient per calling thread. A
+/// single TcpClient holds its connection for each call's full round trip,
+/// so sharing one across the driver's submitters and collectors would
+/// serialize submission behind every blocking get and close the loop.
+/// Door/server request ids are process-wide, so any connection may claim
+/// any id. Entries are never erased; unordered_map node stability keeps
+/// handed-out references valid for the adapter's lifetime.
+class PerThreadTcpClient final : public client::AuctionClient {
+ public:
+  explicit PerThreadTcpClient(std::uint16_t port) : port_(port) {}
+
+  [[nodiscard]] client::RequestId submit(const AnyInstance& instance,
+                                         const std::string& solver,
+                                         const SolveOptions& options) override {
+    return connection().submit(instance, solver, options);
+  }
+  [[nodiscard]] SolveReport get(client::RequestId id) override {
+    return connection().get(id);
+  }
+  [[nodiscard]] std::optional<SolveReport> try_get(
+      client::RequestId id) override {
+    return connection().try_get(id);
+  }
+  [[nodiscard]] client::ServiceStats stats() override {
+    return connection().stats();
+  }
+  void shutdown() override { connection().shutdown(); }
+
+ private:
+  [[nodiscard]] client::TcpClient& connection() {
+    const std::thread::id thread = std::this_thread::get_id();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<client::TcpClient>& slot = connections_[thread];
+    if (!slot) slot = std::make_unique<client::TcpClient>(port_);
+    return *slot;
+  }
+
+  std::uint16_t port_;
+  std::mutex mutex_;
+  std::unordered_map<std::thread::id, std::unique_ptr<client::TcpClient>>
+      connections_;
+};
+
+/// Median wall time of one real solve per pool scenario, measured through
+/// a throwaway service: the machine-speed yardstick the offered rate and
+/// the deadline budgets are expressed in.
+double probe_solve_seconds(load::ScenarioPool& pool) {
+  client::LocalClient client{backend_options()};
+  std::vector<double> costs;
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(pool.size());
+       ++s) {
+    const SolveReport report =
+        client.get(client.submit(pool.instance(s).view()));
+    costs.push_back(std::max(report.wall_time_seconds, 1e-6));
+  }
+  client.shutdown();
+  std::nth_element(costs.begin(), costs.begin() + costs.size() / 2,
+                   costs.end());
+  return costs[costs.size() / 2];
+}
+
+load::TraceSpec soak_spec(double horizon_seconds) {
+  load::TraceSpec spec;
+  spec.seed = 20260808;
+  spec.duration_seconds = horizon_seconds;
+  spec.rate_per_second = 1.0;  // placeholder; calibrated after the probe
+  spec.arrivals = load::ArrivalProcess::kOnOffBurst;
+  spec.burst_rate_multiplier = 4.0;
+  spec.idle_rate_multiplier = 0.25;
+  spec.mean_burst_seconds = 2.0;
+  spec.mean_idle_seconds = 6.0;
+  spec.diurnal_amplitude = 0.25;
+  spec.diurnal_period_seconds = std::max(10.0, horizon_seconds / 3.0);
+  spec.pool_size = 12;
+  spec.zipf_exponent = 1.1;
+  spec.churn_probability = 0.15;
+  spec.max_variants = 3;
+  spec.tight_fraction = 0.25;
+  spec.loose_fraction = 0.25;
+  spec.bidders = 12;
+  spec.channels = 2;
+  return spec;
+}
+
+double rate_of(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+double met_rate(const load::ClassOutcome& outcome) {
+  const std::uint64_t scored = outcome.deadline_met + outcome.deadline_missed;
+  return rate_of(outcome.deadline_met, scored);
+}
+
+void record_soak(const std::string& name, const load::LoadReport& report) {
+  const load::ClassOutcome& tight =
+      report.by_class[static_cast<int>(load::DeadlineClass::kTight)];
+  const load::ClassOutcome& loose =
+      report.by_class[static_cast<int>(load::DeadlineClass::kLoose)];
+  bench::record(
+      {name,
+       report.elapsed_seconds,
+       report.total_welfare,
+       "auto",
+       {{"requests", static_cast<double>(report.requests)},
+        {"completed", static_cast<double>(report.completed)},
+        {"errors", static_cast<double>(report.errors)},
+        {"offered_rate", report.offered_rate},
+        {"achieved_rate", report.achieved_rate()},
+        {"service_p50", report.service_latency.p50()},
+        {"service_p99", report.service_latency.p99()},
+        {"service_p999", report.service_latency.p999()},
+        {"turnaround_p99", report.turnaround.p99()},
+        {"lateness_p99", report.lateness.p99()},
+        {"lateness_max", report.lateness.max()},
+        {"cache_hit_rate", rate_of(report.cache_hits, report.completed)},
+        {"coalesce_rate", rate_of(report.coalesced, report.completed)},
+        {"degrade_rate", rate_of(report.degraded, report.completed)},
+        {"shed_rate", rate_of(report.rejected, report.requests)},
+        {"timeout_rate", rate_of(report.timed_out, report.completed)},
+        {"tight_met_rate", met_rate(tight)},
+        {"loose_met_rate", met_rate(loose)}}});
+}
+
+void soak_tables() {
+  const double horizon = soak_seconds();
+  load::TraceSpec spec = soak_spec(horizon);
+
+  // The pool shape ignores the rate, so it can be built (and probed)
+  // before calibration fills the rate in.
+  load::ScenarioPool pool(spec);
+  const double probe = probe_solve_seconds(pool);
+  spec.rate_per_second = std::clamp(3.0 / probe, 4.0, 400.0);
+  const load::Trace trace = load::generate_trace(spec);
+  pool.materialize(trace);
+
+  load::DriverOptions options;
+  options.submitters = 4;
+  options.tight_budget_seconds = 30.0 * probe;
+  options.loose_budget_seconds = 1000.0 * probe;
+
+  // Phase a: in-process transport.
+  load::LoadReport local_report;
+  {
+    client::LocalClient client{backend_options()};
+    local_report = load::run_trace(client, pool, trace, options);
+    client.shutdown();
+  }
+  record_soak("e13/local", local_report);
+
+  // Phase b: the full wire path, 2 backends behind a front door.
+  const auto door_run = [&](const load::Trace& events,
+                            const load::DriverOptions& run_options) {
+    std::vector<std::unique_ptr<net::ServiceServer>> backends;
+    std::vector<net::Endpoint> endpoints;
+    for (int b = 0; b < 2; ++b) {
+      backends.push_back(std::make_unique<net::ServiceServer>(
+          net::ServiceServerOptions{backend_options(), 0}));
+      endpoints.push_back(
+          net::Endpoint{net::kLoopbackHost, backends.back()->port()});
+    }
+    net::FrontDoor door({endpoints, 0});
+    load::LoadReport report;
+    {
+      PerThreadTcpClient client(door.port());
+      report = load::run_trace(client, pool, events, run_options);
+      client.shutdown();  // wire kShutdown: drains backends, stops door
+    }
+    door.stop();
+    for (const std::unique_ptr<net::ServiceServer>& backend : backends) {
+      backend->stop();
+    }
+    return report;
+  };
+  const load::LoadReport door_report = door_run(trace, options);
+  record_soak("e13/door", door_report);
+
+  // Phase c: the location-transparency invariant. The same trace prefix
+  // with budgets stripped (no deadlines -> no degraded, timing-dependent
+  // payloads) replays unpaced through fresh instances of both transports;
+  // total welfare must match EXACTLY.
+  load::Trace prefix;
+  prefix.spec = spec;
+  const std::size_t prefix_events =
+      std::min<std::size_t>(trace.events.size(), 300);
+  prefix.events.assign(trace.events.begin(),
+                       trace.events.begin() +
+                           static_cast<std::ptrdiff_t>(prefix_events));
+  load::DriverOptions replay;
+  replay.submitters = 4;
+  replay.time_scale = 0.0;  // unpaced: replay as fast as possible
+  load::LoadReport invariant_local;
+  {
+    client::LocalClient client{backend_options()};
+    invariant_local = load::run_trace(client, pool, prefix, replay);
+    client.shutdown();
+  }
+  const load::LoadReport invariant_door = door_run(prefix, replay);
+  const bool invariant =
+      invariant_local.total_welfare == invariant_door.total_welfare &&
+      invariant_local.completed == invariant_door.completed;
+  bench::record({"e13/invariant", invariant_local.elapsed_seconds,
+                 invariant_local.total_welfare, "auto",
+                 {{"events", static_cast<double>(prefix_events)},
+                  {"door_welfare", invariant_door.total_welfare},
+                  {"welfare_invariant", invariant ? 1.0 : 0.0}}});
+
+  Table table({"phase", "req/s", "p50 ms", "p99 ms", "p999 ms", "shed %",
+               "hit %", "late p99 ms", "tight met %", "loose met %"});
+  const auto row = [&](const char* label, const load::LoadReport& report) {
+    table.add_row(
+        {label, Table::num(report.achieved_rate(), 0),
+         Table::num(1e3 * report.service_latency.p50(), 3),
+         Table::num(1e3 * report.service_latency.p99(), 3),
+         Table::num(1e3 * report.service_latency.p999(), 3),
+         Table::num(100.0 * rate_of(report.rejected, report.requests), 1),
+         Table::num(100.0 * rate_of(report.cache_hits, report.completed), 1),
+         Table::num(1e3 * report.lateness.p99(), 3),
+         Table::num(
+             100.0 * met_rate(report.by_class[static_cast<int>(
+                         load::DeadlineClass::kTight)]),
+             1),
+         Table::num(
+             100.0 * met_rate(report.by_class[static_cast<int>(
+                         load::DeadlineClass::kLoose)]),
+             1)});
+  };
+  row("LocalClient (in-process)", local_report);
+  row("FrontDoor -> 2 backends", door_report);
+
+  bench::print_experiment(
+      "E13: open-loop soak, " + Table::num(horizon, 0) + " s horizon at " +
+          Table::num(spec.rate_per_second, 0) +
+          " req/s offered (probe-calibrated)",
+      table,
+      std::string("VERDICT: budget-free replay welfare ") +
+          (invariant ? "EXACTLY invariant" : "DIVERGED") +
+          " across transports (" + std::to_string(prefix_events) +
+          " events); soak errors local=" +
+          std::to_string(local_report.errors) +
+          " door=" + std::to_string(door_report.errors));
+}
+
+void bm_generate_trace(benchmark::State& state) {
+  // Generator throughput: one 10 s bursty trace per iteration.
+  load::TraceSpec spec = soak_spec(10.0);
+  spec.rate_per_second = 200.0;
+  for (auto _ : state) {
+    const load::Trace trace = load::generate_trace(spec);
+    benchmark::DoNotOptimize(trace.events.size());
+  }
+}
+BENCHMARK(bm_generate_trace)->Unit(benchmark::kMillisecond);
+
+void bm_histogram_add(benchmark::State& state) {
+  // The per-claim telemetry cost inside the driver's collector loop.
+  LatencyHistogram histogram;
+  double value = 1e-6;
+  for (auto _ : state) {
+    histogram.add(value);
+    value = value < 1.0 ? value * 1.001 : 1e-6;
+    benchmark::DoNotOptimize(histogram.count());
+  }
+}
+BENCHMARK(bm_histogram_add);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ssa::bench::run(argc, argv, [] { soak_tables(); });
+}

@@ -9,9 +9,12 @@
 // service processes (see front_door_demo.cpp).
 //
 // The stream interleaves 200 requests over a rotating set of 25 distinct
-// scenarios (symmetric disk/random-graph auctions and Section-6 asymmetric
-// instances), so each instance recurs 8 times: the first submission
-// computes, the other 7 hit the cache with bitwise-equal allocations.
+// scenarios from the load harness's deterministic pool
+// (load::ScenarioPool: disk/random-graph/clique symmetric auctions and
+// Section-6 asymmetric instances), so each instance recurs 8 times: the
+// first submission computes, the other 7 hit the cache with bitwise-equal
+// allocations. For sustained trace-driven load against the same API, see
+// bench_e13_soak.cpp (load::generate_trace + load::run_trace).
 //
 // Build & run:  ./example_service_demo
 
@@ -21,6 +24,7 @@
 
 #include "client/client.hpp"
 #include "gen/scenario.hpp"
+#include "load/workload.hpp"
 #include "support/table.hpp"
 
 int main() {
@@ -33,18 +37,22 @@ int main() {
   config.threads_per_shard = 1;
   client::LocalClient client(config);
 
-  // 25 distinct scenarios (a rotating daily workload), streamed 8x each.
+  // 25 distinct scenarios (a rotating daily workload), streamed 8x each:
+  // the load harness's pool cycles disk, random-graph and clique
+  // symmetric auctions plus random and hardness asymmetric instances,
+  // all derived deterministically from the spec seed.
+  load::TraceSpec workload;
+  workload.seed = 9000;
+  workload.pool_size = 25;
+  workload.bidders = 12;
+  workload.channels = 2;
+  load::ScenarioPool pool(workload);
   std::vector<gen::NamedInstance> scenarios;
-  for (std::uint64_t day = 0; day < 6; ++day) {
-    // Each suite: disk + random-graph (symmetric), random + hardness
-    // (asymmetric), all over 2 channels.
-    for (gen::NamedInstance& named :
-         gen::mixed_scenario_suite(12, 2, 9000 + 17 * day)) {
-      scenarios.push_back(std::move(named));
-    }
+  scenarios.reserve(pool.size());
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(pool.size());
+       ++s) {
+    scenarios.push_back(pool.instance(s));
   }
-  scenarios.push_back(
-      {"clique", gen::make_clique_auction(10, 77)});  // 25th scenario
 
   const int kRequests = 200;
   std::vector<client::RequestId> ids;
@@ -86,7 +94,8 @@ int main() {
                                    first.allocation.bundles;
     }
     all_identical = all_identical && identical;
-    table.add_row({scenarios[s].label + "#" + std::to_string(s),
+    // Pool labels already carry the scenario index ("disk#0", ...).
+    table.add_row({scenarios[s].label,
                    first.solver_selected, Table::num(first.welfare, 2),
                    std::to_string(hits), identical ? "yes" : "NO"});
   }

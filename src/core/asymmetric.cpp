@@ -50,6 +50,13 @@ AsymmetricInstance::AsymmetricInstance(std::vector<ConflictGraph> channel_graphs
   for (const auto& graph : graphs_) unweighted_ = unweighted_ && graph.is_unweighted();
 }
 
+AsymmetricInstance AsymmetricInstance::with_valuation(
+    std::size_t v, ValuationPtr valuation) const {
+  std::vector<ValuationPtr> valuations = valuations_;
+  valuations.at(v) = std::move(valuation);
+  return AsymmetricInstance(graphs_, order_, std::move(valuations), rho_);
+}
+
 double AsymmetricInstance::welfare(const Allocation& allocation) const {
   double total = 0.0;
   for (std::size_t v = 0; v < num_bidders(); ++v) {

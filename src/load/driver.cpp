@@ -1,0 +1,235 @@
+#include "load/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssa::load {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_between(Clock::time_point from,
+                                     Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// One fired request travelling from a submitter to its collector.
+struct Pending {
+  service::RequestId id = 0;
+  Clock::time_point fired;
+  double budget_seconds = 0.0;
+  DeadlineClass deadline = DeadlineClass::kNone;
+  bool submit_failed = false;  ///< poisoned entry: count the error, no claim
+};
+
+/// Single-producer single-consumer FIFO between a submitter and its
+/// collector.
+class ClaimQueue {
+ public:
+  void push(Pending pending) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(pending);
+    }
+    ready_.notify_one();
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_one();
+  }
+
+  /// False once the queue is closed AND drained.
+  [[nodiscard]] bool pop(Pending& out) {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    out = queue_.front();
+    queue_.pop_front();
+    return true;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Pending> queue_;
+  bool closed_ = false;
+};
+
+/// Per-thread measurement shard, merged into the LoadReport at the end.
+struct Shard {
+  LatencyHistogram service_latency;
+  LatencyHistogram turnaround;
+  LatencyHistogram lateness;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  double welfare = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
+  ClassOutcome by_class[3];
+  Clock::time_point last_claim;
+};
+
+[[nodiscard]] double class_budget(DeadlineClass deadline,
+                                  const DriverOptions& options) {
+  switch (deadline) {
+    case DeadlineClass::kTight: return options.tight_budget_seconds;
+    case DeadlineClass::kLoose: return options.loose_budget_seconds;
+    case DeadlineClass::kNone: break;
+  }
+  return 0.0;
+}
+
+void collect(client::AuctionClient& client, ClaimQueue& queue, Shard& shard) {
+  Pending pending;
+  while (queue.pop(pending)) {
+    auto& tally = shard.by_class[static_cast<std::size_t>(pending.deadline)];
+    tally.requests += 1;
+    if (pending.submit_failed) {
+      shard.errors += 1;
+      if (pending.budget_seconds > 0.0) tally.deadline_missed += 1;
+      continue;
+    }
+    SolveReport report;
+    try {
+      report = client.get(pending.id);
+    } catch (const std::exception&) {
+      shard.errors += 1;
+      if (pending.budget_seconds > 0.0) tally.deadline_missed += 1;
+      continue;
+    }
+    const Clock::time_point claimed = Clock::now();
+    shard.last_claim = claimed;
+    shard.completed += 1;
+    shard.turnaround.add(seconds_between(pending.fired, claimed));
+    shard.welfare += report.welfare;
+    shard.cache_hits += report.cache_hit ? 1 : 0;
+    shard.coalesced += report.coalesced ? 1 : 0;
+    shard.timed_out += report.timed_out ? 1 : 0;
+    if (report.admission == Admission::kRejected) {
+      // Shed, not slow: excluded from the latency histogram by design.
+      shard.rejected += 1;
+      if (pending.budget_seconds > 0.0) tally.deadline_missed += 1;
+      continue;
+    }
+    shard.degraded += report.admission == Admission::kDegraded ? 1 : 0;
+    const double latency =
+        report.cache_hit
+            ? 0.0
+            : report.queue_wait_seconds +
+                  (report.coalesced ? 0.0 : report.wall_time_seconds);
+    shard.service_latency.add(latency);
+    if (pending.budget_seconds > 0.0) {
+      if (latency <= pending.budget_seconds) {
+        tally.deadline_met += 1;
+      } else {
+        tally.deadline_missed += 1;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LoadReport run_trace(client::AuctionClient& client, ScenarioPool& pool,
+                     const Trace& trace, const DriverOptions& options) {
+  pool.materialize(trace);
+
+  const std::size_t events = trace.events.size();
+  const int submitters = static_cast<int>(std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::clamp(options.submitters, 1, 64)), 1,
+      std::max<std::size_t>(events, 1)));
+  const double scale = std::max(options.time_scale, 0.0);
+
+  std::vector<Shard> submit_shards(static_cast<std::size_t>(submitters));
+  std::vector<Shard> collect_shards(static_cast<std::size_t>(submitters));
+  std::vector<ClaimQueue> queues(static_cast<std::size_t>(submitters));
+
+  // A short runway before the first scheduled fire so thread startup does
+  // not register as driver lateness.
+  const Clock::time_point start =
+      Clock::now() + std::chrono::milliseconds(20);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(submitters) * 2);
+  for (int s = 0; s < submitters; ++s) {
+    threads.emplace_back([&, s] {
+      Shard& shard = submit_shards[static_cast<std::size_t>(s)];
+      ClaimQueue& queue = queues[static_cast<std::size_t>(s)];
+      // Round-robin partition: every submitter holds a time-ordered
+      // subsequence of the trace.
+      for (std::size_t i = static_cast<std::size_t>(s); i < events;
+           i += static_cast<std::size_t>(submitters)) {
+        const TraceEvent& event = trace.events[i];
+        const auto offset = std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(event.at_seconds * scale));
+        const Clock::time_point scheduled = start + offset;
+        if (scale > 0.0 && Clock::now() < scheduled) {
+          std::this_thread::sleep_until(scheduled);
+        }
+        Pending pending;
+        pending.fired = Clock::now();
+        pending.deadline = event.deadline;
+        pending.budget_seconds = class_budget(event.deadline, options);
+        shard.lateness.add(seconds_between(scheduled, pending.fired));
+        SolveOptions request = options.base_options;
+        request.time_budget_seconds = pending.budget_seconds;
+        try {
+          pending.id = client.submit(pool.view(event), options.solver, request);
+        } catch (const std::exception&) {
+          pending.submit_failed = true;
+        }
+        queue.push(pending);
+      }
+      queue.close();
+    });
+    threads.emplace_back([&, s] {
+      collect(client, queues[static_cast<std::size_t>(s)],
+              collect_shards[static_cast<std::size_t>(s)]);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  LoadReport report;
+  report.requests = events;
+  Clock::time_point last_claim = start;
+  for (const Shard& shard : submit_shards) {
+    report.lateness.merge(shard.lateness);
+  }
+  for (const Shard& shard : collect_shards) {
+    report.service_latency.merge(shard.service_latency);
+    report.turnaround.merge(shard.turnaround);
+    report.completed += shard.completed;
+    report.errors += shard.errors;
+    report.total_welfare += shard.welfare;
+    report.cache_hits += shard.cache_hits;
+    report.coalesced += shard.coalesced;
+    report.degraded += shard.degraded;
+    report.rejected += shard.rejected;
+    report.timed_out += shard.timed_out;
+    for (std::size_t c = 0; c < 3; ++c) {
+      report.by_class[c].requests += shard.by_class[c].requests;
+      report.by_class[c].deadline_met += shard.by_class[c].deadline_met;
+      report.by_class[c].deadline_missed += shard.by_class[c].deadline_missed;
+    }
+    last_claim = std::max(last_claim, shard.last_claim);
+  }
+  report.elapsed_seconds = seconds_between(start, last_claim);
+  const double horizon = trace.spec.duration_seconds * scale;
+  report.offered_rate =
+      horizon > 0.0 ? static_cast<double>(events) / horizon : 0.0;
+  return report;
+}
+
+}  // namespace ssa::load

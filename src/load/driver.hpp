@@ -1,0 +1,117 @@
+#pragma once
+/// \file driver.hpp
+/// Open-loop trace replay against any serving client: run_trace fires a
+/// Trace at its scheduled timestamps through an ssa::client::AuctionClient
+/// -- LocalClient, TcpClient to a ServiceServer, or TcpClient through a
+/// FrontDoor -- and measures what the SERVICE did, separately from how
+/// well the DRIVER kept the schedule.
+///
+/// Open loop means arrivals never wait for completions: each submitter
+/// thread paces its (time-ordered, round-robin) share of the events with
+/// sleep_until and hands the returned RequestId to a paired collector
+/// thread, which claims reports in submission order while the submitter
+/// keeps firing. A service that falls behind therefore sees the queue
+/// build-up a real arrival process inflicts, instead of the self-throttling
+/// a closed loop hides behind.
+///
+/// Measurement semantics (documented in README "Load & soak harness"):
+///  - service latency: what the service took per SERVED request --
+///    0 for cache hits (answered at submission), queue_wait_seconds for
+///    coalesced followers (attach-to-completion; the leader's solve
+///    overlaps it), queue_wait + wall_time for executed solves. Rejected
+///    requests are shed, not slow: they count in `rejected` and are
+///    excluded from this histogram.
+///  - turnaround: submit -> claim per completed request, as the collector
+///    observes it (an upper bound: collectors claim FIFO, so one slow
+///    leader delays the claim of its successors, not their completion).
+///  - lateness: scheduled fire time vs. actual fire time, per event. This
+///    is the DRIVER falling behind (oversubscribed submitters, scheduler
+///    jitter) and is reported in its own histogram precisely so it cannot
+///    be mistaken for -- or silently absorbed into -- service latency.
+///
+/// Deadline classes: the driver maps TraceEvent::deadline to the per-class
+/// budgets in DriverOptions at fire time (budget 0 = submit without a
+/// deadline); a classed request whose service latency beat its budget
+/// counts as met, a rejected or slower one as missed.
+
+#include <cstdint>
+#include <string>
+
+#include "api/solver.hpp"
+#include "client/auction_client.hpp"
+#include "load/trace.hpp"
+#include "load/workload.hpp"
+#include "support/histogram.hpp"
+
+namespace ssa::load {
+
+struct DriverOptions {
+  /// Paced submission threads (each with a paired collector); clamped to
+  /// [1, 64] and to the event count.
+  int submitters = 2;
+  /// Multiplies every event timestamp: 2.0 halves the offered rate, 0.0
+  /// replays as fast as possible (no pacing; lateness then measures replay
+  /// progress, not driver health).
+  double time_scale = 1.0;
+  /// Per-class SolveOptions::time_budget_seconds; 0 submits the class
+  /// without a deadline (kNone always submits without one).
+  double tight_budget_seconds = 0.0;
+  double loose_budget_seconds = 0.0;
+  /// Registry key or kAutoSolver, identical for every request.
+  std::string solver = client::kAutoSolver;
+  /// Per-request options; the driver overwrites time_budget_seconds from
+  /// the event's class and leaves everything else constant, so repeats of
+  /// one (scenario, variant) stay fingerprint-identical and can hit the
+  /// cache.
+  SolveOptions base_options;
+};
+
+/// Outcome tally of one deadline class (index = DeadlineClass).
+struct ClassOutcome {
+  std::uint64_t requests = 0;
+  /// Only classed requests submitted WITH a budget score met/missed.
+  std::uint64_t deadline_met = 0;
+  std::uint64_t deadline_missed = 0;
+};
+
+/// Everything one replay measured; histograms are merged from the
+/// per-thread shards (LatencyHistogram::merge is exact, so the merge
+/// order does not matter).
+struct LoadReport {
+  std::uint64_t requests = 0;   ///< events fired (submit attempted)
+  std::uint64_t completed = 0;  ///< reports successfully claimed
+  std::uint64_t errors = 0;     ///< submit/claim calls that threw
+  double elapsed_seconds = 0.0;  ///< first scheduled fire -> last claim
+  double offered_rate = 0.0;     ///< events / scaled trace horizon
+  double total_welfare = 0.0;    ///< sum of claimed report welfare
+
+  LatencyHistogram service_latency;  ///< served requests (see file comment)
+  LatencyHistogram turnaround;       ///< submit -> claim, completed requests
+  LatencyHistogram lateness;         ///< driver schedule slip, every event
+
+  // Provenance tallies over the claimed reports.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
+
+  ClassOutcome by_class[3];  ///< indexed by DeadlineClass
+
+  [[nodiscard]] double achieved_rate() const noexcept {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(requests) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+/// Replays \p trace against \p client; materializes every (scenario,
+/// variant) pair in \p pool up front so the timed loop never generates
+/// instances. Blocks until every claim returned. Thread-safe with respect
+/// to the client (which is shared across submitters); the pool must not be
+/// used concurrently by anyone else during the call.
+[[nodiscard]] LoadReport run_trace(client::AuctionClient& client,
+                                   ScenarioPool& pool, const Trace& trace,
+                                   const DriverOptions& options = {});
+
+}  // namespace ssa::load

@@ -1,0 +1,11 @@
+#pragma once
+/// \file load.hpp
+/// Umbrella header of the load-harness subsystem: seed-driven trace
+/// generation with a versioned on-disk format (trace.hpp), deterministic
+/// scenario materialization (workload.hpp), and the open-loop replay
+/// driver with histogram telemetry (driver.hpp, support/histogram.hpp).
+
+#include "load/driver.hpp"    // IWYU pragma: export
+#include "load/trace.hpp"     // IWYU pragma: export
+#include "load/workload.hpp"  // IWYU pragma: export
+#include "support/histogram.hpp"  // IWYU pragma: export

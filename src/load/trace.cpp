@@ -1,0 +1,280 @@
+#include "load/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numbers>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/asymmetric.hpp"
+#include "support/random.hpp"
+#include "wire/codec.hpp"
+
+namespace ssa::load {
+namespace {
+
+/// Validation shared by the generator (throwing) and the decoder
+/// (failing): returns the first problem, or nullptr for a sound spec.
+const char* spec_problem(const TraceSpec& spec) noexcept {
+  const auto positive = [](double v) { return std::isfinite(v) && v > 0.0; };
+  if (!positive(spec.duration_seconds)) return "duration must be > 0";
+  if (!positive(spec.rate_per_second)) return "rate must be > 0";
+  if (spec.arrivals != ArrivalProcess::kPoisson &&
+      spec.arrivals != ArrivalProcess::kOnOffBurst) {
+    return "unknown arrival process";
+  }
+  if (spec.arrivals == ArrivalProcess::kOnOffBurst) {
+    if (!positive(spec.burst_rate_multiplier) ||
+        !positive(spec.idle_rate_multiplier)) {
+      return "on/off rate multipliers must be > 0";
+    }
+    if (!positive(spec.mean_burst_seconds) ||
+        !positive(spec.mean_idle_seconds)) {
+      return "on/off holding times must be > 0";
+    }
+  }
+  if (!std::isfinite(spec.diurnal_amplitude) || spec.diurnal_amplitude < 0.0 ||
+      spec.diurnal_amplitude >= 1.0) {
+    return "diurnal amplitude must be in [0, 1)";
+  }
+  if (spec.diurnal_amplitude > 0.0 && !positive(spec.diurnal_period_seconds)) {
+    return "diurnal period must be > 0";
+  }
+  if (spec.pool_size == 0) return "pool must hold at least one scenario";
+  if (!std::isfinite(spec.zipf_exponent) || spec.zipf_exponent < 0.0) {
+    return "zipf exponent must be >= 0";
+  }
+  if (!std::isfinite(spec.churn_probability) || spec.churn_probability < 0.0 ||
+      spec.churn_probability > 1.0) {
+    return "churn probability must be in [0, 1]";
+  }
+  if (spec.churn_probability > 0.0 && spec.max_variants == 0) {
+    return "churn needs max_variants >= 1";
+  }
+  if (!std::isfinite(spec.tight_fraction) || spec.tight_fraction < 0.0 ||
+      !std::isfinite(spec.loose_fraction) || spec.loose_fraction < 0.0 ||
+      spec.tight_fraction + spec.loose_fraction > 1.0) {
+    return "deadline fractions must be >= 0 and sum to <= 1";
+  }
+  if (spec.bidders < 2 || spec.bidders > 4096) {
+    return "bidders must be in [2, 4096]";
+  }
+  if (spec.channels < 1 ||
+      spec.channels > static_cast<std::uint32_t>(
+                          AsymmetricInstance::kMaxChannels)) {
+    return "channels must be in [1, AsymmetricInstance::kMaxChannels]";
+  }
+  // The generator's event count is bounded by the peak instantaneous rate.
+  const double burst_peak = spec.arrivals == ArrivalProcess::kOnOffBurst
+                                ? std::max(spec.burst_rate_multiplier,
+                                           spec.idle_rate_multiplier)
+                                : 1.0;
+  const double peak_rate = spec.rate_per_second *
+                           (1.0 + spec.diurnal_amplitude) * burst_peak;
+  if (peak_rate * spec.duration_seconds >
+      0.5 * static_cast<double>(kMaxTraceEvents)) {
+    return "expected event count beyond kMaxTraceEvents";
+  }
+  return nullptr;
+}
+
+void write_spec(wire::Writer& writer, const TraceSpec& spec) {
+  writer.u64(spec.seed);
+  writer.f64(spec.duration_seconds);
+  writer.f64(spec.rate_per_second);
+  writer.u8(static_cast<std::uint8_t>(spec.arrivals));
+  writer.f64(spec.burst_rate_multiplier);
+  writer.f64(spec.idle_rate_multiplier);
+  writer.f64(spec.mean_burst_seconds);
+  writer.f64(spec.mean_idle_seconds);
+  writer.f64(spec.diurnal_amplitude);
+  writer.f64(spec.diurnal_period_seconds);
+  writer.u32(spec.pool_size);
+  writer.f64(spec.zipf_exponent);
+  writer.f64(spec.churn_probability);
+  writer.u32(spec.max_variants);
+  writer.f64(spec.tight_fraction);
+  writer.f64(spec.loose_fraction);
+  writer.u32(spec.bidders);
+  writer.u32(spec.channels);
+}
+
+[[nodiscard]] TraceSpec read_spec(wire::Reader& reader) {
+  TraceSpec spec;
+  spec.seed = reader.u64();
+  spec.duration_seconds = reader.f64();
+  spec.rate_per_second = reader.f64();
+  spec.arrivals = static_cast<ArrivalProcess>(reader.u8());
+  spec.burst_rate_multiplier = reader.f64();
+  spec.idle_rate_multiplier = reader.f64();
+  spec.mean_burst_seconds = reader.f64();
+  spec.mean_idle_seconds = reader.f64();
+  spec.diurnal_amplitude = reader.f64();
+  spec.diurnal_period_seconds = reader.f64();
+  spec.pool_size = reader.u32();
+  spec.zipf_exponent = reader.f64();
+  spec.churn_probability = reader.f64();
+  spec.max_variants = reader.u32();
+  spec.tight_fraction = reader.f64();
+  spec.loose_fraction = reader.f64();
+  spec.bidders = reader.u32();
+  spec.channels = reader.u32();
+  if (!reader.failed() && spec_problem(spec) != nullptr) reader.fail();
+  return spec;
+}
+
+}  // namespace
+
+Trace generate_trace(const TraceSpec& spec) {
+  if (const char* problem = spec_problem(spec)) {
+    throw std::invalid_argument(std::string("load: bad trace spec: ") +
+                                problem);
+  }
+
+  // Independent substreams per concern, so e.g. flipping churn on does not
+  // reshuffle the arrival times of an otherwise identical spec.
+  Rng root(spec.seed);
+  Rng arrivals = root.split(1);
+  Rng modulation = root.split(2);
+  Rng popularity = root.split(3);
+  Rng churn = root.split(4);
+  Rng classes = root.split(5);
+
+  // Zipf popularity: cumulative weights 1/(i+1)^s over the pool.
+  std::vector<double> cumulative(spec.pool_size);
+  double total = 0.0;
+  for (std::uint32_t i = 0; i < spec.pool_size; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i) + 1.0, spec.zipf_exponent);
+    cumulative[i] = total;
+  }
+
+  const bool on_off = spec.arrivals == ArrivalProcess::kOnOffBurst;
+  bool burst = true;  // on/off state machine starts in the burst state
+  double state_left =
+      on_off ? modulation.exponential(1.0 / spec.mean_burst_seconds) : 0.0;
+
+  Trace trace{spec, {}};
+  double t = 0.0;
+  while (true) {
+    // Piecewise-constant rate approximation: the instantaneous rate at the
+    // interval start drives the next inter-arrival gap (state flips and
+    // the diurnal ramp lag by at most one gap -- fine at serving rates).
+    double rate = spec.rate_per_second;
+    if (spec.diurnal_amplitude > 0.0) {
+      rate *= 1.0 + spec.diurnal_amplitude *
+                        std::sin(2.0 * std::numbers::pi * t /
+                                 spec.diurnal_period_seconds);
+    }
+    if (on_off) {
+      rate *= burst ? spec.burst_rate_multiplier : spec.idle_rate_multiplier;
+    }
+    const double gap = arrivals.exponential(rate);
+    t += gap;
+    if (t > spec.duration_seconds) break;
+    if (on_off) {
+      state_left -= gap;
+      while (state_left <= 0.0) {
+        burst = !burst;
+        state_left += modulation.exponential(
+            1.0 / (burst ? spec.mean_burst_seconds : spec.mean_idle_seconds));
+      }
+    }
+
+    TraceEvent event;
+    event.at_seconds = t;
+    const double u = popularity.uniform() * total;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    event.scenario = static_cast<std::uint32_t>(
+        std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                                 static_cast<std::ptrdiff_t>(spec.pool_size) -
+                                     1));
+    if (churn.bernoulli(spec.churn_probability)) {
+      event.variant =
+          1 + static_cast<std::uint32_t>(churn.uniform_int(spec.max_variants));
+    }
+    const double c = classes.uniform();
+    if (c < spec.tight_fraction) {
+      event.deadline = DeadlineClass::kTight;
+    } else if (c < spec.tight_fraction + spec.loose_fraction) {
+      event.deadline = DeadlineClass::kLoose;
+    }
+    trace.events.push_back(event);
+    if (trace.events.size() > kMaxTraceEvents) {
+      throw std::invalid_argument("load: trace exceeds kMaxTraceEvents");
+    }
+  }
+  return trace;
+}
+
+std::string encode_trace(const Trace& trace) {
+  wire::Writer writer;
+  writer.u32(kTraceMagic);
+  writer.u32(kTraceVersion);
+  write_spec(writer, trace.spec);
+  writer.u64(trace.events.size());
+  for (const TraceEvent& event : trace.events) {
+    writer.f64(event.at_seconds);
+    writer.u32(event.scenario);
+    writer.u32(event.variant);
+    writer.u8(static_cast<std::uint8_t>(event.deadline));
+  }
+  return writer.take();
+}
+
+std::optional<Trace> decode_trace(std::string_view bytes) {
+  wire::Reader reader(bytes);
+  if (reader.u32() != kTraceMagic || reader.u32() != kTraceVersion) {
+    return std::nullopt;
+  }
+  Trace trace;
+  trace.spec = read_spec(reader);
+  const std::uint64_t count = reader.u64();
+  // Every event costs 17 bytes; a count beyond the remaining bytes or the
+  // global cap can only be corruption.
+  if (count > kMaxTraceEvents || count > reader.remaining()) {
+    return std::nullopt;
+  }
+  double last_at = 0.0;
+  for (std::uint64_t i = 0; i < count && !reader.failed(); ++i) {
+    TraceEvent event;
+    event.at_seconds = reader.f64();
+    event.scenario = reader.u32();
+    event.variant = reader.u32();
+    event.deadline = static_cast<DeadlineClass>(reader.u8());
+    if (!std::isfinite(event.at_seconds) || event.at_seconds < last_at ||
+        event.scenario >= trace.spec.pool_size ||
+        event.variant > trace.spec.max_variants ||
+        event.deadline > DeadlineClass::kLoose) {
+      reader.fail();
+      break;
+    }
+    last_at = event.at_seconds;
+    trace.events.push_back(event);
+  }
+  if (reader.failed() || !reader.exhausted()) return std::nullopt;
+  return trace;
+}
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  const std::string bytes = encode_trace(trace);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::optional<Trace> read_trace(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return decode_trace(buffer.str());
+}
+
+Fingerprint trace_fingerprint(const Trace& trace) {
+  FingerprintHasher hasher;
+  hasher.mix(std::string_view(encode_trace(trace)));
+  return hasher.digest();
+}
+
+}  // namespace ssa::load

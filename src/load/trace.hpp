@@ -1,0 +1,153 @@
+#pragma once
+/// \file trace.hpp
+/// Deterministic, seed-driven workload traces: the load model the soak
+/// harness fires at a serving client (load/driver.hpp). A trace is a
+/// time-ordered list of arrival events over a pool of generated scenarios
+/// (load/workload.hpp); the generator composes the traffic phenomena the
+/// serving layer exists for:
+///
+///  - arrivals: Poisson, or MMPP-style on/off bursts (two exponential
+///    holding times switching the rate between a burst and an idle
+///    multiplier);
+///  - a diurnal ramp: the base rate modulated by a sinusoid
+///    (1 + amplitude * sin(2 pi t / period));
+///  - popularity: scenarios drawn Zipf(s) over the pool, so a few
+///    instances dominate and exercise the fingerprint cache + coalescing;
+///  - churn: with probability churn_probability an arrival is a near
+///    duplicate -- the base scenario with one bidder's valuation resampled
+///    (variant > 0) -- which must MISS the cache despite looking similar;
+///  - deadline classes: each arrival is tagged kTight / kLoose / kNone;
+///    the driver maps classes to time budgets at fire time.
+///
+/// Determinism contract: generate_trace(spec) is a pure function of the
+/// spec -- same spec, same bytes, on every platform and compiler
+/// (tests/test_load.cpp pins golden trace fingerprints; the only
+/// portability assumption is IEEE-754 double arithmetic plus the libm
+/// exp/log/sin calls behind Rng and the diurnal ramp, and the pins exist
+/// precisely so any drift fails loudly instead of silently).
+///
+/// On-disk format ("SSAT"), versioned exactly like the wire protocol and
+/// the result-cache snapshots:
+///
+///     u32 kTraceMagic | u32 kTraceVersion | TraceSpec | u64 count | events
+///
+/// via the little-endian wire::Writer/Reader primitives; any anomaly --
+/// short file, bad magic, unknown version, out-of-range enum, trailing
+/// garbage -- makes read_trace/decode_trace return nullopt. Bump
+/// kTraceVersion on ANY layout change (spec fields included) so old files
+/// are rejected cleanly instead of misparsed.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/fingerprint.hpp"
+
+namespace ssa::load {
+
+/// First field of every serialized trace ("SSAT", little-endian).
+inline constexpr std::uint32_t kTraceMagic = 0x54415353u;
+
+/// Trace format schema version; see the file comment for when to bump.
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Hard cap on generated/decoded events (a spec whose rate * duration
+/// lands beyond this is a configuration error, and a corrupt count field
+/// must not drive a huge parse loop).
+inline constexpr std::uint64_t kMaxTraceEvents = std::uint64_t{1} << 24;
+
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson = 0,    ///< time-varying Poisson (diurnal ramp only)
+  kOnOffBurst = 1  ///< MMPP-style two-state modulation on top of it
+};
+
+enum class DeadlineClass : std::uint8_t {
+  kNone = 0,   ///< no time budget
+  kTight = 1,  ///< driver applies DriverOptions::tight_budget_seconds
+  kLoose = 2   ///< driver applies DriverOptions::loose_budget_seconds
+};
+
+/// Full recipe for one trace AND its scenario pool; a spec is the unit of
+/// reproducibility (it travels inside the trace file, so a reloaded trace
+/// rebuilds the identical pool).
+struct TraceSpec {
+  std::uint64_t seed = 1;
+
+  // -- arrivals --
+  double duration_seconds = 10.0;  ///< trace time horizon (> 0)
+  double rate_per_second = 50.0;   ///< base arrival rate (> 0)
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// On/off modulation (kOnOffBurst only): rate multipliers and mean
+  /// exponential holding times of the two states.
+  double burst_rate_multiplier = 4.0;
+  double idle_rate_multiplier = 0.25;
+  double mean_burst_seconds = 2.0;
+  double mean_idle_seconds = 6.0;
+  /// Diurnal ramp: rate(t) *= 1 + amplitude * sin(2 pi t / period).
+  /// amplitude in [0, 1); 0 disables, period > 0 when enabled.
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_seconds = 60.0;
+
+  // -- popularity over the scenario pool --
+  std::uint32_t pool_size = 16;  ///< base scenarios (>= 1)
+  double zipf_exponent = 1.0;    ///< >= 0; 0 = uniform popularity
+
+  // -- churn (near-duplicate variants) --
+  double churn_probability = 0.0;  ///< in [0, 1]
+  std::uint32_t max_variants = 4;  ///< variants per scenario (>= 1 w/ churn)
+
+  // -- deadline class mixture (fractions sum to <= 1; rest is kNone) --
+  double tight_fraction = 0.0;
+  double loose_fraction = 0.0;
+
+  // -- scenario pool shape (load/workload.hpp) --
+  std::uint32_t bidders = 12;  ///< bidders per generated instance (>= 2)
+  std::uint32_t channels = 2;  ///< channels per generated instance (>= 1)
+
+  [[nodiscard]] friend bool operator==(const TraceSpec&,
+                                       const TraceSpec&) = default;
+};
+
+/// One arrival: fire the (scenario, variant) instance at \p at_seconds
+/// (trace time, ascending within a trace) under \p deadline.
+struct TraceEvent {
+  double at_seconds = 0.0;
+  std::uint32_t scenario = 0;  ///< pool index in [0, spec.pool_size)
+  std::uint32_t variant = 0;   ///< 0 = base scenario; > 0 = churn variant
+  DeadlineClass deadline = DeadlineClass::kNone;
+
+  [[nodiscard]] friend bool operator==(const TraceEvent&,
+                                       const TraceEvent&) = default;
+};
+
+struct Trace {
+  TraceSpec spec;
+  std::vector<TraceEvent> events;  ///< ascending at_seconds
+
+  [[nodiscard]] friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+/// Generates the trace a spec describes; pure and deterministic (see the
+/// file comment). Throws std::invalid_argument on a malformed spec
+/// (non-positive rate/duration/pool, fractions out of range, an expected
+/// or actual event count beyond kMaxTraceEvents, ...).
+[[nodiscard]] Trace generate_trace(const TraceSpec& spec);
+
+/// Serializes a trace into the versioned "SSAT" byte format.
+[[nodiscard]] std::string encode_trace(const Trace& trace);
+/// Parses "SSAT" bytes; nullopt on ANY anomaly (strict: trailing bytes
+/// fail too).
+[[nodiscard]] std::optional<Trace> decode_trace(std::string_view bytes);
+
+/// Stream variants of encode/decode for trace files on disk.
+void write_trace(std::ostream& out, const Trace& trace);
+[[nodiscard]] std::optional<Trace> read_trace(std::istream& in);
+
+/// Canonical 128-bit digest of the serialized trace -- the golden-pin
+/// handle: same spec => same bytes => same fingerprint, across platforms.
+[[nodiscard]] Fingerprint trace_fingerprint(const Trace& trace);
+
+}  // namespace ssa::load

@@ -1,0 +1,76 @@
+#pragma once
+/// \file workload.hpp
+/// Materializes the instances a trace references: ScenarioPool turns the
+/// pool coordinates of a TraceEvent -- (scenario, variant) -- into owned
+/// gen::NamedInstance objects the driver can submit.
+///
+/// The pool is a pure function of the TraceSpec fields that shape it
+/// (seed, pool_size, bidders, channels): base scenario i cycles through
+/// five generator families (disk, random-graph, clique, asym-random,
+/// asym-hardness) with a per-index derived seed, so any process that holds
+/// the spec -- including one that only loaded the trace file -- rebuilds
+/// bitwise-identical instances and therefore identical request
+/// fingerprints (the replay guarantee tests/test_load.cpp pins).
+///
+/// Churn variants (variant > 0) are near duplicates: the base scenario
+/// with ONE bidder's valuation resampled from the generator's mixed
+/// population, derived deterministically from (seed, scenario, variant).
+/// They differ from the base instance by a single valuation -- exactly the
+/// near-miss traffic that must MISS the fingerprint cache -- while
+/// variant 0 repeats must HIT it.
+///
+/// Threading: construction and materialize() are single-threaded;
+/// afterwards view() is const and safe to call concurrently (the driver
+/// materializes every pair a trace uses before starting its submitters).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "api/any_instance.hpp"
+#include "gen/scenario.hpp"
+#include "load/trace.hpp"
+
+namespace ssa::load {
+
+/// Owned, deterministic instance pool behind a trace; see the file
+/// comment.
+class ScenarioPool {
+ public:
+  /// Builds every base scenario eagerly (pool_size instances). Throws
+  /// std::invalid_argument on a malformed spec (via generate-side
+  /// validation rules: pool_size >= 1, bidders >= 2, channels in range).
+  explicit ScenarioPool(const TraceSpec& spec);
+
+  [[nodiscard]] const TraceSpec& spec() const noexcept { return spec_; }
+  /// Base scenarios (spec.pool_size).
+  [[nodiscard]] std::size_t size() const noexcept { return base_.size(); }
+
+  /// The owned instance at (scenario, variant), built and cached on first
+  /// use. NOT thread-safe (it may mutate the variant cache); references
+  /// stay valid for the pool's lifetime. Throws std::out_of_range for a
+  /// scenario beyond the pool.
+  [[nodiscard]] const gen::NamedInstance& instance(std::uint32_t scenario,
+                                                   std::uint32_t variant = 0);
+
+  /// Caches every (scenario, variant) pair \p trace references, making
+  /// subsequent view() calls hit-only (and therefore thread-safe).
+  void materialize(const Trace& trace);
+
+  /// Non-owning view for one event. Const and safe to call concurrently
+  /// AFTER the pair was materialized; throws std::out_of_range for a
+  /// variant that was not.
+  [[nodiscard]] AnyInstance view(const TraceEvent& event) const;
+
+ private:
+  [[nodiscard]] gen::NamedInstance make_base(std::uint32_t scenario) const;
+  [[nodiscard]] gen::NamedInstance make_variant(std::uint32_t scenario,
+                                                std::uint32_t variant) const;
+
+  TraceSpec spec_;
+  std::vector<gen::NamedInstance> base_;
+  /// (scenario << 32 | variant) -> near-duplicate instance.
+  std::unordered_map<std::uint64_t, gen::NamedInstance> variants_;
+};
+
+}  // namespace ssa::load

@@ -285,6 +285,7 @@ struct FrontDoor::Impl {
       total.coalesced += stats.coalesced;
       total.admission_degraded += stats.admission_degraded;
       total.admission_rejected += stats.admission_rejected;
+      total.timed_out += stats.timed_out;
       total.snapshot_restored += stats.snapshot_restored;
       total.cache_entries += stats.cache_entries;
       total.cache_bytes += stats.cache_bytes;

@@ -351,6 +351,7 @@ RequestId AuctionService::submit(const AnyInstance& instance,
           report.cache_hit = false;
           report.coalesced = false;
           report.admission = verdict;
+          const bool run_timed_out = report.timed_out;
           std::size_t follower_count = 0;
           {
             const std::lock_guard<std::mutex> completion_lock(shard.mutex);
@@ -387,6 +388,8 @@ RequestId AuctionService::submit(const AnyInstance& instance,
             shard.completed.emplace(id, std::move(report));
           }
           completed_.fetch_add(1 + follower_count);
+          // Followers received the same truncated payload, so they count.
+          if (run_timed_out) timed_out_.fetch_add(1 + follower_count);
           shard.completed_cv.notify_all();
         },
         // The cost key separates the admission EMA by requested solver and
@@ -540,6 +543,7 @@ ServiceStats AuctionService::stats() const {
   stats.coalesced = coalesced_.load();
   stats.admission_degraded = admission_degraded_.load();
   stats.admission_rejected = admission_rejected_.load();
+  stats.timed_out = timed_out_.load();
   stats.snapshot_restored = snapshot_restored_.load();
   for (const std::unique_ptr<Shard>& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);

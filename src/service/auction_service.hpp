@@ -130,6 +130,11 @@ struct ServiceStats {
   std::uint64_t coalesced = 0;   ///< followers attached to an in-flight run
   std::uint64_t admission_degraded = 0;
   std::uint64_t admission_rejected = 0;
+  /// Completed requests whose solver run was truncated by its time budget
+  /// (SolveReport::timed_out; coalesced followers of a timed-out leader
+  /// count too -- they received the truncated payload). The load harness
+  /// reports timeout rates from this across every transport.
+  std::uint64_t timed_out = 0;
   /// Cache entries restored from the snapshot at construction.
   std::uint64_t snapshot_restored = 0;
   std::size_t cache_entries = 0;
@@ -204,6 +209,7 @@ class AuctionService {
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> admission_degraded_{0};
   std::atomic<std::uint64_t> admission_rejected_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> snapshot_restored_{0};
 };
 

@@ -1,0 +1,69 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssa {
+
+// Bucket geometry: bucket 0 is [0, kMinSeconds]; bucket i >= 1 covers
+// (kMinSeconds * 2^((i-1)/B), kMinSeconds * 2^(i/B)] with
+// B = kBucketsPerOctave. The last bucket additionally absorbs everything
+// beyond the grid.
+
+double LatencyHistogram::relative_error() noexcept {
+  return std::exp2(1.0 / (2.0 * kBucketsPerOctave)) - 1.0;
+}
+
+int LatencyHistogram::bucket_of(double seconds) noexcept {
+  if (!(seconds > kMinSeconds)) return 0;  // NaN and <= kMinSeconds
+  const double octaves = std::log2(seconds / kMinSeconds);
+  const int bucket =
+      1 + static_cast<int>(octaves * static_cast<double>(kBucketsPerOctave));
+  return std::clamp(bucket, 1, kBucketCount - 1);
+}
+
+double LatencyHistogram::bucket_midpoint(int bucket) noexcept {
+  if (bucket <= 0) return kMinSeconds;
+  // Geometric midpoint of the bucket's (lo, hi] span.
+  return kMinSeconds *
+         std::exp2((static_cast<double>(bucket) - 0.5) /
+                   static_cast<double>(kBucketsPerOctave));
+}
+
+void LatencyHistogram::add(double seconds) noexcept {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN and negatives clamp to 0
+  buckets_[static_cast<std::size_t>(bucket_of(seconds))] += 1;
+  if (count_ == 0 || seconds < min_) min_ = seconds;
+  if (seconds > max_) max_ = seconds;
+  count_ += 1;
+  sum_ += seconds;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double scaled = std::ceil(q * static_cast<double>(count_));
+  const std::uint64_t rank = std::clamp<std::uint64_t>(
+      scaled < 1.0 ? 1 : static_cast<std::uint64_t>(scaled), 1, count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      return std::clamp(bucket_midpoint(static_cast<int>(i)), min_, max_);
+    }
+  }
+  return max_;  // unreachable: cumulative over all buckets equals count_
+}
+
+}  // namespace ssa

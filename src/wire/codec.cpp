@@ -227,6 +227,7 @@ void write_stats(Writer& writer, const service::ServiceStats& stats) {
   writer.u64(stats.coalesced);
   writer.u64(stats.admission_degraded);
   writer.u64(stats.admission_rejected);
+  writer.u64(stats.timed_out);
   writer.u64(stats.snapshot_restored);
   writer.u64(stats.cache_entries);
   writer.u64(stats.cache_bytes);
@@ -241,6 +242,7 @@ service::ServiceStats read_stats(Reader& reader) {
   stats.coalesced = reader.u64();
   stats.admission_degraded = reader.u64();
   stats.admission_rejected = reader.u64();
+  stats.timed_out = reader.u64();
   stats.snapshot_restored = reader.u64();
   stats.cache_entries = static_cast<std::size_t>(reader.u64());
   stats.cache_bytes = static_cast<std::size_t>(reader.u64());

@@ -48,7 +48,8 @@ namespace ssa::wire {
 inline constexpr std::uint32_t kWireMagic = 0x57415353u;
 
 /// Protocol schema version; see the file comment for when to bump.
-inline constexpr std::uint16_t kWireVersion = 1;
+/// History: 2 added ServiceStats::timed_out to the stats codec.
+inline constexpr std::uint16_t kWireVersion = 2;
 
 /// Upper bound on one frame's body (64 MiB): far above any real request
 /// or report, small enough that a corrupt length cannot drive a huge

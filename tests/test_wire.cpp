@@ -13,6 +13,7 @@
 
 #include "core/valuation.hpp"
 #include "gen/scenario.hpp"
+#include "service/auction_service.hpp"
 #include "support/fingerprint.hpp"
 #include "wire/codec.hpp"
 #include "wire/instance_codec.hpp"
@@ -359,9 +360,44 @@ TEST(WireFrame, RoundTripAndHeaderChecks) {
 // (and the snapshot format sharing the report codec) changed: bump
 // wire::kWireVersion / ResultCache::kSnapshotVersion and re-pin.
 
+TEST(WireCodec, StatsRoundTripCoversEveryCounter) {
+  // Every ServiceStats field must survive the codec -- the load harness
+  // reads shed/degrade/timeout rates through stats() on every transport,
+  // so a field silently dropped here would zero a rate remotely only.
+  service::ServiceStats stats;
+  stats.submitted = 101;
+  stats.completed = 95;
+  stats.cache_hits = 40;
+  stats.fallbacks = 3;
+  stats.coalesced = 7;
+  stats.admission_degraded = 5;
+  stats.admission_rejected = 2;
+  stats.timed_out = 4;
+  stats.snapshot_restored = 11;
+  stats.cache_entries = 23;
+  stats.cache_bytes = 4096;
+  wire::Writer writer;
+  wire::write_stats(writer, stats);
+  wire::Reader reader(writer.buffer());
+  const service::ServiceStats decoded = wire::read_stats(reader);
+  ASSERT_FALSE(reader.failed());
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(decoded.submitted, 101u);
+  EXPECT_EQ(decoded.completed, 95u);
+  EXPECT_EQ(decoded.cache_hits, 40u);
+  EXPECT_EQ(decoded.fallbacks, 3u);
+  EXPECT_EQ(decoded.coalesced, 7u);
+  EXPECT_EQ(decoded.admission_degraded, 5u);
+  EXPECT_EQ(decoded.admission_rejected, 2u);
+  EXPECT_EQ(decoded.timed_out, 4u);
+  EXPECT_EQ(decoded.snapshot_restored, 11u);
+  EXPECT_EQ(decoded.cache_entries, 23u);
+  EXPECT_EQ(decoded.cache_bytes, 4096u);
+}
+
 TEST(WireGolden, FrameLayout) {
   EXPECT_EQ(to_hex(wire::encode_frame(wire::MessageType::kSubmit, "abc")),
-            "0a00000053534157010001616263");
+            "0a00000053534157020001616263");
 }
 
 TEST(WireGolden, DefaultOptionsLayout) {
