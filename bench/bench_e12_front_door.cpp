@@ -5,9 +5,12 @@
 // (in-process, the PR-3/PR-4 baseline), TcpClient -> ServiceServer (one
 // wire hop), and TcpClient -> FrontDoor -> backend (two wire hops) -- so
 // the cost of serialization and loopback RTT is measured, not guessed.
-// Requests run on several client threads (one TcpClient each; a TcpClient
-// serializes its own calls by design), matching how a real front door is
-// driven.
+// Requests run on several client threads (one TcpClient each), and every
+// wire client drives a pipelined WINDOW of in-flight requests over its
+// single multiplexed connection (submit_async/get_async) -- the driving
+// pattern the v3 wire protocol exists for; the in-process LocalClient
+// rung stays lockstep (its per-call latency is a function call, there is
+// no RTT to hide).
 //
 // E12b (backend scaling): a SOLVE-BOUND concurrent stream against a
 // FrontDoor over 1 vs 2 backends' ServiceServers (in-process here, so
@@ -29,8 +32,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -133,23 +138,51 @@ StreamResult drive(const std::vector<gen::NamedInstance>& scenarios,
   std::vector<std::thread> threads;
   std::atomic<std::uint64_t> hits{0};
   std::vector<double> thread_welfare(kClientThreads, 0.0);
+  const auto scenario_for = [&](int t, int r) -> const gen::NamedInstance& {
+    return scenarios[static_cast<std::size_t>(r + t) % scenarios.size()];
+  };
+  const auto options_for = [&](int t, int r) {
+    SolveOptions request_options = options;
+    if (kind.distinct_seeds) {
+      request_options.seed = 1000u + static_cast<std::uint64_t>(t) * 1000u +
+                             static_cast<std::uint64_t>(r);
+      request_options.pipeline.rounding_repetitions = 256;
+    }
+    return request_options;
+  };
+  const auto account = [&](int t, const SolveReport& report) {
+    if (report.cache_hit) hits.fetch_add(1);
+    thread_welfare[static_cast<std::size_t>(t)] += report.welfare;
+  };
   for (int t = 0; t < kClientThreads; ++t) {
     threads.emplace_back([&, t] {
       client::AuctionClient& client = *clients[static_cast<std::size_t>(t)];
-      for (int r = 0; r < per_thread; ++r) {
-        const gen::NamedInstance& scenario =
-            scenarios[static_cast<std::size_t>(r + t) % scenarios.size()];
-        SolveOptions request_options = options;
-        if (kind.distinct_seeds) {
-          request_options.seed =
-              1000u + static_cast<std::uint64_t>(t) * 1000u +
-              static_cast<std::uint64_t>(r);
-          request_options.pipeline.rounding_repetitions = 256;
+      if (auto* piped = dynamic_cast<client::TcpClient*>(&client)) {
+        // Wire clients pipeline a window of requests over the single
+        // multiplexed connection: the loopback RTT amortizes across the
+        // window instead of gating every request.
+        constexpr int kWindow = 32;
+        for (int base = 0; base < per_thread; base += kWindow) {
+          const int count = std::min(kWindow, per_thread - base);
+          std::vector<std::future<client::RequestId>> submits;
+          submits.reserve(static_cast<std::size_t>(count));
+          for (int i = 0; i < count; ++i) {
+            submits.push_back(piped->submit_async(
+                scenario_for(t, base + i).view(), kind.solver,
+                options_for(t, base + i)));
+          }
+          std::vector<std::future<SolveReport>> gets;
+          gets.reserve(static_cast<std::size_t>(count));
+          for (auto& submit : submits) {
+            gets.push_back(piped->get_async(submit.get()));
+          }
+          for (auto& get : gets) account(t, get.get());
         }
-        const SolveReport report = client.get(
-            client.submit(scenario.view(), kind.solver, request_options));
-        if (report.cache_hit) hits.fetch_add(1);
-        thread_welfare[static_cast<std::size_t>(t)] += report.welfare;
+      } else {
+        for (int r = 0; r < per_thread; ++r) {
+          account(t, client.get(client.submit(scenario_for(t, r).view(),
+                                              kind.solver, options_for(t, r))));
+        }
       }
     });
   }
@@ -245,14 +278,21 @@ void front_door_tables() {
   bench::record({"e12/direct", direct.seconds, direct.welfare, "auto",
                  {{"requests_per_sec", direct.rate()},
                   {"cache_hit_rate", direct.hit_rate}}});
+  // Acceptance ratios, recorded whichever way they land: the door's
+  // cache-warm throughput against the in-process ceiling, and the warm
+  // wire path's 1 -> 2 backend scaling.
   bench::record({"e12/door/backends=1", one_backend.seconds,
                  one_backend.welfare, "auto",
                  {{"requests_per_sec", one_backend.rate()},
-                  {"cache_hit_rate", one_backend.hit_rate}}});
+                  {"cache_hit_rate", one_backend.hit_rate},
+                  {"door_over_local", one_backend.rate() / local.rate()}}});
   bench::record({"e12/door/backends=2", two_backends.seconds,
                  two_backends.welfare, "auto",
                  {{"requests_per_sec", two_backends.rate()},
-                  {"cache_hit_rate", two_backends.hit_rate}}});
+                  {"cache_hit_rate", two_backends.hit_rate},
+                  {"door_over_local", two_backends.rate() / local.rate()},
+                  {"scaling_vs_1_backend",
+                   two_backends.rate() / one_backend.rate()}}});
   bench::record({"e12/door/solve/backends=1", one_backend_solve.seconds,
                  one_backend_solve.measured, "lp-rounding",
                  {{"requests_per_sec", one_backend_solve.rate()}}});

@@ -6,13 +6,14 @@
 // against two transports of the SAME serving configuration:
 //   e13/local -- LocalClient over an in-process AuctionService;
 //   e13/door  -- TcpClient -> FrontDoor -> 2 in-process ServiceServer
-//                backends (one connection per driver thread: a TcpClient
-//                serializes its own calls by design, which would otherwise
-//                turn the open loop into a closed one).
+//                backends (one multiplexed connection per driver thread).
 // The offered rate and the deadline budgets are calibrated from a probe
 // phase (median real-solve cost of the pool on this machine), so the soak
 // stresses comparably on fast and slow hosts. SSA_SOAK_SECONDS scales the
-// horizon (default 60; the CI smoke runs 10).
+// horizon (default 60; the CI smoke runs 10). SSA_SWEEP_RATES (e.g.
+// "0.5,1,2,4") adds an offered-rate sweep: one extra door soak per entry
+// at that multiple of the calibrated rate, so the JSON carries the
+// rate-vs-p50/p99 curve whose knee is the capacity estimate.
 //
 // Reported per transport: p50/p99/p999 service latency, p99 turnaround,
 // driver lateness (schedule slip, kept in its own histogram so it cannot
@@ -58,6 +59,30 @@ double soak_seconds() {
   return 60.0;
 }
 
+/// Offered-rate sweep mode: SSA_SWEEP_RATES="0.5,1,2,4" runs one extra
+/// door-topology soak per entry, each at that MULTIPLE of the calibrated
+/// rate, recording the rate-vs-latency curve (the knee locates the wire
+/// path's capacity on this machine). Unset or empty = no sweep.
+std::vector<double> sweep_multipliers() {
+  std::vector<double> multipliers;
+  const char* env = std::getenv("SSA_SWEEP_RATES");
+  if (env == nullptr) return multipliers;
+  std::string text(env);
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string token =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!token.empty()) {
+      const double value = std::atof(token.c_str());
+      if (value > 0.0) multipliers.push_back(value);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return multipliers;
+}
+
 /// The serving configuration under test -- identical for the local
 /// service and for each door backend, so the transports differ only in
 /// the wire between the driver and the solvers.
@@ -68,13 +93,15 @@ service::ServiceOptions backend_options() {
   return config;  // admission kDegrade: unmeetable deadlines degrade
 }
 
-/// AuctionClient adapter that opens one TcpClient per calling thread. A
-/// single TcpClient holds its connection for each call's full round trip,
-/// so sharing one across the driver's submitters and collectors would
-/// serialize submission behind every blocking get and close the loop.
-/// Door/server request ids are process-wide, so any connection may claim
-/// any id. Entries are never erased; unordered_map node stability keeps
-/// handed-out references valid for the adapter's lifetime.
+/// AuctionClient adapter that opens one TcpClient per calling thread.
+/// Since v3 a single TcpClient pipelines concurrent calls on one
+/// multiplexed connection, so sharing one would be correct; per-thread
+/// connections are kept so the soak also exercises the server's
+/// many-connection path (and removes the shared send mutex from the
+/// driver's critical path). Door/server request ids are process-wide, so
+/// any connection may claim any id. Entries are never erased;
+/// unordered_map node stability keeps handed-out references valid for the
+/// adapter's lifetime.
 class PerThreadTcpClient final : public client::AuctionClient {
  public:
   explicit PerThreadTcpClient(std::uint16_t port) : port_(port) {}
@@ -245,6 +272,34 @@ void soak_tables() {
   const load::LoadReport door_report = door_run(trace, options);
   record_soak("e13/door", door_report);
 
+  // Optional phase: the offered-rate sweep. Each point is a fresh
+  // seed-pinned trace at multiplier x calibrated rate, replayed through
+  // the full door topology; the per-point horizon is capped so a wide
+  // sweep stays affordable.
+  std::vector<std::pair<double, load::LoadReport>> sweep_results;
+  for (const double multiplier : sweep_multipliers()) {
+    load::TraceSpec sweep_spec = spec;
+    sweep_spec.duration_seconds = std::min(horizon, 20.0);
+    sweep_spec.rate_per_second = spec.rate_per_second * multiplier;
+    const load::Trace sweep_trace = load::generate_trace(sweep_spec);
+    pool.materialize(sweep_trace);
+    const load::LoadReport report = door_run(sweep_trace, options);
+    bench::record({"e13/sweep/x" + Table::num(multiplier, 2),
+                   report.elapsed_seconds,
+                   report.total_welfare,
+                   "auto",
+                   {{"rate_multiplier", multiplier},
+                    {"offered_rate", report.offered_rate},
+                    {"achieved_rate", report.achieved_rate()},
+                    {"service_p50", report.service_latency.p50()},
+                    {"service_p99", report.service_latency.p99()},
+                    {"lateness_p99", report.lateness.p99()},
+                    {"shed_rate", rate_of(report.rejected, report.requests)},
+                    {"timeout_rate",
+                     rate_of(report.timed_out, report.completed)}}});
+    sweep_results.emplace_back(multiplier, report);
+  }
+
   // Phase c: the location-transparency invariant. The same trace prefix
   // with budgets stripped (no deadlines -> no degraded, timing-dependent
   // payloads) replays unpaced through fresh instances of both transports;
@@ -297,6 +352,10 @@ void soak_tables() {
   };
   row("LocalClient (in-process)", local_report);
   row("FrontDoor -> 2 backends", door_report);
+  for (const auto& [multiplier, report] : sweep_results) {
+    const std::string label = "door sweep x" + Table::num(multiplier, 2);
+    row(label.c_str(), report);
+  }
 
   bench::print_experiment(
       "E13: open-loop soak, " + Table::num(horizon, 0) + " s horizon at " +

@@ -1,5 +1,7 @@
 #include "client/tcp_client.hpp"
 
+#include <exception>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -24,44 +26,10 @@ using wire::MessageType;
   throw std::runtime_error(error->message);
 }
 
-}  // namespace
+/// Response parsers, shared by the blocking and async paths so both
+/// surface bit-identical results and exceptions.
 
-TcpClient::TcpClient(const std::string& host, std::uint16_t port)
-    : connection_(net::TcpConnection::connect(host, port)) {}
-
-wire::Frame TcpClient::rpc(MessageType type, const std::string& payload) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (poisoned_) {
-    throw std::runtime_error(
-        "tcp-client: connection poisoned by an earlier transport failure");
-  }
-  try {
-    connection_.send_frame(wire::encode_frame(type, payload));
-    std::optional<std::string> body = connection_.recv_frame();
-    if (!body) {
-      throw std::runtime_error("tcp-client: server closed the connection");
-    }
-    std::optional<wire::Frame> frame = wire::decode_frame_body(*body);
-    if (!frame) {
-      throw std::runtime_error("tcp-client: malformed response frame");
-    }
-    return *std::move(frame);
-  } catch (...) {
-    // Transport/framing trouble leaves the stream in an unknown state:
-    // poison it so every later call fails fast instead of misparsing.
-    poisoned_ = true;
-    connection_.close();
-    throw;
-  }
-}
-
-RequestId TcpClient::submit(const AnyInstance& instance,
-                            const std::string& solver,
-                            const SolveOptions& options) {
-  // Encoding rejects empty views (std::invalid_argument) before any bytes
-  // move, mirroring the in-process submit precondition.
-  const std::string payload = wire::encode_submit(instance, solver, options);
-  const wire::Frame response = rpc(MessageType::kSubmit, payload);
+RequestId parse_submit_ack(const wire::Frame& response) {
   if (response.type == MessageType::kError) {
     throw_wire_error(response.payload);
   }
@@ -76,41 +44,21 @@ RequestId TcpClient::submit(const AnyInstance& instance,
   return id;
 }
 
-wire::Frame TcpClient::get_frame(RequestId id, bool blocking) {
-  wire::Writer writer;
-  writer.u64(id);
-  writer.boolean(blocking);
-  wire::Frame response = rpc(MessageType::kGet, writer.buffer());
+/// Parses a kReport answer; nullopt means "still queued/running" (only a
+/// non-blocking get may produce it).
+std::optional<SolveReport> parse_report(const wire::Frame& response) {
   if (response.type == MessageType::kError) {
     throw_wire_error(response.payload);
   }
   if (response.type != MessageType::kReport) {
     throw std::runtime_error("tcp-client: unexpected get response");
   }
-  return response;
-}
-
-SolveReport TcpClient::get(RequestId id) {
-  const wire::Frame response = get_frame(id, /*blocking=*/true);
-  wire::Reader reader(response.payload);
-  if (reader.u8() != 1) {
-    throw std::runtime_error("tcp-client: blocking get returned no report");
-  }
-  SolveReport report = wire::read_report(reader);
-  if (reader.failed() || !reader.exhausted()) {
-    throw std::runtime_error("tcp-client: malformed report payload");
-  }
-  return report;
-}
-
-std::optional<SolveReport> TcpClient::try_get(RequestId id) {
-  const wire::Frame response = get_frame(id, /*blocking=*/false);
   wire::Reader reader(response.payload);
   if (reader.u8() == 0) {
     if (reader.failed() || !reader.exhausted()) {
       throw std::runtime_error("tcp-client: malformed report payload");
     }
-    return std::nullopt;  // still queued/running
+    return std::nullopt;
   }
   SolveReport report = wire::read_report(reader);
   if (reader.failed() || !reader.exhausted()) {
@@ -119,8 +67,82 @@ std::optional<SolveReport> TcpClient::try_get(RequestId id) {
   return report;
 }
 
+std::string encode_get(RequestId id, bool blocking) {
+  wire::Writer writer;
+  writer.u64(id);
+  writer.boolean(blocking);
+  return writer.buffer();
+}
+
+}  // namespace
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port)
+    : mux_(host, port) {}
+
+RequestId TcpClient::submit(const AnyInstance& instance,
+                            const std::string& solver,
+                            const SolveOptions& options) {
+  // Encoding rejects empty views (std::invalid_argument) before any bytes
+  // move, mirroring the in-process submit precondition.
+  const std::string payload = wire::encode_submit(instance, solver, options);
+  return parse_submit_ack(mux_.call_sync(MessageType::kSubmit, payload));
+}
+
+std::future<RequestId> TcpClient::submit_async(const AnyInstance& instance,
+                                               const std::string& solver,
+                                               const SolveOptions& options) {
+  const std::string payload = wire::encode_submit(instance, solver, options);
+  auto promise = std::make_shared<std::promise<RequestId>>();
+  std::future<RequestId> future = promise->get_future();
+  mux_.call(MessageType::kSubmit, payload,
+            [promise](std::optional<wire::Frame> response,
+                      const std::string& error) {
+              try {
+                if (!response) throw std::runtime_error(error);
+                promise->set_value(parse_submit_ack(*response));
+              } catch (...) {
+                promise->set_exception(std::current_exception());
+              }
+            });
+  return future;
+}
+
+SolveReport TcpClient::get(RequestId id) {
+  const std::optional<SolveReport> report =
+      parse_report(mux_.call_sync(MessageType::kGet, encode_get(id, true)));
+  if (!report) {
+    throw std::runtime_error("tcp-client: blocking get returned no report");
+  }
+  return *report;
+}
+
+std::future<SolveReport> TcpClient::get_async(RequestId id) {
+  auto promise = std::make_shared<std::promise<SolveReport>>();
+  std::future<SolveReport> future = promise->get_future();
+  mux_.call(MessageType::kGet, encode_get(id, true),
+            [promise](std::optional<wire::Frame> response,
+                      const std::string& error) {
+              try {
+                if (!response) throw std::runtime_error(error);
+                std::optional<SolveReport> report = parse_report(*response);
+                if (!report) {
+                  throw std::runtime_error(
+                      "tcp-client: blocking get returned no report");
+                }
+                promise->set_value(*std::move(report));
+              } catch (...) {
+                promise->set_exception(std::current_exception());
+              }
+            });
+  return future;
+}
+
+std::optional<SolveReport> TcpClient::try_get(RequestId id) {
+  return parse_report(mux_.call_sync(MessageType::kGet, encode_get(id, false)));
+}
+
 ServiceStats TcpClient::stats() {
-  const wire::Frame response = rpc(MessageType::kStats, {});
+  const wire::Frame response = mux_.call_sync(MessageType::kStats, {});
   if (response.type == MessageType::kError) {
     throw_wire_error(response.payload);
   }
@@ -137,7 +159,7 @@ ServiceStats TcpClient::stats() {
 }
 
 void TcpClient::shutdown() {
-  const wire::Frame response = rpc(MessageType::kShutdown, {});
+  const wire::Frame response = mux_.call_sync(MessageType::kShutdown, {});
   if (response.type == MessageType::kError) {
     throw_wire_error(response.payload);
   }

@@ -5,27 +5,29 @@
 /// FrontDoor -- the two are indistinguishable from here, which is the
 /// point of the transport-agnostic API.
 ///
-/// Concurrency model: one connection, one in-flight call -- every RPC
-/// (submit, get, try_get, stats, shutdown) holds the connection for its
-/// full round trip under an internal mutex, so the class is thread-safe
-/// but a blocking get() serializes the OTHER calls of this client behind
-/// it (the server keeps solving everything it already accepted
-/// meanwhile). Callers that need concurrent blocking gets open one
-/// TcpClient per thread; connections are cheap and the server handles
-/// each on its own thread.
+/// Concurrency model: one connection, MANY in-flight calls. Every call is
+/// a pipelined request on the shared multiplexed connection
+/// (net/mux_connection.hpp), correlated by the v3 wire request id, so a
+/// blocking get() no longer serializes the other calls of this client --
+/// submit/stats/try_get from other threads proceed concurrently on the
+/// same stream, and the *_async variants let ONE thread keep a deep
+/// window of requests in flight (the wire-path analogue of batch
+/// submission). Thread-safe throughout.
 ///
 /// Failure model: transport errors and protocol anomalies throw
-/// std::runtime_error and poison the connection (every later call throws
-/// too -- reconnect by constructing a new client); server-reported errors
-/// rethrow as the exception kind the in-process call would have thrown,
-/// with the server's message (solver-layer messages keep their
-/// "<solver-key>: <reason>" pin).
+/// std::runtime_error and poison the connection (every pending and later
+/// call fails with the original reason -- reconnect by constructing a new
+/// client); server-reported errors rethrow as the exception kind the
+/// in-process call would have thrown, with the server's message
+/// (solver-layer messages keep their "<solver-key>: <reason>" pin). For
+/// the async variants both arrive through the returned future.
 
 #include <cstdint>
-#include <mutex>
+#include <future>
 #include <string>
 
 #include "client/auction_client.hpp"
+#include "net/mux_connection.hpp"
 #include "net/socket.hpp"
 #include "wire/protocol.hpp"
 
@@ -49,16 +51,22 @@ class TcpClient final : public AuctionClient {
   [[nodiscard]] ServiceStats stats() override;
   void shutdown() override;
 
- private:
-  /// One framed round trip under the connection mutex; decodes the
-  /// response body, converts kError frames into the matching exception.
-  [[nodiscard]] wire::Frame rpc(wire::MessageType type,
-                                const std::string& payload);
-  [[nodiscard]] wire::Frame get_frame(RequestId id, bool blocking);
+  /// Pipelined submit: returns immediately with a future for the server's
+  /// id. Encoding errors (empty instance view) still throw inline, before
+  /// any bytes move; everything the blocking submit would THROW arrives
+  /// through the future instead. Any number may be outstanding.
+  [[nodiscard]] std::future<RequestId> submit_async(
+      const AnyInstance& instance, const std::string& solver = kAutoSolver,
+      const SolveOptions& options = {});
 
-  std::mutex mutex_;
-  net::TcpConnection connection_;
-  bool poisoned_ = false;
+  /// Pipelined blocking-get: the future resolves when the server answers
+  /// (the request completed server-side and was claimed). Exceptions
+  /// mirror get(). Many gets may be in flight; the server answers each as
+  /// its id completes, in any order.
+  [[nodiscard]] std::future<SolveReport> get_async(RequestId id);
+
+ private:
+  net::MuxConnection mux_;
 };
 
 }  // namespace ssa::client

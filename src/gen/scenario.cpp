@@ -172,7 +172,6 @@ AuctionInstance make_physical_auction(std::size_t n, int k, PowerScheme scheme,
 }
 
 AuctionInstance make_clique_auction(std::size_t n, std::uint64_t seed) {
-  (void)seed;
   ConflictGraph graph(n);
   for (std::size_t u = 0; u < n; ++u) {
     for (std::size_t v = u + 1; v < n; ++v) graph.add_edge(u, v);
@@ -183,7 +182,16 @@ AuctionInstance make_clique_auction(std::size_t n, std::uint64_t seed) {
     valuations.push_back(
         std::make_shared<AdditiveValuation>(std::vector<double>{1.0}));
   }
-  return AuctionInstance(std::move(graph), identity_ordering(n), 1,
+  // The gap construction needs the UNIT bids (edge-LP value n/2 against
+  // integral welfare 1), so the seed cannot perturb valuations. It
+  // shuffles the inductive elimination ordering instead: on a clique
+  // every ordering has rho = 1 and identical LP/greedy values, yet the
+  // ordering is part of the canonical fingerprint -- distinct seeds give
+  // distinct instances to caches and routing, as generators must.
+  Ordering order = identity_ordering(n);
+  Rng rng(seed);
+  rng.shuffle(order);
+  return AuctionInstance(std::move(graph), std::move(order), 1,
                          std::move(valuations), 1.0);
 }
 

@@ -71,7 +71,10 @@ enum class ValuationMix {
                                                     PhysicalParams params = {});
 
 /// Clique conflict graph with unit single-channel bids: the edge-LP
-/// integrality-gap instance of Section 2.1 (gap n/2).
+/// integrality-gap instance of Section 2.1 (gap n/2). The seed shuffles
+/// the elimination ordering (fingerprint-distinct instances; on a clique
+/// every ordering has rho = 1 and identical LP/greedy values) -- the unit
+/// bids the gap proof needs are never perturbed.
 [[nodiscard]] AuctionInstance make_clique_auction(std::size_t n,
                                                   std::uint64_t seed);
 

@@ -56,22 +56,12 @@ gen::NamedInstance ScenarioPool::make_base(std::uint32_t scenario) const {
       return {named("random-graph"),
               gen::make_random_graph_auction(n, k, 0.25,
                                              gen::ValuationMix::kMixed, seed)};
-    case 2: {
+    case 2:
       // The edge-LP integrality-gap clique (single channel by design).
-      // The construction ignores its seed (unit valuations throughout),
-      // so re-weight one bidder from the derived stream: pool scenarios
-      // must stay fingerprint-distinct or repeats of DIFFERENT scenarios
-      // would collide in the result caches.
-      const AuctionInstance clique = gen::make_clique_auction(n, seed);
-      Rng rng(seed);
-      const std::size_t bidder = rng.uniform_int(clique.num_bidders());
-      auto valuation =
-          gen::random_valuations(1, clique.num_channels(),
-                                 gen::ValuationMix::kMixed, kMaxValue, rng)
-              .front();
-      return {named("clique"),
-              clique.with_valuation(bidder, std::move(valuation))};
-    }
+      // The seed shuffles the elimination ordering, so pool scenarios are
+      // fingerprint-distinct as generated -- repeats of DIFFERENT
+      // scenarios never collide in the result caches.
+      return {named("clique"), gen::make_clique_auction(n, seed)};
     case 3:
       return {named("asym-random"),
               gen::make_random_asymmetric(n, k, 0.25,

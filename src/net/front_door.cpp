@@ -1,14 +1,15 @@
 #include "net/front_door.hpp"
 
-#include <algorithm>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
-#include "net/connection_server.hpp"
+#include "net/event_loop.hpp"
+#include "net/mux_connection.hpp"
 #include "service/auction_service.hpp"
 #include "support/fingerprint.hpp"
 #include "wire/protocol.hpp"
@@ -20,107 +21,81 @@ namespace {
 using wire::ErrorKind;
 using wire::MessageType;
 
-std::string error_frame(ErrorKind kind, const std::string& message) {
-  return wire::encode_frame(MessageType::kError,
+/// Routing decisions memoized by the fingerprint of the raw submit
+/// payload bytes: repeats of an identical submit (the cache-warm steady
+/// state) skip the instance decode entirely. Equal payloads always map to
+/// one backend, so the consistent-split contract holds; distinct payloads
+/// of one instance (different options) still meet the same backend
+/// through the full decode + instance-fingerprint path.
+constexpr std::size_t kRouteCacheEntries = std::size_t{1} << 16;
+
+std::string error_frame(std::uint64_t request_id, ErrorKind kind,
+                        const std::string& message) {
+  return wire::encode_frame(MessageType::kError, request_id,
                             wire::encode_error(kind, message));
 }
-
-/// Connection pool to one backend: every call checks a connection out for
-/// its full request/response round trip (a blocking get parks one),
-/// returns it to the idle list on success and drops it on any transport
-/// error. Concurrent calls simply open additional connections. Busy
-/// connections are tracked so close_all() can half-close them and
-/// unblock callers parked in recv -- without that, a FrontDoor stop
-/// would wait out every in-flight solve (or hang on a stalled backend).
-class BackendPool {
- public:
-  explicit BackendPool(Endpoint endpoint) : endpoint_(std::move(endpoint)) {}
-
-  /// One round trip: sends \p frame, returns the response BODY. Throws
-  /// std::runtime_error on connect/transport failure.
-  [[nodiscard]] std::string rpc(const std::string& frame) {
-    // On any throw below, `connection` dies with the stack frame: a
-    // stream in an unknown state is never pooled again.
-    TcpConnection connection = acquire();
-    const auto deregister = [&] {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      busy_.erase(std::remove(busy_.begin(), busy_.end(), &connection),
-                  busy_.end());
-    };
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      busy_.push_back(&connection);
-    }
-    try {
-      connection.send_frame(frame);
-      std::optional<std::string> body = connection.recv_frame();
-      if (!body) {
-        throw std::runtime_error("backend closed the connection");
-      }
-      deregister();
-      release(std::move(connection));
-      return *std::move(body);
-    } catch (...) {
-      deregister();
-      throw;
-    }
-  }
-
-  /// Half-closes every busy connection (their rpcs fail promptly) and
-  /// drops the idle ones. Part of the FrontDoor stop sequence.
-  void close_all() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (TcpConnection* connection : busy_) connection->shutdown_both();
-    idle_.clear();
-  }
-
-  [[nodiscard]] const Endpoint& endpoint() const noexcept { return endpoint_; }
-
- private:
-  [[nodiscard]] TcpConnection acquire() {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (!idle_.empty()) {
-        TcpConnection connection = std::move(idle_.back());
-        idle_.pop_back();
-        return connection;
-      }
-    }
-    return TcpConnection::connect(endpoint_.host, endpoint_.port);
-  }
-
-  void release(TcpConnection connection) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    idle_.push_back(std::move(connection));
-  }
-
-  Endpoint endpoint_;
-  std::mutex mutex_;
-  std::vector<TcpConnection> idle_;
-  std::vector<TcpConnection*> busy_;  ///< checked out to an in-flight rpc
-};
 
 }  // namespace
 
 struct FrontDoor::Impl {
-  explicit Impl(FrontDoorOptions options) {
-    if (options.backends.empty()) {
-      throw std::invalid_argument("FrontDoor: no backends configured");
-    }
-    pools.reserve(options.backends.size());
-    for (Endpoint& endpoint : options.backends) {
-      pools.push_back(std::make_unique<BackendPool>(std::move(endpoint)));
-    }
-    server.emplace(
-        TcpListener::bind_loopback(options.port),
-        [this](TcpConnection& connection) { handle_connection(connection); });
-  }
-
   /// Where a door-assigned request id lives.
   struct Route {
     std::size_t backend = 0;
     std::uint64_t remote_id = 0;
   };
+
+  /// The single multiplexed connection to one backend, created on first
+  /// use and recreated after poisoning (a backend restart costs one
+  /// failed call, not a dead door). close() is terminal: the stop
+  /// sequence must not race a handler into resurrecting a channel whose
+  /// reader thread nobody would join.
+  struct Channel {
+    Endpoint endpoint;
+    std::mutex mutex;
+    std::shared_ptr<MuxConnection> mux;
+    bool closed = false;
+
+    [[nodiscard]] std::shared_ptr<MuxConnection> get() {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (closed) throw std::runtime_error("front door is stopping");
+      if (!mux || mux->poisoned()) {
+        mux = std::make_shared<MuxConnection>(endpoint.host, endpoint.port);
+      }
+      return mux;
+    }
+
+    void close() {
+      std::shared_ptr<MuxConnection> victim;
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        closed = true;
+        victim = std::move(mux);
+      }
+      // Outside the lock: close() fires every pending continuation and
+      // joins the reader thread.
+      if (victim) victim->close();
+    }
+  };
+
+  explicit Impl(FrontDoorOptions options) {
+    if (options.backends.empty()) {
+      throw std::invalid_argument("FrontDoor: no backends configured");
+    }
+    channels.reserve(options.backends.size());
+    for (Endpoint& endpoint : options.backends) {
+      auto channel = std::make_unique<Channel>();
+      channel->endpoint = std::move(endpoint);
+      channels.push_back(std::move(channel));
+    }
+    EventLoopOptions loop_options;
+    loop_options.error_key = "front-door";
+    loop.emplace(TcpListener::bind_loopback(options.port),
+                 [this](const EventConnectionPtr& connection,
+                        wire::Frame frame) {
+                   handle_frame(connection, std::move(frame));
+                 },
+                 std::move(loop_options));
+  }
 
   void request_stop() {
     {
@@ -128,93 +103,135 @@ struct FrontDoor::Impl {
       if (stopping) return;
       stopping = true;
     }
-    server->shutdown_listener();
+    loop->shutdown_listener();
     stopped_cv.notify_all();
   }
 
   void stop() {
     request_stop();
-    // Unblock handlers parked on a backend (in-flight rpcs fail fast)
-    // BEFORE the server joins them; handlers parked on their client are
-    // unblocked by the server's own connection shutdown.
-    for (const std::unique_ptr<BackendPool>& pool : pools) {
-      pool->close_all();
+    // Close the backend channels BEFORE the loop: every in-flight
+    // continuation fires (with the poison reason), posts its door-keyed
+    // error reply, and the loop's stop flush delivers what it can. A
+    // stalled backend therefore cannot wedge the stop -- its calls fail
+    // fast instead of being waited out.
+    for (const std::unique_ptr<Channel>& channel : channels) {
+      channel->close();
     }
-    server->stop();
+    loop->stop();
   }
 
-  /// Forwards \p frame (a full sendable frame) to backend \p index and
-  /// returns the response BODY; a door-keyed kError body on failure.
-  [[nodiscard]] std::string forward(std::size_t index,
-                                    const std::string& frame) {
+  [[nodiscard]] std::string backend_failure(std::size_t index,
+                                            const std::string& what) const {
+    const Endpoint& endpoint = channels[index]->endpoint;
+    return "front-door: backend " + std::to_string(index) + " (" +
+           endpoint.host + ":" + std::to_string(endpoint.port) +
+           ") failed: " + what;
+  }
+
+  /// Continuation-style forward: sends (type, payload) to backend
+  /// \p index over its multiplexed channel and invokes \p callback with
+  /// the response -- or with a door-keyed failure message. The callback
+  /// runs on the channel's reader thread (or inline on connect failure).
+  void forward(std::size_t index, MessageType type, std::string_view payload,
+               MuxConnection::Callback callback) {
+    std::shared_ptr<MuxConnection> mux;
     try {
-      return pools[index]->rpc(frame);
+      mux = channels[index]->get();
     } catch (const std::exception& e) {
-      return wire::encode_frame_body(
-          MessageType::kError,
-          wire::encode_error(
-              ErrorKind::kRuntime,
-              "front-door: backend " + std::to_string(index) + " (" +
-                  pools[index]->endpoint().host + ":" +
-                  std::to_string(pools[index]->endpoint().port) +
-                  ") failed: " + e.what()));
+      callback(std::nullopt, backend_failure(index, e.what()));
+      return;
     }
+    mux->call(type, payload,
+              [this, index, callback = std::move(callback)](
+                  std::optional<wire::Frame> response,
+                  const std::string& error) mutable {
+                if (!response) {
+                  callback(std::nullopt, backend_failure(index, error));
+                } else {
+                  callback(std::move(response), std::string());
+                }
+              });
   }
 
-  void handle_submit(TcpConnection& connection, const wire::Frame& frame) {
-    // Decode only to fingerprint: the forwarded bytes are the ORIGINAL
-    // payload, so the backend decodes exactly what the client encoded.
-    const std::optional<wire::SubmitRequest> request =
-        wire::decode_submit(frame.payload);
-    if (!request) {
-      connection.send_frame(
-          error_frame(ErrorKind::kInvalidArgument,
-                      "front-door: malformed submit payload"));
-      return;
-    }
-    const Fingerprint key = fingerprint(request->instance.view());
-    const std::size_t backend = static_cast<std::size_t>(
-        key.hi % static_cast<std::uint64_t>(pools.size()));
-    const std::string response = forward(
-        backend, wire::encode_frame(MessageType::kSubmit, frame.payload));
-    const std::optional<wire::Frame> parsed =
-        wire::decode_frame_body(response);
-    if (!parsed) {
-      connection.send_frame(error_frame(
-          ErrorKind::kRuntime, "front-door: malformed backend response"));
-      return;
-    }
-    if (parsed->type != MessageType::kSubmitOk) {
-      // Backend-side error (shut down, rejected submit, ...): verbatim.
-      connection.send_frame(wire::reframe_body(response));
-      return;
-    }
-    wire::Reader reader(parsed->payload);
-    const std::uint64_t remote_id = reader.u64();
-    if (reader.failed()) {
-      connection.send_frame(error_frame(
-          ErrorKind::kRuntime, "front-door: malformed backend submit ack"));
-      return;
-    }
-    std::uint64_t door_id = 0;
+  void handle_submit(const EventConnectionPtr& connection,
+                     const wire::Frame& frame) {
+    // Route by instance fingerprint (key.hi mod backend count -- the same
+    // consistent-split discipline the service shards use), memoized by
+    // payload bytes so the warm path never re-decodes the instance.
+    FingerprintHasher payload_hasher;
+    payload_hasher.mix(std::string_view(frame.payload));
+    const Fingerprint payload_key = payload_hasher.digest();
+    std::optional<std::size_t> backend;
     {
       const std::lock_guard<std::mutex> lock(mutex);
-      door_id = next_id++;
-      routes.emplace(door_id, Route{backend, remote_id});
+      const auto it = route_cache.find(payload_key);
+      if (it != route_cache.end()) backend = it->second;
     }
-    wire::Writer writer;
-    writer.u64(door_id);
-    connection.send_frame(
-        wire::encode_frame(MessageType::kSubmitOk, writer.buffer()));
+    if (!backend) {
+      // Decode only to fingerprint: the forwarded bytes are the ORIGINAL
+      // payload, so the backend decodes exactly what the client encoded.
+      const std::optional<wire::SubmitRequest> request =
+          wire::decode_submit(frame.payload);
+      if (!request) {
+        connection->send(error_frame(frame.request_id,
+                                     ErrorKind::kInvalidArgument,
+                                     "front-door: malformed submit payload"));
+        return;
+      }
+      const Fingerprint key = fingerprint(request->instance.view());
+      backend = static_cast<std::size_t>(
+          key.hi % static_cast<std::uint64_t>(channels.size()));
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (route_cache.size() >= kRouteCacheEntries) route_cache.clear();
+      route_cache.emplace(payload_key, *backend);
+    }
+    const std::uint64_t client_id = frame.request_id;
+    forward(
+        *backend, MessageType::kSubmit, frame.payload,
+        [this, connection, client_id, chosen = *backend](
+            std::optional<wire::Frame> response, const std::string& error) {
+          if (!response) {
+            connection->send(
+                error_frame(client_id, ErrorKind::kRuntime, error));
+            return;
+          }
+          if (response->type != MessageType::kSubmitOk) {
+            // Backend-side error (shut down, rejected submit, ...):
+            // payload verbatim under the client's envelope id.
+            connection->send(wire::encode_frame(response->type, client_id,
+                                                response->payload));
+            return;
+          }
+          wire::Reader reader(response->payload);
+          const std::uint64_t remote_id = reader.u64();
+          if (reader.failed()) {
+            connection->send(
+                error_frame(client_id, ErrorKind::kRuntime,
+                            "front-door: malformed backend submit ack"));
+            return;
+          }
+          std::uint64_t door_id = 0;
+          {
+            const std::lock_guard<std::mutex> lock(mutex);
+            door_id = next_id++;
+            routes.emplace(door_id, Route{chosen, remote_id});
+          }
+          wire::Writer writer;
+          writer.u64(door_id);
+          connection->send(wire::encode_frame(MessageType::kSubmitOk,
+                                              client_id, writer.buffer()));
+        });
   }
 
-  void handle_get(TcpConnection& connection, const wire::Frame& frame) {
+  void handle_get(const EventConnectionPtr& connection,
+                  const wire::Frame& frame) {
     wire::Reader reader(frame.payload);
     const std::uint64_t door_id = reader.u64();
     const bool blocking = reader.boolean();
     if (reader.failed() || !reader.exhausted()) {
-      connection.send_frame(error_frame(
-          ErrorKind::kInvalidArgument, "front-door: malformed get payload"));
+      connection->send(error_frame(frame.request_id,
+                                   ErrorKind::kInvalidArgument,
+                                   "front-door: malformed get payload"));
       return;
     }
     Route route;
@@ -224,9 +241,9 @@ struct FrontDoor::Impl {
       if (it == routes.end()) {
         // Match the in-process wording so client-visible behavior is
         // identical whichever side detects the bad id.
-        connection.send_frame(error_frame(
-            ErrorKind::kInvalidArgument,
-            "front-door: unknown or already-claimed request id"));
+        connection->send(
+            error_frame(frame.request_id, ErrorKind::kInvalidArgument,
+                        "front-door: unknown or already-claimed request id"));
         return;
       }
       route = it->second;
@@ -234,121 +251,168 @@ struct FrontDoor::Impl {
     wire::Writer writer;
     writer.u64(route.remote_id);
     writer.boolean(blocking);
-    const std::string response = forward(
-        route.backend, wire::encode_frame(MessageType::kGet, writer.buffer()));
-    const std::optional<wire::Frame> parsed =
-        wire::decode_frame_body(response);
-    // The route is spent once the backend delivered the report (claimed
-    // remotely) or rejected the id; it survives only a "still pending"
-    // try_get answer and door-level transport failures (retryable).
-    bool spent = false;
-    if (parsed && parsed->type == MessageType::kReport) {
-      wire::Reader report_reader(parsed->payload);
-      spent = report_reader.u8() == 1;
-    } else if (parsed && parsed->type == MessageType::kError) {
-      const std::optional<wire::WireError> error =
-          wire::decode_error(parsed->payload);
-      spent = error && error->kind == ErrorKind::kInvalidArgument;
-    }
-    if (spent) {
-      const std::lock_guard<std::mutex> lock(mutex);
-      routes.erase(door_id);
-    }
-    connection.send_frame(wire::reframe_body(response));  // verbatim
+    const std::uint64_t client_id = frame.request_id;
+    forward(
+        route.backend, MessageType::kGet, writer.buffer(),
+        [this, connection, client_id, door_id](
+            std::optional<wire::Frame> response, const std::string& error) {
+          if (!response) {
+            // Door-level transport failure: the route survives
+            // (retryable).
+            connection->send(
+                error_frame(client_id, ErrorKind::kRuntime, error));
+            return;
+          }
+          // The route is spent once the backend delivered the report
+          // (claimed remotely) or rejected the id; it survives only a
+          // "still pending" try_get answer.
+          bool spent = false;
+          if (response->type == MessageType::kReport) {
+            wire::Reader report_reader(response->payload);
+            spent = report_reader.u8() == 1;
+          } else if (response->type == MessageType::kError) {
+            const std::optional<wire::WireError> wire_error =
+                wire::decode_error(response->payload);
+            spent =
+                wire_error && wire_error->kind == ErrorKind::kInvalidArgument;
+          }
+          if (spent) {
+            const std::lock_guard<std::mutex> lock(mutex);
+            routes.erase(door_id);
+          }
+          connection->send(wire::encode_frame(response->type, client_id,
+                                              response->payload));  // verbatim
+        });
   }
 
-  void handle_stats(TcpConnection& connection) {
-    std::uint32_t shards = 0;
-    service::ServiceStats total;
-    for (std::size_t i = 0; i < pools.size(); ++i) {
-      const std::string response =
-          forward(i, wire::encode_frame(MessageType::kStats, {}));
-      const std::optional<wire::Frame> parsed =
-          wire::decode_frame_body(response);
-      if (!parsed || parsed->type != MessageType::kStatsOk) {
-        // First failing backend wins, verbatim.
-        connection.send_frame(wire::reframe_body(response));
-        return;
-      }
-      wire::Reader reader(parsed->payload);
-      shards += reader.u32();
-      const service::ServiceStats stats = wire::read_stats(reader);
-      if (reader.failed()) {
-        connection.send_frame(error_frame(
-            ErrorKind::kRuntime, "front-door: malformed backend stats"));
-        return;
-      }
-      total.submitted += stats.submitted;
-      total.completed += stats.completed;
-      total.cache_hits += stats.cache_hits;
-      total.fallbacks += stats.fallbacks;
-      total.coalesced += stats.coalesced;
-      total.admission_degraded += stats.admission_degraded;
-      total.admission_rejected += stats.admission_rejected;
-      total.timed_out += stats.timed_out;
-      total.snapshot_restored += stats.snapshot_restored;
-      total.cache_entries += stats.cache_entries;
-      total.cache_bytes += stats.cache_bytes;
-    }
-    wire::Writer writer;
-    writer.u32(shards);
-    wire::write_stats(writer, total);
-    connection.send_frame(
-        wire::encode_frame(MessageType::kStatsOk, writer.buffer()));
-  }
-
-  void handle_shutdown(TcpConnection& connection) {
-    // Fan out to every backend first: when the client sees the door's ack,
-    // every backend has drained and snapshotted. A backend that is already
-    // gone counts as shut down.
-    for (std::size_t i = 0; i < pools.size(); ++i) {
-      (void)forward(i, wire::encode_frame(MessageType::kShutdown, {}));
-    }
-    request_stop();
-    connection.send_frame(wire::encode_frame(MessageType::kShutdownOk, {}));
-  }
-
-  void handle_connection(TcpConnection& connection) {
-    for (;;) {
-      std::optional<std::string> body = connection.recv_frame();
-      if (!body) return;
-      const std::optional<wire::Frame> frame = wire::decode_frame_body(*body);
-      if (!frame) {
-        connection.send_frame(
-            error_frame(ErrorKind::kRuntime, "front-door: malformed frame"));
-        return;
-      }
-      switch (frame->type) {
-        case MessageType::kSubmit:
-          handle_submit(connection, *frame);
-          break;
-        case MessageType::kGet:
-          handle_get(connection, *frame);
-          break;
-        case MessageType::kStats:
-          handle_stats(connection);
-          break;
-        case MessageType::kShutdown:
-          handle_shutdown(connection);
-          return;
-        default:
-          connection.send_frame(error_frame(
-              ErrorKind::kRuntime, "front-door: unexpected message type"));
-          break;
-      }
+  void handle_stats(const EventConnectionPtr& connection,
+                    std::uint64_t client_id) {
+    // Concurrent fan-out with a counted aggregation: the reply goes out
+    // when the LAST backend answered; the first failure wins verbatim.
+    struct Aggregation {
+      std::mutex mutex;
+      bool done = false;
+      std::size_t remaining = 0;
+      std::uint32_t shards = 0;
+      service::ServiceStats total;
+    };
+    auto aggregation = std::make_shared<Aggregation>();
+    aggregation->remaining = channels.size();
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      forward(
+          i, MessageType::kStats, {},
+          [connection, client_id, aggregation](
+              std::optional<wire::Frame> response, const std::string& error) {
+            const std::lock_guard<std::mutex> lock(aggregation->mutex);
+            if (aggregation->done) return;
+            if (!response) {
+              aggregation->done = true;
+              connection->send(
+                  error_frame(client_id, ErrorKind::kRuntime, error));
+              return;
+            }
+            if (response->type != MessageType::kStatsOk) {
+              aggregation->done = true;
+              connection->send(wire::encode_frame(response->type, client_id,
+                                                  response->payload));
+              return;
+            }
+            wire::Reader reader(response->payload);
+            aggregation->shards += reader.u32();
+            const service::ServiceStats stats = wire::read_stats(reader);
+            if (reader.failed()) {
+              aggregation->done = true;
+              connection->send(
+                  error_frame(client_id, ErrorKind::kRuntime,
+                              "front-door: malformed backend stats"));
+              return;
+            }
+            service::ServiceStats& total = aggregation->total;
+            total.submitted += stats.submitted;
+            total.completed += stats.completed;
+            total.cache_hits += stats.cache_hits;
+            total.fallbacks += stats.fallbacks;
+            total.coalesced += stats.coalesced;
+            total.admission_degraded += stats.admission_degraded;
+            total.admission_rejected += stats.admission_rejected;
+            total.timed_out += stats.timed_out;
+            total.snapshot_restored += stats.snapshot_restored;
+            total.cache_entries += stats.cache_entries;
+            total.cache_bytes += stats.cache_bytes;
+            if (--aggregation->remaining == 0) {
+              aggregation->done = true;
+              wire::Writer writer;
+              writer.u32(aggregation->shards);
+              wire::write_stats(writer, total);
+              connection->send(wire::encode_frame(MessageType::kStatsOk,
+                                                  client_id,
+                                                  writer.buffer()));
+            }
+          });
     }
   }
 
-  std::vector<std::unique_ptr<BackendPool>> pools;
+  void handle_shutdown(const EventConnectionPtr& connection,
+                       std::uint64_t client_id) {
+    // Fan out to every backend; ack the client only when ALL answered, so
+    // a client that saw the ack knows every backend drained and
+    // snapshotted. A backend that is already gone counts as shut down.
+    struct Countdown {
+      std::mutex mutex;
+      std::size_t remaining = 0;
+    };
+    auto countdown = std::make_shared<Countdown>();
+    countdown->remaining = channels.size();
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      forward(i, MessageType::kShutdown, {},
+              [this, connection, client_id, countdown](
+                  std::optional<wire::Frame>, const std::string&) {
+                bool last = false;
+                {
+                  const std::lock_guard<std::mutex> lock(countdown->mutex);
+                  last = --countdown->remaining == 0;
+                }
+                if (!last) return;
+                connection->send(wire::encode_frame(MessageType::kShutdownOk,
+                                                    client_id, {}));
+                connection->close_after_flush();
+                request_stop();
+              });
+    }
+  }
+
+  void handle_frame(const EventConnectionPtr& connection, wire::Frame frame) {
+    switch (frame.type) {
+      case MessageType::kSubmit:
+        handle_submit(connection, frame);
+        break;
+      case MessageType::kGet:
+        handle_get(connection, frame);
+        break;
+      case MessageType::kStats:
+        handle_stats(connection, frame.request_id);
+        break;
+      case MessageType::kShutdown:
+        handle_shutdown(connection, frame.request_id);
+        break;
+      default:
+        connection->send(error_frame(frame.request_id, ErrorKind::kRuntime,
+                                     "front-door: unexpected message type"));
+        break;
+    }
+  }
+
+  std::vector<std::unique_ptr<Channel>> channels;
 
   std::mutex mutex;
   std::condition_variable stopped_cv;
   bool stopping = false;
   std::unordered_map<std::uint64_t, Route> routes;
   std::uint64_t next_id = 1;
+  std::unordered_map<Fingerprint, std::size_t> route_cache;
 
-  /// Last member: joins every network thread before the rest dies.
-  std::optional<ConnectionServer> server;
+  /// Last member: quiesced before the rest dies.
+  std::optional<EventLoop> loop;
 };
 
 FrontDoor::FrontDoor(FrontDoorOptions options)
@@ -358,10 +422,10 @@ FrontDoor::~FrontDoor() {
   if (impl_) impl_->stop();
 }
 
-std::uint16_t FrontDoor::port() const noexcept { return impl_->server->port(); }
+std::uint16_t FrontDoor::port() const noexcept { return impl_->loop->port(); }
 
 std::size_t FrontDoor::backend_count() const noexcept {
-  return impl_->pools.size();
+  return impl_->channels.size();
 }
 
 void FrontDoor::wait() {

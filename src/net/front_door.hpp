@@ -11,14 +11,19 @@
 /// coalescing tables effective with zero cross-process coordination --
 /// exactly the role the in-process shard routing plays one level down.
 ///
-/// Per backend the door keeps a connection pool: one pooled connection per
-/// in-flight call (a blocking get parks one connection, concurrent calls
-/// open more; idle connections are reused). Responses stream back
-/// verbatim -- reports are never re-encoded, so a TcpClient behind the
-/// door receives byte-for-byte what the backend produced, and kError
-/// frames pass through with their "<solver-key>: <reason>"-pinned
-/// messages intact. Door-level failures (unknown id, unreachable backend)
-/// use the "front-door" key.
+/// Per backend the door keeps ONE multiplexed connection
+/// (net/mux_connection.hpp): every forwarded call is a pipelined request
+/// correlated by the v3 wire request id, so a blocking get parks a map
+/// entry -- not a connection, not a thread -- and any number of calls
+/// share the channel. The door itself serves its clients from one epoll
+/// event loop (net/event_loop.hpp); responses are relayed as
+/// continuations with the envelope id rewritten to the client's and the
+/// payload bytes untouched, so a TcpClient behind the door receives
+/// byte-for-byte what the backend produced, and kError frames pass
+/// through with their "<solver-key>: <reason>"-pinned messages intact.
+/// Door-level failures (unknown id, unreachable backend) use the
+/// "front-door" key. Routing decisions are memoized by submit payload
+/// bytes, so the cache-warm steady state skips the instance decode.
 ///
 /// Request ids are door-assigned: the door maps its id to (backend,
 /// backend id) at submit, routes get/try_get by the map, and drops the
@@ -68,9 +73,10 @@ class FrontDoor {
   /// Blocks until a wire kShutdown arrives or stop() is called.
   void wait();
 
-  /// Stops the door: no new connections, handlers unblocked and joined,
-  /// pooled backend connections closed. Does NOT shut the backends down
-  /// (only a wire kShutdown does).
+  /// Stops the door: no new connections, backend channels closed (every
+  /// in-flight forward fails fast -- a stalled backend cannot wedge the
+  /// stop), event loop joined. Does NOT shut the backends down (only a
+  /// wire kShutdown does).
   void stop();
 
  private:

@@ -1,0 +1,151 @@
+#include "net/mux_connection.hpp"
+
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+namespace ssa::net {
+
+MuxConnection::MuxConnection(const std::string& host, std::uint16_t port)
+    : connection_(TcpConnection::connect(host, port)) {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+MuxConnection::~MuxConnection() { close(); }
+
+bool MuxConnection::poisoned() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return poisoned_;
+}
+
+void MuxConnection::close() {
+  poison("mux: connection closed");
+  if (reader_.joinable()) reader_.join();
+}
+
+void MuxConnection::poison(const std::string& reason) {
+  std::unordered_map<std::uint64_t, Callback> victims;
+  std::string recorded;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!poisoned_) {
+      poisoned_ = true;
+      poison_reason_ = reason;
+    }
+    recorded = poison_reason_;  // first reason wins for everyone
+    victims.swap(pending_);
+  }
+  // Unblocks the reader thread (recv observes EOF) without releasing the
+  // descriptor under it.
+  connection_.shutdown_both();
+  for (auto& [id, callback] : victims) {
+    callback(std::nullopt, recorded);
+  }
+}
+
+void MuxConnection::call(wire::MessageType type, std::string_view payload,
+                         Callback callback) {
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!poisoned_) {
+      // Parked BEFORE the send: the response may race back before
+      // send_frame even returns on this thread.
+      id = next_id_++;
+      pending_.emplace(id, std::move(callback));
+    }
+  }
+  if (id == 0) {
+    std::string reason;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      reason = poison_reason_;
+    }
+    callback(std::nullopt, reason);
+    return;
+  }
+
+  std::string frame;
+  try {
+    frame = wire::encode_frame(type, id, payload);
+  } catch (const std::exception& e) {
+    // Oversized payload: nothing hit the wire, so the STREAM is fine --
+    // fail only this call, not the connection.
+    Callback parked;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = pending_.find(id);
+      if (it == pending_.end()) return;  // a concurrent poison beat us
+      parked = std::move(it->second);
+      pending_.erase(it);
+    }
+    parked(std::nullopt, std::string("mux: ") + e.what());
+    return;
+  }
+
+  try {
+    const std::lock_guard<std::mutex> send_lock(send_mutex_);
+    connection_.send_frame(frame);
+  } catch (const std::exception& e) {
+    // A partial frame may be on the wire: the stream is unusable. poison
+    // fails every pending call including this one.
+    poison(std::string("mux: ") + e.what());
+  }
+}
+
+wire::Frame MuxConnection::call_sync(wire::MessageType type,
+                                     std::string_view payload) {
+  std::promise<wire::Frame> promise;
+  std::future<wire::Frame> future = promise.get_future();
+  call(type, payload,
+       [&promise](std::optional<wire::Frame> frame, const std::string& error) {
+         if (frame) {
+           promise.set_value(*std::move(frame));
+         } else {
+           promise.set_exception(
+               std::make_exception_ptr(std::runtime_error(error)));
+         }
+       });
+  return future.get();
+}
+
+void MuxConnection::reader_loop() {
+  std::string reason = "mux: server closed the connection";
+  try {
+    for (;;) {
+      std::optional<std::string> body = connection_.recv_frame();
+      if (!body) break;  // EOF (server gone, or close() unblocked us)
+      std::optional<wire::Frame> frame = wire::decode_frame_body(*body);
+      if (!frame) {
+        reason = "mux: malformed response frame";
+        break;
+      }
+      Callback callback;
+      bool unknown = false;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = pending_.find(frame->request_id);
+        if (it == pending_.end()) {
+          unknown = true;
+        } else {
+          callback = std::move(it->second);
+          pending_.erase(it);
+        }
+      }
+      if (unknown) {
+        // No pending call owns this id: either the server invented one or
+        // it answered the same id twice (the first response consumed the
+        // entry). Both are protocol violations.
+        reason = "mux: response for unknown request id " +
+                 std::to_string(frame->request_id);
+        break;
+      }
+      callback(*std::move(frame), std::string());
+    }
+  } catch (const std::exception& e) {
+    reason = std::string("mux: ") + e.what();
+  }
+  poison(reason);
+}
+
+}  // namespace ssa::net

@@ -1,0 +1,102 @@
+#pragma once
+/// \file mux_connection.hpp
+/// One multiplexed client connection: the sending half of request
+/// pipelining. Many calls may be in flight at once on the single TCP
+/// stream -- each request frame is stamped with a connection-unique
+/// wire request id, the callback is parked in a pending map, and a
+/// dedicated reader thread dispatches every response frame to its
+/// caller by that id, in whatever order the server answers.
+///
+/// This is the shared client-side transport of the serving stack:
+/// TcpClient layers the blocking/async AuctionClient surface over
+/// call()/call_sync(), and the FrontDoor keeps exactly one MuxConnection
+/// per backend (its continuation-style forwarding rides the callback
+/// form, so a blocking backend get parks a map entry, never a thread).
+///
+/// Failure model: any transport error, EOF, undecodable response, or a
+/// response id that matches no pending call (which covers duplicated
+/// ids -- the first response consumed the entry) POISONS the connection:
+/// every pending and future call fails with std::runtime_error carrying
+/// the original reason. Reconnect by constructing a new MuxConnection;
+/// the stream past a protocol violation is untrustworthy by definition.
+///
+/// Callbacks run on the reader thread (or inline on the calling thread
+/// when the failure is immediate); they must not block for long and must
+/// not call back into close()/the destructor (deadlock: close joins the
+/// reader). Server-reported kError frames are NOT failures at this layer
+/// -- they dispatch like any response, and the caller maps them to
+/// exceptions (client/tcp_client.cpp does).
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+
+#include "net/socket.hpp"
+#include "wire/protocol.hpp"
+
+namespace ssa::net {
+
+/// Multiplexed request/response client over one TCP connection.
+/// Thread-safe: call() freely from any thread.
+class MuxConnection {
+ public:
+  /// Exactly one of the two arguments is meaningful: a response frame on
+  /// success, or the poison reason when the transport failed first.
+  using Callback =
+      std::function<void(std::optional<wire::Frame>, const std::string&)>;
+
+  /// Connects immediately (throws std::runtime_error when nobody
+  /// listens) and starts the reader thread.
+  MuxConnection(const std::string& host, std::uint16_t port);
+  ~MuxConnection();
+
+  MuxConnection(const MuxConnection&) = delete;
+  MuxConnection& operator=(const MuxConnection&) = delete;
+
+  /// Starts one call: assigns the next request id, parks \p callback in
+  /// the pending map, sends the frame. The callback is invoked exactly
+  /// once -- with the response, or with the poison reason (possibly
+  /// inline, when the connection is already poisoned or the send fails).
+  void call(wire::MessageType type, std::string_view payload,
+            Callback callback);
+
+  /// Blocking convenience over call(): waits for this call's own
+  /// response (other calls proceed concurrently) and returns the frame.
+  /// Throws std::runtime_error on transport failure/poisoning.
+  [[nodiscard]] wire::Frame call_sync(wire::MessageType type,
+                                      std::string_view payload);
+
+  /// True once a transport failure or protocol violation was observed;
+  /// every later call fails fast with the recorded reason.
+  [[nodiscard]] bool poisoned() const;
+
+  /// Poisons with "connection closed" (failing all pending calls) and
+  /// joins the reader thread. Idempotent; must not be called from a
+  /// callback. The destructor calls it.
+  void close();
+
+ private:
+  void reader_loop();
+  /// Fails all pending calls with \p reason and half-closes the socket;
+  /// first reason wins. Safe from any thread.
+  void poison(const std::string& reason);
+
+  TcpConnection connection_;
+
+  mutable std::mutex mutex_;  ///< pending map + id counter + poison state
+  std::unordered_map<std::uint64_t, Callback> pending_;
+  std::uint64_t next_id_ = 1;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+
+  std::mutex send_mutex_;  ///< serializes whole-frame writes
+
+  std::thread reader_;  ///< last: joined before the members above die
+};
+
+}  // namespace ssa::net

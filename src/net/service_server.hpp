@@ -2,11 +2,13 @@
 /// \file service_server.hpp
 /// One AuctionService behind a wire-protocol listener: the backend process
 /// of the cross-process serving topology. A ServiceServer binds a loopback
-/// port, accepts connections (one handler thread each, reaped as they
-/// finish -- net/connection_server.hpp) and answers the protocol's
-/// submit/get/stats/shutdown frames by driving its in-process
-/// AuctionService -- the same construction the FrontDoor's backends and
-/// the front_door_demo's child processes run.
+/// port and serves every connection from one epoll event loop
+/// (net/event_loop.hpp); decoded frames are handed to a small request pump
+/// (worker threads) so the loop thread stays pure I/O, and BLOCKING get
+/// frames park a completion watcher on the service
+/// (AuctionService::watch) instead of a thread -- a connection may have
+/// any number of submits and gets in flight, answered out of order by
+/// wire request id.
 ///
 /// Error passthrough: solver/domain failures stay INSIDE SolveReport::
 /// error (already "<solver-key>: <reason>"-pinned) and travel as normal
@@ -17,16 +19,17 @@
 ///
 /// A wire kShutdown stops the whole server: the service completes its
 /// queue and writes its snapshot (when configured), the listener stops
-/// accepting, wait() returns. That is the remote analogue of
-/// AuctionService::shutdown() and what the demo uses to reap its spawned
-/// backend processes.
+/// accepting, wait() returns; the ack frame is sent only after the drain,
+/// so a client that saw it knows every prior submission completed. That
+/// is the remote analogue of AuctionService::shutdown() and what the demo
+/// uses to reap its spawned backend processes.
 
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <optional>
 
-#include "net/connection_server.hpp"
+#include "net/event_loop.hpp"
 #include "service/auction_service.hpp"
 
 namespace ssa::net {
@@ -37,6 +40,11 @@ struct ServiceServerOptions {
   service::ServiceOptions service;
   /// Loopback port to listen on; 0 picks an ephemeral port (port()).
   std::uint16_t port = 0;
+  /// Request-pump worker threads decoding/answering frames off the loop
+  /// thread (clamped to >= 1). Submit decoding is the expensive step;
+  /// more pumps let one connection's pipelined submits decode in
+  /// parallel.
+  int pump_threads = 3;
 };
 
 /// Serves one AuctionService over the wire protocol. Thread-safe surface;
@@ -59,14 +67,21 @@ class ServiceServer {
   void wait();
 
   /// Full stop: shuts the service down (draining its queues), stops
-  /// accepting, unblocks every connection handler and joins all threads.
-  /// Idempotent; safe from any thread except a connection handler.
+  /// accepting, joins the pump and the loop. Idempotent; safe from any
+  /// thread except a pump worker or the loop thread.
   void stop();
 
  private:
-  void handle_connection(TcpConnection& connection);
-  /// Shutdown initiation usable FROM a handler thread (no joins): flags
-  /// the stop, shuts the service and listener down, wakes wait().
+  struct Pump;
+
+  void handle_frame(const EventConnectionPtr& connection, wire::Frame frame);
+  void process(const EventConnectionPtr& connection, wire::Frame& frame);
+  void process_submit(const EventConnectionPtr& connection,
+                      const wire::Frame& frame);
+  void process_get(const EventConnectionPtr& connection,
+                   const wire::Frame& frame);
+  /// Shutdown initiation usable FROM a pump thread (no joins): flags the
+  /// stop, shuts the service and listener down, wakes wait().
   void request_stop();
 
   service::AuctionService service_;
@@ -75,9 +90,13 @@ class ServiceServer {
   std::condition_variable stopped_cv_;
   bool stopping_ = false;
 
-  /// Last: its destructor/stop() joins every network thread before the
-  /// members above die.
-  std::optional<ConnectionServer> server_;
+  /// Declared after the service, before the loop: the stop order is pump
+  /// first (no new work), then loop.
+  std::unique_ptr<Pump> pump_;
+
+  /// Last: its stop() quiesces all network activity before the members
+  /// above die.
+  std::optional<EventLoop> loop_;
 };
 
 }  // namespace ssa::net

@@ -1,6 +1,7 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -56,6 +57,16 @@ bool recv_all(int fd, char* data, std::size_t size, bool eof_ok) {
     received += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// Sets/clears O_NONBLOCK; best-effort (fcntl on a live socket only fails
+/// for programming errors, which the callers cannot act on anyway).
+void set_nonblocking_fd(int fd, bool nonblocking) noexcept {
+  if (fd < 0) return;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  const int wanted = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags) (void)::fcntl(fd, F_SETFL, wanted);
 }
 
 }  // namespace
@@ -126,6 +137,10 @@ void TcpConnection::close() noexcept {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+void TcpConnection::set_nonblocking(bool nonblocking) noexcept {
+  set_nonblocking_fd(fd_, nonblocking);
 }
 
 // -- TcpListener ------------------------------------------------------------
@@ -210,6 +225,10 @@ void TcpListener::close() noexcept {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+void TcpListener::set_nonblocking(bool nonblocking) noexcept {
+  set_nonblocking_fd(fd_, nonblocking);
 }
 
 }  // namespace ssa::net

@@ -53,6 +53,15 @@ class TcpConnection {
 
   void close() noexcept;
 
+  /// The raw descriptor (still owned by this object) -- what the event
+  /// loop registers with epoll and drives with non-blocking reads/writes.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Switches the descriptor between blocking (the default) and
+  /// non-blocking mode. send_frame/recv_frame assume blocking mode; the
+  /// event loop owns non-blocking descriptors and never uses them.
+  void set_nonblocking(bool nonblocking) noexcept;
+
  private:
   int fd_ = -1;
 };
@@ -86,6 +95,13 @@ class TcpListener {
   void shutdown() noexcept;
 
   void close() noexcept;
+
+  /// The raw descriptor (still owned); the event loop polls it directly.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Non-blocking mode for event-loop accepting (accept() here assumes
+  /// blocking mode and must not be mixed with it).
+  void set_nonblocking(bool nonblocking) noexcept;
 
  private:
   int fd_ = -1;

@@ -105,10 +105,25 @@ struct AuctionService::Shard {
   /// reports awaiting their get()/try_get() claim.
   std::unordered_map<RequestId, std::shared_ptr<Request>> pending;
   std::unordered_map<RequestId, SolveReport> completed;
+  /// Async completion watchers (watch()), fired outside the lock by the
+  /// worker that moves the id from pending to completed.
+  std::unordered_map<RequestId, std::vector<std::function<void()>>> watchers;
   /// In-flight table: a key is present from the leader's enqueue until its
   /// completion; duplicate submissions in that window attach here instead
   /// of enqueueing a second computation.
   std::unordered_map<Fingerprint, std::vector<Follower>> inflight;
+
+  /// Moves \p id's watchers into \p fired (invoked by the caller after
+  /// unlocking). Requires mutex held.
+  void take_watchers(RequestId id,
+                     std::vector<std::function<void()>>& fired) {
+    const auto it = watchers.find(id);
+    if (it == watchers.end()) return;
+    for (std::function<void()>& watcher : it->second) {
+      fired.push_back(std::move(watcher));
+    }
+    watchers.erase(it);
+  }
   /// Declared last: the scheduler's destructor joins its workers before
   /// the maps above are torn down.
   SolveScheduler scheduler;
@@ -353,6 +368,7 @@ RequestId AuctionService::submit(const AnyInstance& instance,
           report.admission = verdict;
           const bool run_timed_out = report.timed_out;
           std::size_t follower_count = 0;
+          std::vector<std::function<void()>> fired;
           {
             const std::lock_guard<std::mutex> completion_lock(shard.mutex);
             // Cache only clean, complete, undegraded runs: errors would pin
@@ -381,16 +397,21 @@ RequestId AuctionService::submit(const AnyInstance& instance,
                         .count();
                 shard.pending.erase(follower.id);
                 shard.completed.emplace(follower.id, std::move(fanned));
+                shard.take_watchers(follower.id, fired);
                 ++follower_count;
               }
             }
             shard.pending.erase(id);
             shard.completed.emplace(id, std::move(report));
+            shard.take_watchers(id, fired);
           }
           completed_.fetch_add(1 + follower_count);
           // Followers received the same truncated payload, so they count.
           if (run_timed_out) timed_out_.fetch_add(1 + follower_count);
           shard.completed_cv.notify_all();
+          // Outside every lock: a watcher may call straight back into
+          // try_get (it usually does).
+          for (const std::function<void()>& watcher : fired) watcher();
         },
         // The cost key separates the admission EMA by requested solver and
         // instance-size bucket (api/admission.hpp): a stream of cheap
@@ -516,6 +537,23 @@ std::optional<SolveReport> AuctionService::try_get(RequestId id) {
   if (shard.pending.contains(id)) return std::nullopt;
   throw std::invalid_argument(
       "AuctionService::try_get: unknown or already-claimed request id");
+}
+
+void AuctionService::watch(RequestId id, std::function<void()> callback) {
+  const std::size_t index =
+      static_cast<std::size_t>(id) & (static_cast<std::size_t>(kMaxShards) - 1);
+  if (index < shards_.size()) {
+    Shard& shard = *shards_[index];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.pending.contains(id) && !shard.completed.contains(id)) {
+      shard.watchers[id].push_back(std::move(callback));
+      return;
+    }
+  }
+  // Already completed, claimed, or an id this service never issued: the
+  // id is resolved as far as waiting goes -- fire inline and let the
+  // callback's own claim surface whichever case it is.
+  callback();
 }
 
 void AuctionService::drain() {

@@ -168,6 +168,18 @@ class AuctionService {
   /// while still queued/running. Unknown or already-claimed ids throw.
   [[nodiscard]] std::optional<SolveReport> try_get(RequestId id);
 
+  /// Async completion hook: invokes \p callback exactly once when \p id
+  /// leaves the pending state -- immediately (inline, before returning)
+  /// when the id is already completed, claimed or unknown, otherwise on
+  /// the worker thread that completes it. The callback claims via
+  /// try_get/get itself (an unknown/claimed id then throws there, which
+  /// is how the error surfaces). Multiple watchers per id are allowed;
+  /// each fires once. This is what lets a wire server answer a BLOCKING
+  /// get without parking a thread per waiting client
+  /// (net/service_server.cpp). The callback runs under no service lock
+  /// but must not block: it stalls a solve worker otherwise.
+  void watch(RequestId id, std::function<void()> callback);
+
   /// Blocks until every submitted request has completed (the service stays
   /// open for new submissions).
   void drain();

@@ -5,10 +5,12 @@
 
 namespace ssa::wire {
 
-std::string encode_frame_body(MessageType type, std::string_view payload) {
-  // header = magic + version + type
+std::string encode_frame_body(MessageType type, std::uint64_t request_id,
+                              std::string_view payload) {
+  // header = magic + version + type + request id
   const std::size_t body_size = sizeof kWireMagic + sizeof kWireVersion +
-                                sizeof(std::uint8_t) + payload.size();
+                                sizeof(std::uint8_t) + sizeof request_id +
+                                payload.size();
   if (body_size > kMaxFrameBytes) {
     throw std::invalid_argument("wire: frame payload exceeds kMaxFrameBytes");
   }
@@ -16,12 +18,14 @@ std::string encode_frame_body(MessageType type, std::string_view payload) {
   writer.u32(kWireMagic);
   writer.u16(kWireVersion);
   writer.u8(static_cast<std::uint8_t>(type));
+  writer.u64(request_id);
   writer.bytes(payload);
   return writer.take();
 }
 
-std::string encode_frame(MessageType type, std::string_view payload) {
-  return reframe_body(encode_frame_body(type, payload));
+std::string encode_frame(MessageType type, std::uint64_t request_id,
+                         std::string_view payload) {
+  return reframe_body(encode_frame_body(type, request_id, payload));
 }
 
 std::string reframe_body(std::string_view body) {
@@ -39,6 +43,7 @@ std::optional<Frame> decode_frame_body(std::string_view body) {
   const std::uint32_t magic = reader.u32();
   const std::uint16_t version = reader.u16();
   const std::uint8_t type = reader.u8();
+  const std::uint64_t request_id = reader.u64();
   if (reader.failed() || magic != kWireMagic || version != kWireVersion) {
     return std::nullopt;
   }
@@ -48,6 +53,7 @@ std::optional<Frame> decode_frame_body(std::string_view body) {
   }
   Frame frame;
   frame.type = static_cast<MessageType>(type);
+  frame.request_id = request_id;
   frame.payload = reader.bytes(reader.remaining());
   return frame;
 }

@@ -8,7 +8,8 @@
 /// Framing: every message travels as one length-prefixed frame,
 ///
 ///     u32 body_length | body
-///     body := u32 kWireMagic | u16 kWireVersion | u8 MessageType | payload
+///     body := u32 kWireMagic | u16 kWireVersion | u8 MessageType
+///             | u64 request_id | payload
 ///
 /// body_length counts the body bytes only and is capped at kMaxFrameBytes;
 /// scalars are little-endian (wire/codec.hpp). A peer that receives a
@@ -16,6 +17,18 @@
 /// a payload its parser rejects answers kError (when it can still write)
 /// and closes the connection -- malformed bytes never crash a peer and
 /// never leave a partially-applied request behind.
+///
+/// request_id is the multiplexing correlation id: a client stamps every
+/// request frame with a connection-unique id and the server stamps the
+/// matching response with the SAME id, so many requests may be in flight
+/// on one connection and responses may return in ANY order. Ids are
+/// opaque to the server (it never interprets them) and scoped to one
+/// connection. A response whose id matches no in-flight request is a
+/// protocol violation: the receiving client poisons the connection, which
+/// also covers duplicated ids (the first response consumes the pending
+/// entry, the second finds nothing). Error frames answering bytes whose
+/// envelope could not be parsed carry id 0 -- the stream is untrustworthy
+/// after a framing error, so precise correlation no longer matters.
 ///
 /// Versioning mirrors the snapshot discipline (ResultCache::
 /// kSnapshotVersion): kWireVersion covers the framing AND every payload
@@ -48,8 +61,9 @@ namespace ssa::wire {
 inline constexpr std::uint32_t kWireMagic = 0x57415353u;
 
 /// Protocol schema version; see the file comment for when to bump.
-/// History: 2 added ServiceStats::timed_out to the stats codec.
-inline constexpr std::uint16_t kWireVersion = 2;
+/// History: 2 added ServiceStats::timed_out to the stats codec; 3 added
+/// the u64 request_id to the frame envelope (request multiplexing).
+inline constexpr std::uint16_t kWireVersion = 3;
 
 /// Upper bound on one frame's body (64 MiB): far above any real request
 /// or report, small enough that a corrupt length cannot drive a huge
@@ -75,9 +89,11 @@ enum class ErrorKind : std::uint8_t {
   kRuntime = 2,          ///< std::runtime_error (shut down, transport, ...)
 };
 
-/// A parsed frame body: its type plus the payload bytes after the header.
+/// A parsed frame body: its type, correlation id and the payload bytes
+/// after the header.
 struct Frame {
   MessageType type = MessageType::kError;
+  std::uint64_t request_id = 0;
   std::string payload;
 };
 
@@ -85,11 +101,13 @@ struct Frame {
 /// send. Throws std::invalid_argument when the payload would overflow
 /// kMaxFrameBytes.
 [[nodiscard]] std::string encode_frame(MessageType type,
+                                       std::uint64_t request_id,
                                        std::string_view payload);
 
 /// Encodes a frame BODY only (header + payload, no length prefix) -- the
 /// form recv_frame returns and the forwarding layers pass around.
 [[nodiscard]] std::string encode_frame_body(MessageType type,
+                                            std::uint64_t request_id,
                                             std::string_view payload);
 
 /// Parses one frame BODY (the bytes after the length prefix): checks

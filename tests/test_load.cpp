@@ -194,6 +194,30 @@ TEST(LoadWorkload, ChurnVariantsAreNearDuplicatesWithDistinctFingerprints) {
   }
 }
 
+TEST(LoadWorkload, CliqueFamilyHonorsItsSeed) {
+  // make_clique_auction keeps the unit bids the integrality-gap proof
+  // needs but shuffles the elimination ordering by seed, and the ordering
+  // is part of the canonical fingerprint: distinct seeds => distinct
+  // instances, same seed => bitwise-identical fingerprint. The pool
+  // therefore serves DISTINCT clique scenarios without any re-weighting
+  // workaround (repeats of different scenarios must miss each other's
+  // cache entries).
+  const AuctionInstance seed7a = gen::make_clique_auction(12, 7);
+  const AuctionInstance seed7b = gen::make_clique_auction(12, 7);
+  const AuctionInstance seed8 = gen::make_clique_auction(12, 8);
+  EXPECT_EQ(fingerprint(AnyInstance(seed7a)), fingerprint(AnyInstance(seed7b)));
+  EXPECT_NE(fingerprint(AnyInstance(seed7a)), fingerprint(AnyInstance(seed8)));
+
+  TraceSpec spec = golden_spec();
+  spec.pool_size = 10;  // scenarios 2 and 7 are both clique family
+  ScenarioPool pool(spec);
+  const gen::NamedInstance& first = pool.instance(2);
+  const gen::NamedInstance& second = pool.instance(7);
+  EXPECT_EQ(first.label, "clique#2");
+  EXPECT_EQ(second.label, "clique#7");
+  EXPECT_NE(fingerprint(first.view()), fingerprint(second.view()));
+}
+
 TEST(LoadDriver, MeasuresLatenessSeparatelyFromServiceLatency) {
   // Every event fires "at once" against a fully warmed cache: the service
   // answers each request in ~0 (cache hits record a 0.0 service latency),

@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -19,9 +22,12 @@
 #include "client/client.hpp"
 #include "gen/scenario.hpp"
 #include "net/front_door.hpp"
+#include "net/mux_connection.hpp"
 #include "net/service_server.hpp"
 #include "net/socket.hpp"
+#include "support/fingerprint.hpp"
 #include "wire/codec.hpp"
+#include "wire/protocol.hpp"
 
 namespace ssa {
 namespace {
@@ -147,6 +153,169 @@ TEST(ServiceServerTest, TryGetPollsAcrossTheWire) {
   while (!report) report = remote.try_get(id);
   EXPECT_TRUE(report->error.empty());
   remote.shutdown();
+}
+
+// ------------------------------------------------------- multiplexed wire
+
+TEST(MuxTest, ManyInFlightRequestsResolveToTheRightCallers) {
+  // One connection, a deep pipeline: every submit is in flight before the
+  // first get resolves, the server's pump answers out of submission
+  // order, and the per-frame request id must route each response to its
+  // own caller. Repeats of one scenario pin the payload (identical
+  // allocation/welfare); a crossed response would surface as a mismatch.
+  net::ServiceServer server({small_service(), 0});
+  TcpClient remote(server.port());
+  const std::vector<gen::NamedInstance> scenarios = mixed_scenarios();
+  const SolveOptions options = stream_options();
+  const int kRequests = 120;
+
+  std::vector<std::future<client::RequestId>> submits;
+  submits.reserve(kRequests);
+  for (int r = 0; r < kRequests; ++r) {
+    const auto& scenario = scenarios[static_cast<std::size_t>(r) %
+                                     scenarios.size()];
+    submits.push_back(
+        remote.submit_async(scenario.view(), client::kAutoSolver, options));
+  }
+  std::vector<client::RequestId> ids;
+  ids.reserve(kRequests);
+  for (auto& submit : submits) ids.push_back(submit.get());
+  EXPECT_EQ(std::set<client::RequestId>(ids.begin(), ids.end()).size(),
+            ids.size());
+
+  std::vector<std::future<SolveReport>> gets;
+  gets.reserve(kRequests);
+  for (const client::RequestId id : ids) gets.push_back(remote.get_async(id));
+  std::vector<SolveReport> reports;
+  reports.reserve(kRequests);
+  for (auto& get : gets) reports.push_back(get.get());
+
+  for (int r = 0; r < kRequests; ++r) {
+    const auto s = static_cast<std::size_t>(r) % scenarios.size();
+    EXPECT_TRUE(reports[static_cast<std::size_t>(r)].error.empty());
+    EXPECT_EQ(reports[static_cast<std::size_t>(r)].welfare,
+              reports[s].welfare);
+    EXPECT_EQ(reports[static_cast<std::size_t>(r)].allocation.bundles,
+              reports[s].allocation.bundles);
+  }
+  EXPECT_EQ(remote.stats().submitted,
+            static_cast<std::uint64_t>(kRequests));
+  remote.shutdown();
+}
+
+TEST(ServiceServerTest, InterleavedResponsesArriveOutOfOrder) {
+  // A later request's response overtakes an earlier one on the SAME
+  // connection: the first solve is held in flight while the second
+  // completes, so the blocking get for request 2 resolves while the get
+  // for request 1 is still pending -- impossible under one-in-flight v2,
+  // the defining behavior of the v3 multiplexed path.
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<int> solves{0};
+  service::ServiceOptions config;
+  config.shards = 1;
+  config.threads_per_shard = 2;  // worker 2 overtakes while worker 1 waits
+  config.on_solve = [&](const Fingerprint&) {
+    if (solves.fetch_add(1) == 0) released.wait();
+  };
+  net::ServiceServer server({net::ServiceServerOptions{config, 0}});
+  TcpClient remote(server.port());
+
+  const AuctionInstance slow =
+      gen::make_disk_auction(8, 2, gen::ValuationMix::kMixed, 101);
+  const AuctionInstance fast =
+      gen::make_disk_auction(8, 2, gen::ValuationMix::kMixed, 102);
+
+  const auto slow_id = remote.submit(slow);
+  std::future<SolveReport> slow_report = remote.get_async(slow_id);
+  while (solves.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto fast_id = remote.submit(fast);
+  const SolveReport fast_report = remote.get(fast_id);
+  EXPECT_TRUE(fast_report.error.empty());
+  EXPECT_EQ(slow_report.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout)
+      << "the held request resolved before its solver ran";
+
+  release.set_value();
+  const SolveReport resolved = slow_report.get();
+  EXPECT_TRUE(resolved.error.empty());
+  // Distinct instances, distinct payloads: each future got its own.
+  EXPECT_FALSE(wire::reports_payload_equal(resolved, fast_report));
+  remote.shutdown();
+}
+
+/// Hand-rolled misbehaving server: answers every request with a scripted
+/// list of response ids (empty stats payload), so client-side protocol
+/// enforcement can be probed directly.
+void serve_scripted_ids(
+    net::TcpListener& listener,
+    const std::function<std::vector<std::uint64_t>(std::uint64_t)>& script) {
+  auto connection = listener.accept();
+  if (!connection) return;
+  wire::Writer stats;
+  stats.u32(1);
+  wire::write_stats(stats, service::ServiceStats{});
+  while (auto body = connection->recv_frame()) {
+    const auto frame = wire::decode_frame_body(*body);
+    if (!frame) return;
+    for (const std::uint64_t id : script(frame->request_id)) {
+      connection->send_frame(wire::encode_frame(wire::MessageType::kStatsOk,
+                                                id, stats.buffer()));
+    }
+  }
+}
+
+TEST(MuxTest, ResponseForUnknownRequestIdPoisonsTheConnection) {
+  net::TcpListener listener = net::TcpListener::bind_loopback(0);
+  std::thread server([&listener] {
+    serve_scripted_ids(listener, [](std::uint64_t id) {
+      return std::vector<std::uint64_t>{id + 1000};  // an id nobody sent
+    });
+  });
+  net::MuxConnection mux(net::kLoopbackHost, listener.port());
+  try {
+    (void)mux.call_sync(wire::MessageType::kStats, {});
+    FAIL() << "a response for an unknown id must fail the pending call";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown request id"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(mux.poisoned());
+  mux.close();
+  listener.shutdown();
+  server.join();
+  listener.close();
+}
+
+TEST(MuxTest, DuplicateResponseIdPoisonsAfterTheFirstDelivery) {
+  net::TcpListener listener = net::TcpListener::bind_loopback(0);
+  std::thread server([&listener] {
+    serve_scripted_ids(listener, [](std::uint64_t id) {
+      return std::vector<std::uint64_t>{id, id};  // answers the same id twice
+    });
+  });
+  net::MuxConnection mux(net::kLoopbackHost, listener.port());
+  // The first response delivers normally...
+  const wire::Frame frame = mux.call_sync(wire::MessageType::kStats, {});
+  EXPECT_EQ(frame.type, wire::MessageType::kStatsOk);
+  // ...and the duplicate matches no pending call (the first consumed the
+  // entry), which is a protocol violation: the connection poisons.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!mux.poisoned() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(mux.poisoned());
+  EXPECT_THROW((void)mux.call_sync(wire::MessageType::kStats, {}),
+               std::runtime_error);
+  mux.close();
+  listener.shutdown();
+  server.join();
+  listener.close();
 }
 
 // --------------------------------------------------------------- FrontDoor

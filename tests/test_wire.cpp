@@ -334,12 +334,15 @@ TEST(WireInstance, EncodeRejectsEmptyView) {
 // ----------------------------------------------------------------- frames
 
 TEST(WireFrame, RoundTripAndHeaderChecks) {
-  const std::string frame = wire::encode_frame(wire::MessageType::kStats, "xy");
-  // Body starts after the u32 length prefix.
+  const std::string frame =
+      wire::encode_frame(wire::MessageType::kStats, 0xdeadbeefcafef00dull, "xy");
+  // Body starts after the u32 length prefix. v3 body layout:
+  // magic[0..3] version[4..5] type[6] request_id[7..14] payload[15..].
   const std::string body = frame.substr(4);
   const auto decoded = wire::decode_frame_body(body);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->type, wire::MessageType::kStats);
+  EXPECT_EQ(decoded->request_id, 0xdeadbeefcafef00dull);
   EXPECT_EQ(decoded->payload, "xy");
 
   std::string bad_magic = body;
@@ -353,6 +356,79 @@ TEST(WireFrame, RoundTripAndHeaderChecks) {
   std::string bad_type = body;
   bad_type[6] = 99;
   EXPECT_FALSE(wire::decode_frame_body(bad_type).has_value());
+
+  // A body that ends inside the request id is truncated, not id 0.
+  EXPECT_FALSE(wire::decode_frame_body(body.substr(0, 10)).has_value());
+}
+
+TEST(WireFrame, RequestIdRoundTripsEveryValue) {
+  for (const std::uint64_t id :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{1} << 32,
+        ~std::uint64_t{0}}) {
+    const std::string frame =
+        wire::encode_frame(wire::MessageType::kGet, id, "p");
+    const auto decoded = wire::decode_frame_body(frame.substr(4));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->request_id, id);
+    EXPECT_EQ(decoded->payload, "p");
+  }
+}
+
+TEST(WireFrame, RejectsVersion2FramesStrictly) {
+  // A v2 peer framed magic + version + type + payload, with NO request id.
+  // Both disagreements -- the version word itself and the 8 missing
+  // envelope bytes -- must reject cleanly; nothing may misparse the first
+  // payload bytes as an id.
+  wire::Writer v2_body;
+  v2_body.u32(wire::kWireMagic);
+  v2_body.u16(2);
+  v2_body.u8(1);  // kSubmit
+  v2_body.bytes("abc");
+  EXPECT_FALSE(wire::decode_frame_body(v2_body.buffer()).has_value());
+
+  // A v3-shaped body whose version word was rewound to 2 (or bumped past
+  // the current version) must also reject: the check is equality, not >=.
+  const std::string v3 =
+      wire::encode_frame(wire::MessageType::kSubmit, 7, "abc").substr(4);
+  for (const std::uint16_t version : {std::uint16_t{2}, std::uint16_t{4}}) {
+    std::string patched = v3;
+    patched[4] = static_cast<char>(version & 0xff);
+    patched[5] = static_cast<char>(version >> 8);
+    EXPECT_FALSE(wire::decode_frame_body(patched).has_value());
+  }
+}
+
+TEST(WireFrame, EnvelopeBitFlipsNeverCrashAndNeverTouchThePayload) {
+  // Deterministic xorshift so failures reproduce.
+  std::uint64_t state = 0x2545f4914f6cdd1dull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::string body =
+      wire::encode_frame(wire::MessageType::kSubmit, 0x0102030405060708ull,
+                         "payload-bytes")
+          .substr(4);
+  constexpr std::size_t kEnvelopeBytes = 15;  // magic+version+type+id
+  for (int round = 0; round < 4000; ++round) {
+    std::string mutated = body;
+    const int flips = 1 + static_cast<int>(next() % 3);
+    for (int f = 0; f < flips; ++f) {
+      mutated[next() % kEnvelopeBytes] ^= static_cast<char>(1u << (next() % 8));
+    }
+    // Never crashes, never throws. When the flips landed only in the
+    // request id (the one mutable envelope field), the frame still
+    // decodes -- with the payload untouched; any magic/version flip or
+    // out-of-range type must reject.
+    const auto decoded = wire::decode_frame_body(mutated);
+    if (decoded.has_value()) {
+      EXPECT_EQ(mutated.substr(0, 4), body.substr(0, 4));  // magic intact
+      EXPECT_EQ(mutated.substr(4, 2), body.substr(4, 2));  // version intact
+      EXPECT_EQ(decoded->payload, "payload-bytes");
+    }
+  }
 }
 
 // ------------------------------------------------------------ golden pins
@@ -396,8 +472,10 @@ TEST(WireCodec, StatsRoundTripCoversEveryCounter) {
 }
 
 TEST(WireGolden, FrameLayout) {
-  EXPECT_EQ(to_hex(wire::encode_frame(wire::MessageType::kSubmit, "abc")),
-            "0a00000053534157020001616263");
+  // v3: u32 len | u32 magic "SSAW" | u16 version=3 | u8 type | u64 id | payload
+  EXPECT_EQ(to_hex(wire::encode_frame(wire::MessageType::kSubmit,
+                                      0x0102030405060708ull, "abc")),
+            "1200000053534157030001" "0807060504030201" "616263");
 }
 
 TEST(WireGolden, DefaultOptionsLayout) {
