@@ -34,6 +34,23 @@ namespace ssa {
 /// shared \p seed subsumes the section-level seed fields (PipelineOptions::
 /// seed, MechanismOptions::sample_seed, DecompositionOptions::seed): adapters
 /// overwrite them with \p seed so one knob reproduces any run.
+/// Runtime-only warm-start side channel a caller (the AuctionService worker,
+/// the E14 bench) threads through SolveOptions::warm_context. Never
+/// serialized and never part of any cache key: a warm-started solve is
+/// payload-identical to the cold solve of the same instance (lp/simplex.hpp
+/// explains why), so the hint cannot change what a cached report would say.
+/// `hint` is consumed when SolveOptions::warm_start allows it; `exported` /
+/// `columns_per_bidder` are filled (has_export = true) after an optimal
+/// explicit-path LP solve so the caller can bank the basis for the next
+/// structurally identical instance.
+struct WarmStartContext {
+  const lp::BasisSnapshot* hint = nullptr;  ///< in: basis to install, or null
+  lp::BasisSnapshot exported;               ///< out: optimal basis of this run
+  bool has_export = false;                  ///< out: `exported` is valid
+  /// out: structural column span per bidder (delta-remap input).
+  std::vector<std::uint32_t> columns_per_bidder;
+};
+
 struct SolveOptions {
   // -- shared ---------------------------------------------------------------
   std::uint64_t seed = 1;  ///< single source of randomness for the run
@@ -54,6 +71,17 @@ struct SolveOptions {
   /// results never depend on it (parallel_for keeps a fixed
   /// iteration-to-result mapping). No effect in non-OpenMP builds.
   int threads = 0;
+  /// Allow warm-starting the LP from a cached basis when the caller supplies
+  /// one through \p warm_context. Off forces a cold solve even with a hint
+  /// present. Serialized (a client may pin cold solves for benchmarking);
+  /// NOT part of the service cache key -- the payload is warm/cold-invariant
+  /// by construction, so both settings map to the same cached report.
+  bool warm_start = true;
+  /// Runtime-only basis side channel (see WarmStartContext). Null for plain
+  /// solves; the wire codec never carries it and the service result cache
+  /// never keys on it. Only "lp-rounding"'s explicit LP path consumes it;
+  /// every other solver leaves it untouched.
+  WarmStartContext* warm_context = nullptr;
 
   // -- per-solver sections --------------------------------------------------
   PipelineOptions pipeline = {};    ///< "lp-rounding", "asymmetric-lp-rounding"
@@ -87,6 +115,17 @@ struct SolveReport {
   /// still feasible. Never set by an unlimited budget.
   bool timed_out = false;
   double wall_time_seconds = 0.0;
+  /// The LP behind this report re-optimized from a caller-provided basis
+  /// hint instead of pivoting from scratch. A run diagnostic like
+  /// wall_time_seconds: serialized for observability, but ignored by
+  /// wire::reports_payload_equal -- warm and cold runs of one instance
+  /// produce the same payload by construction.
+  bool warm_started = false;
+  /// Simplex pivots the solve spent across its LP(s): the pipeline LP for
+  /// "lp-rounding" / "asymmetric-lp-rounding", the n+1 VCG LPs plus the
+  /// decomposition LP for "mechanism", 0 for the LP-free solvers. Like
+  /// warm_started, a timing-class diagnostic excluded from payload equality.
+  std::int64_t pivots = 0;
   /// Empty on success. Filled (by solve() itself) when the instance is
   /// outside the solver's domain or the algorithm failed; solve_batch
   /// additionally stores job-level failures (unknown solver, empty

@@ -90,7 +90,20 @@ class LpRoundingSolver final : public SymmetricSolver {
     // Shared-vs-section budget precedence pinned in support/deadline.hpp.
     pipeline.time_budget_seconds = effective_budget(
         options.time_budget_seconds, pipeline.time_budget_seconds);
+    // Bridge the runtime-only warm-start side channel into the pipeline.
+    // The hint is honored only when warm_start allows it; the export side
+    // always runs so a cold solve still banks its basis for the next call.
+    LpWarmStart warm;
+    if (options.warm_context != nullptr) {
+      if (options.warm_start) warm.hint = options.warm_context->hint;
+      warm.exported = &options.warm_context->exported;
+      warm.columns_per_bidder = &options.warm_context->columns_per_bidder;
+      pipeline.warm = &warm;
+    }
     const PipelineResult result = solve_pipeline(instance, pipeline);
+    if (options.warm_context != nullptr) {
+      options.warm_context->has_export = !options.warm_context->exported.empty();
+    }
     // An LP that failed for any reason other than the time budget (pivot
     // limit, infeasibility) is an error, not a silent zero-welfare report.
     if (result.fractional.status != lp::SolveStatus::kOptimal &&
@@ -105,6 +118,8 @@ class LpRoundingSolver final : public SymmetricSolver {
                                                    : " lp=explicit");
     report.allocation = result.allocation;
     report.timed_out = result.timed_out;
+    report.warm_started = result.warm_started;
+    report.pivots = result.pivots;
     // Rounding ran, so the fractional payload is always worth reporting;
     // the b* bound and the guarantee derived from it are published only
     // when the LP optimum is proven (explicit solve or certified colgen) --
@@ -248,6 +263,7 @@ class MechanismSolver final : public SymmetricSolver {
     report.factor = outcome.decomposition.alpha;
     report.lp_upper_bound = outcome.vcg.optimum.objective;
     report.fractional = outcome.vcg.optimum;
+    report.pivots = outcome.vcg.pivots + outcome.decomposition.pivots;
     report.mechanism = std::move(outcome);
     return report;
   }
@@ -310,6 +326,7 @@ class AsymmetricLpRoundingSolver final : public AsymmetricSolver {
     report.timed_out = timed_out;
     report.lp_upper_bound = lp.objective;
     report.fractional = lp;
+    report.pivots = lp.pivots;
     report.guarantee = lp.objective / (2.0 * report.factor);
     return report;
   }

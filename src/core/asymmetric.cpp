@@ -121,6 +121,7 @@ FractionalSolution solve_asymmetric_lp(const AsymmetricInstance& instance,
   FractionalSolution result;
   result.status = solution.status;
   result.objective = solution.objective;
+  result.pivots = solution.pivots;
   if (solution.status != lp::SolveStatus::kOptimal) return result;
   for (std::size_t j = 0; j < meaning.size(); ++j) {
     if (solution.x[j] > 1e-9) {

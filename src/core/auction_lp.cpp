@@ -1,5 +1,6 @@
 #include "core/auction_lp.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
 
@@ -50,12 +51,54 @@ std::vector<lp::ColumnEntry> bundle_column(const AuctionInstance& instance,
 
 namespace {
 
+/// Deterministic unit in [0, 1) from (bidder, bundle) -- splitmix64 mix.
+[[nodiscard]] double tiebreak_unit(std::size_t v, Bundle t) {
+  std::uint64_t x = (static_cast<std::uint64_t>(v) << 32) ^
+                    (static_cast<std::uint64_t>(t) + 0x9e3779b97f4a7c15ull);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Relative scale of the symmetry-breaking lift below. Must exceed the
+/// engine's optimality tolerance (1e-9) by enough that a previously tied
+/// vertex shows a strictly improving reduced cost, and stay far inside
+/// every consumer's comparison tolerance (colgen equality allows 1e-6
+/// relative): the lift moves the reported LP value by at most
+/// kTiebreakScale relative.
+constexpr double kTiebreakScale = 1e-7;
+
+/// Objective coefficient of column (v, t) in the EXPLICIT master:
+/// b_{v,T} plus a deterministic per-column relative lift. Auction
+/// instances carry exactly tied alternate optima for real (equal-value
+/// bundles of one bidder), and the warm-start contract requires cold and
+/// warm solves to terminate at the SAME optimal vertex from any starting
+/// basis -- a generically unique optimum is what makes the terminal
+/// vertex start-independent. The lift only ever INCREASES a coefficient,
+/// so the LP value stays a valid upper bound on the integral optimum; it
+/// depends only on (bidder, bundle), so churn variants of one structure
+/// are lifted identically and basis reuse is unaffected. The
+/// column-generation path is left unlifted: its demand oracle prices
+/// columns with the true values, and a lifted master under an unlifted
+/// oracle could terminate epsilon-short of lifted-optimal. Explicit and
+/// colgen objectives therefore differ by <= kTiebreakScale relative
+/// (tests/test_auction_lp.cpp compares them within 1e-6).
+[[nodiscard]] double explicit_objective(const AuctionInstance& instance,
+                                        std::size_t v, Bundle t) {
+  const double value = instance.value(v, t);
+  return value * (1.0 + kTiebreakScale * tiebreak_unit(v, t));
+}
+
 FractionalSolution extract(const AuctionInstance& instance,
                            const lp::Solution& solution,
                            const std::vector<std::pair<int, Bundle>>& meaning) {
   FractionalSolution result;
   result.status = solution.status;
   result.objective = solution.objective;
+  result.pivots = solution.pivots;
   if (solution.status != lp::SolveStatus::kOptimal) return result;
   for (std::size_t j = 0; j < meaning.size(); ++j) {
     if (solution.x[j] > 1e-9) {
@@ -70,7 +113,8 @@ FractionalSolution extract(const AuctionInstance& instance,
 }  // namespace
 
 FractionalSolution solve_auction_lp(const AuctionInstance& instance,
-                                    lp::SimplexOptions options) {
+                                    lp::SimplexOptions options,
+                                    LpWarmStart* warm) {
   const int k = instance.num_channels();
   if (k > 12) {
     throw std::invalid_argument(
@@ -79,15 +123,162 @@ FractionalSolution solve_auction_lp(const AuctionInstance& instance,
   }
   lp::LinearProgram master = build_master_rows(instance);
   std::vector<std::pair<int, Bundle>> meaning;
+  if (warm != nullptr && warm->columns_per_bidder != nullptr) {
+    warm->columns_per_bidder->assign(instance.num_bidders(), 0);
+  }
   for (std::size_t v = 0; v < instance.num_bidders(); ++v) {
     for (Bundle t = 1; t < num_bundles(k); ++t) {
       if (instance.value(v, t) <= 0.0) continue;
-      master.add_column(instance.value(v, t),
+      master.add_column(explicit_objective(instance, v, t),
                         bundle_column(instance, static_cast<int>(v), t));
       meaning.emplace_back(static_cast<int>(v), t);
+      if (warm != nullptr && warm->columns_per_bidder != nullptr) {
+        ++(*warm->columns_per_bidder)[v];
+      }
     }
   }
-  return extract(instance, lp::solve(master, options), meaning);
+  lp::SimplexEngine engine(options);
+  lp::Solution solution;
+  bool warm_used = false;
+  if (warm != nullptr && warm->hint != nullptr && !warm->hint->empty()) {
+    solution = engine.solve(master, *warm->hint, &warm_used);
+  } else {
+    solution = engine.solve(master);
+  }
+  if (warm != nullptr) {
+    warm->warm_started = warm_used;
+    if (warm->exported != nullptr &&
+        solution.status == lp::SolveStatus::kOptimal) {
+      *warm->exported = engine.export_basis();
+    }
+  }
+  return extract(instance, solution, meaning);
+}
+
+namespace {
+
+/// Slack-of-row snapshot entry (the cold default of a basis position).
+[[nodiscard]] lp::BasisSnapshot::Entry slack_entry(std::int32_t row) {
+  return {lp::BasisSnapshot::Kind::kSlack, row};
+}
+
+}  // namespace
+
+lp::BasisSnapshot remap_basis_for_added_bidder(
+    const lp::BasisSnapshot& basis, std::size_t old_n, int k,
+    const std::vector<std::uint32_t>& old_columns_per_bidder,
+    std::uint32_t new_bidder_columns) {
+  const std::size_t old_rows = old_n * static_cast<std::size_t>(k) + old_n;
+  std::uint32_t old_structurals = 0;
+  for (const std::uint32_t count : old_columns_per_bidder) {
+    old_structurals += count;
+  }
+  if (basis.rows != old_rows || basis.structurals != old_structurals ||
+      old_columns_per_bidder.size() != old_n) {
+    throw std::invalid_argument(
+        "remap_basis_for_added_bidder: snapshot does not match the donor "
+        "instance's dimensions");
+  }
+  // Row remap: channel rows (u, j) with u < old_n keep their index; the
+  // convexity row of v moves from old_n*k + v to (old_n+1)*k + v.
+  const auto remap_row = [&](std::int32_t row) {
+    const std::int32_t channel_rows =
+        static_cast<std::int32_t>(old_n) * static_cast<std::int32_t>(k);
+    if (row < channel_rows) return row;
+    return row + static_cast<std::int32_t>(k);
+  };
+
+  lp::BasisSnapshot grown;
+  grown.rows = static_cast<std::uint32_t>((old_n + 1) * static_cast<std::size_t>(k) +
+                                          old_n + 1);
+  grown.structurals = old_structurals + new_bidder_columns;
+  grown.basic.resize(grown.rows);
+  // Every position starts as its row's slack: the new bidder's channel and
+  // convexity rows come up slack-basic and the install-time repair absorbs
+  // whatever interference the old allocation pushes onto them.
+  for (std::uint32_t i = 0; i < grown.rows; ++i) {
+    grown.basic[i] = slack_entry(static_cast<std::int32_t>(i));
+  }
+  for (std::size_t i = 0; i < basis.basic.size(); ++i) {
+    lp::BasisSnapshot::Entry entry = basis.basic[i];
+    if (entry.kind != lp::BasisSnapshot::Kind::kStructural) {
+      entry.index = remap_row(entry.index);
+    }
+    grown.basic[static_cast<std::size_t>(
+        remap_row(static_cast<std::int32_t>(i)))] = entry;
+  }
+  return grown;
+}
+
+lp::BasisSnapshot remap_basis_for_removed_bidder(
+    const lp::BasisSnapshot& basis, std::size_t old_n, int k, int removed,
+    const std::vector<std::uint32_t>& old_columns_per_bidder) {
+  const std::size_t old_rows = old_n * static_cast<std::size_t>(k) + old_n;
+  std::uint32_t old_structurals = 0;
+  for (const std::uint32_t count : old_columns_per_bidder) {
+    old_structurals += count;
+  }
+  if (basis.rows != old_rows || basis.structurals != old_structurals ||
+      old_columns_per_bidder.size() != old_n || removed < 0 ||
+      static_cast<std::size_t>(removed) >= old_n) {
+    throw std::invalid_argument(
+        "remap_basis_for_removed_bidder: snapshot does not match the donor "
+        "instance's dimensions");
+  }
+  const std::size_t new_n = old_n - 1;
+  // Column spans per bidder in the donor's structural numbering.
+  std::vector<std::uint32_t> start(old_n + 1, 0);
+  for (std::size_t v = 0; v < old_n; ++v) {
+    start[v + 1] = start[v] + old_columns_per_bidder[v];
+  }
+  const auto remap_column = [&](std::int32_t column) -> std::int32_t {
+    const std::uint32_t c = static_cast<std::uint32_t>(column);
+    if (c < start[static_cast<std::size_t>(removed)]) return column;
+    if (c < start[static_cast<std::size_t>(removed) + 1]) return -1;
+    return column - static_cast<std::int32_t>(
+                        old_columns_per_bidder[static_cast<std::size_t>(removed)]);
+  };
+  const auto remap_row = [&](std::int32_t row) -> std::int32_t {
+    const std::int32_t channel_rows =
+        static_cast<std::int32_t>(old_n) * static_cast<std::int32_t>(k);
+    if (row < channel_rows) {
+      const std::int32_t u = row / k;
+      if (u < removed) return row;
+      if (u == removed) return -1;
+      return row - k;
+    }
+    const std::int32_t v = row - channel_rows;
+    if (v < removed) {
+      return static_cast<std::int32_t>(new_n) * k + v;
+    }
+    if (v == removed) return -1;
+    return static_cast<std::int32_t>(new_n) * k + v - 1;
+  };
+
+  lp::BasisSnapshot shrunk;
+  shrunk.rows =
+      static_cast<std::uint32_t>(new_n * static_cast<std::size_t>(k) + new_n);
+  shrunk.structurals =
+      old_structurals - old_columns_per_bidder[static_cast<std::size_t>(removed)];
+  shrunk.basic.resize(shrunk.rows);
+  for (std::uint32_t i = 0; i < shrunk.rows; ++i) {
+    shrunk.basic[i] = slack_entry(static_cast<std::int32_t>(i));
+  }
+  for (std::size_t i = 0; i < basis.basic.size(); ++i) {
+    const std::int32_t position = remap_row(static_cast<std::int32_t>(i));
+    if (position < 0) continue;  // the removed bidder's own rows
+    lp::BasisSnapshot::Entry entry = basis.basic[i];
+    if (entry.kind == lp::BasisSnapshot::Kind::kStructural) {
+      entry.index = remap_column(entry.index);
+    } else {
+      entry.index = remap_row(entry.index);
+    }
+    // Orphaned references (the removed bidder's columns or rows) keep the
+    // position's slack; install-time repair finishes the job.
+    if (entry.index < 0) continue;
+    shrunk.basic[static_cast<std::size_t>(position)] = entry;
+  }
+  return shrunk;
 }
 
 FractionalSolution solve_auction_lp_colgen(

@@ -12,6 +12,7 @@
 ///    prices p_{v,j} = sum_{u: v in Gamma_pi(u)} wbar(v,u) * y_{u,j} turn
 ///    the dual separation problem into a demand query.
 
+#include <cstdint>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -32,6 +33,26 @@ struct FractionalSolution {
   lp::SolveStatus status = lp::SolveStatus::kIterationLimit;
   double objective = 0.0;
   std::vector<FractionalColumn> columns;  ///< x > 0 entries only
+  /// Simplex pivots spent producing this solution. An in-process run
+  /// diagnostic, NOT part of the payload: the wire/snapshot codec skips it
+  /// (SolveReport::pivots is the serialized counterpart) and payload
+  /// equality ignores it -- warm and cold solves of one instance disagree
+  /// here by design while agreeing on everything above.
+  long long pivots = 0;
+};
+
+/// Warm-start side channel of the explicit LP path. Runtime-only: never
+/// serialized, never part of a cache key. `hint`, when set, is installed
+/// by the engine (falling back to a cold solve on any incompatibility --
+/// the payload is warm/cold-invariant, see lp/simplex.hpp); `exported`,
+/// when set, receives the optimal basis of this solve; and
+/// `columns_per_bidder`, when set, receives each bidder's structural
+/// column span, which is what the delta remaps below consume.
+struct LpWarmStart {
+  const lp::BasisSnapshot* hint = nullptr;
+  lp::BasisSnapshot* exported = nullptr;                     ///< out
+  std::vector<std::uint32_t>* columns_per_bidder = nullptr;  ///< out
+  bool warm_started = false;                                 ///< out
 };
 
 /// Row index of constraint (u, j) in the master LP (needed by extensions).
@@ -49,8 +70,39 @@ struct FractionalSolution {
 
 /// Solves the LP by explicit bundle enumeration; requires k <= 12.
 /// Columns with zero value are skipped (they cannot help a packing LP).
+/// \p warm, when non-null, threads a basis hint in and the optimal basis
+/// out (see LpWarmStart); the result is identical to the cold solve's
+/// whenever the optimal vertex is unique.
 [[nodiscard]] FractionalSolution solve_auction_lp(
-    const AuctionInstance& instance, lp::SimplexOptions options = {});
+    const AuctionInstance& instance, lp::SimplexOptions options = {},
+    LpWarmStart* warm = nullptr);
+
+/// Remaps an optimal basis of instance A into a warm-start hint for A plus
+/// one bidder appended as vertex old_n (any ordering position): old channel
+/// rows and old structural columns keep their indices, old convexity rows
+/// shift past the new bidder's channel rows, and every new row starts with
+/// its own slack basic. The delta re-solve path: build the grown LP as
+/// usual, install the remapped basis, and let the engine's restricted
+/// phase-1 repair absorb the new bidder's rows instead of re-pivoting from
+/// scratch. \p old_columns_per_bidder and \p new_bidder_columns are the
+/// column spans of the donor solve and of the appended bidder (the latter
+/// = the new bidder's positive-value bundles).
+[[nodiscard]] lp::BasisSnapshot remap_basis_for_added_bidder(
+    const lp::BasisSnapshot& basis, std::size_t old_n, int k,
+    const std::vector<std::uint32_t>& old_columns_per_bidder,
+    std::uint32_t new_bidder_columns);
+
+/// Remaps an optimal basis of instance A into a warm-start hint for A with
+/// bidder \p removed truly dropped from the graph, later vertices shifted
+/// down by one. (Note this is NOT AuctionInstance::without_bidder, which
+/// zeroes the valuation but keeps the vertex and all its LP rows; the
+/// delta helpers model a bidder set that actually changed size.) The
+/// removed bidder's columns and
+/// rows leave the basis; every orphaned basis position falls back to the
+/// slack of its row, and install-time validation re-repairs the rest.
+[[nodiscard]] lp::BasisSnapshot remap_basis_for_removed_bidder(
+    const lp::BasisSnapshot& basis, std::size_t old_n, int k, int removed,
+    const std::vector<std::uint32_t>& old_columns_per_bidder);
 
 /// Statistics of a column-generation solve (E6 measures these).
 struct ColGenStats {

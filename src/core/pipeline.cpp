@@ -34,7 +34,10 @@ PipelineResult solve_pipeline(const AuctionInstance& instance,
   result.fractional =
       result.used_column_generation
           ? solve_auction_lp_colgen(instance, &colgen_stats, colgen)
-          : solve_auction_lp(instance, simplex);
+          : solve_auction_lp(instance, simplex, options.warm);
+  result.pivots = result.fractional.pivots;
+  result.warm_started = !result.used_column_generation &&
+                        options.warm != nullptr && options.warm->warm_started;
   if (result.fractional.status != lp::SolveStatus::kOptimal) {
     result.timed_out = result.fractional.status == lp::SolveStatus::kTimeLimit;
     return result;

@@ -28,6 +28,12 @@ struct PipelineOptions {
   /// rounding loop between repetitions. An exhausted budget truncates the
   /// run and sets PipelineResult::timed_out instead of failing silently.
   double time_budget_seconds = 0.0;
+  /// Warm-start side channel for the explicit LP path (null = cold).
+  /// Runtime-only: never serialized, never part of a cache key -- safe
+  /// precisely because the payload is warm/cold-invariant (lp/simplex.hpp).
+  /// Ignored by the column-generation path, which has no stable structural
+  /// column numbering to key a basis on.
+  LpWarmStart* warm = nullptr;
 };
 
 struct PipelineResult {
@@ -49,6 +55,12 @@ struct PipelineResult {
   /// allocation) or some rounding repetitions were skipped. The returned
   /// allocation is still feasible, possibly empty.
   bool timed_out = false;
+  /// The LP solve installed a caller-provided basis hint (PipelineOptions::
+  /// warm) and re-optimized from it instead of pivoting from scratch.
+  bool warm_started = false;
+  /// Simplex pivots the LP solve spent (= fractional.pivots; surfaced here
+  /// so report assembly does not dig into the payload).
+  long long pivots = 0;
 };
 
 /// Runs LP + rounding end to end. The returned allocation is always

@@ -44,6 +44,11 @@ struct Solution {
   double objective = 0.0;
   std::vector<double> x;      ///< value per structural column
   std::vector<double> duals;  ///< value per row
+  /// Simplex pivots the producing engine has performed over its lifetime
+  /// when this solution was extracted (for an engine solving one LP, the
+  /// cost of this solve; across resolve() calls, the running total). A
+  /// run diagnostic, not part of the mathematical payload.
+  long long pivots = 0;
 };
 
 /// Sparse LP: max/min c^T x subject to row senses, x >= 0.

@@ -13,8 +13,22 @@
 ///  - Columns can be appended after a solve and the engine resumes from the
 ///    current basis, which is what the column-generation loops need: adding
 ///    a column keeps the current basis primal feasible.
+///  - An optimal basis can be exported as a BasisSnapshot and installed
+///    into a later solve of a similar LP (warm start): the engine rebuilds
+///    the basis inverse, repairs primal feasibility with a phase 1
+///    restricted to the violated rows, and re-optimizes. Incompatible or
+///    singular snapshots fall back to a cold solve, so a warm solve never
+///    fails where a cold one would succeed.
+///  - Canonical extraction: at optimality the positive support's values are
+///    recomputed from the active-row system by a deterministic elimination
+///    that depends only on the LP data and the optimal vertex -- NOT on the
+///    pivot path or the final basis. Warm- and cold-started solves of the
+///    same LP therefore return bitwise-identical x and objective whenever
+///    the optimal vertex is unique (generic instances), which is what lets
+///    the serving layer reuse bases without perturbing payloads.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "lp/lp_model.hpp"
@@ -36,6 +50,29 @@ struct SimplexOptions {
   Deadline deadline = {};
 };
 
+/// A compact, engine-independent description of a simplex basis: one entry
+/// per row position recording which variable occupies it. Structural
+/// variables are identified by their LP column index, slack/surplus and
+/// artificial variables by the row they belong to, so a snapshot exported
+/// from one engine can be installed into a fresh engine that loaded an LP
+/// of the same shape (same row count and structural column count).
+struct BasisSnapshot {
+  enum class Kind : std::uint8_t {
+    kStructural = 0,  ///< index = LP column
+    kSlack = 1,       ///< index = owning row (slack or surplus)
+    kArtificial = 2,  ///< index = owning row (basic at zero at export time)
+  };
+  struct Entry {
+    Kind kind = Kind::kSlack;
+    std::int32_t index = 0;
+  };
+  std::uint32_t rows = 0;         ///< row count of the donor LP
+  std::uint32_t structurals = 0;  ///< structural column count of the donor LP
+  std::vector<Entry> basic;       ///< one entry per basis position
+
+  [[nodiscard]] bool empty() const noexcept { return basic.empty(); }
+};
+
 /// Stateful simplex engine supporting incremental column addition.
 class SimplexEngine {
  public:
@@ -43,6 +80,20 @@ class SimplexEngine {
 
   /// Loads and solves \p lp from scratch.
   Solution solve(const LinearProgram& lp);
+
+  /// Loads \p lp and warm-starts from \p hint: installs the snapshot's
+  /// basis, repairs primal feasibility (phase 1 restricted to the violated
+  /// positions), and re-optimizes. Falls back to a cold solve -- reported
+  /// through \p warm_used, when given -- if the snapshot's dimensions do
+  /// not match the LP, the basis matrix is singular, or the repair cannot
+  /// reach feasibility. The returned payload is identical to the cold
+  /// solve's whenever the optimal vertex is unique (see the file comment).
+  Solution solve(const LinearProgram& lp, const BasisSnapshot& hint,
+                 bool* warm_used = nullptr);
+
+  /// Exports the current basis after an optimal solve()/resolve(). Throws
+  /// std::logic_error without a prior optimal solve.
+  [[nodiscard]] BasisSnapshot export_basis() const;
 
   /// Appends a structural column (same semantics as LinearProgram::
   /// add_column) and returns its index. Call resolve() afterwards.
@@ -73,6 +124,18 @@ class SimplexEngine {
   void refactorize();
   [[nodiscard]] std::vector<double> ftran(const InternalColumn& col) const;
   Solution extract_solution(SolveStatus status);
+  /// Cold solve of the already-loaded problem (phase 1 if needed, phase 2).
+  Solution solve_loaded();
+  /// Installs \p hint as the starting basis of the loaded problem,
+  /// rebuilding the inverse and repairing infeasible positions with
+  /// restricted artificials. False when the snapshot is incompatible or
+  /// its basis matrix is singular (engine state is then unspecified;
+  /// callers reload and solve cold).
+  [[nodiscard]] bool try_install(const BasisSnapshot& hint);
+  /// Deterministic recomputation of the optimal x from the active-row
+  /// system; basis-independent (see the file comment). Requires an optimal
+  /// basis; leaves \p x untouched when the polish system is unusable.
+  void polish_vertex(std::vector<double>& x) const;
 
   SimplexOptions options_;
 
@@ -83,6 +146,7 @@ class SimplexEngine {
   std::vector<double> row_scale_;           // +-1 applied to original rows
   std::vector<InternalColumn> cols_;        // structural, then slack, artificial
   std::vector<int> structural_;             // indices of structural columns
+  std::vector<int> row_aux_;                // slack/surplus column per row, -1 if none
   std::size_t original_rows_ = 0;
 
   // Basis state.

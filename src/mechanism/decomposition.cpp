@@ -185,6 +185,7 @@ Decomposition decompose_fractional(const AuctionInstance& instance,
   }
 
   result.residual = std::max(0.0, solution.objective);
+  result.pivots = solution.pivots;  // engine-lifetime count across resolves
 
   // Extract the distribution.
   double total = 0.0;

@@ -42,6 +42,9 @@ struct Decomposition {
   double residual = 0.0;
   int rounds = 0;
   int columns_generated = 0;
+  /// Simplex pivots the master LP engine spent across all restarts. A run
+  /// diagnostic, not serialized.
+  long long pivots = 0;
 };
 
 /// The paper's default integrality-gap factor for this instance.

@@ -11,6 +11,7 @@ FractionalVcg fractional_vcg(const AuctionInstance& instance, bool use_colgen) {
 
   FractionalVcg result;
   result.optimum = solve(instance);
+  result.pivots += result.optimum.pivots;
   const std::size_t n = instance.num_bidders();
   result.bidder_value.assign(n, 0.0);
   for (const FractionalColumn& column : result.optimum.columns) {
@@ -22,6 +23,7 @@ FractionalVcg fractional_vcg(const AuctionInstance& instance, bool use_colgen) {
   result.payments.assign(n, 0.0);
   for (std::size_t v = 0; v < n; ++v) {
     const FractionalSolution without = solve(instance.without_bidder(v));
+    result.pivots += without.pivots;
     const double externality =
         without.objective - (result.optimum.objective - result.bidder_value[v]);
     result.payments[v] = std::max(0.0, externality);

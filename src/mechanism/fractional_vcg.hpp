@@ -17,6 +17,9 @@ struct FractionalVcg {
   FractionalSolution optimum;        ///< x*
   std::vector<double> bidder_value;  ///< bar{b}_v = sum_T b_{v,T} x*_{v,T}
   std::vector<double> payments;      ///< p^f_v, clamped to >= 0
+  /// Simplex pivots summed over all n+1 LP solves (the optimum plus one
+  /// without-v LP per bidder). A run diagnostic, not serialized.
+  long long pivots = 0;
 };
 
 /// Computes the fractional VCG outcome; \p use_colgen selects the

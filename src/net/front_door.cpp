@@ -336,6 +336,7 @@ struct FrontDoor::Impl {
             total.admission_degraded += stats.admission_degraded;
             total.admission_rejected += stats.admission_rejected;
             total.timed_out += stats.timed_out;
+            total.warm_starts += stats.warm_starts;
             total.snapshot_restored += stats.snapshot_restored;
             total.cache_entries += stats.cache_entries;
             total.cache_bytes += stats.cache_bytes;

@@ -14,6 +14,7 @@
 
 #include "api/registry.hpp"
 #include "api/scheduler.hpp"
+#include "service/basis_cache.hpp"
 #include "service/result_cache.hpp"
 #include "support/deadline.hpp"
 #include "support/parallel.hpp"
@@ -65,6 +66,10 @@ struct AuctionService::Request {
   std::string solver;
   SolveOptions options;
   Fingerprint key;
+  /// Basis-cache key: the STRUCTURAL fingerprint hex (valuations excluded),
+  /// so value-perturbed variants of one structure share a slot. Unlike
+  /// `key`, never used for result lookup -- only for warm-start hints.
+  std::string structural_key;
   /// Effective deadline (submit time + time budget; time_point::max() when
   /// unlimited). Degraded runs clamp their solver budget against it.
   std::chrono::steady_clock::time_point deadline =
@@ -88,8 +93,10 @@ struct AuctionService::Request {
 /// with one lock. Each request belongs to exactly one shard (chosen by its
 /// fingerprint), so shards never contend with each other.
 struct AuctionService::Shard {
-  Shard(const SchedulerOptions& scheduler_options, std::size_t cache_bytes)
-      : cache(cache_bytes), scheduler(scheduler_options) {}
+  Shard(const SchedulerOptions& scheduler_options, std::size_t cache_bytes,
+        std::size_t basis_entries)
+      : cache(cache_bytes), bases(basis_entries),
+        scheduler(scheduler_options) {}
 
   /// A request attached to an in-flight leader; completed from the
   /// leader's report with coalesced = true and its own queue wait.
@@ -101,6 +108,10 @@ struct AuctionService::Shard {
   std::mutex mutex;
   std::condition_variable completed_cv;
   ResultCache cache;
+  /// Warm-start bases keyed by structural fingerprint; guarded by `mutex`
+  /// like the result cache. Never snapshotted: restore_snapshot leaves it
+  /// empty by design (a basis is a hint, warmth refills from traffic).
+  BasisCache bases;
   /// Pending requests (owned until their worker finishes) and completed
   /// reports awaiting their get()/try_get() claim.
   std::unordered_map<RequestId, std::shared_ptr<Request>> pending;
@@ -140,8 +151,9 @@ AuctionService::AuctionService(ServiceOptions options)
   scheduler_options.admission = options_.admission;
   shards_.reserve(static_cast<std::size_t>(shard_count));
   for (int s = 0; s < shard_count; ++s) {
-    shards_.push_back(std::make_unique<Shard>(scheduler_options,
-                                              options_.cache_bytes_per_shard));
+    shards_.push_back(std::make_unique<Shard>(
+        scheduler_options, options_.cache_bytes_per_shard,
+        options_.basis_cache_entries_per_shard));
   }
   if (!options_.snapshot_path.empty()) restore_snapshot();
 }
@@ -163,6 +175,10 @@ AuctionService::Shard& AuctionService::shard_of(RequestId id) const {
 }
 
 void AuctionService::restore_snapshot() {
+  // Restores RESULT caches only. The per-shard basis caches deliberately
+  // start cold: a basis is a runtime hint tied to this build's simplex
+  // internals, and the first solve of each structure simply re-banks one
+  // (test_service pins this contract).
   try {
     std::ifstream in(options_.snapshot_path, std::ios::binary);
     if (!in) return;  // no snapshot yet: cold start
@@ -265,6 +281,9 @@ RequestId AuctionService::submit(const AnyInstance& instance,
   hasher.mix(std::string_view(request->solver));
   mix_options(hasher, request->options);
   request->key = hasher.digest();
+  // Basis-cache key: structure only, so the thousands of value-perturbed
+  // variants of one auction round map to a single warm-start slot.
+  request->structural_key = structural_fingerprint(request->view()).hex();
 
   const std::size_t shard_index = static_cast<std::size_t>(
       request->key.hi % static_cast<std::uint64_t>(shards_.size()));
@@ -340,6 +359,22 @@ RequestId AuctionService::submit(const AnyInstance& instance,
                     .count();
             effective.time_budget_seconds = std::max(1e-9, remaining);
           }
+          // Warm start: replay the banked optimal basis of this structure,
+          // if any. The entry is copied out under the shard lock so the
+          // hint stays stable while the solver runs (the next insert may
+          // evict the cache's copy); a stale or incompatible hint costs
+          // one failed install and a cold solve, never a wrong result.
+          WarmStartContext warm;
+          BasisCacheEntry banked;
+          {
+            const std::lock_guard<std::mutex> basis_lock(shard.mutex);
+            if (const BasisCacheEntry* entry =
+                    shard.bases.lookup(request->structural_key)) {
+              banked = *entry;
+              warm.hint = &banked.basis;
+            }
+          }
+          effective.warm_context = &warm;
           if (options_.on_solve) {
             try {
               options_.on_solve(request->key);
@@ -367,6 +402,7 @@ RequestId AuctionService::submit(const AnyInstance& instance,
           report.coalesced = false;
           report.admission = verdict;
           const bool run_timed_out = report.timed_out;
+          const bool run_warm_started = report.warm_started;
           std::size_t follower_count = 0;
           std::vector<std::function<void()>> fired;
           {
@@ -381,6 +417,18 @@ RequestId AuctionService::submit(const AnyInstance& instance,
                 shard.cache.insert(request->key, report);
               } catch (...) {
                 // Uncached is merely slower; the report still completes.
+              }
+              // Bank the optimal basis under the same "clean run" gate: a
+              // truncated or failed LP has no basis worth replaying.
+              if (warm.has_export) {
+                const AnyInstance solved = request->view();
+                shard.bases.insert(
+                    request->structural_key,
+                    BasisCacheEntry{
+                        std::move(warm.exported),
+                        static_cast<std::uint32_t>(solved.num_bidders()),
+                        static_cast<std::uint32_t>(solved.num_channels()),
+                        std::move(warm.columns_per_bidder)});
               }
             }
             // Fan the report out to every coalesced follower: bitwise the
@@ -408,6 +456,9 @@ RequestId AuctionService::submit(const AnyInstance& instance,
           completed_.fetch_add(1 + follower_count);
           // Followers received the same truncated payload, so they count.
           if (run_timed_out) timed_out_.fetch_add(1 + follower_count);
+          // Warm starts count solver RUNS, so the leader counts once and
+          // its followers never do.
+          if (run_warm_started) warm_starts_.fetch_add(1);
           shard.completed_cv.notify_all();
           // Outside every lock: a watcher may call straight back into
           // try_get (it usually does).
@@ -582,6 +633,7 @@ ServiceStats AuctionService::stats() const {
   stats.admission_degraded = admission_degraded_.load();
   stats.admission_rejected = admission_rejected_.load();
   stats.timed_out = timed_out_.load();
+  stats.warm_starts = warm_starts_.load();
   stats.snapshot_restored = snapshot_restored_.load();
   for (const std::unique_ptr<Shard>& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);

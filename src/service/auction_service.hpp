@@ -55,6 +55,16 @@
 /// cache never held the entry). Followers are always admitted --
 /// attaching costs no worker time.
 ///
+/// Warm starting. Each shard also keeps a small LRU of optimal simplex
+/// bases keyed by the STRUCTURAL fingerprint of the instance (graph,
+/// ordering, rho -- valuations excluded, support/fingerprint.hpp): a
+/// value-perturbed resubmission of a known structure hands its LP the
+/// previous optimal basis as a starting point instead of pivoting from
+/// scratch (SolveReport::warm_started, ServiceStats::warm_starts). Purely
+/// a latency optimization: the LP layer guarantees a warm-started solve
+/// produces the same payload as a cold one (lp/simplex.hpp), and any
+/// stale or incompatible basis falls back to a cold solve.
+///
 /// Persistence. With ServiceOptions::snapshot_path set, the constructor
 /// restores the result caches from that file (a missing, truncated,
 /// corrupt or version-mismatched snapshot is a clean cold start) and
@@ -100,6 +110,14 @@ struct ServiceOptions {
   int threads_per_shard = 1;
   /// LRU byte budget per shard; 0 disables result caching.
   std::size_t cache_bytes_per_shard = std::size_t{8} << 20;
+  /// LRU entry budget of the per-shard basis cache (service/basis_cache.hpp):
+  /// optimal simplex bases banked by STRUCTURAL fingerprint (valuations
+  /// excluded) and replayed as warm-start hints for structurally identical
+  /// requests. 0 disables warm starting. Purely a speed knob: a warm-started
+  /// solve is payload-identical to the cold solve, so this never changes
+  /// results -- and bases are not persisted with the result-cache snapshot
+  /// (they start cold after a restore and refill from traffic).
+  std::size_t basis_cache_entries_per_shard = 64;
   /// Solver selection policy; null installs DefaultSelectionPolicy.
   SelectionPolicyPtr policy = nullptr;
   /// Shard queue order (see the file comment); kFifo is the baseline.
@@ -135,7 +153,13 @@ struct ServiceStats {
   /// count too -- they received the truncated payload). The load harness
   /// reports timeout rates from this across every transport.
   std::uint64_t timed_out = 0;
-  /// Cache entries restored from the snapshot at construction.
+  /// Solver runs that warm-started their LP from a banked basis
+  /// (SolveReport::warm_started; leaders only -- cache hits and coalesced
+  /// followers never run a solver, so they never count).
+  std::uint64_t warm_starts = 0;
+  /// Cache entries restored from the snapshot at construction. Note the
+  /// snapshot carries result-cache entries only: basis caches always start
+  /// cold after a restore (warm_starts builds back up from traffic).
   std::uint64_t snapshot_restored = 0;
   std::size_t cache_entries = 0;
   std::size_t cache_bytes = 0;
@@ -222,6 +246,7 @@ class AuctionService {
   std::atomic<std::uint64_t> admission_degraded_{0};
   std::atomic<std::uint64_t> admission_rejected_{0};
   std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> warm_starts_{0};
   std::atomic<std::uint64_t> snapshot_restored_{0};
 };
 

@@ -1,0 +1,30 @@
+#include "service/basis_cache.hpp"
+
+#include <utility>
+
+namespace ssa::service {
+
+const BasisCacheEntry* BasisCache::lookup(const std::string& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  order_.splice(order_.begin(), order_, it->second);
+  return &it->second->entry;
+}
+
+void BasisCache::insert(const std::string& key, BasisCacheEntry entry) {
+  if (max_entries_ == 0) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->entry = std::move(entry);
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  if (map_.size() >= max_entries_) {
+    map_.erase(order_.back().key);
+    order_.pop_back();
+  }
+  order_.push_front(Node{key, std::move(entry)});
+  map_.emplace(order_.front().key, order_.begin());
+}
+
+}  // namespace ssa::service

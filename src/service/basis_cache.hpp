@@ -1,0 +1,73 @@
+#pragma once
+/// \file basis_cache.hpp
+/// Per-shard LRU cache of optimal simplex bases, keyed by the STRUCTURAL
+/// fingerprint of an instance (support/fingerprint.hpp): graph, ordering,
+/// rho and dimensions -- valuations excluded. The auction LP's constraint
+/// matrix depends only on that structure; valuations enter the objective
+/// alone, so the optimal basis of one instance is a primal-feasible (often
+/// still optimal) starting basis for every value-perturbed variant. The
+/// AuctionService worker banks the exported basis of each clean explicit-path
+/// solve here and hands it back as a SolveOptions::warm_context hint on the
+/// next structurally identical request.
+///
+/// The cache stores hints, not answers: a stale / mismatched / singular
+/// entry costs one failed install and a cold solve, never a wrong result
+/// (lp/simplex.hpp owns the fallback). That is why entries can be evicted
+/// or dropped freely -- and why bases are deliberately NOT part of the
+/// ResultCache snapshot: after restore_snapshot the basis caches start
+/// cold and simply refill (see service/result_cache.hpp).
+///
+/// Not thread-safe; the owning shard serializes access under its own lock.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace ssa::service {
+
+/// One banked basis plus the shape data the delta remaps need.
+struct BasisCacheEntry {
+  lp::BasisSnapshot basis;
+  std::uint32_t num_bidders = 0;
+  std::uint32_t num_channels = 0;
+  /// Structural column span per bidder of the donor solve (input of
+  /// remap_basis_for_added_bidder / remap_basis_for_removed_bidder).
+  std::vector<std::uint32_t> columns_per_bidder;
+};
+
+/// Entry-count-bounded LRU map fingerprint-hex -> BasisCacheEntry.
+class BasisCache {
+ public:
+  /// \p max_entries = 0 disables the cache (lookups miss, inserts drop).
+  explicit BasisCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  /// Returns the entry for \p key and marks it most recently used, or
+  /// nullptr on a miss. The pointer is invalidated by the next insert().
+  [[nodiscard]] const BasisCacheEntry* lookup(const std::string& key);
+
+  /// Inserts or replaces the entry for \p key as most recently used,
+  /// evicting the least recently used entry when full.
+  void insert(const std::string& key, BasisCacheEntry entry);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t max_entries() const noexcept {
+    return max_entries_;
+  }
+
+ private:
+  struct Node {
+    std::string key;
+    BasisCacheEntry entry;
+  };
+
+  std::size_t max_entries_;
+  std::list<Node> order_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> map_;
+};
+
+}  // namespace ssa::service

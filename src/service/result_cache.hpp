@@ -23,6 +23,13 @@
 /// changes (tests/test_fingerprint.cpp pins golden fingerprint values and
 /// tests/test_wire.cpp pins golden report bytes, so silent drift of either
 /// fails loudly).
+///
+/// The snapshot carries RESULTS only. Warm-start bases (the per-shard
+/// BasisCache, service/basis_cache.hpp) are deliberately excluded: a basis
+/// is a runtime hint tied to this build's simplex internals, worthless if
+/// wrong and cheap to regenerate, so after a restore the basis caches
+/// start cold and the first solve of each structure re-banks one
+/// (tests/test_service.cpp pins that contract).
 
 #include <cstddef>
 #include <cstdint>
@@ -48,8 +55,9 @@ namespace ssa::service {
 class ResultCache {
  public:
   /// Schema version of the snapshot files; see the file comment for when
-  /// to bump it.
-  static constexpr std::uint32_t kSnapshotVersion = 1;
+  /// to bump it. History: 2 added SolveReport::warm_started/pivots to the
+  /// shared report codec.
+  static constexpr std::uint32_t kSnapshotVersion = 2;
 
   /// \p byte_budget 0 disables caching entirely (every lookup misses).
   explicit ResultCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}

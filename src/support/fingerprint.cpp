@@ -152,4 +152,62 @@ Fingerprint fingerprint(const AnyInstance& instance) {
   return hasher.digest();
 }
 
+Fingerprint structural_fingerprint(const AuctionInstance& instance) {
+  FingerprintHasher hasher;
+  hasher.mix(std::string_view("symmetric-structure"));
+  hasher.mix(instance.num_bidders());
+  hasher.mix(instance.num_channels());
+  hasher.mix(instance.rho());
+  mix_ordering(hasher, instance.order());
+  mix_graph(hasher, instance.graph());
+  // The explicit LP emits one column per positive-value bundle
+  // (solve_auction_lp skips zeros), so two instances only share a
+  // constraint matrix when their valuation SUPPORTS match too -- values
+  // may differ, the zero/nonzero pattern may not. Bundles are packed 64
+  // per mixed word. Beyond kExhaustiveChannels the explicit LP refuses
+  // anyway (column generation owns those instances, and generated columns
+  // carry no reusable basis), so the support is left out of the hash.
+  if (instance.num_channels() <= kExhaustiveChannels) {
+    for (std::size_t v = 0; v < instance.num_bidders(); ++v) {
+      std::uint64_t word = 0;
+      int filled = 0;
+      for (Bundle t = 1; t < num_bundles(instance.num_channels()); ++t) {
+        word = (word << 1) | (instance.value(v, t) > 0.0 ? 1u : 0u);
+        if (++filled == 64) {
+          hasher.mix(word);
+          word = 0;
+          filled = 0;
+        }
+      }
+      if (filled > 0) hasher.mix(word);
+    }
+  }
+  return hasher.digest();
+}
+
+Fingerprint structural_fingerprint(const AsymmetricInstance& instance) {
+  FingerprintHasher hasher;
+  hasher.mix(std::string_view("asymmetric-structure"));
+  hasher.mix(instance.num_bidders());
+  hasher.mix(instance.num_channels());
+  hasher.mix(instance.rho());
+  mix_ordering(hasher, instance.order());
+  for (const ConflictGraph& graph : instance.graphs()) {
+    mix_graph(hasher, graph);
+  }
+  return hasher.digest();
+}
+
+Fingerprint structural_fingerprint(const AnyInstance& instance) {
+  if (instance.is_symmetric()) {
+    return structural_fingerprint(instance.symmetric());
+  }
+  if (instance.is_asymmetric()) {
+    return structural_fingerprint(instance.asymmetric());
+  }
+  FingerprintHasher hasher;
+  hasher.mix(std::string_view("empty-structure"));
+  return hasher.digest();
+}
+
 }  // namespace ssa

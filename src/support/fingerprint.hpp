@@ -90,6 +90,25 @@ inline constexpr int kSampledBundles = 512;
 /// fingerprint distinct from every real instance's.
 [[nodiscard]] Fingerprint fingerprint(const AnyInstance& instance);
 
+/// Structural fingerprint: hashes everything the full fingerprint hashes
+/// EXCEPT the valuation VALUES -- bidder count, channel count, rho, the
+/// ordering, the conflict graph(s), and (for the symmetric family with
+/// k <= kExhaustiveChannels) the per-bidder zero/nonzero bundle SUPPORT
+/// pattern. Two instances that differ only in positive bundle values (the
+/// churn-variant traffic of load/workload.hpp rescales, it does not move
+/// zeros) share a structural fingerprint, and such instances share the
+/// same LP constraint matrix: the explicit LP emits one column per
+/// positive-value bundle, and values then enter only through the
+/// objective. That is what makes this the key of the service's basis
+/// cache (service/basis_cache.hpp) -- an optimal basis of one variant is
+/// an installable warm start for every other. Same STABILITY rules as
+/// fingerprint(); structural fingerprints are not persisted today (bases
+/// start cold after a snapshot restore) but the golden pins in
+/// tests/test_fingerprint.cpp hold the scheme still.
+[[nodiscard]] Fingerprint structural_fingerprint(const AuctionInstance& instance);
+[[nodiscard]] Fingerprint structural_fingerprint(const AsymmetricInstance& instance);
+[[nodiscard]] Fingerprint structural_fingerprint(const AnyInstance& instance);
+
 }  // namespace ssa
 
 template <>

@@ -132,6 +132,9 @@ void write_options(Writer& writer, const SolveOptions& options) {
   writer.boolean(options.mechanism.decomposition.use_exact_pricing);
   writer.u64(options.mechanism.decomposition.seed);
   writer.u64(options.mechanism.sample_seed);
+  // v4: the warm-start opt-out rides at the end of the options block.
+  // warm_context is runtime-only and never crosses the wire.
+  writer.boolean(options.warm_start);
 }
 
 SolveOptions read_options(Reader& reader) {
@@ -156,6 +159,7 @@ SolveOptions read_options(Reader& reader) {
   options.mechanism.decomposition.use_exact_pricing = reader.boolean();
   options.mechanism.decomposition.seed = reader.u64();
   options.mechanism.sample_seed = reader.u64();
+  options.warm_start = reader.boolean();
   if (reader.failed()) return SolveOptions{};
   return options;
 }
@@ -175,6 +179,9 @@ void write_report(Writer& writer, const SolveReport& report) {
   writer.boolean(report.exact);
   writer.boolean(report.timed_out);
   writer.f64(report.wall_time_seconds);
+  // v4 diagnostics: timing-class fields, zeroed by reports_payload_equal.
+  writer.boolean(report.warm_started);
+  writer.i64(report.pivots);
   writer.str(report.error);
   writer.str(report.solver_selected);
   writer.boolean(report.cache_hit);
@@ -200,6 +207,8 @@ SolveReport read_report(Reader& reader) {
   report.exact = reader.boolean();
   report.timed_out = reader.boolean();
   report.wall_time_seconds = reader.f64();
+  report.warm_started = reader.boolean();
+  report.pivots = reader.i64();
   report.error = reader.str();
   report.solver_selected = reader.str();
   report.cache_hit = reader.boolean();
@@ -228,6 +237,7 @@ void write_stats(Writer& writer, const service::ServiceStats& stats) {
   writer.u64(stats.admission_degraded);
   writer.u64(stats.admission_rejected);
   writer.u64(stats.timed_out);
+  writer.u64(stats.warm_starts);
   writer.u64(stats.snapshot_restored);
   writer.u64(stats.cache_entries);
   writer.u64(stats.cache_bytes);
@@ -243,6 +253,7 @@ service::ServiceStats read_stats(Reader& reader) {
   stats.admission_degraded = reader.u64();
   stats.admission_rejected = reader.u64();
   stats.timed_out = reader.u64();
+  stats.warm_starts = reader.u64();
   stats.snapshot_restored = reader.u64();
   stats.cache_entries = static_cast<std::size_t>(reader.u64());
   stats.cache_bytes = static_cast<std::size_t>(reader.u64());
@@ -252,11 +263,15 @@ service::ServiceStats read_stats(Reader& reader) {
 
 bool reports_payload_equal(const SolveReport& a, const SolveReport& b) {
   // Compare through the codec: encoding covers every field bit-for-bit
-  // (doubles as IEEE bit patterns), and zeroing the two wall-clock
-  // measurements first excludes exactly the per-run timing noise.
+  // (doubles as IEEE bit patterns), and zeroing the timing-class
+  // diagnostics first excludes exactly the per-run noise -- including
+  // warm_started/pivots, which is what lets the warm-start tests assert
+  // "same payload" across cold and warm solves of one instance.
   const auto canonical = [](SolveReport report) {
     report.wall_time_seconds = 0.0;
     report.queue_wait_seconds = 0.0;
+    report.warm_started = false;
+    report.pivots = 0;
     Writer writer;
     write_report(writer, report);
     return writer.take();

@@ -206,11 +206,13 @@ void write_report(Writer& writer, const SolveReport& report);
 void write_stats(Writer& writer, const service::ServiceStats& stats);
 [[nodiscard]] service::ServiceStats read_stats(Reader& reader);
 
-/// Payload equality for reports: bitwise over every field except the two
-/// wall-clock measurements (wall_time_seconds, queue_wait_seconds), which
-/// re-measure per run by design. This is the invariant the cross-process
-/// serving path guarantees against an in-process LocalClient run of the
-/// same request stream (see client/auction_client.hpp).
+/// Payload equality for reports: bitwise over every field except the
+/// timing-class diagnostics (wall_time_seconds, queue_wait_seconds,
+/// warm_started, pivots), which re-measure per run by design. This is the
+/// invariant the cross-process serving path guarantees against an
+/// in-process LocalClient run of the same request stream (see
+/// client/auction_client.hpp) -- and the invariant the warm-start path
+/// guarantees against a cold solve of the same instance.
 [[nodiscard]] bool reports_payload_equal(const SolveReport& a,
                                          const SolveReport& b);
 

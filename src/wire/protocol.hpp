@@ -62,8 +62,10 @@ inline constexpr std::uint32_t kWireMagic = 0x57415353u;
 
 /// Protocol schema version; see the file comment for when to bump.
 /// History: 2 added ServiceStats::timed_out to the stats codec; 3 added
-/// the u64 request_id to the frame envelope (request multiplexing).
-inline constexpr std::uint16_t kWireVersion = 3;
+/// the u64 request_id to the frame envelope (request multiplexing); 4
+/// added SolveOptions::warm_start, SolveReport::warm_started/pivots and
+/// ServiceStats::warm_starts (warm-start observability).
+inline constexpr std::uint16_t kWireVersion = 4;
 
 /// Upper bound on one frame's body (64 MiB): far above any real request
 /// or report, small enough that a corrupt length cannot drive a huge

@@ -110,6 +110,73 @@ TEST(Fingerprint, AsymmetricPerChannelGraphsAreCovered) {
   EXPECT_NE(fingerprint(a), fingerprint(c));
 }
 
+TEST(StructuralFingerprint, InvariantUnderValueRescaling) {
+  // The basis-cache key (service/basis_cache.hpp): rescaling positive
+  // bundle values keeps the LP constraint matrix, so the structural
+  // fingerprint must not move -- while the full fingerprint must.
+  const AuctionInstance base = tiny_instance();
+  const AuctionInstance rescaled = tiny_instance(0.0, 4.5);
+  EXPECT_EQ(structural_fingerprint(base), structural_fingerprint(rescaled));
+  EXPECT_NE(fingerprint(base), fingerprint(rescaled));
+  EXPECT_NE(structural_fingerprint(base), fingerprint(base));
+}
+
+TEST(StructuralFingerprint, SupportChangesTheKey) {
+  // Zeroing a previously positive bundle removes that column from the
+  // explicit LP, so the constraint matrices differ and the structural
+  // fingerprints must separate (a stale basis would fail to install).
+  const AuctionInstance base = tiny_instance();
+  std::vector<double> values(num_bundles(base.num_channels()), 0.0);
+  for (Bundle t = 1; t < num_bundles(base.num_channels()); ++t) {
+    values[t] = base.value(1, t);
+  }
+  values[1] = 0.0;  // kill one singleton column of bidder 1
+  const AuctionInstance support_changed = base.with_valuation(
+      1, std::make_shared<ExplicitValuation>(base.num_channels(),
+                                             std::move(values)));
+  EXPECT_NE(structural_fingerprint(base),
+            structural_fingerprint(support_changed));
+}
+
+TEST(StructuralFingerprint, GraphOrderingAndRhoEnterTheKey) {
+  const Fingerprint base = structural_fingerprint(tiny_instance());
+  EXPECT_NE(base, structural_fingerprint(tiny_instance(0.5)));
+  EXPECT_NE(base, structural_fingerprint(tiny_instance(0.0, 3.0, 3)));
+
+  ConflictGraph graph(3);
+  graph.add_edge(0, 1);
+  std::vector<ValuationPtr> valuations;
+  for (int v = 0; v < 3; ++v) {
+    valuations.push_back(std::make_shared<AdditiveValuation>(
+        std::vector<double>{4.0, 2.0}));
+  }
+  auto graph2 = graph;
+  auto valuations2 = valuations;
+  auto graph3 = graph;
+  auto valuations3 = valuations;
+  const AuctionInstance rho2(std::move(graph), identity_ordering(3), 2,
+                             std::move(valuations), 2.0);
+  const AuctionInstance rho3(std::move(graph2), identity_ordering(3), 2,
+                             std::move(valuations2), 3.0);
+  const AuctionInstance reversed(std::move(graph3), Ordering{2, 1, 0}, 2,
+                                 std::move(valuations3), 2.0);
+  EXPECT_NE(structural_fingerprint(rho2), structural_fingerprint(rho3));
+  EXPECT_NE(structural_fingerprint(rho2), structural_fingerprint(reversed));
+}
+
+TEST(StructuralFingerprint, FamiliesStaySeparated) {
+  const AuctionInstance symmetric =
+      gen::make_disk_auction(10, 2, gen::ValuationMix::kMixed, 7);
+  const AsymmetricInstance asymmetric =
+      gen::make_random_asymmetric(10, 2, 0.3, gen::ValuationMix::kMixed, 7);
+  EXPECT_NE(structural_fingerprint(AnyInstance(symmetric)),
+            structural_fingerprint(AnyInstance(asymmetric)));
+  EXPECT_EQ(structural_fingerprint(AnyInstance(symmetric)),
+            structural_fingerprint(symmetric));
+  EXPECT_NE(structural_fingerprint(AnyInstance()),
+            structural_fingerprint(symmetric));
+}
+
 TEST(Fingerprint, GoldenValuesPinTheOnDiskKeyFormat) {
   // Fingerprints are the keys of the persisted result-cache snapshots
   // (service/result_cache.hpp), so the hashing scheme must not drift
@@ -121,6 +188,10 @@ TEST(Fingerprint, GoldenValuesPinTheOnDiskKeyFormat) {
             "526e5319d800497b64abcc2a42c8e469");
   EXPECT_EQ(fingerprint(AnyInstance()).hex(),
             "08ebe3ad81e0d286b5a170f7fa4fb61b");
+  // The structural scheme (basis-cache keys) is pinned separately; it is
+  // in-memory only today, but pinning keeps any drift deliberate.
+  EXPECT_EQ(structural_fingerprint(tiny_instance()).hex(),
+            "86dd5c3d5ee1d30c9b51929dd2293e18");
 
   FingerprintHasher hasher;
   hasher.mix(std::uint64_t{42});

@@ -221,6 +221,147 @@ TEST(Simplex, IncrementalColumnAdditionMatchesScratchSolve) {
   EXPECT_NEAR(incremental.objective, scratch.objective, 1e-7);
 }
 
+/// A random packing LP with a generic (unique-vertex) optimum; shared by
+/// the warm-start tests below.
+LinearProgram random_packing_lp(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t rows = 4 + rng.uniform_int(8);
+  const std::size_t cols = 6 + rng.uniform_int(14);
+  LinearProgram model(Objective::kMaximize);
+  for (std::size_t r = 0; r < rows; ++r) {
+    model.add_row(RowSense::kLessEqual, rng.uniform(1.0, 10.0));
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::vector<ColumnEntry> entries;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (rng.bernoulli(0.4)) {
+        entries.push_back({static_cast<int>(r), rng.uniform(0.1, 2.0)});
+      }
+    }
+    if (entries.empty()) {
+      entries.push_back({static_cast<int>(rng.uniform_int(rows)),
+                         rng.uniform(0.1, 2.0)});
+    }
+    model.add_column(rng.uniform(0.5, 5.0), entries);
+  }
+  return model;
+}
+
+TEST(WarmStart, ExportedBasisRoundTripsAndResolvesPivotFree) {
+  const LinearProgram model = random_packing_lp(7);
+  SimplexEngine cold_engine;
+  const Solution cold = cold_engine.solve(model);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  const BasisSnapshot basis = cold_engine.export_basis();
+  EXPECT_FALSE(basis.empty());
+  EXPECT_EQ(basis.basic.size(), static_cast<std::size_t>(basis.rows));
+
+  // Re-solving the SAME model from its own optimal basis needs no pivots
+  // and reproduces the solution bitwise.
+  SimplexEngine warm_engine;
+  bool warm_used = false;
+  const Solution warm = warm_engine.solve(model, basis, &warm_used);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm_used);
+  EXPECT_EQ(warm.pivots, 0);
+  EXPECT_EQ(warm.x, cold.x);  // bitwise, not approximately
+  EXPECT_EQ(warm.objective, cold.objective);
+}
+
+TEST(WarmStart, PerturbedObjectiveReusesBasisWithFewerPivots) {
+  // The warm-start workload: same constraint matrix, perturbed objective.
+  // The old basis stays primal feasible, so the warm solve re-optimizes in
+  // (far) fewer pivots and lands on the identical payload.
+  int strictly_fewer = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const LinearProgram base = random_packing_lp(seed);
+    SimplexEngine donor;
+    ASSERT_EQ(donor.solve(base).status, SolveStatus::kOptimal);
+    const BasisSnapshot basis = donor.export_basis();
+
+    Rng rng(seed ^ 0xabcdef);
+    LinearProgram perturbed(Objective::kMaximize);
+    for (std::size_t r = 0; r < base.num_rows(); ++r) {
+      perturbed.add_row(base.row_sense(r), base.rhs(r));
+    }
+    for (std::size_t c = 0; c < base.num_columns(); ++c) {
+      perturbed.add_column(base.cost(c) * rng.uniform(0.95, 1.05),
+                           {base.column(c).begin(), base.column(c).end()});
+    }
+
+    SimplexEngine cold_engine;
+    const Solution cold = cold_engine.solve(perturbed);
+    ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+    SimplexEngine warm_engine;
+    bool warm_used = false;
+    const Solution warm = warm_engine.solve(perturbed, basis, &warm_used);
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+    EXPECT_TRUE(warm_used);
+    EXPECT_LE(warm.pivots, cold.pivots) << "seed " << seed;
+    if (warm.pivots < cold.pivots) ++strictly_fewer;
+    // Payload identity is the warm-start contract: bitwise, not "near".
+    EXPECT_EQ(warm.x, cold.x) << "seed " << seed;
+    EXPECT_EQ(warm.objective, cold.objective) << "seed " << seed;
+  }
+  EXPECT_GE(strictly_fewer, 5);  // the reuse must actually save work
+}
+
+TEST(WarmStart, ChangedRhsRepairsViaRestrictedPhase1) {
+  // Shrinking an rhs can make the donor basis primal infeasible; the
+  // install must repair it (restricted phase 1) and still reach the true
+  // optimum -- identical to the cold solve of the modified model.
+  const LinearProgram base = random_packing_lp(11);
+  SimplexEngine donor;
+  ASSERT_EQ(donor.solve(base).status, SolveStatus::kOptimal);
+  const BasisSnapshot basis = donor.export_basis();
+
+  LinearProgram modified(Objective::kMaximize);
+  for (std::size_t r = 0; r < base.num_rows(); ++r) {
+    modified.add_row(base.row_sense(r), base.rhs(r) * (r % 2 ? 0.3 : 1.0));
+  }
+  for (std::size_t c = 0; c < base.num_columns(); ++c) {
+    modified.add_column(base.cost(c),
+                        {base.column(c).begin(), base.column(c).end()});
+  }
+
+  const Solution cold = solve(modified);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  SimplexEngine warm_engine;
+  const Solution warm = warm_engine.solve(modified, basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_EQ(warm.x, cold.x);
+  EXPECT_EQ(warm.objective, cold.objective);
+}
+
+TEST(WarmStart, IncompatibleHintFallsBackToCold) {
+  const LinearProgram model = random_packing_lp(3);
+  SimplexEngine donor;
+  ASSERT_EQ(donor.solve(random_packing_lp(20)).status, SolveStatus::kOptimal);
+  const BasisSnapshot foreign = donor.export_basis();
+
+  // Dimension mismatch: rejected, cold solve still optimal.
+  SimplexEngine engine;
+  bool warm_used = true;
+  const Solution fallback = engine.solve(model, foreign, &warm_used);
+  ASSERT_EQ(fallback.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(warm_used);
+  EXPECT_EQ(fallback.x, solve(model).x);
+
+  // Singular basis (every position the same column): rejected the same way.
+  SimplexEngine own_donor;
+  ASSERT_EQ(own_donor.solve(model).status, SolveStatus::kOptimal);
+  BasisSnapshot corrupt = own_donor.export_basis();
+  for (BasisSnapshot::Entry& entry : corrupt.basic) {
+    entry = corrupt.basic.front();
+  }
+  SimplexEngine engine2;
+  warm_used = true;
+  const Solution fallback2 = engine2.solve(model, corrupt, &warm_used);
+  ASSERT_EQ(fallback2.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(warm_used);
+  EXPECT_EQ(fallback2.x, solve(model).x);
+}
+
 TEST(ColumnGeneration, ReachesFullModelOptimum) {
   // Full model: 8 columns over 4 rows; the oracle reveals columns lazily.
   Rng rng(123);

@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "gen/scenario.hpp"
+#include "service/basis_cache.hpp"
 #include "service/service.hpp"
+#include "wire/codec.hpp"
 
 namespace ssa {
 namespace {
@@ -71,6 +73,138 @@ AsymmetricInstance weighted_asymmetric(std::size_t n) {
   }
   return AsymmetricInstance(std::move(graphs), identity_ordering(n),
                             std::move(valuations));
+}
+
+/// Support-preserving valuation churn: rescales every positive bundle
+/// value of one bidder (zeros stay zero), so the structural fingerprint --
+/// the basis-cache key -- is unchanged while the full fingerprint moves
+/// and the result cache misses.
+AuctionInstance rescale_bidder(const AuctionInstance& instance,
+                               std::size_t v, double factor) {
+  std::vector<double> values(num_bundles(instance.num_channels()), 0.0);
+  for (Bundle t = 1; t < num_bundles(instance.num_channels()); ++t) {
+    const double old = instance.value(v, t);
+    if (old > 0.0) values[t] = old * factor;
+  }
+  return instance.with_valuation(
+      v, std::make_shared<ExplicitValuation>(instance.num_channels(),
+                                             std::move(values)));
+}
+
+TEST(AuctionService, ChurnStreamWarmStartsAfterTheFirstSolve) {
+  // The E14 workload through the front door: same structure, rescaled
+  // values. The first solve banks a basis; every later variant reuses it.
+  // The control service runs the identical stream with the basis cache
+  // disabled and must produce bitwise-identical payloads -- warm starting
+  // is a latency lever, never a result change.
+  AuctionService warm_service(single_shard());
+  ServiceOptions control_config = single_shard();
+  control_config.basis_cache_entries_per_shard = 0;
+  AuctionService control_service(control_config);
+
+  const AuctionInstance base =
+      gen::make_disk_auction(16, 2, gen::ValuationMix::kMixed, 808);
+  SolveOptions options;
+  options.seed = 3;
+  options.pipeline.rounding_repetitions = 8;
+
+  constexpr int kVariants = 200;  // the E14-sized churn stream
+  for (int i = 0; i < kVariants; ++i) {
+    const AuctionInstance churned = rescale_bidder(
+        base, static_cast<std::size_t>(i) % base.num_bidders(),
+        1.0 + 0.03 * static_cast<double>(i + 1));
+    const SolveReport warm =
+        warm_service.get(warm_service.submit(churned, "lp-rounding", options));
+    const SolveReport cold = control_service.get(
+        control_service.submit(churned, "lp-rounding", options));
+    ASSERT_TRUE(warm.error.empty()) << warm.error;
+    EXPECT_FALSE(cold.warm_started);
+    if (i == 0) {
+      EXPECT_FALSE(warm.warm_started);  // nothing banked yet
+    } else {
+      EXPECT_TRUE(warm.warm_started) << "variant " << i;
+    }
+    EXPECT_TRUE(wire::reports_payload_equal(warm, cold)) << "variant " << i;
+  }
+  EXPECT_EQ(warm_service.stats().warm_starts,
+            static_cast<std::uint64_t>(kVariants - 1));
+  EXPECT_EQ(control_service.stats().warm_starts, 0u);
+}
+
+TEST(AuctionService, BasesStartColdAfterSnapshotRestore) {
+  // The snapshot carries RESULTS only (service/result_cache.hpp): after a
+  // restore the result cache is warm but the basis caches are empty, so
+  // the first post-restore solve of a structure runs cold and re-banks.
+  const std::string path = "test_service_basis_snapshot.bin";
+  const AuctionInstance base =
+      gen::make_disk_auction(14, 2, gen::ValuationMix::kMixed, 909);
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 8;
+
+  const AuctionInstance variant0 = rescale_bidder(base, 0, 1.1);
+  const AuctionInstance variant1 = rescale_bidder(base, 1, 1.2);
+  const AuctionInstance variant2 = rescale_bidder(base, 2, 1.3);
+  const AuctionInstance variant3 = rescale_bidder(base, 3, 1.4);
+  {
+    ServiceOptions config = single_shard();
+    config.snapshot_path = path;
+    AuctionService service(config);
+    const SolveReport first =
+        service.get(service.submit(variant0, "lp-rounding", options));
+    EXPECT_FALSE(first.warm_started);
+    const SolveReport second =
+        service.get(service.submit(variant1, "lp-rounding", options));
+    EXPECT_TRUE(second.warm_started);
+    service.shutdown();  // writes the snapshot
+  }
+
+  {
+    ServiceOptions config = single_shard();
+    config.snapshot_path = path;
+    AuctionService restarted(config);
+    EXPECT_GE(restarted.stats().snapshot_restored, 2u);
+    // A new variant misses the (restored) result cache AND runs cold.
+    const SolveReport after =
+        restarted.get(restarted.submit(variant2, "lp-rounding", options));
+    EXPECT_FALSE(after.cache_hit);
+    EXPECT_FALSE(after.warm_started);
+    // ...and that solve re-banked a basis for the structure.
+    const SolveReport rewarmed =
+        restarted.get(restarted.submit(variant3, "lp-rounding", options));
+    EXPECT_TRUE(rewarmed.warm_started);
+    EXPECT_EQ(restarted.stats().warm_starts, 1u);
+  }  // the destructor's shutdown rewrites the snapshot; remove it last
+  std::remove(path.c_str());
+}
+
+TEST(BasisCache, LruEvictionRecencyAndReplace) {
+  service::BasisCache cache(2);
+  const auto entry = [](std::uint32_t n) {
+    service::BasisCacheEntry e;
+    e.num_bidders = n;
+    return e;
+  };
+  cache.insert("a", entry(1));
+  cache.insert("b", entry(2));
+  ASSERT_NE(cache.lookup("a"), nullptr);  // refreshes a's recency
+  cache.insert("c", entry(3));            // evicts b, the LRU entry
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+  ASSERT_NE(cache.lookup("a"), nullptr);
+  EXPECT_EQ(cache.lookup("a")->num_bidders, 1u);
+  ASSERT_NE(cache.lookup("c"), nullptr);
+  EXPECT_EQ(cache.entries(), 2u);
+
+  cache.insert("c", entry(4));  // same key: replace in place, no eviction
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.lookup("c")->num_bidders, 4u);
+  EXPECT_NE(cache.lookup("a"), nullptr);
+}
+
+TEST(BasisCache, ZeroCapacityDisables) {
+  service::BasisCache cache(0);
+  cache.insert("a", service::BasisCacheEntry{});
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  EXPECT_EQ(cache.entries(), 0u);
 }
 
 TEST(AuctionService, CacheHitEquivalence) {

@@ -141,6 +141,10 @@ TEST(WireReport, PayloadEqualIgnoresOnlyTimings) {
   SolveReport b = a;
   b.wall_time_seconds = 99.0;
   b.queue_wait_seconds = 42.0;
+  // The warm-start diagnostics are timing-class: a warm re-solve of the
+  // same instance must compare payload-equal to the cold run it replays.
+  b.warm_started = !a.warm_started;
+  b.pivots = a.pivots + 17;
   EXPECT_TRUE(wire::reports_payload_equal(a, b));
   b.welfare = a.welfare + 1e-12;  // any payload bit differs -> unequal
   EXPECT_FALSE(wire::reports_payload_equal(a, b));
@@ -184,6 +188,7 @@ TEST(WireOptions, RoundTripsNonDefaults) {
   options.mechanism.decomposition.max_rounds = 44;
   options.mechanism.decomposition.use_exact_pricing = false;
   options.mechanism.sample_seed = 0xabcd;
+  options.warm_start = false;
 
   wire::Writer writer;
   wire::write_options(writer, options);
@@ -386,12 +391,14 @@ TEST(WireFrame, RejectsVersion2FramesStrictly) {
   v2_body.bytes("abc");
   EXPECT_FALSE(wire::decode_frame_body(v2_body.buffer()).has_value());
 
-  // A v3-shaped body whose version word was rewound to 2 (or bumped past
-  // the current version) must also reject: the check is equality, not >=.
-  const std::string v3 =
+  // A current-shaped body whose version word was rewound to an older
+  // version (2, 3) or bumped past the current one must also reject: the
+  // check is equality, not >=.
+  const std::string current =
       wire::encode_frame(wire::MessageType::kSubmit, 7, "abc").substr(4);
-  for (const std::uint16_t version : {std::uint16_t{2}, std::uint16_t{4}}) {
-    std::string patched = v3;
+  for (const std::uint16_t version :
+       {std::uint16_t{2}, std::uint16_t{3}, std::uint16_t{5}}) {
+    std::string patched = current;
     patched[4] = static_cast<char>(version & 0xff);
     patched[5] = static_cast<char>(version >> 8);
     EXPECT_FALSE(wire::decode_frame_body(patched).has_value());
@@ -449,6 +456,7 @@ TEST(WireCodec, StatsRoundTripCoversEveryCounter) {
   stats.admission_degraded = 5;
   stats.admission_rejected = 2;
   stats.timed_out = 4;
+  stats.warm_starts = 6;
   stats.snapshot_restored = 11;
   stats.cache_entries = 23;
   stats.cache_bytes = 4096;
@@ -466,16 +474,17 @@ TEST(WireCodec, StatsRoundTripCoversEveryCounter) {
   EXPECT_EQ(decoded.admission_degraded, 5u);
   EXPECT_EQ(decoded.admission_rejected, 2u);
   EXPECT_EQ(decoded.timed_out, 4u);
+  EXPECT_EQ(decoded.warm_starts, 6u);
   EXPECT_EQ(decoded.snapshot_restored, 11u);
   EXPECT_EQ(decoded.cache_entries, 23u);
   EXPECT_EQ(decoded.cache_bytes, 4096u);
 }
 
 TEST(WireGolden, FrameLayout) {
-  // v3: u32 len | u32 magic "SSAW" | u16 version=3 | u8 type | u64 id | payload
+  // v4: u32 len | u32 magic "SSAW" | u16 version=4 | u8 type | u64 id | payload
   EXPECT_EQ(to_hex(wire::encode_frame(wire::MessageType::kSubmit,
                                       0x0102030405060708ull, "abc")),
-            "1200000053534157030001" "0807060504030201" "616263");
+            "1200000053534157040001" "0807060504030201" "616263");
 }
 
 TEST(WireGolden, DefaultOptionsLayout) {
@@ -485,7 +494,7 @@ TEST(WireGolden, DefaultOptionsLayout) {
             "010000000000000000000000000000000000000040000000000100000000000"
             "000000a000000000000000000000080f0fa020000000006000000000c000000"
             "0000000000000000600000002c01000001ed5e0000000000001ca10000000000"
-            "00");
+            "0001");  // trailing 01 = v4 warm_start default (true)
 }
 
 TEST(WireGolden, ReportLayout) {
@@ -500,6 +509,8 @@ TEST(WireGolden, ReportLayout) {
   report.lp_upper_bound = 3.5;
   report.timed_out = true;
   report.wall_time_seconds = 0.5;
+  report.warm_started = true;
+  report.pivots = 7;
   report.solver_selected = "s";
   report.cache_hit = true;
   report.queue_wait_seconds = 0.25;
@@ -514,7 +525,8 @@ TEST(WireGolden, ReportLayout) {
       to_hex(encode_report_bytes(report)),
       "0100000000000000730100000000000000700300000000000000010000000000000003"
       "000000000000000000044001000000000000f43f000000000000004001000000000000"
-      "0c400001000000000000e03f0000000000000000010000000000000073010000000000"
+      "0c400001000000000000e03f010700000000000000000000000000000001000000000"
+      "0000073010000000000"
       "00d03f010101000000000000000c400100000000000000000000000100000000000000"
       "0000e03f00");
 }
