@@ -21,6 +21,7 @@
 
 #include "api/admission.hpp"
 #include "api/any_instance.hpp"
+#include "core/asymmetric_colgen.hpp"
 #include "core/auction_lp.hpp"
 #include "core/exact.hpp"
 #include "core/instance.hpp"
@@ -49,6 +50,15 @@ struct WarmStartContext {
   bool has_export = false;                  ///< out: `exported` is valid
   /// out: structural column span per bidder (delta-remap input).
   std::vector<std::uint32_t> columns_per_bidder;
+  /// in: donor column pool for "asymmetric-colgen" (null for other solvers
+  /// or cold solves) -- seeds the restricted master and warm-starts its
+  /// first basis. Same discipline as `hint`: runtime-only, never a cache
+  /// key, payload-invariant by construction.
+  const AsymmetricColumnPool* pool_hint = nullptr;
+  /// out: this run's generated column pool + terminal basis, for banking
+  /// in the service's per-shard ColumnPoolCache.
+  AsymmetricColumnPool pool_exported;
+  bool has_pool_export = false;  ///< out: `pool_exported` is valid
 };
 
 struct SolveOptions {
@@ -79,8 +89,9 @@ struct SolveOptions {
   bool warm_start = true;
   /// Runtime-only basis side channel (see WarmStartContext). Null for plain
   /// solves; the wire codec never carries it and the service result cache
-  /// never keys on it. Only "lp-rounding"'s explicit LP path consumes it;
-  /// every other solver leaves it untouched.
+  /// never keys on it. "lp-rounding"'s explicit LP path consumes the basis
+  /// fields and "asymmetric-colgen" the column-pool fields; every other
+  /// solver leaves it untouched.
   WarmStartContext* warm_context = nullptr;
 
   // -- per-solver sections --------------------------------------------------
@@ -126,6 +137,15 @@ struct SolveReport {
   /// decomposition LP for "mechanism", 0 for the LP-free solvers. Like
   /// warm_started, a timing-class diagnostic excluded from payload equality.
   std::int64_t pivots = 0;
+  /// Pricing rounds a column-generation solve performed ("lp-rounding"'s
+  /// colgen path, "asymmetric-colgen"); 0 for explicit/LP-free solvers.
+  /// Like pivots, a run diagnostic excluded from payload equality: a
+  /// pool-warm colgen run converges in fewer rounds than its cold twin
+  /// while producing the identical payload.
+  std::uint32_t oracle_rounds = 0;
+  /// Columns the pricing oracle generated during this run (pool seeds
+  /// excluded). Same diagnostics class as oracle_rounds.
+  std::uint32_t columns_generated = 0;
   /// Empty on success. Filled (by solve() itself) when the instance is
   /// outside the solver's domain or the algorithm failed; solve_batch
   /// additionally stores job-level failures (unknown solver, empty

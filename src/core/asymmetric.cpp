@@ -70,14 +70,15 @@ double AsymmetricInstance::welfare(const Allocation& allocation) const {
 FractionalSolution solve_asymmetric_lp(const AsymmetricInstance& instance,
                                        lp::SimplexOptions options) {
   const int k = instance.num_channels();
-  // Single-sourced with the constructor's validation: an AsymmetricInstance
-  // can never exceed kMaxChannels, so this only fires if the constraint is
-  // ever relaxed there without teaching the explicit LP to cope.
-  if (k > AsymmetricInstance::kMaxChannels) {
+  // This path materializes every one of the 2^k - 1 bundles per bidder;
+  // beyond the explicit limit the caller must use the demand-oracle
+  // column-generation solver (solve_asymmetric_lp_colgen) instead.
+  if (k > AsymmetricInstance::kExplicitChannelLimit) {
     throw std::invalid_argument(
         "solve_asymmetric_lp: k <= " +
-        std::to_string(AsymmetricInstance::kMaxChannels) + " required, got " +
-        std::to_string(k));
+        std::to_string(AsymmetricInstance::kExplicitChannelLimit) +
+        " required, got " + std::to_string(k) +
+        " (use asymmetric-colgen for larger instances)");
   }
   const std::size_t n = instance.num_bidders();
 
@@ -317,7 +318,24 @@ ExactResult solve_asymmetric_exact(const AsymmetricInstance& instance,
   return AsymmetricSearch(instance, options).run();
 }
 
+namespace {
+
+/// Shared guard of the bundle-enumerating greedy baselines.
+void require_explicit_channels(const AsymmetricInstance& instance,
+                               const char* who) {
+  if (instance.num_channels() > AsymmetricInstance::kExplicitChannelLimit) {
+    throw std::invalid_argument(
+        std::string(who) + ": k <= " +
+        std::to_string(AsymmetricInstance::kExplicitChannelLimit) +
+        " required, got " + std::to_string(instance.num_channels()) +
+        " (use asymmetric-colgen for larger instances)");
+  }
+}
+
+}  // namespace
+
 Allocation greedy_by_value_asymmetric(const AsymmetricInstance& instance) {
+  require_explicit_channels(instance, "greedy_by_value_asymmetric");
   const int k = instance.num_channels();
   const std::size_t n = instance.num_bidders();
 
@@ -353,6 +371,7 @@ Allocation greedy_by_value_asymmetric(const AsymmetricInstance& instance) {
 }
 
 Allocation greedy_by_density_asymmetric(const AsymmetricInstance& instance) {
+  require_explicit_channels(instance, "greedy_by_density_asymmetric");
   const int k = instance.num_channels();
   const std::size_t n = instance.num_bidders();
 

@@ -29,15 +29,20 @@ namespace ssa {
 /// Auction instance with one conflict graph per channel.
 class AsymmetricInstance {
  public:
-  /// Channel cap of the asymmetric path. Every asymmetric algorithm
-  /// enumerates the 2^k - 1 bundles per bidder explicitly (there is no
-  /// demand-oracle column generation for per-channel graphs yet), so the
-  /// limit lives on the instance and is the single source of truth for
-  /// the constructor, solve_asymmetric_lp and the greedy baselines. The
-  /// exact B&B additionally keeps its own tighter, caller-overridable
-  /// guard (ExactOptions::max_channels, default 6), exactly as in the
-  /// symmetric family.
-  static constexpr int kMaxChannels = 12;
+  /// Channel cap of the asymmetric family, now the library-wide bundle
+  /// bound (bundle.hpp): solve_asymmetric_lp_colgen (asymmetric_colgen.hpp)
+  /// prices columns through a demand oracle and never enumerates the 2^k
+  /// bundle space, so the instance itself admits any representable k.
+  static constexpr int kMaxChannels = ssa::kMaxChannels;
+
+  /// Cap of the *explicit-enumeration* algorithms (solve_asymmetric_lp and
+  /// the greedy baselines), which still materialize all 2^k - 1 bundles per
+  /// bidder. It is the single source of truth for those paths; instances
+  /// above it must go through the column-generation solver. The exact B&B
+  /// additionally keeps its own tighter, caller-overridable guard
+  /// (ExactOptions::max_channels, default 6), exactly as in the symmetric
+  /// family.
+  static constexpr int kExplicitChannelLimit = 12;
 
   /// \p rho = 0 measures max over channels of rho_j(pi) with the verifier.
   AsymmetricInstance(std::vector<ConflictGraph> channel_graphs, Ordering order,
@@ -87,8 +92,9 @@ class AsymmetricInstance {
   bool unweighted_;
 };
 
-/// Explicit LP for the asymmetric problem (the instance caps k at
-/// AsymmetricInstance::kMaxChannels).
+/// Explicit LP for the asymmetric problem. Enumerates every bundle, so it
+/// refuses k > AsymmetricInstance::kExplicitChannelLimit; larger instances
+/// go through solve_asymmetric_lp_colgen (asymmetric_colgen.hpp).
 [[nodiscard]] FractionalSolution solve_asymmetric_lp(
     const AsymmetricInstance& instance, lp::SimplexOptions options = {});
 
@@ -130,13 +136,15 @@ class AsymmetricInstance {
 /// feasible bundle of maximum value against the per-channel graphs. On
 /// weighted graphs the binary-conflict check is conservative (it never
 /// yields an infeasible allocation, but may leave weighted-feasible value
-/// on the table) -- acceptable for a no-guarantee heuristic.
+/// on the table) -- acceptable for a no-guarantee heuristic. Enumerates
+/// bundles explicitly, so k <= AsymmetricInstance::kExplicitChannelLimit.
 [[nodiscard]] Allocation greedy_by_value_asymmetric(
     const AsymmetricInstance& instance);
 
 /// Greedy baseline: all (bidder, bundle) pairs by value / |T| density,
 /// single pass with per-channel feasibility checks (conservative on
-/// weighted graphs, see greedy_by_value_asymmetric).
+/// weighted graphs, see greedy_by_value_asymmetric). Enumerates bundles
+/// explicitly, so k <= AsymmetricInstance::kExplicitChannelLimit.
 [[nodiscard]] Allocation greedy_by_density_asymmetric(
     const AsymmetricInstance& instance);
 

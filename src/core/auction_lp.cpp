@@ -49,10 +49,7 @@ std::vector<lp::ColumnEntry> bundle_column(const AuctionInstance& instance,
   return entries;
 }
 
-namespace {
-
-/// Deterministic unit in [0, 1) from (bidder, bundle) -- splitmix64 mix.
-[[nodiscard]] double tiebreak_unit(std::size_t v, Bundle t) {
+double tiebreak_unit(std::size_t v, Bundle t) {
   std::uint64_t x = (static_cast<std::uint64_t>(v) << 32) ^
                     (static_cast<std::uint64_t>(t) + 0x9e3779b97f4a7c15ull);
   x ^= x >> 30;
@@ -63,33 +60,25 @@ namespace {
   return static_cast<double>(x >> 11) * 0x1.0p-53;
 }
 
-/// Relative scale of the symmetry-breaking lift below. Must exceed the
-/// engine's optimality tolerance (1e-9) by enough that a previously tied
-/// vertex shows a strictly improving reduced cost, and stay far inside
-/// every consumer's comparison tolerance (colgen equality allows 1e-6
-/// relative): the lift moves the reported LP value by at most
-/// kTiebreakScale relative.
-constexpr double kTiebreakScale = 1e-7;
+namespace {
 
 /// Objective coefficient of column (v, t) in the EXPLICIT master:
-/// b_{v,T} plus a deterministic per-column relative lift. Auction
-/// instances carry exactly tied alternate optima for real (equal-value
-/// bundles of one bidder), and the warm-start contract requires cold and
-/// warm solves to terminate at the SAME optimal vertex from any starting
-/// basis -- a generically unique optimum is what makes the terminal
-/// vertex start-independent. The lift only ever INCREASES a coefficient,
-/// so the LP value stays a valid upper bound on the integral optimum; it
-/// depends only on (bidder, bundle), so churn variants of one structure
-/// are lifted identically and basis reuse is unaffected. The
-/// column-generation path is left unlifted: its demand oracle prices
-/// columns with the true values, and a lifted master under an unlifted
-/// oracle could terminate epsilon-short of lifted-optimal. Explicit and
-/// colgen objectives therefore differ by <= kTiebreakScale relative
-/// (tests/test_auction_lp.cpp compares them within 1e-6).
+/// b_{v,T} under the shared symmetry-breaking lift (lifted_value in the
+/// header). Auction instances carry exactly tied alternate optima for real
+/// (equal-value bundles of one bidder), and the warm-start contract
+/// requires cold and warm solves to terminate at the SAME optimal vertex
+/// from any starting basis -- a generically unique optimum is what makes
+/// the terminal vertex start-independent. The SYMMETRIC column-generation
+/// path below is left unlifted: its demand oracle prices columns with the
+/// true values, and a lifted master under an unlifted oracle could
+/// terminate epsilon-short of lifted-optimal. Explicit and colgen
+/// objectives therefore differ by <= kTiebreakScale relative
+/// (tests/test_auction_lp.cpp compares them within 1e-6). The asymmetric
+/// colgen path lifts BOTH master and oracle instead -- see
+/// asymmetric_colgen.cpp.
 [[nodiscard]] double explicit_objective(const AuctionInstance& instance,
                                         std::size_t v, Bundle t) {
-  const double value = instance.value(v, t);
-  return value * (1.0 + kTiebreakScale * tiebreak_unit(v, t));
+  return lifted_value(instance.value(v, t), v, t);
 }
 
 FractionalSolution extract(const AuctionInstance& instance,

@@ -60,6 +60,30 @@ struct LpWarmStart {
   return static_cast<int>(u) * k + j;
 }
 
+/// Deterministic unit in [0, 1) from (bidder, bundle) -- a splitmix64 mix.
+/// The shared ingredient of the symmetry-breaking lift below; exposed so
+/// the asymmetric column-generation path (asymmetric_colgen.cpp) lifts its
+/// master AND its pricing oracle with the exact same per-column unit.
+[[nodiscard]] double tiebreak_unit(std::size_t v, Bundle t);
+
+/// Relative scale of the symmetry-breaking lift. Must exceed the engine's
+/// optimality tolerance (1e-9) by enough that a previously tied vertex
+/// shows a strictly improving reduced cost, and stay far inside every
+/// consumer's comparison tolerance (colgen equality allows 1e-6 relative):
+/// the lift moves the reported LP value by at most kTiebreakScale relative.
+inline constexpr double kTiebreakScale = 1e-7;
+
+/// Objective coefficient of column (v, t) under the symmetry-breaking
+/// lift: \p value plus a deterministic per-column relative bump. The lift
+/// only ever INCREASES a coefficient, so a lifted LP value stays a valid
+/// upper bound on the integral optimum; it depends only on (bidder,
+/// bundle), so churn variants of one structure are lifted identically and
+/// basis/column-pool reuse is unaffected.
+[[nodiscard]] inline double lifted_value(double value, std::size_t v,
+                                         Bundle t) {
+  return value * (1.0 + kTiebreakScale * tiebreak_unit(v, t));
+}
+
 /// Builds the master LP rows (no columns) for an instance: n*k rows
 /// "(u,j) <= rho" followed by n rows "sum_T x_{v,T} <= 1".
 [[nodiscard]] lp::LinearProgram build_master_rows(const AuctionInstance& instance);

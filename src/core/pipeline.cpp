@@ -36,6 +36,8 @@ PipelineResult solve_pipeline(const AuctionInstance& instance,
           ? solve_auction_lp_colgen(instance, &colgen_stats, colgen)
           : solve_auction_lp(instance, simplex, options.warm);
   result.pivots = result.fractional.pivots;
+  result.oracle_rounds = colgen_stats.rounds;
+  result.columns_generated = colgen_stats.columns_generated;
   result.warm_started = !result.used_column_generation &&
                         options.warm != nullptr && options.warm->warm_started;
   if (result.fractional.status != lp::SolveStatus::kOptimal) {

@@ -15,6 +15,7 @@
 #include "api/registry.hpp"
 #include "api/scheduler.hpp"
 #include "service/basis_cache.hpp"
+#include "service/column_pool_cache.hpp"
 #include "service/result_cache.hpp"
 #include "support/deadline.hpp"
 #include "support/parallel.hpp"
@@ -94,8 +95,8 @@ struct AuctionService::Request {
 /// fingerprint), so shards never contend with each other.
 struct AuctionService::Shard {
   Shard(const SchedulerOptions& scheduler_options, std::size_t cache_bytes,
-        std::size_t basis_entries)
-      : cache(cache_bytes), bases(basis_entries),
+        std::size_t basis_entries, std::size_t pool_entries)
+      : cache(cache_bytes), bases(basis_entries), pools(pool_entries),
         scheduler(scheduler_options) {}
 
   /// A request attached to an in-flight leader; completed from the
@@ -112,6 +113,10 @@ struct AuctionService::Shard {
   /// like the result cache. Never snapshotted: restore_snapshot leaves it
   /// empty by design (a basis is a hint, warmth refills from traffic).
   BasisCache bases;
+  /// Generated column pools of clean "asymmetric-colgen" solves, keyed by
+  /// the same structural fingerprint and under the same never-snapshotted
+  /// hint discipline as `bases`.
+  ColumnPoolCache pools;
   /// Pending requests (owned until their worker finishes) and completed
   /// reports awaiting their get()/try_get() claim.
   std::unordered_map<RequestId, std::shared_ptr<Request>> pending;
@@ -153,7 +158,8 @@ AuctionService::AuctionService(ServiceOptions options)
   for (int s = 0; s < shard_count; ++s) {
     shards_.push_back(std::make_unique<Shard>(
         scheduler_options, options_.cache_bytes_per_shard,
-        options_.basis_cache_entries_per_shard));
+        options_.basis_cache_entries_per_shard,
+        options_.column_pool_entries_per_shard));
   }
   if (!options_.snapshot_path.empty()) restore_snapshot();
 }
@@ -175,10 +181,10 @@ AuctionService::Shard& AuctionService::shard_of(RequestId id) const {
 }
 
 void AuctionService::restore_snapshot() {
-  // Restores RESULT caches only. The per-shard basis caches deliberately
-  // start cold: a basis is a runtime hint tied to this build's simplex
-  // internals, and the first solve of each structure simply re-banks one
-  // (test_service pins this contract).
+  // Restores RESULT caches only. The per-shard basis and column-pool
+  // caches deliberately start cold: both are runtime hints tied to this
+  // build's simplex internals, and the first solve of each structure
+  // simply re-banks one (test_service pins this contract).
   try {
     std::ifstream in(options_.snapshot_path, std::ios::binary);
     if (!in) return;  // no snapshot yet: cold start
@@ -366,12 +372,18 @@ RequestId AuctionService::submit(const AnyInstance& instance,
           // one failed install and a cold solve, never a wrong result.
           WarmStartContext warm;
           BasisCacheEntry banked;
+          AsymmetricColumnPool banked_pool;
           {
             const std::lock_guard<std::mutex> basis_lock(shard.mutex);
             if (const BasisCacheEntry* entry =
                     shard.bases.lookup(request->structural_key)) {
               banked = *entry;
               warm.hint = &banked.basis;
+            }
+            if (const AsymmetricColumnPool* pool =
+                    shard.pools.lookup(request->structural_key)) {
+              banked_pool = *pool;
+              warm.pool_hint = &banked_pool;
             }
           }
           effective.warm_context = &warm;
@@ -403,6 +415,12 @@ RequestId AuctionService::submit(const AnyInstance& instance,
           report.admission = verdict;
           const bool run_timed_out = report.timed_out;
           const bool run_warm_started = report.warm_started;
+          // A warm-started run with pricing rounds is a colgen solve that
+          // seeded from a banked pool; explicit-path basis reuse never has
+          // oracle rounds, so the two reuse kinds stay distinguishable
+          // without another report field.
+          const bool run_colgen_warm =
+              report.warm_started && report.oracle_rounds > 0;
           std::size_t follower_count = 0;
           std::vector<std::function<void()>> fired;
           {
@@ -429,6 +447,13 @@ RequestId AuctionService::submit(const AnyInstance& instance,
                         static_cast<std::uint32_t>(solved.num_bidders()),
                         static_cast<std::uint32_t>(solved.num_channels()),
                         std::move(warm.columns_per_bidder)});
+              }
+              // Same gate for the colgen column pool: only a clean run's
+              // pool (oracle-certified master, terminal basis) is worth
+              // seeding the next churn variant with.
+              if (warm.has_pool_export) {
+                shard.pools.insert(request->structural_key,
+                                   std::move(warm.pool_exported));
               }
             }
             // Fan the report out to every coalesced follower: bitwise the
@@ -459,6 +484,7 @@ RequestId AuctionService::submit(const AnyInstance& instance,
           // Warm starts count solver RUNS, so the leader counts once and
           // its followers never do.
           if (run_warm_started) warm_starts_.fetch_add(1);
+          if (run_colgen_warm) colgen_warm_.fetch_add(1);
           shard.completed_cv.notify_all();
           // Outside every lock: a watcher may call straight back into
           // try_get (it usually does).
@@ -634,6 +660,7 @@ ServiceStats AuctionService::stats() const {
   stats.admission_rejected = admission_rejected_.load();
   stats.timed_out = timed_out_.load();
   stats.warm_starts = warm_starts_.load();
+  stats.colgen_warm = colgen_warm_.load();
   stats.snapshot_restored = snapshot_restored_.load();
   for (const std::unique_ptr<Shard>& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);

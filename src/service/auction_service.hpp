@@ -60,10 +60,15 @@
 /// ordering, rho -- valuations excluded, support/fingerprint.hpp): a
 /// value-perturbed resubmission of a known structure hands its LP the
 /// previous optimal basis as a starting point instead of pivoting from
-/// scratch (SolveReport::warm_started, ServiceStats::warm_starts). Purely
-/// a latency optimization: the LP layer guarantees a warm-started solve
-/// produces the same payload as a cold one (lp/simplex.hpp), and any
-/// stale or incompatible basis falls back to a cold solve.
+/// scratch (SolveReport::warm_started, ServiceStats::warm_starts). A
+/// second LRU banks the generated column pools of "asymmetric-colgen"
+/// solves under the same structural key (column_pool_cache.hpp): a churn
+/// variant's restricted master starts from the donor's column set and
+/// terminal basis instead of regrowing it oracle round by oracle round
+/// (ServiceStats::colgen_warm). Purely latency optimizations: the LP
+/// layer guarantees a warm-started solve produces the same payload as a
+/// cold one (lp/simplex.hpp, asymmetric_colgen.hpp), and any stale or
+/// incompatible hint falls back to a cold solve.
 ///
 /// Persistence. With ServiceOptions::snapshot_path set, the constructor
 /// restores the result caches from that file (a missing, truncated,
@@ -118,6 +123,13 @@ struct ServiceOptions {
   /// results -- and bases are not persisted with the result-cache snapshot
   /// (they start cold after a restore and refill from traffic).
   std::size_t basis_cache_entries_per_shard = 64;
+  /// LRU entry budget of the per-shard column-pool cache
+  /// (service/column_pool_cache.hpp): generated column pools of clean
+  /// "asymmetric-colgen" solves banked by STRUCTURAL fingerprint and
+  /// replayed to seed the restricted master of structurally identical
+  /// requests. 0 disables pool warm starting. The same contract as the
+  /// basis cache: a speed knob only, payload-invariant, never snapshotted.
+  std::size_t column_pool_entries_per_shard = 64;
   /// Solver selection policy; null installs DefaultSelectionPolicy.
   SelectionPolicyPtr policy = nullptr;
   /// Shard queue order (see the file comment); kFifo is the baseline.
@@ -157,6 +169,11 @@ struct ServiceStats {
   /// (SolveReport::warm_started; leaders only -- cache hits and coalesced
   /// followers never run a solver, so they never count).
   std::uint64_t warm_starts = 0;
+  /// Column-generation solver runs that seeded their restricted master
+  /// from a banked column pool (SolveReport::warm_started with
+  /// oracle_rounds > 0; a subset of warm_starts' discipline, counted
+  /// separately so pool reuse is observable next to basis reuse).
+  std::uint64_t colgen_warm = 0;
   /// Cache entries restored from the snapshot at construction. Note the
   /// snapshot carries result-cache entries only: basis caches always start
   /// cold after a restore (warm_starts builds back up from traffic).
@@ -247,6 +264,7 @@ class AuctionService {
   std::atomic<std::uint64_t> admission_rejected_{0};
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> warm_starts_{0};
+  std::atomic<std::uint64_t> colgen_warm_{0};
   std::atomic<std::uint64_t> snapshot_restored_{0};
 };
 

@@ -1,0 +1,30 @@
+#include "service/column_pool_cache.hpp"
+
+#include <utility>
+
+namespace ssa::service {
+
+const AsymmetricColumnPool* ColumnPoolCache::lookup(const std::string& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  order_.splice(order_.begin(), order_, it->second);
+  return &it->second->pool;
+}
+
+void ColumnPoolCache::insert(const std::string& key, AsymmetricColumnPool pool) {
+  if (max_entries_ == 0) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->pool = std::move(pool);
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  if (map_.size() >= max_entries_) {
+    map_.erase(order_.back().key);
+    order_.pop_back();
+  }
+  order_.push_front(Node{key, std::move(pool)});
+  map_.emplace(order_.front().key, order_.begin());
+}
+
+}  // namespace ssa::service

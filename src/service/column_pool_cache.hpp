@@ -1,0 +1,62 @@
+#pragma once
+/// \file column_pool_cache.hpp
+/// Per-shard LRU cache of asymmetric column-generation pools, keyed by the
+/// STRUCTURAL fingerprint of an instance (support/fingerprint.hpp) -- the
+/// sibling of BasisCache for the "asymmetric-colgen" solve path. The
+/// asymmetric LP's columns depend only on the instance structure (graphs,
+/// ordering, rho, positive-bundle support); valuations enter the objective
+/// alone, so the column set one run generated is a valid restricted master
+/// for every value-perturbed churn variant, and the donor's terminal basis
+/// warm-starts its first solve. The AuctionService worker banks the pool
+/// exported by each clean colgen solve here and hands it back through
+/// WarmStartContext::pool_hint on the next structurally identical request.
+///
+/// The cache stores hints, not answers: a stale or mismatched pool costs
+/// filtered seeds and a cold first solve, never a wrong result (the oracle
+/// loop re-proves optimality regardless of what seeded the master). Like
+/// bases, pools are deliberately NOT part of the ResultCache snapshot:
+/// after restore_snapshot the pool caches start cold and refill.
+///
+/// Not thread-safe; the owning shard serializes access under its own lock.
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "core/asymmetric_colgen.hpp"
+
+namespace ssa::service {
+
+/// Entry-count-bounded LRU map fingerprint-hex -> AsymmetricColumnPool.
+class ColumnPoolCache {
+ public:
+  /// \p max_entries = 0 disables the cache (lookups miss, inserts drop).
+  explicit ColumnPoolCache(std::size_t max_entries)
+      : max_entries_(max_entries) {}
+
+  /// Returns the pool for \p key and marks it most recently used, or
+  /// nullptr on a miss. The pointer is invalidated by the next insert().
+  [[nodiscard]] const AsymmetricColumnPool* lookup(const std::string& key);
+
+  /// Inserts or replaces the pool for \p key as most recently used,
+  /// evicting the least recently used entry when full.
+  void insert(const std::string& key, AsymmetricColumnPool pool);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t max_entries() const noexcept {
+    return max_entries_;
+  }
+
+ private:
+  struct Node {
+    std::string key;
+    AsymmetricColumnPool pool;
+  };
+
+  std::size_t max_entries_;
+  std::list<Node> order_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> map_;
+};
+
+}  // namespace ssa::service

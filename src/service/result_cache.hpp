@@ -56,8 +56,9 @@ class ResultCache {
  public:
   /// Schema version of the snapshot files; see the file comment for when
   /// to bump it. History: 2 added SolveReport::warm_started/pivots to the
-  /// shared report codec.
-  static constexpr std::uint32_t kSnapshotVersion = 2;
+  /// shared report codec; 3 added SolveReport::oracle_rounds/
+  /// columns_generated.
+  static constexpr std::uint32_t kSnapshotVersion = 3;
 
   /// \p byte_budget 0 disables caching entirely (every lookup misses).
   explicit ResultCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}

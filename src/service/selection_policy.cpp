@@ -20,12 +20,22 @@ std::vector<std::string> DefaultSelectionPolicy::chain(
 
   std::vector<std::string> chain;
   if (instance.is_asymmetric()) {
+    const bool explicit_ok = instance.num_channels() <=
+                             AsymmetricInstance::kExplicitChannelLimit;
     if (small) chain.push_back("asymmetric-exact");
     // The Section 6 rounding is proven for unweighted per-channel graphs
     // only; on weighted instances it would reject, so skip it up front.
-    if (instance.unweighted()) chain.push_back("asymmetric-lp-rounding");
-    chain.push_back("asymmetric-greedy-density");
-    chain.push_back("asymmetric-greedy-value");
+    // Its explicit LP additionally caps the channel count.
+    if (instance.unweighted() && explicit_ok) {
+      chain.push_back("asymmetric-lp-rounding");
+    }
+    // The decomposition path covers what the explicit solvers cannot:
+    // weighted graphs and k beyond the enumeration cap.
+    chain.push_back("asymmetric-colgen");
+    if (explicit_ok) {
+      chain.push_back("asymmetric-greedy-density");
+      chain.push_back("asymmetric-greedy-value");
+    }
     return chain;
   }
 

@@ -195,6 +195,30 @@ Fingerprint structural_fingerprint(const AsymmetricInstance& instance) {
   for (const ConflictGraph& graph : instance.graphs()) {
     mix_graph(hasher, graph);
   }
+  // Same support-pattern rule as the symmetric family: both the explicit
+  // asymmetric LP and the column-generation master emit columns only for
+  // positive-value bundles, so structural equality requires equal
+  // zero/nonzero supports (values may still differ -- churn variants
+  // rescale, they do not move zeros). Beyond kExhaustiveChannels the
+  // support is left out: the column pool filters zero-value seeds on
+  // reuse, so a support mismatch there degrades the warm start without
+  // affecting correctness.
+  if (instance.num_channels() <= kExhaustiveChannels) {
+    for (std::size_t v = 0; v < instance.num_bidders(); ++v) {
+      const Valuation& valuation = instance.valuation(v);
+      std::uint64_t word = 0;
+      int filled = 0;
+      for (Bundle t = 1; t < num_bundles(instance.num_channels()); ++t) {
+        word = (word << 1) | (valuation.value(t) > 0.0 ? 1u : 0u);
+        if (++filled == 64) {
+          hasher.mix(word);
+          word = 0;
+          filled = 0;
+        }
+      }
+      if (filled > 0) hasher.mix(word);
+    }
+  }
   return hasher.digest();
 }
 

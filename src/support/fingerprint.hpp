@@ -78,8 +78,10 @@ class FingerprintHasher {
 };
 
 /// Largest channel count whose 2^k - 1 bundle values are hashed
-/// exhaustively per bidder (covers every explicit-LP instance; the
-/// asymmetric family is capped at AsymmetricInstance::kMaxChannels = 12).
+/// exhaustively per bidder (covers every explicit-LP instance; explicit
+/// asymmetric solvers cap at AsymmetricInstance::kExplicitChannelLimit =
+/// 12 and the column-generation path's lifted demand oracle at
+/// kLiftedDemandChannels = 20).
 inline constexpr int kExhaustiveChannels = 16;
 /// Pseudo-random bundles sampled per bidder beyond kExhaustiveChannels.
 inline constexpr int kSampledBundles = 512;
@@ -92,7 +94,7 @@ inline constexpr int kSampledBundles = 512;
 
 /// Structural fingerprint: hashes everything the full fingerprint hashes
 /// EXCEPT the valuation VALUES -- bidder count, channel count, rho, the
-/// ordering, the conflict graph(s), and (for the symmetric family with
+/// ordering, the conflict graph(s), and (for either family with
 /// k <= kExhaustiveChannels) the per-bidder zero/nonzero bundle SUPPORT
 /// pattern. Two instances that differ only in positive bundle values (the
 /// churn-variant traffic of load/workload.hpp rescales, it does not move
@@ -101,7 +103,10 @@ inline constexpr int kSampledBundles = 512;
 /// positive-value bundle, and values then enter only through the
 /// objective. That is what makes this the key of the service's basis
 /// cache (service/basis_cache.hpp) -- an optimal basis of one variant is
-/// an installable warm start for every other. Same STABILITY rules as
+/// an installable warm start for every other -- and of its column-pool
+/// cache (service/column_pool_cache.hpp), whose banked (bidder, bundle)
+/// columns seed the asymmetric-colgen restricted master across variants
+/// for the same reason. Same STABILITY rules as
 /// fingerprint(); structural fingerprints are not persisted today (bases
 /// start cold after a snapshot restore) but the golden pins in
 /// tests/test_fingerprint.cpp hold the scheme still.

@@ -182,6 +182,9 @@ void write_report(Writer& writer, const SolveReport& report) {
   // v4 diagnostics: timing-class fields, zeroed by reports_payload_equal.
   writer.boolean(report.warm_started);
   writer.i64(report.pivots);
+  // v5 diagnostics: column-generation run shape, likewise payload-excluded.
+  writer.u32(report.oracle_rounds);
+  writer.u32(report.columns_generated);
   writer.str(report.error);
   writer.str(report.solver_selected);
   writer.boolean(report.cache_hit);
@@ -209,6 +212,8 @@ SolveReport read_report(Reader& reader) {
   report.wall_time_seconds = reader.f64();
   report.warm_started = reader.boolean();
   report.pivots = reader.i64();
+  report.oracle_rounds = reader.u32();
+  report.columns_generated = reader.u32();
   report.error = reader.str();
   report.solver_selected = reader.str();
   report.cache_hit = reader.boolean();
@@ -238,6 +243,7 @@ void write_stats(Writer& writer, const service::ServiceStats& stats) {
   writer.u64(stats.admission_rejected);
   writer.u64(stats.timed_out);
   writer.u64(stats.warm_starts);
+  writer.u64(stats.colgen_warm);
   writer.u64(stats.snapshot_restored);
   writer.u64(stats.cache_entries);
   writer.u64(stats.cache_bytes);
@@ -254,6 +260,7 @@ service::ServiceStats read_stats(Reader& reader) {
   stats.admission_rejected = reader.u64();
   stats.timed_out = reader.u64();
   stats.warm_starts = reader.u64();
+  stats.colgen_warm = reader.u64();
   stats.snapshot_restored = reader.u64();
   stats.cache_entries = static_cast<std::size_t>(reader.u64());
   stats.cache_bytes = static_cast<std::size_t>(reader.u64());
@@ -272,6 +279,8 @@ bool reports_payload_equal(const SolveReport& a, const SolveReport& b) {
     report.queue_wait_seconds = 0.0;
     report.warm_started = false;
     report.pivots = 0;
+    report.oracle_rounds = 0;
+    report.columns_generated = 0;
     Writer writer;
     write_report(writer, report);
     return writer.take();

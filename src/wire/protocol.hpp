@@ -64,8 +64,10 @@ inline constexpr std::uint32_t kWireMagic = 0x57415353u;
 /// History: 2 added ServiceStats::timed_out to the stats codec; 3 added
 /// the u64 request_id to the frame envelope (request multiplexing); 4
 /// added SolveOptions::warm_start, SolveReport::warm_started/pivots and
-/// ServiceStats::warm_starts (warm-start observability).
-inline constexpr std::uint16_t kWireVersion = 4;
+/// ServiceStats::warm_starts (warm-start observability); 5 added
+/// SolveReport::oracle_rounds/columns_generated and
+/// ServiceStats::colgen_warm (column-generation observability).
+inline constexpr std::uint16_t kWireVersion = 5;
 
 /// Upper bound on one frame's body (64 MiB): far above any real request
 /// or report, small enough that a corrupt length cannot drive a huge

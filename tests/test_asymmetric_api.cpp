@@ -96,24 +96,55 @@ TEST(AsymmetricSolvers, HardnessInstanceFeedsTheRegistryDirectly) {
 }
 
 TEST(AsymmetricSolvers, ChannelLimitIsSingleSourced) {
-  // One constant rules the asymmetric path: the instance constructor
-  // rejects k > AsymmetricInstance::kMaxChannels, so every solver behind
-  // the registry inherits the same bound. (solve_asymmetric_lp checks the
-  // identical constant as a backstop.)
-  EXPECT_EQ(AsymmetricInstance::kMaxChannels, 12);
-  const int k = AsymmetricInstance::kMaxChannels + 1;
-  std::vector<ConflictGraph> graphs(static_cast<std::size_t>(k),
-                                    ConflictGraph(2));
-  std::vector<double> per_channel(static_cast<std::size_t>(k), 1.0);
-  std::vector<ValuationPtr> vals(
-      2, std::make_shared<AdditiveValuation>(per_channel));
+  // Two constants rule the asymmetric path since the decomposition solver
+  // landed: the instance constructor accepts up to the library-wide
+  // ssa::kMaxChannels (the Bundle word bound), while the EXPLICIT
+  // enumeration paths (solve_asymmetric_lp and both greedies) refuse
+  // beyond AsymmetricInstance::kExplicitChannelLimit and point at
+  // asymmetric-colgen.
+  EXPECT_EQ(AsymmetricInstance::kMaxChannels, ssa::kMaxChannels);
+  EXPECT_EQ(AsymmetricInstance::kExplicitChannelLimit, 12);
+
+  const auto build = [](int k) {
+    std::vector<ConflictGraph> graphs(static_cast<std::size_t>(k),
+                                      ConflictGraph(2));
+    std::vector<double> per_channel(static_cast<std::size_t>(k), 1.0);
+    std::vector<ValuationPtr> vals(
+        2, std::make_shared<AdditiveValuation>(per_channel));
+    return AsymmetricInstance(std::move(graphs), identity_ordering(2), vals);
+  };
+
+  // k = 13 now constructs fine...
+  const AsymmetricInstance wide = build(AsymmetricInstance::kExplicitChannelLimit + 1);
+  EXPECT_EQ(wide.num_channels(), 13);
+  // ...but every explicit-enumeration entry refuses it with a message
+  // naming the limit and the colgen escape hatch.
+  for (const char* name : {"asymmetric-lp-rounding", "asymmetric-greedy-value",
+                           "asymmetric-greedy-density"}) {
+    const SolveReport report = make_solver(name)->solve(wide);
+    EXPECT_FALSE(report.error.empty()) << name;
+    EXPECT_NE(report.error.find("12"), std::string::npos) << report.error;
+    EXPECT_NE(report.error.find("asymmetric-colgen"), std::string::npos)
+        << report.error;
+  }
+
+  // The constructor still guards the library-wide Bundle bound (checked
+  // before the per-bidder valuation shapes, so legal valuations suffice).
   try {
+    std::vector<ConflictGraph> graphs(
+        static_cast<std::size_t>(ssa::kMaxChannels) + 1, ConflictGraph(2));
+    std::vector<double> per_channel(
+        static_cast<std::size_t>(ssa::kMaxChannels), 1.0);
+    std::vector<ValuationPtr> vals(
+        2, std::make_shared<AdditiveValuation>(per_channel));
     const AsymmetricInstance bad(std::move(graphs), identity_ordering(2),
                                  vals);
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
-    // The structured message names the limit.
-    EXPECT_NE(std::string(e.what()).find("12"), std::string::npos);
+    EXPECT_NE(std::string(e.what())
+                  .find(std::to_string(ssa::kMaxChannels)),
+              std::string::npos)
+        << e.what();
   }
 }
 

@@ -138,6 +138,41 @@ TEST(StructuralFingerprint, SupportChangesTheKey) {
             structural_fingerprint(support_changed));
 }
 
+TEST(StructuralFingerprint, AsymmetricSupportPatternIsCovered) {
+  // The column-pool key (service/column_pool_cache.hpp): rescaling
+  // positive bundle values of an asymmetric instance keeps the
+  // restricted-master constraint matrix, so the structural fingerprint
+  // must not move -- while zeroing a bundle (a support change) removes a
+  // candidate column and must separate the keys.
+  const AsymmetricInstance base =
+      gen::make_random_asymmetric(10, 2, 0.3, gen::ValuationMix::kMixed, 55);
+
+  std::vector<double> rescaled_values(num_bundles(base.num_channels()), 0.0);
+  std::vector<double> support_values(num_bundles(base.num_channels()), 0.0);
+  Bundle killed = kEmptyBundle;
+  for (Bundle t = 1; t < num_bundles(base.num_channels()); ++t) {
+    const double old = base.value(1, t);
+    if (old > 0.0) {
+      rescaled_values[t] = old * 1.75;
+      if (killed == kEmptyBundle) killed = t;  // first positive bundle
+      else support_values[t] = old;
+    }
+  }
+  ASSERT_NE(killed, kEmptyBundle);
+
+  const AsymmetricInstance rescaled = base.with_valuation(
+      1, std::make_shared<ExplicitValuation>(base.num_channels(),
+                                             std::move(rescaled_values)));
+  EXPECT_EQ(structural_fingerprint(base), structural_fingerprint(rescaled));
+  EXPECT_NE(fingerprint(base), fingerprint(rescaled));
+
+  const AsymmetricInstance support_changed = base.with_valuation(
+      1, std::make_shared<ExplicitValuation>(base.num_channels(),
+                                             std::move(support_values)));
+  EXPECT_NE(structural_fingerprint(base),
+            structural_fingerprint(support_changed));
+}
+
 TEST(StructuralFingerprint, GraphOrderingAndRhoEnterTheKey) {
   const Fingerprint base = structural_fingerprint(tiny_instance());
   EXPECT_NE(base, structural_fingerprint(tiny_instance(0.5)));
@@ -192,6 +227,12 @@ TEST(Fingerprint, GoldenValuesPinTheOnDiskKeyFormat) {
   // in-memory only today, but pinning keeps any drift deliberate.
   EXPECT_EQ(structural_fingerprint(tiny_instance()).hex(),
             "86dd5c3d5ee1d30c9b51929dd2293e18");
+  // The asymmetric structural scheme (column-pool keys) gained the
+  // support-pattern words with the decomposition solver; pinned since.
+  EXPECT_EQ(structural_fingerprint(gen::make_random_asymmetric(
+                                       6, 2, 0.3, gen::ValuationMix::kMixed, 21))
+                .hex(),
+            "6d993fcde08d4244333211bc9462080e");
 
   FingerprintHasher hasher;
   hasher.mix(std::uint64_t{42});

@@ -20,6 +20,7 @@
 
 #include "gen/scenario.hpp"
 #include "service/basis_cache.hpp"
+#include "service/column_pool_cache.hpp"
 #include "service/service.hpp"
 #include "wire/codec.hpp"
 
@@ -207,6 +208,138 @@ TEST(BasisCache, ZeroCapacityDisables) {
   EXPECT_EQ(cache.entries(), 0u);
 }
 
+TEST(ColumnPoolCache, LruEvictionRecencyAndReplace) {
+  service::ColumnPoolCache cache(2);
+  const auto pool = [](std::uint32_t n) {
+    AsymmetricColumnPool p;
+    p.num_bidders = n;
+    p.columns.emplace_back(0u, Bundle{1});
+    return p;
+  };
+  cache.insert("a", pool(1));
+  cache.insert("b", pool(2));
+  ASSERT_NE(cache.lookup("a"), nullptr);  // refreshes a's recency
+  cache.insert("c", pool(3));             // evicts b, the LRU entry
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+  ASSERT_NE(cache.lookup("a"), nullptr);
+  EXPECT_EQ(cache.lookup("a")->num_bidders, 1u);
+  ASSERT_NE(cache.lookup("c"), nullptr);
+  EXPECT_EQ(cache.entries(), 2u);
+
+  cache.insert("c", pool(4));  // same key: replace in place, no eviction
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.lookup("c")->num_bidders, 4u);
+  EXPECT_NE(cache.lookup("a"), nullptr);
+}
+
+TEST(ColumnPoolCache, ZeroCapacityDisables) {
+  service::ColumnPoolCache cache(0);
+  cache.insert("a", AsymmetricColumnPool{});
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+/// Support-preserving churn on the asymmetric family: rescale one
+/// bidder's positive bundle values (zeros stay zero) so the structural
+/// fingerprint -- the column-pool key -- is unchanged while the full
+/// fingerprint moves and the result cache misses.
+AsymmetricInstance rescale_asym_bidder(const AsymmetricInstance& instance,
+                                       std::size_t v, double factor) {
+  std::vector<double> values(num_bundles(instance.num_channels()), 0.0);
+  for (Bundle t = 1; t < num_bundles(instance.num_channels()); ++t) {
+    const double old = instance.value(v, t);
+    if (old > 0.0) values[t] = old * factor;
+  }
+  return instance.with_valuation(
+      v, std::make_shared<ExplicitValuation>(instance.num_channels(),
+                                             std::move(values)));
+}
+
+TEST(AuctionService, AsymmetricChurnStreamWarmStartsTheColumnPool) {
+  // The E15 workload through the service: a weighted asymmetric structure
+  // under valuation churn, solved by asymmetric-colgen. The first solve
+  // banks its generated columns; every later variant seeds its restricted
+  // master from the pool. The control service runs the identical stream
+  // with the column-pool cache disabled and must produce bitwise-identical
+  // payloads -- pool reuse is a latency lever, never a result change.
+  AuctionService warm_service(single_shard());
+  ServiceOptions control_config = single_shard();
+  control_config.column_pool_entries_per_shard = 0;
+  AuctionService control_service(control_config);
+
+  const AsymmetricInstance base = weighted_asymmetric(12);
+  SolveOptions options;
+  options.seed = 17;
+  options.pipeline.rounding_repetitions = 8;
+
+  constexpr int kVariants = 200;  // the E15-sized churn stream
+  for (int i = 0; i < kVariants; ++i) {
+    const AsymmetricInstance churned = rescale_asym_bidder(
+        base, static_cast<std::size_t>(i) % base.num_bidders(),
+        1.0 + 0.03 * static_cast<double>(i + 1));
+    const SolveReport warm = warm_service.get(
+        warm_service.submit(churned, "asymmetric-colgen", options));
+    const SolveReport cold = control_service.get(
+        control_service.submit(churned, "asymmetric-colgen", options));
+    ASSERT_TRUE(warm.error.empty()) << warm.error;
+    EXPECT_FALSE(cold.warm_started);
+    EXPECT_GE(warm.oracle_rounds, 1u) << "variant " << i;
+    if (i == 0) {
+      EXPECT_FALSE(warm.warm_started);  // nothing banked yet
+    } else {
+      EXPECT_TRUE(warm.warm_started) << "variant " << i;
+    }
+    EXPECT_TRUE(wire::reports_payload_equal(warm, cold)) << "variant " << i;
+  }
+  EXPECT_EQ(warm_service.stats().colgen_warm,
+            static_cast<std::uint64_t>(kVariants - 1));
+  EXPECT_EQ(control_service.stats().colgen_warm, 0u);
+}
+
+TEST(AuctionService, ColumnPoolsStartColdAfterSnapshotRestore) {
+  // The snapshot carries RESULTS only: after a restore the column-pool
+  // caches are empty (like the basis caches), so the first post-restore
+  // colgen solve of a structure runs cold and re-banks.
+  const std::string path = "test_service_pool_snapshot.bin";
+  const AsymmetricInstance base = weighted_asymmetric(10);
+  SolveOptions options;
+  options.pipeline.rounding_repetitions = 8;
+
+  const AsymmetricInstance variant0 = rescale_asym_bidder(base, 0, 1.1);
+  const AsymmetricInstance variant1 = rescale_asym_bidder(base, 1, 1.2);
+  const AsymmetricInstance variant2 = rescale_asym_bidder(base, 2, 1.3);
+  const AsymmetricInstance variant3 = rescale_asym_bidder(base, 3, 1.4);
+  {
+    ServiceOptions config = single_shard();
+    config.snapshot_path = path;
+    AuctionService service(config);
+    const SolveReport first =
+        service.get(service.submit(variant0, "asymmetric-colgen", options));
+    EXPECT_FALSE(first.warm_started);
+    const SolveReport second =
+        service.get(service.submit(variant1, "asymmetric-colgen", options));
+    EXPECT_TRUE(second.warm_started);
+    EXPECT_EQ(service.stats().colgen_warm, 1u);
+    service.shutdown();  // writes the snapshot
+  }
+
+  {
+    ServiceOptions config = single_shard();
+    config.snapshot_path = path;
+    AuctionService restarted(config);
+    EXPECT_GE(restarted.stats().snapshot_restored, 2u);
+    const SolveReport after =
+        restarted.get(restarted.submit(variant2, "asymmetric-colgen", options));
+    EXPECT_FALSE(after.cache_hit);
+    EXPECT_FALSE(after.warm_started);
+    const SolveReport rewarmed =
+        restarted.get(restarted.submit(variant3, "asymmetric-colgen", options));
+    EXPECT_TRUE(rewarmed.warm_started);
+    EXPECT_EQ(restarted.stats().colgen_warm, 1u);
+  }  // the destructor's shutdown rewrites the snapshot; remove it last
+  std::remove(path.c_str());
+}
+
 TEST(AuctionService, CacheHitEquivalence) {
   AuctionService service(single_shard());
   const AuctionInstance instance =
@@ -313,8 +446,10 @@ TEST(AuctionService, AutoSelectionPicksByInstanceFeatures) {
       gen::make_disk_auction(10, 2, gen::ValuationMix::kMixed, 601);
   const AuctionInstance large_sym =
       gen::make_disk_auction(24, 2, gen::ValuationMix::kMixed, 602);
-  // Small asymmetric -> asymmetric-exact; weighted -> greedy (the Section 6
-  // rounding is unweighted-only and the policy knows it).
+  // Small asymmetric -> asymmetric-exact; weighted -> the decomposition
+  // solver (the Section 6 rounding is unweighted-only and the policy
+  // knows it; asymmetric-colgen admits weighted graphs, so it outranks
+  // the greedy baselines there).
   const AsymmetricInstance small_asym =
       gen::make_random_asymmetric(10, 2, 0.3, gen::ValuationMix::kMixed, 603);
   const AsymmetricInstance weighted = weighted_asymmetric(20);
@@ -325,7 +460,7 @@ TEST(AuctionService, AutoSelectionPicksByInstanceFeatures) {
   EXPECT_EQ(service.get(service.submit(small_asym)).solver_selected,
             "asymmetric-exact");
   const SolveReport weighted_report = service.get(service.submit(weighted));
-  EXPECT_EQ(weighted_report.solver_selected, "asymmetric-greedy-density");
+  EXPECT_EQ(weighted_report.solver_selected, "asymmetric-colgen");
   EXPECT_TRUE(weighted_report.error.empty()) << weighted_report.error;
   EXPECT_TRUE(weighted_report.feasible);
 }

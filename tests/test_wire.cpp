@@ -145,6 +145,11 @@ TEST(WireReport, PayloadEqualIgnoresOnlyTimings) {
   // same instance must compare payload-equal to the cold run it replays.
   b.warm_started = !a.warm_started;
   b.pivots = a.pivots + 17;
+  // ...as are the v5 column-generation run-shape diagnostics: a pool-warm
+  // colgen solve may converge in fewer oracle rounds with fewer generated
+  // columns, yet must replay the cold payload bit for bit.
+  b.oracle_rounds = a.oracle_rounds + 5;
+  b.columns_generated = a.columns_generated + 12;
   EXPECT_TRUE(wire::reports_payload_equal(a, b));
   b.welfare = a.welfare + 1e-12;  // any payload bit differs -> unequal
   EXPECT_FALSE(wire::reports_payload_equal(a, b));
@@ -397,7 +402,8 @@ TEST(WireFrame, RejectsVersion2FramesStrictly) {
   const std::string current =
       wire::encode_frame(wire::MessageType::kSubmit, 7, "abc").substr(4);
   for (const std::uint16_t version :
-       {std::uint16_t{2}, std::uint16_t{3}, std::uint16_t{5}}) {
+       {std::uint16_t{2}, std::uint16_t{3}, std::uint16_t{4},
+        std::uint16_t{6}}) {
     std::string patched = current;
     patched[4] = static_cast<char>(version & 0xff);
     patched[5] = static_cast<char>(version >> 8);
@@ -457,6 +463,7 @@ TEST(WireCodec, StatsRoundTripCoversEveryCounter) {
   stats.admission_rejected = 2;
   stats.timed_out = 4;
   stats.warm_starts = 6;
+  stats.colgen_warm = 9;
   stats.snapshot_restored = 11;
   stats.cache_entries = 23;
   stats.cache_bytes = 4096;
@@ -475,16 +482,17 @@ TEST(WireCodec, StatsRoundTripCoversEveryCounter) {
   EXPECT_EQ(decoded.admission_rejected, 2u);
   EXPECT_EQ(decoded.timed_out, 4u);
   EXPECT_EQ(decoded.warm_starts, 6u);
+  EXPECT_EQ(decoded.colgen_warm, 9u);
   EXPECT_EQ(decoded.snapshot_restored, 11u);
   EXPECT_EQ(decoded.cache_entries, 23u);
   EXPECT_EQ(decoded.cache_bytes, 4096u);
 }
 
 TEST(WireGolden, FrameLayout) {
-  // v4: u32 len | u32 magic "SSAW" | u16 version=4 | u8 type | u64 id | payload
+  // v5: u32 len | u32 magic "SSAW" | u16 version=5 | u8 type | u64 id | payload
   EXPECT_EQ(to_hex(wire::encode_frame(wire::MessageType::kSubmit,
                                       0x0102030405060708ull, "abc")),
-            "1200000053534157040001" "0807060504030201" "616263");
+            "1200000053534157050001" "0807060504030201" "616263");
 }
 
 TEST(WireGolden, DefaultOptionsLayout) {
@@ -511,6 +519,8 @@ TEST(WireGolden, ReportLayout) {
   report.wall_time_seconds = 0.5;
   report.warm_started = true;
   report.pivots = 7;
+  report.oracle_rounds = 3;
+  report.columns_generated = 9;
   report.solver_selected = "s";
   report.cache_hit = true;
   report.queue_wait_seconds = 0.25;
@@ -525,10 +535,9 @@ TEST(WireGolden, ReportLayout) {
       to_hex(encode_report_bytes(report)),
       "0100000000000000730100000000000000700300000000000000010000000000000003"
       "000000000000000000044001000000000000f43f000000000000004001000000000000"
-      "0c400001000000000000e03f010700000000000000000000000000000001000000000"
-      "0000073010000000000"
-      "00d03f010101000000000000000c400100000000000000000000000100000000000000"
-      "0000e03f00");
+      "0c400001000000000000e03f0107000000000000000300000009000000000000000000"
+      "000001000000000000007301000000000000d03f010101000000000000000c40010000"
+      "00000000000000000001000000000000000000e03f00");
 }
 
 TEST(WireGolden, InstanceLayoutAndFingerprint) {
