@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -46,6 +47,7 @@
 #include "load/load.hpp"
 #include "net/front_door.hpp"
 #include "net/service_server.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -121,6 +123,9 @@ class PerThreadTcpClient final : public client::AuctionClient {
   [[nodiscard]] client::ServiceStats stats() override {
     return connection().stats();
   }
+  [[nodiscard]] obs::TelemetrySnapshot telemetry() override {
+    return connection().telemetry();
+  }
   void shutdown() override { connection().shutdown(); }
 
  private:
@@ -189,6 +194,63 @@ double met_rate(const load::ClassOutcome& outcome) {
   return rate_of(outcome.deadline_met, scored);
 }
 
+/// Per-phase telemetry section in the BENCH json: the serving-side view
+/// of the phase (how many solver runs, warm starts, admission verdicts
+/// and spans the export carries), flattened from the exact snapshot the
+/// kGetTelemetry path (or the in-process registry) returned. The full
+/// snapshots additionally land in TELEMETRY_bench_e13_soak.json.
+void record_telemetry(const std::string& phase,
+                      const obs::TelemetrySnapshot& snapshot) {
+  bench::record(
+      {"e13/telemetry/" + phase,
+       0.0,
+       0.0,
+       "auto",
+       {{"submitted", static_cast<double>(
+             snapshot.counter_or("service.submitted"))},
+        {"completed", static_cast<double>(
+             snapshot.counter_or("service.completed"))},
+        {"solves", static_cast<double>(snapshot.counter_or("service.solves"))},
+        {"cache_hits", static_cast<double>(
+             snapshot.counter_or("service.cache_hits"))},
+        {"coalesced", static_cast<double>(
+             snapshot.counter_or("service.coalesced"))},
+        {"warm_starts", static_cast<double>(
+             snapshot.counter_or("service.warm_starts"))},
+        {"basis_hits", static_cast<double>(
+             snapshot.counter_or("service.basis_hits"))},
+        {"scheduler_admitted", static_cast<double>(
+             snapshot.counter_or("scheduler.admitted"))},
+        {"scheduler_degraded", static_cast<double>(
+             snapshot.counter_or("scheduler.degraded"))},
+        {"scheduler_rejected", static_cast<double>(
+             snapshot.counter_or("scheduler.rejected"))},
+        {"door_submits", static_cast<double>(
+             snapshot.counter_or("door.submits"))},
+        {"door_route_cache_hits", static_cast<double>(
+             snapshot.counter_or("door.route_cache_hits"))},
+        {"spans", static_cast<double>(snapshot.spans.size())}}});
+}
+
+/// Writes the phase-keyed full telemetry snapshots next to the BENCH json
+/// (CI uploads it as an artifact beside the BENCH files).
+void write_telemetry_json(
+    const std::vector<std::pair<std::string, obs::TelemetrySnapshot>>&
+        phases) {
+  const std::string path = "TELEMETRY_bench_e13_soak.json";
+  std::ofstream out(path);
+  if (!out) return;
+  out << "{";
+  bool first = true;
+  for (const auto& [phase, snapshot] : phases) {
+    out << (first ? "\n" : ",\n") << "  \"" << phase
+        << "\": " << obs::to_json(snapshot);
+    first = false;
+  }
+  out << "\n}\n";
+  std::cout << "wrote " << path << " (" << phases.size() << " phases)\n";
+}
+
 void record_soak(const std::string& name, const load::LoadReport& report) {
   const load::ClassOutcome& tight =
       report.by_class[static_cast<int>(load::DeadlineClass::kTight)];
@@ -236,18 +298,23 @@ void soak_tables() {
   options.tight_budget_seconds = 30.0 * probe;
   options.loose_budget_seconds = 1000.0 * probe;
 
+  std::vector<std::pair<std::string, obs::TelemetrySnapshot>> telemetry_phases;
+
   // Phase a: in-process transport.
   load::LoadReport local_report;
   {
     client::LocalClient client{backend_options()};
     local_report = load::run_trace(client, pool, trace, options);
+    telemetry_phases.emplace_back("local", client.telemetry());
     client.shutdown();
   }
   record_soak("e13/local", local_report);
+  record_telemetry("local", telemetry_phases.back().second);
 
   // Phase b: the full wire path, 2 backends behind a front door.
   const auto door_run = [&](const load::Trace& events,
-                            const load::DriverOptions& run_options) {
+                            const load::DriverOptions& run_options,
+                            obs::TelemetrySnapshot* telemetry_out = nullptr) {
     std::vector<std::unique_ptr<net::ServiceServer>> backends;
     std::vector<net::Endpoint> endpoints;
     for (int b = 0; b < 2; ++b) {
@@ -261,6 +328,10 @@ void soak_tables() {
     {
       PerThreadTcpClient client(door.port());
       report = load::run_trace(client, pool, events, run_options);
+      // The deployment-wide snapshot (door merge of both backends plus
+      // the door's own registry), fetched over the wire BEFORE shutdown
+      // drains the backends away.
+      if (telemetry_out != nullptr) *telemetry_out = client.telemetry();
       client.shutdown();  // wire kShutdown: drains backends, stops door
     }
     door.stop();
@@ -269,8 +340,12 @@ void soak_tables() {
     }
     return report;
   };
-  const load::LoadReport door_report = door_run(trace, options);
+  obs::TelemetrySnapshot door_telemetry;
+  const load::LoadReport door_report = door_run(trace, options, &door_telemetry);
   record_soak("e13/door", door_report);
+  record_telemetry("door", door_telemetry);
+  telemetry_phases.emplace_back("door", std::move(door_telemetry));
+  write_telemetry_json(telemetry_phases);
 
   // Optional phase: the offered-rate sweep. Each point is a fresh
   // seed-pinned trace at multiplier x calibrated rate, replayed through

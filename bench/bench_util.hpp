@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -20,6 +21,40 @@
 #include "support/table.hpp"
 
 namespace ssa::bench {
+
+/// Build provenance stamped into every BENCH_*.json: archived records must
+/// stay attributable to the code and build flavor that produced them (a
+/// Debug or sanitizer number is not comparable to a Release one). The
+/// CMake bench targets define SSA_BUILD_TYPE/SSA_GIT_SHA; a bare compile
+/// falls back to the NDEBUG-derived flavor and "unknown".
+inline std::string build_type() {
+#ifdef SSA_BUILD_TYPE
+  return SSA_BUILD_TYPE;
+#elif defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+inline std::string git_sha() {
+#ifdef SSA_GIT_SHA
+  return SSA_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Wall-clock UTC timestamp in ISO-8601 ("2026-08-08T12:34:56Z"), taken
+/// when the JSON is written (i.e. after the measured phases ran).
+inline std::string iso_timestamp_utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
 
 /// One machine-readable measurement row.
 struct BenchRecord {
@@ -70,7 +105,10 @@ inline void write_json(const char* argv0) {
     return;
   }
   out.precision(12);  // welfare sums need more than the default 6 digits
-  out << "{\n  \"bench\": \"" << json_escaped(name) << "\",\n  \"records\": [";
+  out << "{\n  \"bench\": \"" << json_escaped(name) << "\",\n  \"build_type\": \""
+      << json_escaped(build_type()) << "\",\n  \"git_sha\": \""
+      << json_escaped(git_sha()) << "\",\n  \"timestamp\": \""
+      << json_escaped(iso_timestamp_utc()) << "\",\n  \"records\": [";
   bool first_record = true;
   for (const BenchRecord& record : records()) {
     out << (first_record ? "\n" : ",\n");

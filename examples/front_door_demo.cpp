@@ -12,7 +12,10 @@
 // same stream, the welfare sum must match exactly, and both backends
 // must have received work. Exits non-zero on any divergence.
 //
-// Build & run:  ./example_front_door_demo
+// Build & run:  ./example_front_door_demo [--telemetry]
+//   --telemetry   additionally print the door-aggregated registry snapshot
+//                 (the door merges both backend processes' registries with
+//                 its own -- the cross-process telemetry path end to end)
 // Backend mode (spawned internally): --backend <port-report-fd>
 
 #include <sys/wait.h>
@@ -29,6 +32,7 @@
 #include "gen/scenario.hpp"
 #include "net/front_door.hpp"
 #include "net/service_server.hpp"
+#include "obs/telemetry.hpp"
 #include "support/table.hpp"
 #include "wire/codec.hpp"
 
@@ -119,7 +123,7 @@ std::vector<SolveReport> replay(client::AuctionClient& client,
   return reports;
 }
 
-int run_demo(const char* self) {
+int run_demo(const char* self, bool show_telemetry) {
   const std::vector<gen::NamedInstance> scenarios = make_scenarios();
   const int kRequests = 48;
 
@@ -184,6 +188,13 @@ int run_demo(const char* self) {
             << Table::num(remote_welfare, 4) << " vs local "
             << Table::num(local_welfare, 4) << "\n";
 
+  // Fleet telemetry: one kGetTelemetry frame at the door returns both
+  // backend processes' registries exactly merged with the door's own.
+  const obs::TelemetrySnapshot telemetry = remote.telemetry();
+  if (show_telemetry) {
+    std::cout << "\n" << obs::format(telemetry);
+  }
+
   // Shutdown fans out through the door to both backend processes.
   remote.shutdown();
   int status = 0;
@@ -213,9 +224,23 @@ int run_demo(const char* self) {
     std::cerr << "FAIL: a backend process exited uncleanly\n";
     return EXIT_FAILURE;
   }
+  // Telemetry self-check: the merged registry describes the same traffic
+  // the door and backend stats reported -- across real process boundaries.
+  if (telemetry.counter_or("door.submits") !=
+          static_cast<std::uint64_t>(kRequests) ||
+      telemetry.counter_or("service.submitted") !=
+          static_cast<std::uint64_t>(kRequests) ||
+      telemetry.counter_or("service.cache_hits") != door_stats.cache_hits) {
+    std::cerr << "FAIL: aggregated registry metrics diverge from the "
+                 "observed traffic (door.submits="
+              << telemetry.counter_or("door.submits") << ", service.submitted="
+              << telemetry.counter_or("service.submitted") << ")\n";
+    return EXIT_FAILURE;
+  }
   std::cout << "OK: " << kRequests
             << " requests bitwise-identical across process boundaries, "
-               "welfare invariant, both backends shut down cleanly\n";
+               "welfare invariant, aggregated registry metrics match, both "
+               "backends shut down cleanly\n";
   return EXIT_SUCCESS;
 }
 
@@ -225,8 +250,12 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--backend") == 0) {
     return run_backend(std::atoi(argv[2]));
   }
+  bool show_telemetry = false;
+  for (int i = 1; i < argc; ++i) {
+    show_telemetry = show_telemetry || std::strcmp(argv[i], "--telemetry") == 0;
+  }
   try {
-    return run_demo(argv[0]);
+    return run_demo(argv[0], show_telemetry);
   } catch (const std::exception& e) {
     std::cerr << "FAIL: " << e.what() << "\n";
     return EXIT_FAILURE;

@@ -16,19 +16,28 @@
 // allocations. For sustained trace-driven load against the same API, see
 // bench_e13_soak.cpp (load::generate_trace + load::run_trace).
 //
-// Build & run:  ./example_service_demo
+// Build & run:  ./example_service_demo [--telemetry]
+//   --telemetry   additionally print the service's registry snapshot
+//                 (counters, gauges, latency histograms, recent spans)
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "client/client.hpp"
 #include "gen/scenario.hpp"
 #include "load/workload.hpp"
+#include "obs/telemetry.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssa;
+
+  bool show_telemetry = false;
+  for (int i = 1; i < argc; ++i) {
+    show_telemetry = show_telemetry || std::strcmp(argv[i], "--telemetry") == 0;
+  }
 
   // A long-lived service: 4 shards, one worker each, 8 MiB cache per shard,
   // reached through the in-process AuctionClient.
@@ -111,6 +120,13 @@ int main() {
             << ", cache: " << stats.cache_entries << " entries / "
             << stats.cache_bytes << " bytes across " << config.shards
             << " shards\n";
+
+  // The registry view of the same traffic (always fetched: the self-check
+  // below cross-validates it against the observed request counts).
+  const obs::TelemetrySnapshot telemetry = client.telemetry();
+  if (show_telemetry) {
+    std::cout << "\n" << obs::format(telemetry);
+  }
   client.shutdown();
 
   // Demo doubles as a smoke test: every repeat must have hit the cache
@@ -124,6 +140,28 @@ int main() {
               << " cache hits, saw " << stats.cache_hits << "\n";
     return EXIT_FAILURE;
   }
-  std::cout << "OK: repeats were served from cache, bitwise-equal\n";
+  // Telemetry self-check: the registry counters must describe exactly the
+  // traffic this process observed -- every submitted request completed,
+  // and solves + cache hits + coalesced account for all of them.
+  if (telemetry.counter_or("service.completed") !=
+          static_cast<std::uint64_t>(kRequests) ||
+      telemetry.counter_or("service.submitted") !=
+          static_cast<std::uint64_t>(kRequests)) {
+    std::cerr << "FAIL: registry saw "
+              << telemetry.counter_or("service.completed") << "/"
+              << telemetry.counter_or("service.submitted")
+              << " completed/submitted, expected " << kRequests << "\n";
+    return EXIT_FAILURE;
+  }
+  if (telemetry.counter_or("service.solves") +
+          telemetry.counter_or("service.cache_hits") +
+          telemetry.counter_or("service.coalesced") !=
+      static_cast<std::uint64_t>(kRequests)) {
+    std::cerr << "FAIL: solves + cache hits + coalesced do not cover the "
+              << kRequests << " requests\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "OK: repeats were served from cache, bitwise-equal; registry "
+               "metrics match the observed traffic\n";
   return EXIT_SUCCESS;
 }

@@ -10,6 +10,12 @@ namespace ssa {
 
 SolveScheduler::SolveScheduler(const SchedulerOptions& options)
     : queue_policy_(options.queue), admission_policy_(options.admission) {
+  if (options.metrics != nullptr) {
+    queue_depth_ = &options.metrics->gauge("scheduler.queue_depth");
+    admitted_ = &options.metrics->counter("scheduler.admitted");
+    degraded_ = &options.metrics->counter("scheduler.degraded");
+    rejected_ = &options.metrics->counter("scheduler.rejected");
+  }
   int threads = options.threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
@@ -91,6 +97,7 @@ Admission SolveScheduler::submit(Task task, const TaskOptions& options) {
         admission_policy_ != AdmissionPolicy::kAcceptAll &&
         deadline_unmeetable_locked(now, deadline, options.cost_key)) {
       if (admission_policy_ == AdmissionPolicy::kReject) {
+        if (rejected_ != nullptr) rejected_->add();
         return Admission::kRejected;  // never enqueued; caller completes it
       }
       admission = Admission::kDegraded;
@@ -99,6 +106,12 @@ Admission SolveScheduler::submit(Task task, const TaskOptions& options) {
                            options.cost_key,
                            /*count_in_cost_ema=*/admission !=
                                Admission::kDegraded});
+  }
+  if (queue_depth_ != nullptr) queue_depth_->add();
+  if (admission == Admission::kDegraded) {
+    if (degraded_ != nullptr) degraded_->add();
+  } else if (admitted_ != nullptr) {
+    admitted_->add();
   }
   work_ready_.notify_one();
   return admission;
@@ -153,6 +166,7 @@ void SolveScheduler::worker_loop() {
       queue_.pop_back();
       ++running_;
     }
+    if (queue_depth_ != nullptr) queue_depth_->sub();
     const auto started = std::chrono::steady_clock::now();
     const double queue_wait_seconds =
         std::chrono::duration<double>(started - item.enqueued).count();

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "api/admission.hpp"
+#include "obs/registry.hpp"
 
 namespace ssa {
 
@@ -52,6 +53,14 @@ struct SchedulerOptions {
   QueuePolicy queue = QueuePolicy::kDeadline;
   /// Handling of tasks whose deadline is unmeetable at submission.
   AdmissionPolicy admission = AdmissionPolicy::kAcceptAll;
+  /// Observability sink (obs/registry.hpp): when set, the scheduler keeps
+  /// the "scheduler.queue_depth" gauge (tasks enqueued, not yet started;
+  /// shared across every scheduler wired to one registry, so the service's
+  /// gauge reads as total backlog across shards) and the
+  /// "scheduler.admitted"/"scheduler.degraded"/"scheduler.rejected"
+  /// verdict counters. Null = uninstrumented (the pre-obs behavior; zero
+  /// added work per task). The registry must outlive the scheduler.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Fixed-size worker pool over a deadline-ordered queue. Thread-safe;
@@ -165,6 +174,14 @@ class SolveScheduler {
 
   const QueuePolicy queue_policy_;
   const AdmissionPolicy admission_policy_;
+
+  // Instrument handles, resolved once at construction (null when the
+  // scheduler runs uninstrumented). The queue-depth gauge tracks
+  // enqueue -> dequeue, so it reads live backlog, not in-flight work.
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Counter* admitted_ = nullptr;
+  obs::Counter* degraded_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;  // workers wait here

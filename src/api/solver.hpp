@@ -27,6 +27,7 @@
 #include "core/instance.hpp"
 #include "core/pipeline.hpp"
 #include "mechanism/mechanism.hpp"
+#include "obs/span.hpp"
 
 namespace ssa {
 
@@ -93,6 +94,13 @@ struct SolveOptions {
   /// fields and "asymmetric-colgen" the column-pool fields; every other
   /// solver leaves it untouched.
   WarmStartContext* warm_context = nullptr;
+  /// Runtime-only trace coordinates of the submitting hop (obs/span.hpp):
+  /// {trace id, parent span id} the service's per-request spans link
+  /// under. Same discipline as warm_context -- never serialized by the
+  /// SolveOptions codec (the wire carries it in the frame ENVELOPE
+  /// instead), never part of any cache key, and results never depend on
+  /// it. {0, 0} = untraced; the service then mints a fresh trace.
+  obs::SpanContext span_context = {};
 
   // -- per-solver sections --------------------------------------------------
   PipelineOptions pipeline = {};    ///< "lp-rounding", "asymmetric-lp-rounding"

@@ -33,6 +33,7 @@
 
 #include "api/any_instance.hpp"
 #include "api/solver.hpp"
+#include "obs/telemetry.hpp"
 #include "service/auction_service.hpp"
 #include "service/selection_policy.hpp"
 
@@ -67,6 +68,12 @@ class AuctionClient {
 
   /// Service counters; through a FrontDoor these aggregate every backend.
   [[nodiscard]] virtual ServiceStats stats() = 0;
+
+  /// Telemetry export (obs/telemetry.hpp): the serviced side's metrics
+  /// registry snapshot plus its recent spans. Through a FrontDoor this is
+  /// the EXACT merge of every backend's snapshot with the door's own
+  /// (counters/histograms sum precisely; see obs/registry.hpp).
+  [[nodiscard]] virtual obs::TelemetrySnapshot telemetry() = 0;
 
   /// Stops the serviced side: completes everything queued or in flight,
   /// writes snapshots where configured, rejects further submissions.

@@ -41,6 +41,10 @@ class LocalClient final : public AuctionClient {
 
   [[nodiscard]] ServiceStats stats() override { return service_->stats(); }
 
+  [[nodiscard]] obs::TelemetrySnapshot telemetry() override {
+    return service_->telemetry();
+  }
+
   void shutdown() override { service_->shutdown(); }
 
   /// The wrapped service, for call sites that need the full surface

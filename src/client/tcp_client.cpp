@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/span.hpp"
+#include "wire/telemetry_codec.hpp"
+
 namespace ssa::client {
 
 namespace {
@@ -74,6 +77,12 @@ std::string encode_get(RequestId id, bool blocking) {
   return writer.buffer();
 }
 
+/// Root span context of one client request: a fresh trace with the
+/// client's root span id as the parent of whatever the serving side opens.
+obs::SpanContext fresh_root_context() {
+  return obs::SpanContext{obs::next_trace_id(), obs::next_span_id()};
+}
+
 }  // namespace
 
 TcpClient::TcpClient(const std::string& host, std::uint16_t port)
@@ -85,7 +94,8 @@ RequestId TcpClient::submit(const AnyInstance& instance,
   // Encoding rejects empty views (std::invalid_argument) before any bytes
   // move, mirroring the in-process submit precondition.
   const std::string payload = wire::encode_submit(instance, solver, options);
-  return parse_submit_ack(mux_.call_sync(MessageType::kSubmit, payload));
+  return parse_submit_ack(
+      mux_.call_sync(MessageType::kSubmit, payload, fresh_root_context()));
 }
 
 std::future<RequestId> TcpClient::submit_async(const AnyInstance& instance,
@@ -103,7 +113,8 @@ std::future<RequestId> TcpClient::submit_async(const AnyInstance& instance,
               } catch (...) {
                 promise->set_exception(std::current_exception());
               }
-            });
+            },
+            fresh_root_context());
   return future;
 }
 
@@ -156,6 +167,22 @@ ServiceStats TcpClient::stats() {
     throw std::runtime_error("tcp-client: malformed stats payload");
   }
   return stats;
+}
+
+obs::TelemetrySnapshot TcpClient::telemetry() {
+  const wire::Frame response = mux_.call_sync(MessageType::kGetTelemetry, {});
+  if (response.type == MessageType::kError) {
+    throw_wire_error(response.payload);
+  }
+  if (response.type != MessageType::kTelemetryOk) {
+    throw std::runtime_error("tcp-client: unexpected telemetry response");
+  }
+  std::optional<obs::TelemetrySnapshot> snapshot =
+      wire::decode_telemetry(response.payload);
+  if (!snapshot) {
+    throw std::runtime_error("tcp-client: malformed telemetry payload");
+  }
+  return *std::move(snapshot);
 }
 
 void TcpClient::shutdown() {

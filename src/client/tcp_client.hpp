@@ -43,12 +43,17 @@ class TcpClient final : public AuctionClient {
   explicit TcpClient(std::uint16_t port)
       : TcpClient(net::kLoopbackHost, port) {}
 
+  /// Every submit mints a fresh root span context {trace id, root span id}
+  /// and stamps it into the frame envelope: the door (or a directly
+  /// connected backend) parents its spans under it, so one client request
+  /// yields one causally-linked span tree retrievable via telemetry().
   [[nodiscard]] RequestId submit(const AnyInstance& instance,
                                  const std::string& solver = kAutoSolver,
                                  const SolveOptions& options = {}) override;
   [[nodiscard]] SolveReport get(RequestId id) override;
   [[nodiscard]] std::optional<SolveReport> try_get(RequestId id) override;
   [[nodiscard]] ServiceStats stats() override;
+  [[nodiscard]] obs::TelemetrySnapshot telemetry() override;
   void shutdown() override;
 
   /// Pipelined submit: returns immediately with a future for the server's

@@ -10,9 +10,13 @@
 
 #include "net/event_loop.hpp"
 #include "net/mux_connection.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "service/auction_service.hpp"
 #include "support/fingerprint.hpp"
 #include "wire/protocol.hpp"
+#include "wire/telemetry_codec.hpp"
 
 namespace ssa::net {
 
@@ -132,12 +136,17 @@ struct FrontDoor::Impl {
   /// \p index over its multiplexed channel and invokes \p callback with
   /// the response -- or with a door-keyed failure message. The callback
   /// runs on the channel's reader thread (or inline on connect failure).
+  /// \p context is stamped into the forwarded frame's v6 envelope: for
+  /// submits it carries {trace, door span}, which is what makes backend
+  /// spans children of the door span.
   void forward(std::size_t index, MessageType type, std::string_view payload,
-               MuxConnection::Callback callback) {
+               MuxConnection::Callback callback,
+               obs::SpanContext context = {}) {
     std::shared_ptr<MuxConnection> mux;
     try {
       mux = channels[index]->get();
     } catch (const std::exception& e) {
+      backend_failures.add();
       callback(std::nullopt, backend_failure(index, e.what()));
       return;
     }
@@ -146,15 +155,29 @@ struct FrontDoor::Impl {
                   std::optional<wire::Frame> response,
                   const std::string& error) mutable {
                 if (!response) {
+                  backend_failures.add();
                   callback(std::nullopt, backend_failure(index, error));
                 } else {
                   callback(std::move(response), std::string());
                 }
-              });
+              },
+              context);
   }
 
   void handle_submit(const EventConnectionPtr& connection,
                      const wire::Frame& frame) {
+    submits.add();
+    // Door span: opened here, recorded when the backend's submit ack (or
+    // failure) comes back, so its duration is the forwarding round trip.
+    // The forwarded envelope carries {trace, door span id}: the backend's
+    // spans parent to this span, which is the causal link of the tree. A
+    // client that sent no context gets a fresh trace minted at the door.
+    obs::SpanContext inbound = frame.context;
+    if (!inbound.traced()) {
+      inbound = obs::SpanContext{obs::next_trace_id(), 0};
+    }
+    const std::uint64_t door_span_id = obs::next_span_id();
+    const double span_start = obs::unix_now_seconds();
     // Route by instance fingerprint (key.hi mod backend count -- the same
     // consistent-split discipline the service shards use), memoized by
     // payload bytes so the warm path never re-decodes the instance.
@@ -167,6 +190,7 @@ struct FrontDoor::Impl {
       const auto it = route_cache.find(payload_key);
       if (it != route_cache.end()) backend = it->second;
     }
+    if (backend) route_cache_hits.add();
     if (!backend) {
       // Decode only to fingerprint: the forwarded bytes are the ORIGINAL
       // payload, so the backend decodes exactly what the client encoded.
@@ -188,8 +212,15 @@ struct FrontDoor::Impl {
     const std::uint64_t client_id = frame.request_id;
     forward(
         *backend, MessageType::kSubmit, frame.payload,
-        [this, connection, client_id, chosen = *backend](
+        [this, connection, client_id, chosen = *backend, inbound,
+         door_span_id, span_start](
             std::optional<wire::Frame> response, const std::string& error) {
+          registry.spans().record(obs::SpanRecord{
+              inbound.trace_id, door_span_id, inbound.parent_span_id,
+              "door/submit",
+              response ? "backend=" + std::to_string(chosen)
+                       : "backend=" + std::to_string(chosen) + " failed",
+              span_start, obs::unix_now_seconds() - span_start});
           if (!response) {
             connection->send(
                 error_frame(client_id, ErrorKind::kRuntime, error));
@@ -220,11 +251,13 @@ struct FrontDoor::Impl {
           writer.u64(door_id);
           connection->send(wire::encode_frame(MessageType::kSubmitOk,
                                               client_id, writer.buffer()));
-        });
+        },
+        obs::SpanContext{inbound.trace_id, door_span_id});
   }
 
   void handle_get(const EventConnectionPtr& connection,
                   const wire::Frame& frame) {
+    gets.add();
     wire::Reader reader(frame.payload);
     const std::uint64_t door_id = reader.u64();
     const bool blocking = reader.boolean();
@@ -285,8 +318,31 @@ struct FrontDoor::Impl {
         });
   }
 
+  /// Folds one backend's stats block into the running total, every field
+  /// exactly once. Field-by-field aggregation used to live inline in the
+  /// fan-out callback, where it silently dropped colgen_warm -- the door
+  /// under-reported pool warm starts. Centralizing the fold is what the
+  /// "reads each backend block once, sums every field" test pins.
+  static void accumulate_stats(service::ServiceStats& total,
+                               const service::ServiceStats& stats) {
+    total.submitted += stats.submitted;
+    total.completed += stats.completed;
+    total.cache_hits += stats.cache_hits;
+    total.fallbacks += stats.fallbacks;
+    total.coalesced += stats.coalesced;
+    total.admission_degraded += stats.admission_degraded;
+    total.admission_rejected += stats.admission_rejected;
+    total.timed_out += stats.timed_out;
+    total.warm_starts += stats.warm_starts;
+    total.colgen_warm += stats.colgen_warm;
+    total.snapshot_restored += stats.snapshot_restored;
+    total.cache_entries += stats.cache_entries;
+    total.cache_bytes += stats.cache_bytes;
+  }
+
   void handle_stats(const EventConnectionPtr& connection,
                     std::uint64_t client_id) {
+    stats_requests.add();
     // Concurrent fan-out with a counted aggregation: the reply goes out
     // when the LAST backend answered; the first failure wins verbatim.
     struct Aggregation {
@@ -317,8 +373,10 @@ struct FrontDoor::Impl {
                                                   response->payload));
               return;
             }
+            // Read the backend's block ONCE, validate, then fold: nothing
+            // is accumulated from a frame that later turns out malformed.
             wire::Reader reader(response->payload);
-            aggregation->shards += reader.u32();
+            const std::uint32_t backend_shards = reader.u32();
             const service::ServiceStats stats = wire::read_stats(reader);
             if (reader.failed()) {
               aggregation->done = true;
@@ -327,25 +385,72 @@ struct FrontDoor::Impl {
                               "front-door: malformed backend stats"));
               return;
             }
-            service::ServiceStats& total = aggregation->total;
-            total.submitted += stats.submitted;
-            total.completed += stats.completed;
-            total.cache_hits += stats.cache_hits;
-            total.fallbacks += stats.fallbacks;
-            total.coalesced += stats.coalesced;
-            total.admission_degraded += stats.admission_degraded;
-            total.admission_rejected += stats.admission_rejected;
-            total.timed_out += stats.timed_out;
-            total.warm_starts += stats.warm_starts;
-            total.snapshot_restored += stats.snapshot_restored;
-            total.cache_entries += stats.cache_entries;
-            total.cache_bytes += stats.cache_bytes;
+            aggregation->shards += backend_shards;
+            accumulate_stats(aggregation->total, stats);
             if (--aggregation->remaining == 0) {
               aggregation->done = true;
               wire::Writer writer;
               writer.u32(aggregation->shards);
-              wire::write_stats(writer, total);
+              wire::write_stats(writer, aggregation->total);
               connection->send(wire::encode_frame(MessageType::kStatsOk,
+                                                  client_id,
+                                                  writer.buffer()));
+            }
+          });
+    }
+  }
+
+  void handle_telemetry(const EventConnectionPtr& connection,
+                        std::uint64_t client_id) {
+    telemetry_requests.add();
+    // Counted fan-out like handle_stats, but the aggregation is the EXACT
+    // snapshot merge (obs/telemetry.hpp): counters and gauges sum by
+    // name, histograms fold bucket-for-bucket, spans concatenate. The
+    // door's own registry (door.* counters, door/submit spans) merges in
+    // last, so one kGetTelemetry answers for the whole deployment.
+    struct Aggregation {
+      std::mutex mutex;
+      bool done = false;
+      std::size_t remaining = 0;
+      obs::TelemetrySnapshot total;
+    };
+    auto aggregation = std::make_shared<Aggregation>();
+    aggregation->remaining = channels.size();
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      forward(
+          i, MessageType::kGetTelemetry, {},
+          [this, connection, client_id, aggregation](
+              std::optional<wire::Frame> response, const std::string& error) {
+            const std::lock_guard<std::mutex> lock(aggregation->mutex);
+            if (aggregation->done) return;
+            if (!response) {
+              aggregation->done = true;
+              connection->send(
+                  error_frame(client_id, ErrorKind::kRuntime, error));
+              return;
+            }
+            if (response->type != MessageType::kTelemetryOk) {
+              aggregation->done = true;
+              connection->send(wire::encode_frame(response->type, client_id,
+                                                  response->payload));
+              return;
+            }
+            const std::optional<obs::TelemetrySnapshot> snapshot =
+                wire::decode_telemetry(response->payload);
+            if (!snapshot) {
+              aggregation->done = true;
+              connection->send(
+                  error_frame(client_id, ErrorKind::kRuntime,
+                              "front-door: malformed backend telemetry"));
+              return;
+            }
+            obs::merge(aggregation->total, *snapshot);
+            if (--aggregation->remaining == 0) {
+              aggregation->done = true;
+              obs::merge(aggregation->total, registry.snapshot());
+              wire::Writer writer;
+              wire::write_telemetry(writer, aggregation->total);
+              connection->send(wire::encode_frame(MessageType::kTelemetryOk,
                                                   client_id,
                                                   writer.buffer()));
             }
@@ -393,6 +498,9 @@ struct FrontDoor::Impl {
       case MessageType::kStats:
         handle_stats(connection, frame.request_id);
         break;
+      case MessageType::kGetTelemetry:
+        handle_telemetry(connection, frame.request_id);
+        break;
       case MessageType::kShutdown:
         handle_shutdown(connection, frame.request_id);
         break;
@@ -404,6 +512,19 @@ struct FrontDoor::Impl {
   }
 
   std::vector<std::unique_ptr<Channel>> channels;
+
+  /// The door's own registry: routing/forwarding metrics plus the
+  /// door/submit spans. Merged into the deployment-wide snapshot by
+  /// handle_telemetry, AFTER the backend snapshots -- merge order cannot
+  /// change the totals (the exactness contract in obs/registry.hpp).
+  obs::Registry registry;
+  obs::Counter& submits = registry.counter("door.submits");
+  obs::Counter& gets = registry.counter("door.gets");
+  obs::Counter& route_cache_hits = registry.counter("door.route_cache_hits");
+  obs::Counter& stats_requests = registry.counter("door.stats_requests");
+  obs::Counter& telemetry_requests =
+      registry.counter("door.telemetry_requests");
+  obs::Counter& backend_failures = registry.counter("door.backend_failures");
 
   std::mutex mutex;
   std::condition_variable stopped_cv;

@@ -44,7 +44,7 @@ void MuxConnection::poison(const std::string& reason) {
 }
 
 void MuxConnection::call(wire::MessageType type, std::string_view payload,
-                         Callback callback) {
+                         Callback callback, obs::SpanContext context) {
   std::uint64_t id = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -67,7 +67,7 @@ void MuxConnection::call(wire::MessageType type, std::string_view payload,
 
   std::string frame;
   try {
-    frame = wire::encode_frame(type, id, payload);
+    frame = wire::encode_frame(type, id, payload, context);
   } catch (const std::exception& e) {
     // Oversized payload: nothing hit the wire, so the STREAM is fine --
     // fail only this call, not the connection.
@@ -94,7 +94,8 @@ void MuxConnection::call(wire::MessageType type, std::string_view payload,
 }
 
 wire::Frame MuxConnection::call_sync(wire::MessageType type,
-                                     std::string_view payload) {
+                                     std::string_view payload,
+                                     obs::SpanContext context) {
   std::promise<wire::Frame> promise;
   std::future<wire::Frame> future = promise.get_future();
   call(type, payload,
@@ -105,7 +106,8 @@ wire::Frame MuxConnection::call_sync(wire::MessageType type,
            promise.set_exception(
                std::make_exception_ptr(std::runtime_error(error)));
          }
-       });
+       },
+       context);
   return future.get();
 }
 

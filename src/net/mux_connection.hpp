@@ -62,14 +62,17 @@ class MuxConnection {
   /// the pending map, sends the frame. The callback is invoked exactly
   /// once -- with the response, or with the poison reason (possibly
   /// inline, when the connection is already poisoned or the send fails).
+  /// \p context is the span context stamped into the v6 envelope
+  /// ({0, 0} = untraced; purely observability, see wire/protocol.hpp).
   void call(wire::MessageType type, std::string_view payload,
-            Callback callback);
+            Callback callback, obs::SpanContext context = {});
 
   /// Blocking convenience over call(): waits for this call's own
   /// response (other calls proceed concurrently) and returns the frame.
   /// Throws std::runtime_error on transport failure/poisoning.
   [[nodiscard]] wire::Frame call_sync(wire::MessageType type,
-                                      std::string_view payload);
+                                      std::string_view payload,
+                                      obs::SpanContext context = {});
 
   /// True once a transport failure or protocol violation was observed;
   /// every later call fails fast with the recorded reason.

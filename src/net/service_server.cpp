@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "wire/protocol.hpp"
+#include "wire/telemetry_codec.hpp"
 
 namespace ssa::net {
 
@@ -145,8 +146,14 @@ void ServiceServer::process_submit(const EventConnectionPtr& connection,
     return;
   }
   try {
-    const service::RequestId id = service_.submit(
-        request->instance.view(), request->solver, request->options);
+    // The envelope's span context rides into the service through the
+    // runtime-only SolveOptions field (never serialized, never a cache
+    // key): backend spans parent to the caller's span -- the door's
+    // forwarding span, or the client's root span on a direct connection.
+    SolveOptions options = request->options;
+    options.span_context = frame.context;
+    const service::RequestId id =
+        service_.submit(request->instance.view(), request->solver, options);
     wire::Writer writer;
     writer.u64(id);
     connection->send(wire::encode_frame(MessageType::kSubmitOk,
@@ -211,6 +218,13 @@ void ServiceServer::process(const EventConnectionPtr& connection,
       writer.u32(static_cast<std::uint32_t>(service_.shards()));
       wire::write_stats(writer, service_.stats());
       connection->send(wire::encode_frame(MessageType::kStatsOk,
+                                          frame.request_id, writer.buffer()));
+      break;
+    }
+    case MessageType::kGetTelemetry: {
+      wire::Writer writer;
+      wire::write_telemetry(writer, service_.telemetry());
+      connection->send(wire::encode_frame(MessageType::kTelemetryOk,
                                           frame.request_id, writer.buffer()));
       break;
     }

@@ -1,0 +1,67 @@
+#include "obs/registry.hpp"
+
+#include <thread>
+
+namespace ssa::obs {
+
+namespace detail {
+
+std::size_t stripe_of_this_thread() noexcept {
+  // One hash per thread lifetime: thread::id hashes are stable, and the
+  // static local costs a branch, not a hash, after the first call.
+  thread_local const std::size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kStripes;
+  return stripe;
+}
+
+}  // namespace detail
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+TelemetrySnapshot Registry::snapshot() const {
+  TelemetrySnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // std::map iterates sorted by name: the canonical (golden-pinnable)
+    // instrument order falls out of the container choice.
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      snap.counters.emplace_back(name, counter->value());
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      snap.gauges.emplace_back(name, gauge->value());
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      snap.histograms.emplace_back(name, histogram->snapshot());
+    }
+  }
+  // Outside the registry lock: the ring has its own striped locks.
+  snap.spans = spans_.recent();
+  return snap;
+}
+
+}  // namespace ssa::obs

@@ -1,0 +1,90 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace ssa::obs {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates the sequential tick below so ids
+/// from different processes (different entropy bases) virtually never
+/// collide, and ids within one process are visibly unordered.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fresh_id() noexcept {
+  // Entropy base: wall-clock nanoseconds at first use, distinct per
+  // process; the atomic tick keeps ids unique within the process.
+  static const std::uint64_t base = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  static std::atomic<std::uint64_t> tick{1};
+  const std::uint64_t id =
+      mix(base ^ mix(tick.fetch_add(1, std::memory_order_relaxed)));
+  return id == 0 ? 1 : id;  // 0 means "untraced"; never mint it
+}
+
+constexpr std::size_t kRingStripes = 8;
+
+}  // namespace
+
+std::uint64_t next_trace_id() noexcept { return fresh_id(); }
+std::uint64_t next_span_id() noexcept { return fresh_id(); }
+
+double unix_now_seconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+SpanRing::SpanRing(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) return;
+  const std::size_t stripes =
+      capacity_ < kRingStripes ? 1 : kRingStripes;
+  per_stripe_ = (capacity_ + stripes - 1) / stripes;
+  stripes_ = std::vector<Stripe>(stripes);
+}
+
+void SpanRing::record(SpanRecord span) {
+  if (capacity_ == 0) return;
+  thread_local const std::size_t home =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  Stripe& stripe = stripes_[home % stripes_.size()];
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (stripe.slots.size() < per_stripe_) {
+    stripe.slots.push_back(std::move(span));
+    return;
+  }
+  // Full: overwrite the oldest slot (bounded memory is the contract).
+  stripe.slots[stripe.next] = std::move(span);
+  stripe.next = (stripe.next + 1) % per_stripe_;
+}
+
+std::vector<SpanRecord> SpanRing::recent() const {
+  std::vector<SpanRecord> out;
+  for (const Stripe& stripe : stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    out.insert(out.end(), stripe.slots.begin(), stripe.slots.end());
+  }
+  return out;
+}
+
+std::size_t SpanRing::size() const {
+  std::size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    total += stripe.slots.size();
+  }
+  return total;
+}
+
+}  // namespace ssa::obs

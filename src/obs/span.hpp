@@ -1,0 +1,104 @@
+#pragma once
+/// \file span.hpp
+/// Per-request tracing primitives: the SpanContext that rides the wire
+/// envelope and the bounded ring buffers spans are recorded into.
+///
+/// Model: a trace is a tree of spans sharing one trace id. Every span has
+/// a process-unique span id and the span id of its parent (0 = root). The
+/// CONTEXT {trace id, span id} travels in the v6 wire envelope
+/// (wire/protocol.hpp): a hop that receives a frame opens its own span
+/// with parent = the incoming context's span id, and forwards its own
+/// span id downstream -- so one request through
+/// TcpClient -> FrontDoor -> backend yields client-root -> door span ->
+/// backend spans, linked without any global coordination. A zero context
+/// means "untraced"; the first traced hop mints a fresh trace id.
+///
+/// Spans are RECORDS, not RAII guards: a component computes the start
+/// time and duration it already measures (queue wait, solve wall time)
+/// and records one finished SpanRecord into its registry's ring. The ring
+/// is bounded and striped: recording is one short uncontended lock + a
+/// slot overwrite, old spans are overwritten silently, and export copies
+/// out whatever is retained -- telemetry must never be able to exhaust
+/// memory or stall the serving path.
+///
+/// Ids: span/trace ids are process-unique, never zero, and decorrelated
+/// across processes by mixing a per-process entropy base into a splitmix64
+/// sequence. They are NOT deterministic across runs (tracing is
+/// observability, results never depend on it).
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ssa::obs {
+
+/// Default SpanRing capacity (spans retained for export), in total across
+/// stripes.
+inline constexpr std::size_t kDefaultSpanCapacity = 1024;
+
+/// The trace coordinates a frame carries: which trace the request belongs
+/// to and the sender's span id (the receiver's parent). Zero = untraced.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  [[nodiscard]] bool traced() const noexcept { return trace_id != 0; }
+
+  friend bool operator==(const SpanContext&, const SpanContext&) = default;
+};
+
+/// One finished span: tree coordinates, a short name following the
+/// "<component>/<step>" scheme ("door/submit", "service/solve"), a
+/// free-form annotation ("solver=asymmetric-colgen warm=1 pivots=42"),
+/// and wall-clock timing (Unix seconds so spans from different hosts
+/// align on one axis).
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;  ///< 0 = trace root
+  std::string name;
+  std::string note;
+  double start_unix_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+/// Fresh process-unique ids (never 0).
+[[nodiscard]] std::uint64_t next_trace_id() noexcept;
+[[nodiscard]] std::uint64_t next_span_id() noexcept;
+
+/// Wall clock now, Unix seconds (span start stamps).
+[[nodiscard]] double unix_now_seconds() noexcept;
+
+/// Bounded overwrite-oldest span store, striped by thread so concurrent
+/// workers rarely contend. recent() merges the stripes (unordered across
+/// stripes; callers sort by start time if they care). Capacity 0 disables
+/// recording entirely.
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t capacity = kDefaultSpanCapacity);
+
+  void record(SpanRecord span);
+
+  /// Copies out every retained span.
+  [[nodiscard]] std::vector<SpanRecord> recent() const;
+
+  /// Total retained spans (diagnostics/tests).
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::vector<SpanRecord> slots;  ///< ring storage, grown up to per-stripe cap
+    std::size_t next = 0;           ///< overwrite cursor once full
+  };
+
+  std::size_t capacity_ = 0;
+  std::size_t per_stripe_ = 0;
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace ssa::obs

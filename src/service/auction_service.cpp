@@ -78,6 +78,15 @@ struct AuctionService::Request {
   /// Admission verdict, written under the shard lock before the worker
   /// task can observe the request.
   Admission admission = Admission::kAccepted;
+  /// Span sampling (ServiceOptions::span_sample_every): when set, this
+  /// request records its span tree and latencies. `inbound` is the
+  /// caller's span context -- the service mints a fresh trace when the
+  /// caller sent none -- and `start_unix` the submit wall-clock time
+  /// (span timestamps are wall clock; durations stay steady-clock
+  /// measured).
+  bool traced = false;
+  obs::SpanContext inbound;
+  double start_unix = 0.0;
 
   [[nodiscard]] AnyInstance view() const {
     if (const auto* sym = std::get_if<AuctionInstance>(&instance)) {
@@ -148,12 +157,35 @@ struct AuctionService::Shard {
 AuctionService::AuctionService(ServiceOptions options)
     : options_(std::move(options)),
       policy_(options_.policy ? options_.policy
-                              : std::make_shared<DefaultSelectionPolicy>()) {
+                              : std::make_shared<DefaultSelectionPolicy>()),
+      // span_sample_every = 0 means "no spans, ever": size the ring to
+      // zero so even untraced code paths cannot record by accident.
+      registry_(obs::RegistryOptions{
+          options_.span_sample_every == 0 ? 0 : options_.span_capacity}),
+      submitted_(registry_.counter("service.submitted")),
+      completed_(registry_.counter("service.completed")),
+      cache_hits_(registry_.counter("service.cache_hits")),
+      fallbacks_(registry_.counter("service.fallbacks")),
+      coalesced_(registry_.counter("service.coalesced")),
+      admission_degraded_(registry_.counter("service.admission_degraded")),
+      admission_rejected_(registry_.counter("service.admission_rejected")),
+      timed_out_(registry_.counter("service.timed_out")),
+      warm_starts_(registry_.counter("service.warm_starts")),
+      colgen_warm_(registry_.counter("service.colgen_warm")),
+      snapshot_restored_(registry_.counter("service.snapshot_restored")),
+      basis_hits_(registry_.counter("service.basis_hits")),
+      pool_hits_(registry_.counter("service.pool_hits")),
+      solves_(registry_.counter("service.solves")),
+      queue_wait_hist_(registry_.histogram("service.queue_wait_seconds")),
+      solve_hist_(registry_.histogram("service.solve_seconds")) {
   const int shard_count = std::clamp(options_.shards, 1, kMaxShards);
   SchedulerOptions scheduler_options;
   scheduler_options.threads = std::max(1, options_.threads_per_shard);
   scheduler_options.queue = options_.queue;
   scheduler_options.admission = options_.admission;
+  // One registry across every shard scheduler: the queue-depth gauge reads
+  // total backlog, the verdict counters total admission decisions.
+  scheduler_options.metrics = &registry_;
   shards_.reserve(static_cast<std::size_t>(shard_count));
   for (int s = 0; s < shard_count; ++s) {
     shards_.push_back(std::make_unique<Shard>(
@@ -294,9 +326,23 @@ RequestId AuctionService::submit(const AnyInstance& instance,
   const std::size_t shard_index = static_cast<std::size_t>(
       request->key.hi % static_cast<std::uint64_t>(shards_.size()));
   Shard& shard = *shards_[shard_index];
-  const RequestId id =
-      (next_sequence_.fetch_add(1) << kShardBits) | shard_index;
-  submitted_.fetch_add(1);
+  const std::uint64_t sequence = next_sequence_.fetch_add(1);
+  const RequestId id = (sequence << kShardBits) | shard_index;
+  // submitted_ ticks in every terminal branch below rather than here: the
+  // registry Counter is monotonic (no fetch_sub), so the lost-race-with-
+  // shutdown path must simply never have counted instead of rolling back.
+
+  // Span sampling decision. The sampled request carries the caller's span
+  // context (TcpClient/FrontDoor stamp the wire envelope; LocalClient
+  // passes it through SolveOptions) or mints a fresh trace when untraced.
+  if (options_.span_sample_every != 0 &&
+      sequence % options_.span_sample_every == 0) {
+    request->traced = true;
+    request->inbound = options.span_context.traced()
+                           ? options.span_context
+                           : obs::SpanContext{obs::next_trace_id(), 0};
+    request->start_unix = obs::unix_now_seconds();
+  }
 
   const auto now = std::chrono::steady_clock::now();
   // The deadline resolves with the same shared-vs-section precedence the
@@ -315,8 +361,15 @@ RequestId AuctionService::submit(const AnyInstance& instance,
     cached->cache_hit = true;
     cached->queue_wait_seconds = 0.0;
     shard.completed.emplace(id, std::move(*cached));
-    cache_hits_.fetch_add(1);
-    completed_.fetch_add(1);
+    submitted_.add();
+    cache_hits_.add();
+    completed_.add();
+    if (request->traced) {
+      registry_.spans().record(obs::SpanRecord{
+          request->inbound.trace_id, obs::next_span_id(),
+          request->inbound.parent_span_id, "service/cache_hit", "",
+          request->start_unix, 0.0});
+    }
     shard.completed_cv.notify_all();
     return id;
   }
@@ -327,7 +380,14 @@ RequestId AuctionService::submit(const AnyInstance& instance,
     // solver run, no admission check (attaching costs no worker time).
     shard.pending.emplace(id, request);
     inflight->second.push_back(Shard::Follower{id, now});
-    coalesced_.fetch_add(1);
+    submitted_.add();
+    coalesced_.add();
+    if (request->traced) {
+      registry_.spans().record(obs::SpanRecord{
+          request->inbound.trace_id, obs::next_span_id(),
+          request->inbound.parent_span_id, "service/coalesce", "",
+          request->start_unix, 0.0});
+    }
     return id;
   }
 
@@ -386,7 +446,13 @@ RequestId AuctionService::submit(const AnyInstance& instance,
               warm.pool_hint = &banked_pool;
             }
           }
+          // Hint-serve counters tick on lookup success, not on install
+          // success (warm_starts covers the latter): the gap between the
+          // two is the stale-hint rate.
+          if (warm.hint != nullptr) basis_hits_.add();
+          if (warm.pool_hint != nullptr) pool_hits_.add();
           effective.warm_context = &warm;
+          solves_.add();
           if (options_.on_solve) {
             try {
               options_.on_solve(request->key);
@@ -421,6 +487,23 @@ RequestId AuctionService::submit(const AnyInstance& instance,
           // without another report field.
           const bool run_colgen_warm =
               report.warm_started && report.oracle_rounds > 0;
+          // Span material, captured before the report is moved into the
+          // completed table.
+          const double run_wall = report.wall_time_seconds;
+          std::string solve_note;
+          if (request->traced) {
+            solve_note = "solver=" + report.solver_selected;
+            solve_note += " pivots=" + std::to_string(report.pivots);
+            if (report.oracle_rounds > 0) {
+              solve_note +=
+                  " oracle_rounds=" + std::to_string(report.oracle_rounds);
+            }
+            if (run_warm_started) solve_note += " warm";
+            if (run_colgen_warm) solve_note += " colgen_warm";
+            if (run_timed_out) solve_note += " timed_out";
+            if (verdict == Admission::kDegraded) solve_note += " degraded";
+            if (!report.error.empty()) solve_note += " error";
+          }
           std::size_t follower_count = 0;
           std::vector<std::function<void()>> fired;
           {
@@ -478,13 +561,33 @@ RequestId AuctionService::submit(const AnyInstance& instance,
             shard.completed.emplace(id, std::move(report));
             shard.take_watchers(id, fired);
           }
-          completed_.fetch_add(1 + follower_count);
+          completed_.add(1 + follower_count);
           // Followers received the same truncated payload, so they count.
-          if (run_timed_out) timed_out_.fetch_add(1 + follower_count);
+          if (run_timed_out) timed_out_.add(1 + follower_count);
           // Warm starts count solver RUNS, so the leader counts once and
           // its followers never do.
-          if (run_warm_started) warm_starts_.fetch_add(1);
-          if (run_colgen_warm) colgen_warm_.fetch_add(1);
+          if (run_warm_started) warm_starts_.add();
+          if (run_colgen_warm) colgen_warm_.add();
+          if (request->traced) {
+            // Two causally-linked spans per sampled solve: the queue wait
+            // parented to the caller's span, the solver run parented to
+            // the queue span. Followers are represented by their count in
+            // the solve note only -- they never ran a solver.
+            const std::uint64_t queue_span_id = obs::next_span_id();
+            registry_.spans().record(obs::SpanRecord{
+                request->inbound.trace_id, queue_span_id,
+                request->inbound.parent_span_id, "service/queue",
+                follower_count > 0
+                    ? "followers=" + std::to_string(follower_count)
+                    : "",
+                request->start_unix, queue_wait});
+            registry_.spans().record(obs::SpanRecord{
+                request->inbound.trace_id, obs::next_span_id(),
+                queue_span_id, "service/solve", solve_note,
+                request->start_unix + queue_wait, run_wall});
+            queue_wait_hist_.record(queue_wait);
+            solve_hist_.record(run_wall);
+          }
           shard.completed_cv.notify_all();
           // Outside every lock: a watcher may call straight back into
           // try_get (it usually does).
@@ -499,13 +602,14 @@ RequestId AuctionService::submit(const AnyInstance& instance,
   } catch (...) {
     // Lost the race against shutdown(): the scheduler stopped accepting
     // after our accepting_ check. Roll the registration back so the
-    // request is not stranded in pending (and stats stay consistent),
-    // then surface the shutdown to the caller.
+    // request is not stranded in pending (and stats stay consistent --
+    // submitted_ has deliberately not ticked yet), then surface the
+    // shutdown to the caller.
     shard.pending.erase(id);
     shard.inflight.erase(request->key);
-    submitted_.fetch_sub(1);
     throw;
   }
+  submitted_.add();
 
   if (admission == Admission::kRejected) {
     // The scheduler never took the task (AdmissionPolicy::kReject and an
@@ -520,13 +624,19 @@ RequestId AuctionService::submit(const AnyInstance& instance,
             std::to_string(budget_seconds) +
             "s is unmeetable at the current queue depth");
     shard.completed.emplace(id, std::move(report));
-    admission_rejected_.fetch_add(1);
-    completed_.fetch_add(1);
+    admission_rejected_.add();
+    completed_.add();
+    if (request->traced) {
+      registry_.spans().record(obs::SpanRecord{
+          request->inbound.trace_id, obs::next_span_id(),
+          request->inbound.parent_span_id, "service/reject", "",
+          request->start_unix, 0.0});
+    }
     shard.completed_cv.notify_all();
     return id;
   }
   request->admission = admission;
-  if (admission == Admission::kDegraded) admission_degraded_.fetch_add(1);
+  if (admission == Admission::kDegraded) admission_degraded_.add();
   return id;
 }
 
@@ -542,7 +652,7 @@ SolveReport AuctionService::execute(const Request& request,
   // serving the request, not a fallback.
   const auto finish = [&](SolveReport report) {
     if (!chain.empty() && report.solver_selected != chain.front()) {
-      fallbacks_.fetch_add(1);
+      fallbacks_.add();
     }
     return report;
   };
@@ -651,23 +761,47 @@ void AuctionService::shutdown() {
 
 ServiceStats AuctionService::stats() const {
   ServiceStats stats;
-  stats.submitted = submitted_.load();
-  stats.completed = completed_.load();
-  stats.cache_hits = cache_hits_.load();
-  stats.fallbacks = fallbacks_.load();
-  stats.coalesced = coalesced_.load();
-  stats.admission_degraded = admission_degraded_.load();
-  stats.admission_rejected = admission_rejected_.load();
-  stats.timed_out = timed_out_.load();
-  stats.warm_starts = warm_starts_.load();
-  stats.colgen_warm = colgen_warm_.load();
-  stats.snapshot_restored = snapshot_restored_.load();
+  stats.submitted = submitted_.value();
+  stats.completed = completed_.value();
+  stats.cache_hits = cache_hits_.value();
+  stats.fallbacks = fallbacks_.value();
+  stats.coalesced = coalesced_.value();
+  stats.admission_degraded = admission_degraded_.value();
+  stats.admission_rejected = admission_rejected_.value();
+  stats.timed_out = timed_out_.value();
+  stats.warm_starts = warm_starts_.value();
+  stats.colgen_warm = colgen_warm_.value();
+  stats.snapshot_restored = snapshot_restored_.value();
   for (const std::unique_ptr<Shard>& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     stats.cache_entries += shard->cache.entries();
     stats.cache_bytes += shard->cache.bytes();
   }
   return stats;
+}
+
+obs::TelemetrySnapshot AuctionService::telemetry() const {
+  // Refresh the point-in-time cache gauges, then export. Gauges are set
+  // here rather than maintained inline because entry/byte levels already
+  // live in the caches themselves -- exporting is the only reader.
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t bases = 0;
+  std::uint64_t pools = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    entries += shard->cache.entries();
+    bytes += shard->cache.bytes();
+    bases += shard->bases.entries();
+    pools += shard->pools.entries();
+  }
+  registry_.gauge("service.cache_entries")
+      .set(static_cast<std::int64_t>(entries));
+  registry_.gauge("service.cache_bytes").set(static_cast<std::int64_t>(bytes));
+  registry_.gauge("service.basis_entries")
+      .set(static_cast<std::int64_t>(bases));
+  registry_.gauge("service.pool_entries").set(static_cast<std::int64_t>(pools));
+  return registry_.snapshot();
 }
 
 }  // namespace ssa::service

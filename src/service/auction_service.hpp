@@ -96,6 +96,7 @@
 #include "api/admission.hpp"
 #include "api/any_instance.hpp"
 #include "api/solver.hpp"
+#include "obs/registry.hpp"
 #include "service/selection_policy.hpp"
 #include "support/fingerprint.hpp"
 
@@ -145,6 +146,17 @@ struct ServiceOptions {
   /// Must be thread-safe; a slow hook stalls that worker (tests use this
   /// deliberately to hold a leader in flight).
   std::function<void(const Fingerprint&)> on_solve;
+  /// Span/latency sampling period: every Nth submission records its span
+  /// tree (service/queue, service/solve, ...) into the registry ring and
+  /// its queue-wait/solve-wall latencies into the registry histograms.
+  /// 1 = every request (the default), 0 = spans and latency histograms off
+  /// entirely -- the metrics-disabled baseline of the E11 overhead bench.
+  /// The COUNTERS are unaffected: they back stats() and always run (they
+  /// are the same atomics the service always maintained). Purely
+  /// observability: never changes any report payload.
+  std::uint32_t span_sample_every = 1;
+  /// Capacity of the registry's span ring (bounded; oldest overwritten).
+  std::size_t span_capacity = obs::kDefaultSpanCapacity;
 };
 
 /// Monotonic service counters (stats()); approximate under concurrency.
@@ -238,7 +250,25 @@ class AuctionService {
   bool save_snapshot(const std::string& path) const;
 
   [[nodiscard]] int shards() const noexcept;
+
+  /// The PR-3 counter block, now a VIEW over the metrics registry: every
+  /// field reads the matching "service.*" counter, so the wire stats
+  /// codec and its semantics are unchanged while the counters themselves
+  /// live in the registry next to everything else (one source of truth).
   [[nodiscard]] ServiceStats stats() const;
+
+  /// This service's metrics registry ("service.*" counters, the
+  /// scheduler's gauge/verdicts, latency histograms, the span ring).
+  /// Per-instance rather than process-global so in-process multi-backend
+  /// topologies (tests, benches) see the same per-backend snapshots a
+  /// multi-process deployment would.
+  [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+
+  /// Point-in-time telemetry export: the registry snapshot with the
+  /// point-in-time cache gauges ("service.cache_entries"/"..._bytes",
+  /// "service.basis_entries", "service.pool_entries") refreshed first.
+  /// The payload of the kGetTelemetry wire frame.
+  [[nodiscard]] obs::TelemetrySnapshot telemetry() const;
 
  private:
   struct Shard;
@@ -251,21 +281,34 @@ class AuctionService {
 
   ServiceOptions options_;
   SelectionPolicyPtr policy_;
+  /// Declared before the shards: shard schedulers hold instrument handles
+  /// into it, and before the counter references below.
+  mutable obs::Registry registry_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_sequence_{1};
   std::atomic<bool> accepting_{true};
   std::atomic<bool> snapshot_written_{false};
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> fallbacks_{0};
-  std::atomic<std::uint64_t> coalesced_{0};
-  std::atomic<std::uint64_t> admission_degraded_{0};
-  std::atomic<std::uint64_t> admission_rejected_{0};
-  std::atomic<std::uint64_t> timed_out_{0};
-  std::atomic<std::uint64_t> warm_starts_{0};
-  std::atomic<std::uint64_t> colgen_warm_{0};
-  std::atomic<std::uint64_t> snapshot_restored_{0};
+  // Stats counters as registry instruments (striped atomics; exact).
+  obs::Counter& submitted_;
+  obs::Counter& completed_;
+  obs::Counter& cache_hits_;
+  obs::Counter& fallbacks_;
+  obs::Counter& coalesced_;
+  obs::Counter& admission_degraded_;
+  obs::Counter& admission_rejected_;
+  obs::Counter& timed_out_;
+  obs::Counter& warm_starts_;
+  obs::Counter& colgen_warm_;
+  obs::Counter& snapshot_restored_;
+  // Warm-hint observability beyond ServiceStats: how often the per-shard
+  // basis/column-pool caches actually served a hint, and how many solver
+  // chains ran at all.
+  obs::Counter& basis_hits_;
+  obs::Counter& pool_hits_;
+  obs::Counter& solves_;
+  // Sampled latency distributions (span_sample_every gates recording).
+  obs::Histogram& queue_wait_hist_;
+  obs::Histogram& solve_hist_;
 };
 
 }  // namespace ssa::service

@@ -73,6 +73,21 @@ class LatencyHistogram {
     return buckets_;
   }
 
+  /// Rebuilds a histogram from serialized state -- the telemetry wire
+  /// codec's deserializer (wire/telemetry_codec.cpp). \p count must equal
+  /// the bucket sum (the codec validates before calling).
+  [[nodiscard]] static LatencyHistogram from_state(
+      const std::array<std::uint64_t, kBucketCount>& buckets,
+      std::uint64_t count, double sum, double min, double max) noexcept {
+    LatencyHistogram histogram;
+    histogram.buckets_ = buckets;
+    histogram.count_ = count;
+    histogram.sum_ = sum;
+    histogram.min_ = min;
+    histogram.max_ = max;
+    return histogram;
+  }
+
   [[nodiscard]] friend bool operator==(const LatencyHistogram&,
                                        const LatencyHistogram&) = default;
 

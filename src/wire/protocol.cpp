@@ -6,11 +6,13 @@
 namespace ssa::wire {
 
 std::string encode_frame_body(MessageType type, std::uint64_t request_id,
-                              std::string_view payload) {
-  // header = magic + version + type + request id
+                              std::string_view payload,
+                              obs::SpanContext context) {
+  // header = magic + version + type + request id + trace context
   const std::size_t body_size = sizeof kWireMagic + sizeof kWireVersion +
                                 sizeof(std::uint8_t) + sizeof request_id +
-                                payload.size();
+                                sizeof context.trace_id +
+                                sizeof context.parent_span_id + payload.size();
   if (body_size > kMaxFrameBytes) {
     throw std::invalid_argument("wire: frame payload exceeds kMaxFrameBytes");
   }
@@ -19,13 +21,15 @@ std::string encode_frame_body(MessageType type, std::uint64_t request_id,
   writer.u16(kWireVersion);
   writer.u8(static_cast<std::uint8_t>(type));
   writer.u64(request_id);
+  writer.u64(context.trace_id);
+  writer.u64(context.parent_span_id);
   writer.bytes(payload);
   return writer.take();
 }
 
 std::string encode_frame(MessageType type, std::uint64_t request_id,
-                         std::string_view payload) {
-  return reframe_body(encode_frame_body(type, request_id, payload));
+                         std::string_view payload, obs::SpanContext context) {
+  return reframe_body(encode_frame_body(type, request_id, payload, context));
 }
 
 std::string reframe_body(std::string_view body) {
@@ -44,16 +48,19 @@ std::optional<Frame> decode_frame_body(std::string_view body) {
   const std::uint16_t version = reader.u16();
   const std::uint8_t type = reader.u8();
   const std::uint64_t request_id = reader.u64();
+  const std::uint64_t trace_id = reader.u64();
+  const std::uint64_t parent_span_id = reader.u64();
   if (reader.failed() || magic != kWireMagic || version != kWireVersion) {
     return std::nullopt;
   }
   if (type < static_cast<std::uint8_t>(MessageType::kSubmit) ||
-      type > static_cast<std::uint8_t>(MessageType::kError)) {
+      type > static_cast<std::uint8_t>(MessageType::kTelemetryOk)) {
     return std::nullopt;
   }
   Frame frame;
   frame.type = static_cast<MessageType>(type);
   frame.request_id = request_id;
+  frame.context = obs::SpanContext{trace_id, parent_span_id};
   frame.payload = reader.bytes(reader.remaining());
   return frame;
 }

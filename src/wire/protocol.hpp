@@ -9,7 +9,8 @@
 ///
 ///     u32 body_length | body
 ///     body := u32 kWireMagic | u16 kWireVersion | u8 MessageType
-///             | u64 request_id | payload
+///             | u64 request_id | u64 trace_id | u64 parent_span_id
+///             | payload
 ///
 /// body_length counts the body bytes only and is capped at kMaxFrameBytes;
 /// scalars are little-endian (wire/codec.hpp). A peer that receives a
@@ -30,6 +31,13 @@
 /// envelope could not be parsed carry id 0 -- the stream is untrustworthy
 /// after a framing error, so precise correlation no longer matters.
 ///
+/// trace_id/parent_span_id are the v6 obs::SpanContext (obs/span.hpp):
+/// which request tree this frame belongs to and the sender's span id, so
+/// every hop can open a causally-linked child span. Both zero = untraced.
+/// The context is observability-only: servers never branch on it, it
+/// enters no cache key, and responses need not echo it (correlation is
+/// the request id's job).
+///
 /// Versioning mirrors the snapshot discipline (ResultCache::
 /// kSnapshotVersion): kWireVersion covers the framing AND every payload
 /// codec it carries (codec.hpp, instance_codec.hpp) -- bump it on any
@@ -41,6 +49,7 @@
 ///     kGet           -> kReport   | kError     (blocking when asked)
 ///     kStats         -> kStatsOk  | kError
 ///     kShutdown      -> kShutdownOk | kError
+///     kGetTelemetry  -> kTelemetryOk | kError
 /// Errors carry a kind so the client can rethrow the same exception type
 /// the in-process AuctionService would have thrown, and a message pinned
 /// to the library-wide "<solver-key>: <reason>" format whenever it
@@ -52,6 +61,7 @@
 #include <string>
 
 #include "api/solver.hpp"
+#include "obs/span.hpp"
 #include "wire/codec.hpp"
 #include "wire/instance_codec.hpp"
 
@@ -66,8 +76,10 @@ inline constexpr std::uint32_t kWireMagic = 0x57415353u;
 /// added SolveOptions::warm_start, SolveReport::warm_started/pivots and
 /// ServiceStats::warm_starts (warm-start observability); 5 added
 /// SolveReport::oracle_rounds/columns_generated and
-/// ServiceStats::colgen_warm (column-generation observability).
-inline constexpr std::uint16_t kWireVersion = 5;
+/// ServiceStats::colgen_warm (column-generation observability); 6 added
+/// the obs::SpanContext (trace_id + parent_span_id) to the frame envelope
+/// and the kGetTelemetry/kTelemetryOk registry-export flow.
+inline constexpr std::uint16_t kWireVersion = 6;
 
 /// Upper bound on one frame's body (64 MiB): far above any real request
 /// or report, small enough that a corrupt length cannot drive a huge
@@ -75,15 +87,17 @@ inline constexpr std::uint16_t kWireVersion = 5;
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
 enum class MessageType : std::uint8_t {
-  kSubmit = 1,      ///< str solver | SolveOptions | instance
-  kSubmitOk = 2,    ///< u64 request id
-  kGet = 3,         ///< u64 request id | u8 blocking
-  kReport = 4,      ///< u8 ready | SolveReport (ready = 1 only)
-  kStats = 5,       ///< (empty)
-  kStatsOk = 6,     ///< u32 shards | ServiceStats
-  kShutdown = 7,    ///< (empty)
-  kShutdownOk = 8,  ///< (empty)
-  kError = 9,       ///< u8 ErrorKind | str message
+  kSubmit = 1,        ///< str solver | SolveOptions | instance
+  kSubmitOk = 2,      ///< u64 request id
+  kGet = 3,           ///< u64 request id | u8 blocking
+  kReport = 4,        ///< u8 ready | SolveReport (ready = 1 only)
+  kStats = 5,         ///< (empty)
+  kStatsOk = 6,       ///< u32 shards | ServiceStats
+  kShutdown = 7,      ///< (empty)
+  kShutdownOk = 8,    ///< (empty)
+  kError = 9,         ///< u8 ErrorKind | str message
+  kGetTelemetry = 10, ///< (empty)
+  kTelemetryOk = 11,  ///< TelemetrySnapshot (wire/telemetry_codec.hpp)
 };
 
 /// Which exception a kError maps back to on the client side, so the
@@ -93,26 +107,32 @@ enum class ErrorKind : std::uint8_t {
   kRuntime = 2,          ///< std::runtime_error (shut down, transport, ...)
 };
 
-/// A parsed frame body: its type, correlation id and the payload bytes
-/// after the header.
+/// A parsed frame body: its type, correlation id, trace context and the
+/// payload bytes after the header.
 struct Frame {
   MessageType type = MessageType::kError;
   std::uint64_t request_id = 0;
+  /// v6 trace coordinates ({0, 0} = untraced); see the file comment.
+  obs::SpanContext context;
   std::string payload;
 };
 
 /// Encodes a complete frame (length prefix + header + payload) ready to
 /// send. Throws std::invalid_argument when the payload would overflow
-/// kMaxFrameBytes.
+/// kMaxFrameBytes. The two-argument form sends an untraced frame
+/// (context {0, 0}); responses always may, requests should carry the
+/// caller's context when one exists.
 [[nodiscard]] std::string encode_frame(MessageType type,
                                        std::uint64_t request_id,
-                                       std::string_view payload);
+                                       std::string_view payload,
+                                       obs::SpanContext context = {});
 
 /// Encodes a frame BODY only (header + payload, no length prefix) -- the
 /// form recv_frame returns and the forwarding layers pass around.
 [[nodiscard]] std::string encode_frame_body(MessageType type,
                                             std::uint64_t request_id,
-                                            std::string_view payload);
+                                            std::string_view payload,
+                                            obs::SpanContext context = {});
 
 /// Parses one frame BODY (the bytes after the length prefix): checks
 /// magic, version and type range. nullopt on any anomaly.

@@ -1,0 +1,125 @@
+#include "wire/telemetry_codec.hpp"
+
+#include <array>
+
+namespace ssa::wire {
+
+namespace {
+
+void write_histogram(Writer& writer, const LatencyHistogram& histogram) {
+  writer.u64(histogram.count());
+  writer.f64(histogram.sum());
+  writer.f64(histogram.min());
+  writer.f64(histogram.max());
+  std::uint32_t nonzero = 0;
+  const auto& buckets = histogram.buckets();
+  for (const std::uint64_t count : buckets) {
+    if (count != 0) ++nonzero;
+  }
+  writer.u32(nonzero);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    writer.u32(static_cast<std::uint32_t>(i));
+    writer.u64(buckets[i]);
+  }
+}
+
+LatencyHistogram read_histogram(Reader& reader) {
+  const std::uint64_t count = reader.u64();
+  const double sum = reader.f64();
+  const double min = reader.f64();
+  const double max = reader.f64();
+  const std::uint32_t nonzero = reader.u32();
+  if (nonzero > static_cast<std::uint32_t>(LatencyHistogram::kBucketCount)) {
+    reader.fail();
+    return {};
+  }
+  std::array<std::uint64_t, LatencyHistogram::kBucketCount> buckets{};
+  std::uint64_t bucket_total = 0;
+  std::int64_t last_index = -1;
+  for (std::uint32_t i = 0; i < nonzero && !reader.failed(); ++i) {
+    const std::uint32_t index = reader.u32();
+    const std::uint64_t bucket_count = reader.u64();
+    // Strictly increasing in-range indices with nonzero counts: the one
+    // canonical encoding per histogram, so corrupt bytes cannot alias a
+    // valid one.
+    if (index >= static_cast<std::uint32_t>(LatencyHistogram::kBucketCount) ||
+        static_cast<std::int64_t>(index) <= last_index || bucket_count == 0) {
+      reader.fail();
+      return {};
+    }
+    last_index = index;
+    buckets[index] = bucket_count;
+    bucket_total += bucket_count;
+  }
+  if (reader.failed()) return {};
+  if (bucket_total != count) {  // count IS the bucket sum, always
+    reader.fail();
+    return {};
+  }
+  return LatencyHistogram::from_state(buckets, count, sum, min, max);
+}
+
+}  // namespace
+
+void write_telemetry(Writer& writer, const obs::TelemetrySnapshot& snapshot) {
+  writer.vec(snapshot.counters, [&](const auto& entry) {
+    writer.str(entry.first);
+    writer.u64(entry.second);
+  });
+  writer.vec(snapshot.gauges, [&](const auto& entry) {
+    writer.str(entry.first);
+    writer.i64(entry.second);
+  });
+  writer.vec(snapshot.histograms, [&](const auto& entry) {
+    writer.str(entry.first);
+    write_histogram(writer, entry.second);
+  });
+  writer.vec(snapshot.spans, [&](const obs::SpanRecord& span) {
+    writer.u64(span.trace_id);
+    writer.u64(span.span_id);
+    writer.u64(span.parent_span_id);
+    writer.str(span.name);
+    writer.str(span.note);
+    writer.f64(span.start_unix_seconds);
+    writer.f64(span.duration_seconds);
+  });
+}
+
+std::optional<obs::TelemetrySnapshot> decode_telemetry(
+    std::string_view payload) {
+  Reader reader(payload);
+  obs::TelemetrySnapshot snapshot;
+  snapshot.counters =
+      reader.vec<std::pair<std::string, std::uint64_t>>([&] {
+        std::string name = reader.str();
+        const std::uint64_t value = reader.u64();
+        return std::make_pair(std::move(name), value);
+      });
+  snapshot.gauges = reader.vec<std::pair<std::string, std::int64_t>>([&] {
+    std::string name = reader.str();
+    const std::int64_t value = reader.i64();
+    return std::make_pair(std::move(name), value);
+  });
+  snapshot.histograms =
+      reader.vec<std::pair<std::string, LatencyHistogram>>([&] {
+        std::string name = reader.str();
+        LatencyHistogram histogram = read_histogram(reader);
+        return std::make_pair(std::move(name), std::move(histogram));
+      });
+  snapshot.spans = reader.vec<obs::SpanRecord>([&] {
+    obs::SpanRecord span;
+    span.trace_id = reader.u64();
+    span.span_id = reader.u64();
+    span.parent_span_id = reader.u64();
+    span.name = reader.str();
+    span.note = reader.str();
+    span.start_unix_seconds = reader.f64();
+    span.duration_seconds = reader.f64();
+    return span;
+  });
+  if (reader.failed() || !reader.exhausted()) return std::nullopt;
+  return snapshot;
+}
+
+}  // namespace ssa::wire

@@ -1,0 +1,39 @@
+#pragma once
+/// \file telemetry_codec.hpp
+/// Wire codec for obs::TelemetrySnapshot: the payload of the v6
+/// kTelemetryOk frame (protocol.hpp). Shares the Writer/Reader core and
+/// the versioning discipline of every other codec -- the layout is covered
+/// by kWireVersion, golden-pinned in tests/test_wire.cpp, and any change
+/// here must bump the protocol version.
+///
+/// Layout (little-endian, strict -- trailing bytes fail):
+///     u64 n  | n * (str name | u64 value)                 counters
+///     u64 n  | n * (str name | i64 value)                 gauges
+///     u64 n  | n * (str name | histogram)                 histograms
+///     u64 n  | n * span                                   recent spans
+///     histogram := u64 count | f64 sum | f64 min | f64 max
+///                  | u32 nonzero | nonzero * (u32 index | u64 bucket_count)
+///     span      := u64 trace_id | u64 span_id | u64 parent_span_id
+///                  | str name | str note | f64 start | f64 duration
+/// Histogram buckets travel sparse (only nonzero indices): a mostly-empty
+/// 352-bucket grid costs a few entries, not 2.8 KiB. The decoder rejects
+/// out-of-range bucket indices, duplicate/unsorted indices and a count
+/// that disagrees with the bucket sum -- a corrupt histogram can never
+/// produce inconsistent quantiles downstream.
+
+#include <optional>
+#include <string_view>
+
+#include "obs/telemetry.hpp"
+#include "wire/codec.hpp"
+
+namespace ssa::wire {
+
+void write_telemetry(Writer& writer, const obs::TelemetrySnapshot& snapshot);
+
+/// Strict parse of one encoded snapshot; nullopt on any anomaly
+/// (including trailing bytes).
+[[nodiscard]] std::optional<obs::TelemetrySnapshot> decode_telemetry(
+    std::string_view payload);
+
+}  // namespace ssa::wire

@@ -20,8 +20,15 @@
 #include <thread>
 
 #include "client/client.hpp"
+#include "core/asymmetric.hpp"
+#include "core/bundle.hpp"
+#include "core/valuation.hpp"
 #include "gen/scenario.hpp"
+#include "graph/conflict_graph.hpp"
+#include "graph/ordering.hpp"
 #include "net/front_door.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "net/mux_connection.hpp"
 #include "net/service_server.hpp"
 #include "net/socket.hpp"
@@ -481,6 +488,184 @@ TEST(FrontDoorTest, ServesNewRegistryEntriesWithNoNewEntryPoints) {
   EXPECT_TRUE(local_report.error.empty());
   EXPECT_EQ(local_report.solver_selected, "submodular-greedy");
   EXPECT_TRUE(wire::reports_payload_equal(local_report, remote_report));
+}
+
+// ------------------------------------------------------------- telemetry
+
+TEST(FrontDoorTest, TelemetryExportsLinkedSpanTree) {
+  // The acceptance pin of the tracing subsystem: a request entering via
+  // TcpClient -> FrontDoor -> backend yields ONE trace whose spans link
+  // causally -- the client's minted root parents the door's "door/submit"
+  // span, which parents the backend's "service/queue" span, which parents
+  // "service/solve". All of it retrievable through the kGetTelemetry frame
+  // (the door merges its own registry with every backend's).
+  std::vector<std::unique_ptr<net::ServiceServer>> backends;
+  for (int b = 0; b < 2; ++b) {
+    backends.push_back(std::make_unique<net::ServiceServer>(
+        net::ServiceServerOptions{small_service(), 0}));
+  }
+  net::FrontDoor door({loopback_backends(backends), 0});
+  TcpClient client(door.port());
+
+  const std::vector<gen::NamedInstance> scenarios = mixed_scenarios();
+  constexpr int kRequests = 8;  // distinct instances: all solve, no hits
+  for (int r = 0; r < kRequests; ++r) {
+    const client::RequestId id = client.submit(
+        scenarios[static_cast<std::size_t>(r)].view(), client::kAutoSolver,
+        stream_options());
+    const SolveReport report = client.get(id);
+    ASSERT_TRUE(report.error.empty()) << report.error;
+  }
+
+  // Backend workers record their spans just AFTER publishing the report a
+  // blocking get() waits on; poll briefly instead of racing them.
+  obs::TelemetrySnapshot telemetry;
+  int solve_spans = 0;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    telemetry = client.telemetry();
+    solve_spans = 0;
+    for (const obs::SpanRecord& span : telemetry.spans) {
+      solve_spans += span.name == "service/solve" ? 1 : 0;
+    }
+    if (solve_spans >= kRequests) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(solve_spans, kRequests);
+
+  // The merged snapshot reads as one fleet: door counters and the summed
+  // backend counters describe the same traffic.
+  EXPECT_EQ(telemetry.counter_or("door.submits"),
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(telemetry.counter_or("service.submitted"),
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(telemetry.counter_or("service.solves"),
+            static_cast<std::uint64_t>(kRequests));
+
+  // Every door/submit span roots a complete linked chain.
+  int linked_chains = 0;
+  for (const obs::SpanRecord& door_span : telemetry.spans) {
+    if (door_span.name != "door/submit") continue;
+    EXPECT_NE(door_span.trace_id, 0u);
+    EXPECT_NE(door_span.parent_span_id, 0u);  // the client's root span
+    for (const obs::SpanRecord& queue_span : telemetry.spans) {
+      if (queue_span.name != "service/queue" ||
+          queue_span.trace_id != door_span.trace_id) {
+        continue;
+      }
+      EXPECT_EQ(queue_span.parent_span_id, door_span.span_id);
+      for (const obs::SpanRecord& solve_span : telemetry.spans) {
+        if (solve_span.name != "service/solve" ||
+            solve_span.trace_id != door_span.trace_id) {
+          continue;
+        }
+        EXPECT_EQ(solve_span.parent_span_id, queue_span.span_id);
+        EXPECT_NE(solve_span.note.find("solver="), std::string::npos);
+        ++linked_chains;
+      }
+    }
+  }
+  EXPECT_EQ(linked_chains, kRequests);
+
+  // Latency histograms rode along and saw every solve.
+  bool found_solve_hist = false;
+  for (const auto& [name, histogram] : telemetry.histograms) {
+    if (name != "service.solve_seconds") continue;
+    found_solve_hist = true;
+    EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kRequests));
+  }
+  EXPECT_TRUE(found_solve_hist);
+
+  client.shutdown();
+  for (const auto& backend : backends) backend->wait();
+}
+
+/// Support-preserving churn (as in test_service.cpp): rescales one
+/// bidder's positive values so the structural fingerprint -- the column
+/// pool key -- holds while the result cache misses.
+AsymmetricInstance rescale_asym_bidder(const AsymmetricInstance& instance,
+                                       std::size_t v, double factor) {
+  std::vector<double> values(num_bundles(instance.num_channels()), 0.0);
+  for (Bundle t = 1; t < num_bundles(instance.num_channels()); ++t) {
+    const double old = instance.value(v, t);
+    if (old > 0.0) values[t] = old * factor;
+  }
+  return instance.with_valuation(
+      v, std::make_shared<ExplicitValuation>(instance.num_channels(),
+                                             std::move(values)));
+}
+
+AsymmetricInstance weighted_asymmetric_chain(std::size_t n) {
+  std::vector<ConflictGraph> graphs;
+  for (int channel = 0; channel < 2; ++channel) {
+    ConflictGraph graph(n);
+    for (std::size_t u = 0; u + 1 < n; ++u) {
+      graph.set_weight(u, u + 1, 0.4);
+      graph.set_weight(u + 1, u, 0.4);
+    }
+    graphs.push_back(std::move(graph));
+  }
+  std::vector<ValuationPtr> valuations;
+  for (std::size_t v = 0; v < n; ++v) {
+    valuations.push_back(std::make_shared<AdditiveValuation>(
+        std::vector<double>{3.0 + static_cast<double>(v), 2.0}));
+  }
+  return AsymmetricInstance(std::move(graphs), identity_ordering(n),
+                            std::move(valuations));
+}
+
+TEST(FrontDoorTest, StatsAggregationPreservesEveryField) {
+  // Regression pin for the read-once stats fan-out: the door's aggregated
+  // ServiceStats must equal the per-backend stats summed field-for-field.
+  // colgen_warm is the field the old per-field accumulation silently
+  // dropped, so the workload is an asymmetric churn stream that warm-starts
+  // the column pools (making the field nonzero on the backends).
+  std::vector<std::unique_ptr<net::ServiceServer>> backends;
+  for (int b = 0; b < 2; ++b) {
+    backends.push_back(std::make_unique<net::ServiceServer>(
+        net::ServiceServerOptions{small_service(), 0}));
+  }
+  net::FrontDoor door({loopback_backends(backends), 0});
+  TcpClient client(door.port());
+
+  const AsymmetricInstance base = weighted_asymmetric_chain(12);
+  SolveOptions options;
+  options.seed = 17;
+  options.pipeline.rounding_repetitions = 8;
+  constexpr int kVariants = 24;
+  for (int i = 0; i < kVariants; ++i) {
+    const AsymmetricInstance churned = rescale_asym_bidder(
+        base, static_cast<std::size_t>(i) % base.num_bidders(),
+        1.0 + 0.03 * static_cast<double>(i + 1));
+    const SolveReport report =
+        client.get(client.submit(churned, "asymmetric-colgen", options));
+    ASSERT_TRUE(report.error.empty()) << "variant " << i << ": "
+                                      << report.error;
+  }
+
+  const service::ServiceStats door_stats = client.stats();
+  service::ServiceStats summed;
+  for (const auto& backend : backends) {
+    TcpClient direct(backend->port());
+    const service::ServiceStats stats = direct.stats();
+    summed.submitted += stats.submitted;
+    summed.completed += stats.completed;
+    summed.cache_hits += stats.cache_hits;
+    summed.warm_starts += stats.warm_starts;
+    summed.colgen_warm += stats.colgen_warm;
+  }
+  EXPECT_EQ(door_stats.submitted, static_cast<std::uint64_t>(kVariants));
+  EXPECT_EQ(door_stats.submitted, summed.submitted);
+  EXPECT_EQ(door_stats.completed, summed.completed);
+  EXPECT_EQ(door_stats.cache_hits, summed.cache_hits);
+  EXPECT_EQ(door_stats.warm_starts, summed.warm_starts);
+  EXPECT_EQ(door_stats.colgen_warm, summed.colgen_warm);
+  // Each (backend, shard) pool runs cold at most once; the rest of the
+  // churn stream warm-starts, so the once-dropped field is nonzero here.
+  EXPECT_GE(door_stats.colgen_warm, static_cast<std::uint64_t>(kVariants) -
+                                        2u * small_service().shards);
+
+  client.shutdown();
+  for (const auto& backend : backends) backend->wait();
 }
 
 }  // namespace

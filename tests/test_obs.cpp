@@ -1,0 +1,234 @@
+// Observability subsystem coverage: the registry's exactness contract
+// under concurrent writers (this file runs in the TSan CI cell via the
+// `service` label -- data races on the hot counter path fail there), the
+// snapshot merge algebra (associativity down to the encoded bytes, which
+// is what makes door-aggregated telemetry trustworthy), the bounded span
+// ring, and handle stability across later registrations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "wire/codec.hpp"
+#include "wire/telemetry_codec.hpp"
+
+namespace ssa {
+namespace {
+
+std::string encode_telemetry_bytes(const obs::TelemetrySnapshot& snapshot) {
+  wire::Writer writer;
+  wire::write_telemetry(writer, snapshot);
+  return writer.take();
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(ObsRegistry, ConcurrentWritersAreExact) {
+  // The exactness contract: every add lands, snapshot() sums the stripes.
+  // 8 threads x 10k increments on one counter and one histogram -- under
+  // TSan this also proves the hot path is race-free.
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("test.hits");
+  obs::Histogram& histogram = registry.histogram("test.latency_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        histogram.record(1e-3);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram.snapshot().count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+
+  const obs::TelemetrySnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_or("test.hits"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistry, HandlesAreStableAcrossLaterRegistrations) {
+  // A component looks its instruments up once; references must survive any
+  // number of later registrations (node-based storage, never rehashed).
+  obs::Registry registry;
+  obs::Counter& first = registry.counter("a.first");
+  first.add(5);
+  for (int i = 0; i < 256; ++i) {
+    (void)registry.counter("a.later_" + std::to_string(i));
+    (void)registry.gauge("g.later_" + std::to_string(i));
+  }
+  obs::Counter& again = registry.counter("a.first");
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(first.value(), 5u);
+}
+
+TEST(ObsRegistry, GaugeLevelsAndCounterRebase) {
+  obs::Registry registry;
+  obs::Gauge& depth = registry.gauge("q.depth");
+  depth.add(10);
+  depth.sub(3);
+  EXPECT_EQ(depth.value(), 7);
+  depth.set(-2);
+  EXPECT_EQ(depth.value(), -2);
+  EXPECT_EQ(registry.snapshot().gauge_or("q.depth"), -2);
+  EXPECT_EQ(registry.snapshot().gauge_or("q.absent", 41), 41);
+
+  obs::Counter& counter = registry.counter("c.restored");
+  counter.add(100);
+  counter.store(12);  // snapshot-restore rebasing
+  counter.add();
+  EXPECT_EQ(counter.value(), 13u);
+  EXPECT_EQ(registry.snapshot().counter_or("c.absent"), 0u);
+}
+
+TEST(ObsRegistry, SnapshotNamesAreSorted) {
+  // The codec golden pin and the two-pointer merge both depend on sorted
+  // instrument names.
+  obs::Registry registry;
+  (void)registry.counter("z.last");
+  (void)registry.counter("a.first");
+  (void)registry.counter("m.middle");
+  const obs::TelemetrySnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.first");
+  EXPECT_EQ(snapshot.counters[1].first, "m.middle");
+  EXPECT_EQ(snapshot.counters[2].first, "z.last");
+}
+
+// ------------------------------------------------------------------- merge
+
+obs::TelemetrySnapshot snapshot_with(std::uint64_t base,
+                                     const std::string& unique_name) {
+  obs::Registry registry;
+  registry.counter("shared.count").add(base);
+  registry.counter(unique_name).add(1);
+  registry.gauge("shared.level").set(static_cast<std::int64_t>(base));
+  registry.histogram("shared.seconds").record(1e-3 * static_cast<double>(base));
+  obs::SpanRecord span;
+  span.trace_id = base;
+  span.span_id = base + 1;
+  span.name = "t/" + unique_name;
+  registry.spans().record(span);
+  return registry.snapshot();
+}
+
+TEST(ObsMerge, AssociativeDownToEncodedBytes) {
+  // merge is EXACT: any grouping of the same snapshots yields the same
+  // metric totals AND the same canonical wire bytes. Pin it on snapshots
+  // with overlapping and disjoint names, histograms and spans.
+  const obs::TelemetrySnapshot a = snapshot_with(1, "only.a");
+  const obs::TelemetrySnapshot b = snapshot_with(2, "only.b");
+  const obs::TelemetrySnapshot c = snapshot_with(3, "only.c");
+
+  obs::TelemetrySnapshot left = a;   // (a + b) + c
+  obs::merge(left, b);
+  obs::merge(left, c);
+
+  obs::TelemetrySnapshot bc = b;     // a + (b + c)
+  obs::merge(bc, c);
+  obs::TelemetrySnapshot right = a;
+  obs::merge(right, bc);
+
+  EXPECT_EQ(encode_telemetry_bytes(left), encode_telemetry_bytes(right));
+  EXPECT_EQ(left.counter_or("shared.count"), 6u);
+  EXPECT_EQ(left.counter_or("only.a"), 1u);
+  EXPECT_EQ(left.counter_or("only.b"), 1u);
+  EXPECT_EQ(left.counter_or("only.c"), 1u);
+  EXPECT_EQ(left.gauge_or("shared.level"), 6);
+  ASSERT_EQ(left.histograms.size(), 1u);
+  EXPECT_EQ(left.histograms[0].second.count(), 3u);
+  EXPECT_EQ(left.spans.size(), 3u);
+}
+
+TEST(ObsMerge, EmptyIsIdentity) {
+  const obs::TelemetrySnapshot a = snapshot_with(4, "only.a");
+  obs::TelemetrySnapshot merged = a;
+  obs::merge(merged, obs::TelemetrySnapshot{});
+  EXPECT_EQ(encode_telemetry_bytes(merged), encode_telemetry_bytes(a));
+  obs::TelemetrySnapshot from_empty;
+  obs::merge(from_empty, a);
+  EXPECT_EQ(encode_telemetry_bytes(from_empty), encode_telemetry_bytes(a));
+}
+
+// --------------------------------------------------------------- span ring
+
+TEST(ObsSpanRing, BoundedAndOverwritesOldest) {
+  // Capacity below the stripe count collapses to one stripe: the bound is
+  // exact and single-threaded recording is strictly FIFO-overwriting.
+  obs::SpanRing ring(4);
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    obs::SpanRecord span;
+    span.trace_id = i;
+    ring.record(span);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  std::vector<obs::SpanRecord> recent = ring.recent();
+  ASSERT_EQ(recent.size(), 4u);
+  // The last 4 recorded spans (97..100) are the ones retained.
+  std::uint64_t sum = 0;
+  for (const obs::SpanRecord& span : recent) sum += span.trace_id;
+  EXPECT_EQ(sum, 97u + 98u + 99u + 100u);
+}
+
+TEST(ObsSpanRing, CapacityZeroDisablesRecording) {
+  obs::SpanRing ring(0);
+  obs::SpanRecord span;
+  span.trace_id = 1;
+  ring.record(span);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.recent().empty());
+
+  // A registry built with span_capacity 0 exports no spans either.
+  obs::Registry registry(obs::RegistryOptions{0});
+  registry.spans().record(span);
+  EXPECT_TRUE(registry.snapshot().spans.empty());
+}
+
+TEST(ObsSpanRing, ConcurrentRecordingStaysBounded) {
+  obs::SpanRing ring(64);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring] {
+      for (std::uint64_t i = 0; i < 1000; ++i) {
+        obs::SpanRecord span;
+        span.trace_id = i + 1;
+        ring.record(span);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(ring.size(), 64u);
+  EXPECT_GT(ring.size(), 0u);
+}
+
+// --------------------------------------------------------------------- ids
+
+TEST(ObsIds, NeverZeroAndUnique) {
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = obs::next_span_id();
+    EXPECT_NE(id, 0u);
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+  EXPECT_NE(obs::next_trace_id(), 0u);
+}
+
+}  // namespace
+}  // namespace ssa

@@ -13,11 +13,15 @@
 
 #include "core/valuation.hpp"
 #include "gen/scenario.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "service/auction_service.hpp"
 #include "support/fingerprint.hpp"
+#include "support/histogram.hpp"
 #include "wire/codec.hpp"
 #include "wire/instance_codec.hpp"
 #include "wire/protocol.hpp"
+#include "wire/telemetry_codec.hpp"
 
 namespace ssa {
 namespace {
@@ -403,7 +407,7 @@ TEST(WireFrame, RejectsVersion2FramesStrictly) {
       wire::encode_frame(wire::MessageType::kSubmit, 7, "abc").substr(4);
   for (const std::uint16_t version :
        {std::uint16_t{2}, std::uint16_t{3}, std::uint16_t{4},
-        std::uint16_t{6}}) {
+        std::uint16_t{5}, std::uint16_t{7}}) {
     std::string patched = current;
     patched[4] = static_cast<char>(version & 0xff);
     patched[5] = static_cast<char>(version >> 8);
@@ -424,7 +428,8 @@ TEST(WireFrame, EnvelopeBitFlipsNeverCrashAndNeverTouchThePayload) {
       wire::encode_frame(wire::MessageType::kSubmit, 0x0102030405060708ull,
                          "payload-bytes")
           .substr(4);
-  constexpr std::size_t kEnvelopeBytes = 15;  // magic+version+type+id
+  // magic+version+type+id+trace id+parent span id (v6 envelope)
+  constexpr std::size_t kEnvelopeBytes = 31;
   for (int round = 0; round < 4000; ++round) {
     std::string mutated = body;
     const int flips = 1 + static_cast<int>(next() % 3);
@@ -489,10 +494,19 @@ TEST(WireCodec, StatsRoundTripCoversEveryCounter) {
 }
 
 TEST(WireGolden, FrameLayout) {
-  // v5: u32 len | u32 magic "SSAW" | u16 version=5 | u8 type | u64 id | payload
+  // v6: u32 len | u32 magic "SSAW" | u16 version=6 | u8 type | u64 id |
+  //     u64 trace id | u64 parent span id | payload
   EXPECT_EQ(to_hex(wire::encode_frame(wire::MessageType::kSubmit,
                                       0x0102030405060708ull, "abc")),
-            "1200000053534157050001" "0807060504030201" "616263");
+            "2200000053534157060001" "0807060504030201"
+            "0000000000000000" "0000000000000000" "616263");
+  // A traced frame stamps the context little-endian after the id.
+  EXPECT_EQ(to_hex(wire::encode_frame(
+                wire::MessageType::kSubmit, 0x0102030405060708ull, "abc",
+                obs::SpanContext{0x1112131415161718ull,
+                                 0x2122232425262728ull})),
+            "2200000053534157060001" "0807060504030201"
+            "1817161514131211" "2827262524232221" "616263");
 }
 
 TEST(WireGolden, DefaultOptionsLayout) {
@@ -552,6 +566,105 @@ TEST(WireGolden, InstanceLayoutAndFingerprint) {
   // the cache side).
   EXPECT_EQ(fingerprint(AnyInstance(instance)).hex(),
             "15bd7e62da8a14bf17c6451df8923c19");
+}
+
+// -------------------------------------------------------------- telemetry
+
+/// A small but fully-populated snapshot: every section non-empty so the
+/// round-trip and truncation loops cover every decoder branch.
+obs::TelemetrySnapshot tiny_snapshot() {
+  obs::TelemetrySnapshot snapshot;
+  snapshot.counters = {{"service.completed", 7}, {"service.submitted", 9}};
+  snapshot.gauges = {{"scheduler.queue_depth", -3}};
+  LatencyHistogram histogram;
+  histogram.add(1e-3);
+  histogram.add(2e-3);
+  histogram.add(0.5);
+  snapshot.histograms = {{"service.solve_seconds", histogram}};
+  obs::SpanRecord span;
+  span.trace_id = 0x11;
+  span.span_id = 0x22;
+  span.parent_span_id = 0x33;
+  span.name = "door/submit";
+  span.note = "backend=0";
+  span.start_unix_seconds = 1.5;
+  span.duration_seconds = 0.25;
+  snapshot.spans = {span};
+  return snapshot;
+}
+
+std::string encode_telemetry_bytes(const obs::TelemetrySnapshot& snapshot) {
+  wire::Writer writer;
+  wire::write_telemetry(writer, snapshot);
+  return writer.take();
+}
+
+TEST(WireTelemetry, RoundTripsEverySection) {
+  const obs::TelemetrySnapshot snapshot = tiny_snapshot();
+  const std::string bytes = encode_telemetry_bytes(snapshot);
+  const std::optional<obs::TelemetrySnapshot> decoded =
+      wire::decode_telemetry(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->counters, snapshot.counters);
+  EXPECT_EQ(decoded->gauges, snapshot.gauges);
+  ASSERT_EQ(decoded->histograms.size(), 1u);
+  EXPECT_EQ(decoded->histograms[0].first, "service.solve_seconds");
+  EXPECT_EQ(decoded->histograms[0].second, snapshot.histograms[0].second);
+  ASSERT_EQ(decoded->spans.size(), 1u);
+  EXPECT_EQ(decoded->spans[0].trace_id, 0x11u);
+  EXPECT_EQ(decoded->spans[0].span_id, 0x22u);
+  EXPECT_EQ(decoded->spans[0].parent_span_id, 0x33u);
+  EXPECT_EQ(decoded->spans[0].name, "door/submit");
+  EXPECT_EQ(decoded->spans[0].note, "backend=0");
+  EXPECT_EQ(decoded->spans[0].start_unix_seconds, 1.5);
+  EXPECT_EQ(decoded->spans[0].duration_seconds, 0.25);
+  // Canonical encoding: re-encoding the decoded snapshot is bit-identical.
+  EXPECT_EQ(encode_telemetry_bytes(*decoded), bytes);
+}
+
+TEST(WireTelemetry, RejectsTrailingBytesAndEveryTruncation) {
+  std::string bytes = encode_telemetry_bytes(tiny_snapshot());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(wire::decode_telemetry(bytes.substr(0, len)).has_value())
+        << "prefix of length " << len << " decoded";
+  }
+  bytes.push_back('\0');
+  EXPECT_FALSE(wire::decode_telemetry(bytes).has_value());
+}
+
+TEST(WireTelemetry, RejectsInconsistentHistogramCount) {
+  // The histogram count field must equal its bucket sum; a mismatch is a
+  // corrupt snapshot, not a quietly-wrong quantile source.
+  obs::TelemetrySnapshot snapshot;
+  LatencyHistogram histogram;
+  histogram.add(1e-3);
+  snapshot.histograms = {{"h", histogram}};
+  std::string bytes = encode_telemetry_bytes(snapshot);
+  // Locate the u64 count right after the name "h": sections are
+  // counters(8) | gauges(8) | histo n(8) | name len(8)+1 | count(8).
+  const std::size_t count_offset = 8 + 8 + 8 + 8 + 1;
+  ASSERT_EQ(static_cast<unsigned char>(bytes[count_offset]), 1u);
+  bytes[count_offset] = 2;  // count=2, bucket sum=1
+  EXPECT_FALSE(wire::decode_telemetry(bytes).has_value());
+}
+
+TEST(WireFrame, CarriesSpanContextThroughEnvelope) {
+  const obs::SpanContext context{0xAABBu, 0xCCDDu};
+  const std::string frame =
+      wire::encode_frame(wire::MessageType::kSubmit, 42, "p", context);
+  const std::optional<wire::Frame> decoded =
+      wire::decode_frame_body(std::string_view(frame).substr(4));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->context, context);
+  EXPECT_EQ(decoded->payload, "p");
+  // The two-argument form stays untraced.
+  const std::optional<wire::Frame> untraced = wire::decode_frame_body(
+      std::string_view(wire::encode_frame(wire::MessageType::kGet, 1, ""))
+          .substr(4));
+  ASSERT_TRUE(untraced.has_value());
+  EXPECT_EQ(untraced->context, obs::SpanContext{});
+  EXPECT_FALSE(untraced->context.traced());
 }
 
 // ------------------------------------------------------------------- fuzz
